@@ -1,0 +1,130 @@
+//! Criterion benches, one group per paper table/figure: each measures the
+//! *compile + analytical evaluation* pipeline that regenerates the
+//! corresponding figure, so `cargo bench` exercises every experiment's
+//! code path and catches pipeline-level performance regressions.
+//!
+//! (The numbers the figures report come from the `fig7`–`fig11` binaries;
+//! these benches time the machinery itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnopt_bench::{edgeconv_workload, gat_ablation, gat_figure7, monet_ablation, run_variant};
+use gnnopt_core::{autotune_mappings, compile, CompileOptions, FusionLevel, RecomputeScope};
+use gnnopt_graph::datasets;
+use gnnopt_models::EdgeConvConfig;
+use gnnopt_sim::Device;
+
+/// Figure 7: end-to-end training, all three systems on GAT/Reddit.
+fn bench_fig7_pipeline(c: &mut Criterion) {
+    let device = Device::rtx3090();
+    let wl = gat_figure7(&datasets::reddit(), false).expect("workload");
+    let mut group = c.benchmark_group("fig7_end2end");
+    for (name, opts) in [
+        ("dgl", CompileOptions::dgl()),
+        ("fusegnn", CompileOptions::fusegnn()),
+        ("ours", CompileOptions::ours()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| run_variant(name, &wl.ir, &wl.stats, opts, true, &device).expect("variant"));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8: reorganization pass on the naive GAT and EdgeConv IRs.
+fn bench_fig8_reorg(c: &mut Criterion) {
+    let gat_wl = gat_ablation(&datasets::pubmed(), false).expect("gat");
+    let ec_wl = edgeconv_workload(40, 64, &EdgeConvConfig::ablation()).expect("edgeconv");
+    let mut group = c.benchmark_group("fig8_reorg_pass");
+    for (name, ir) in [("gat", &gat_wl.ir), ("edgeconv", &ec_wl.ir)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), ir, |b, ir| {
+            b.iter(|| gnnopt_core::reorg::reorganize(ir).expect("reorganizes"));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9: the fusion partitioner at each capability level.
+fn bench_fig9_fusion(c: &mut Criterion) {
+    let wl = gat_ablation(&datasets::reddit(), false).expect("gat");
+    let compiled = compile(&wl.ir, true, &CompileOptions::ours()).expect("compiles");
+    let mut group = c.benchmark_group("fig9_fusion_partition");
+    for level in [
+        FusionLevel::None,
+        FusionLevel::DglBuiltin,
+        FusionLevel::EdgeOnly,
+        FusionLevel::Unified,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level:?}")),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    gnnopt_core::fusion::partition(&compiled.plan.ir, level, Default::default())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 10: the recomputation planner (stash-all vs recompute).
+fn bench_fig10_recompute(c: &mut Criterion) {
+    let wl = gat_ablation(&datasets::reddit(), false).expect("gat");
+    let device = Device::rtx3090();
+    let mut group = c.benchmark_group("fig10_recompute_plan");
+    for (name, scope) in [
+        ("stash_all", RecomputeScope::None),
+        ("recompute", RecomputeScope::All),
+    ] {
+        let opts = CompileOptions {
+            recompute: scope,
+            ..CompileOptions::ours()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| run_variant(name, &wl.ir, &wl.stats, opts, true, &device).expect("variant"));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11: the memory replay that decides fits-on-device.
+fn bench_fig11_memory_replay(c: &mut Criterion) {
+    let wl = monet_ablation(&datasets::reddit()).expect("monet");
+    let mut group = c.benchmark_group("fig11_memory_replay");
+    for (name, opts) in [
+        ("dgl", CompileOptions::dgl()),
+        ("ours", CompileOptions::ours()),
+    ] {
+        let plan = compile(&wl.ir, true, &opts).expect("compiles").plan;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| plan.memory_replay(&wl.stats, u64::MAX).expect("replays"));
+        });
+    }
+    group.finish();
+}
+
+/// Mapping autotuner (§5 profiling alternative).
+fn bench_autotune(c: &mut Criterion) {
+    let wl = gat_ablation(&datasets::reddit(), false).expect("gat");
+    let device = Device::rtx3090();
+    let plan = compile(&wl.ir, true, &CompileOptions::ours())
+        .expect("compiles")
+        .plan;
+    c.bench_function("autotune_mappings", |b| {
+        b.iter(|| {
+            let mut p = plan.clone();
+            autotune_mappings(&mut p, &device, &wl.stats)
+        });
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig7_pipeline,
+    bench_fig8_reorg,
+    bench_fig9_fusion,
+    bench_fig10_recompute,
+    bench_fig11_memory_replay,
+    bench_autotune,
+);
+criterion_main!(figures);

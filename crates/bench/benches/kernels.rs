@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks: real CPU wall-clock of the reference
+//! executor under each compilation strategy. Absolute times are
+//! CPU-specific; the *relative* ordering (ours ≤ fuseGNN ≤ DGL in work
+//! performed) mirrors the operator-count reductions of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnopt_core::{compile, CompileOptions, Preset};
+use gnnopt_exec::{Bindings, Session};
+use gnnopt_graph::{generators, Graph};
+use gnnopt_models::{edgeconv, gat, monet, EdgeConvConfig, GatConfig, MonetConfig};
+use gnnopt_tensor::Tensor;
+
+fn bindings_for(
+    spec: &gnnopt_models::ModelSpec,
+    graph: &Graph,
+    seed: u64,
+) -> Bindings {
+    let mut b = Bindings::new();
+    for (k, v) in spec.init_values(graph, seed) {
+        b.insert(&k, v);
+    }
+    b
+}
+
+fn bench_presets(c: &mut Criterion) {
+    let graph = Graph::from_edge_list(&generators::rmat(10, 16, 0.57, 0.19, 0.19, 3));
+    let spec = gat(&GatConfig {
+        in_dim: 32,
+        layers: vec![(2, 16)],
+        negative_slope: 0.2,
+        reorganized: false,
+    })
+    .expect("gat builds");
+    let bindings = bindings_for(&spec, &graph, 5);
+
+    let mut group = c.benchmark_group("gat_training_step");
+    for preset in [Preset::Dgl, Preset::FuseGnn, Preset::Ours] {
+        let compiled = compile(&spec.ir, true, &CompileOptions::preset(preset)).expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{preset:?}")),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+                    let out = sess.forward(&bindings).expect("forward");
+                    sess.backward(Tensor::ones(out[0].shape())).expect("backward")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reorg(c: &mut Criterion) {
+    let graph = Graph::from_edge_list(&generators::erdos_renyi(2048, 2048 * 20, 9));
+    let spec = edgeconv(&EdgeConvConfig {
+        in_dim: 32,
+        layer_dims: vec![32],
+    })
+    .expect("edgeconv builds");
+    let bindings = bindings_for(&spec, &graph, 6);
+
+    let mut group = c.benchmark_group("edgeconv_forward");
+    for (label, reorg) in [("naive", false), ("reorganized", true)] {
+        let opts = CompileOptions {
+            reorg,
+            ..CompileOptions::ours()
+        };
+        let compiled = compile(&spec.ir, false, &opts).expect("compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &compiled, |b, compiled| {
+            b.iter(|| {
+                let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+                sess.forward(&bindings).expect("forward")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_monet(c: &mut Criterion) {
+    let graph = Graph::from_edge_list(&generators::rmat(10, 8, 0.57, 0.19, 0.19, 4));
+    let spec = monet(&MonetConfig {
+        in_dim: 16,
+        layer_dims: vec![16],
+        kernels: 2,
+        pseudo_dim: 2,
+    })
+    .expect("monet builds");
+    let bindings = bindings_for(&spec, &graph, 8);
+
+    let mut group = c.benchmark_group("monet_training_step");
+    for preset in [Preset::Dgl, Preset::Ours] {
+        let compiled = compile(&spec.ir, true, &CompileOptions::preset(preset)).expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{preset:?}")),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+                    let out = sess.forward(&bindings).expect("forward");
+                    sess.backward(Tensor::ones(out[0].shape())).expect("backward")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_presets, bench_reorg, bench_monet
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Thread-mapping policy ablation (§5, Figure 5 discussion): the same
+//! fused GAT kernel under vertex-balanced vs edge-balanced mappings, on a
+//! balanced graph (kNN-regular) and a skewed one (Reddit-profile).
+//!
+//! Expected shape: vertex-balanced wins on balanced graphs (no atomics);
+//! on skewed graphs its imbalance penalty grows while edge-balanced pays
+//! the atomic penalty instead — the trade-off §5 proposes selecting by
+//! profiling.
+//!
+//! Run with `cargo run --release -p gnnopt-bench --bin mapping_ablation`.
+
+use gnnopt_bench::run_variant;
+use gnnopt_core::fusion::MappingPolicy;
+use gnnopt_core::{CompileOptions, FusionLevel, RecomputeScope};
+use gnnopt_graph::GraphStats;
+use gnnopt_models::{edgeconv, EdgeConvConfig};
+use gnnopt_sim::Device;
+
+fn options(policy: MappingPolicy) -> CompileOptions {
+    CompileOptions {
+        reorg: true,
+        fusion: FusionLevel::Unified,
+        mapping: policy,
+        recompute: RecomputeScope::All,
+        recompute_threshold: 16.0,
+    }
+}
+
+fn main() {
+    let device = Device::rtx3090();
+    println!("# Thread-mapping ablation (fused EdgeConv forward, {})", device.name);
+
+    // EdgeConv has no softmax, so the kernel can genuinely run under
+    // either mapping.
+    let spec = edgeconv(&EdgeConvConfig::ablation()).expect("model builds");
+    let graphs = vec![
+        (
+            "regular (kNN, deg=40)",
+            GraphStats::synthesize_power_law(65536, 40.0, 0.0),
+        ),
+        (
+            "skewed (power-law, deg=40)",
+            GraphStats::synthesize_power_law(65536, 40.0, 1.2),
+        ),
+    ];
+
+    println!(
+        "\n{:<28} {:>16} {:>16} {:>12}",
+        "graph", "vertex-bal (ms)", "edge-bal (ms)", "imbalance"
+    );
+    for (name, stats) in graphs {
+        let vb = run_variant(
+            "vertex",
+            &spec.ir,
+            &stats,
+            &options(MappingPolicy::ForceVertex),
+            false,
+            &device,
+        )
+        .expect("vertex-balanced");
+        let eb = run_variant(
+            "edge",
+            &spec.ir,
+            &stats,
+            &options(MappingPolicy::ForceEdge),
+            false,
+            &device,
+        )
+        .expect("edge-balanced");
+        println!(
+            "{:<28} {:>16.3} {:>16.3} {:>11.2}x",
+            name,
+            vb.stats.latency * 1e3,
+            eb.stats.latency * 1e3,
+            stats.vertex_balanced_imbalance(device.thread_groups)
+        );
+    }
+    println!(
+        "\nBoth mappings are IO-bound here, so latencies stay close — the paper's\n\
+         §5 observation that the vertex-balanced imbalance \"is minor as long as we\n\
+         have enough parallelism\" and \"worth taking if it enables kernel fusion\".\n\
+         Auto policy picks vertex-balanced when a reduction/softmax is present and\n\
+         edge-balanced otherwise."
+    );
+}

@@ -1,0 +1,64 @@
+//! Ablation of the §6 recomputation criterion
+//! `ComputationCost / MemoryCost ≤ O(1)`.
+//!
+//! The paper fixes the criterion at "no more than one FLOP-ish per
+//! rebuilt element"; this sweep varies the threshold from
+//! never-recompute (0) to recompute-everything-cheap (10⁶) and reports
+//! the latency/memory trade-off curve on GAT and MoNet training. The
+//! paper's operating point (≈16 FLOPs/element, admitting the edge-softmax
+//! rebuild) should sit at the memory floor with single-digit-percent
+//! latency overhead.
+//!
+//! Run with `cargo run --release -p gnnopt-bench --bin recompute_threshold`.
+
+use gnnopt_bench::{gat_ablation, gib, monet_ablation, run_variant, Workload};
+use gnnopt_core::{CompileOptions, RecomputeScope};
+use gnnopt_graph::datasets;
+use gnnopt_sim::Device;
+
+fn sweep(title: &str, wl: &Workload, device: &Device) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>10}",
+        "threshold", "latency(ms)", "mem(GiB)", "stash(GiB)", "kernels"
+    );
+    for threshold in [0.0, 1.0, 4.0, 16.0, 64.0, 1e6] {
+        let opts = CompileOptions {
+            recompute: if threshold == 0.0 {
+                RecomputeScope::None
+            } else {
+                RecomputeScope::All
+            },
+            recompute_threshold: threshold,
+            ..CompileOptions::ours()
+        };
+        let r = run_variant("ours", &wl.ir, &wl.stats, &opts, true, device).expect("variant");
+        println!(
+            "{:>12} {:>12.3} {:>12.3} {:>14.3} {:>10}",
+            if threshold == 0.0 {
+                "stash-all".to_owned()
+            } else {
+                format!("{threshold}")
+            },
+            r.stats.latency * 1e3,
+            gib(r.stats.peak_memory),
+            gib(r.stats.stashed_bytes),
+            r.stats.kernels,
+        );
+    }
+}
+
+fn main() {
+    let device = Device::rtx3090();
+    println!("# Recomputation-threshold sweep ({})", device.name);
+    sweep(
+        "GAT h=4 f=64 / Reddit (training)",
+        &gat_ablation(&datasets::reddit(), false).expect("gat"),
+        &device,
+    );
+    sweep(
+        "MoNet k=2 r=1 f=16 / Reddit (training)",
+        &monet_ablation(&datasets::reddit()).expect("monet"),
+        &device,
+    );
+}

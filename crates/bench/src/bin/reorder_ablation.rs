@@ -1,0 +1,205 @@
+//! Runtime-optimization ablation: vertex reordering and GNNAdvisor-style
+//! neighbor grouping (§8 related work) composed with the paper's fused
+//! kernels.
+//!
+//! Two effects are quantified on the fused GAT graph kernel:
+//!
+//! * **Reordering** raises the L2 hit rate of gather reads (measured with
+//!   the exact LRU model on the executable scaled Reddit graph), which
+//!   shrinks the DRAM IO term of the roofline.
+//! * **Neighbor grouping** flattens the degree skew seen by the
+//!   vertex-balanced mapping, trading a bounded number of cross-group
+//!   merges for the imbalance factor.
+//!
+//! Both are preprocessing passes; the final table reports how many
+//! training iterations amortize each preprocessing cost.
+//!
+//! Run with `cargo run --release -p gnnopt-bench --bin reorder_ablation`.
+
+use gnnopt_bench::gat_ablation;
+use gnnopt_core::{compile, CompileOptions};
+use gnnopt_graph::{datasets, EdgeList, GraphStats};
+use gnnopt_reorder::{locality, strategies, NeighborGrouping, Permutation};
+use gnnopt_sim::{Device, KernelEffects};
+
+/// Deterministic Fisher–Yates relabeling (LCG-driven): the "ingestion
+/// order" baseline that reordering papers measure against.
+fn scramble(el: &EdgeList) -> EdgeList {
+    let n = el.num_vertices();
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut state = 0x9e37_79b9_u64;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        ids.swap(i, j);
+    }
+    Permutation::from_order(&ids)
+        .expect("shuffled ids are a bijection")
+        .apply_to_edges(el)
+}
+
+fn main() {
+    let device = Device::rtx3090();
+    let ds = datasets::reddit();
+    println!(
+        "# Reordering + neighbor-grouping ablation — fused GAT kernel on {} ({})",
+        ds.name, device.name
+    );
+
+    // ---------- Reordering: LRU hit rate on the executable graph ----------
+    // Baseline is a *scrambled* id order: real graph ingestion assigns ids
+    // in arrival order, which carries no locality. (The synthetic
+    // generator's own order is shown too — RMAT ids are already skew-
+    // sorted, which is why reordering papers always scramble first.)
+    let exec_graph = ds.build_graph(17);
+    let generator_order = {
+        let pairs: Vec<(u32, u32)> = (0..exec_graph.num_edges())
+            .map(|e| (exec_graph.src(e) as u32, exec_graph.dst(e) as u32))
+            .collect();
+        gnnopt_graph::EdgeList::from_pairs(exec_graph.num_vertices(), &pairs)
+    };
+    let el = scramble(&generator_order);
+    // L2 capacity in feature rows: h=4, f=64 → 1 KiB per row. The
+    // executable graph is `exec_scale` of full Reddit, so the cache is
+    // scaled by the same factor to keep the cache-to-graph ratio of the
+    // real device (a full-size L2 against a 1/16 graph would make every
+    // ordering look perfect).
+    let row_bytes = 4 * 64 * 4;
+    let cache_rows = ((device.l2_bytes / row_bytes) as f64 * ds.exec_scale) as usize;
+
+    println!("\n== gather locality (L2 = {} rows of h·f floats) ==", cache_rows);
+    println!("{:<14} {:>10} {:>12}", "order", "hit rate", "mean |u-v|");
+    let strategies: Vec<(&str, Option<gnnopt_reorder::Permutation>)> = vec![
+        ("scrambled", None),
+        ("generator", None),
+        ("degree-sort", Some(strategies::degree_sort(&el))),
+        ("bfs", Some(strategies::bfs(&el, 0))),
+        ("rcm", Some(strategies::rcm(&el))),
+        ("cluster", Some(strategies::cluster(&el, 4))),
+    ];
+    let mut baseline = 0.0;
+    let mut best: (f64, &str) = (0.0, "scrambled");
+    for (name, perm) in &strategies {
+        let ordered = match (*name, perm) {
+            ("generator", _) => generator_order.clone(),
+            (_, None) => el.clone(),
+            (_, Some(p)) => p.apply_to_edges(&el),
+        };
+        let hit = locality::lru_hit_rate(&ordered, cache_rows);
+        let rep = locality::report(&ordered);
+        if *name == "scrambled" {
+            baseline = hit;
+        }
+        if hit > best.0 && *name != "generator" {
+            best = (hit, name);
+        }
+        println!("{:<14} {:>9.1}% {:>12.0}", name, hit * 100.0, rep.mean_gap);
+    }
+
+    // Effect on the fused kernel's modeled latency at paper scale: the
+    // gather reads (≈70 % of graph-kernel reads) hit L2 at the measured
+    // rate of each ordering.
+    let wl = gat_ablation(&ds, false).expect("gat");
+    let plan = compile(&wl.ir, true, &CompileOptions::ours())
+        .expect("compiles")
+        .plan;
+    let profiles = plan.profiles(&wl.stats);
+    let latency_at = |hit: f64| -> f64 {
+        profiles
+            .iter()
+            .map(|p| {
+                if p.mapping.is_graph() {
+                    device.kernel_latency_with(p, &wl.stats, &KernelEffects::locality(hit, 0.7))
+                } else {
+                    device.kernel_latency(p, &wl.stats)
+                }
+            })
+            .sum()
+    };
+    let base = latency_at(baseline);
+    let reordered = latency_at(best.0);
+    println!(
+        "\ntraining-step latency: scrambled {:.3} ms → {} {:.3} ms ({:.2}x)",
+        base * 1e3,
+        best.1,
+        reordered * 1e3,
+        base / reordered
+    );
+
+    // ---------- Reordering on a structured graph: EdgeConv kNN ----------
+    // RMAT-folded Reddit has little community structure to recover; the
+    // paper's other workload does: a point-cloud kNN graph is a spatial
+    // mesh, the classic reordering win.
+    let cloud = gnnopt_graph::knn::PointCloud::synthetic(4, 1024, 23);
+    let kg = cloud.knn_graph(20);
+    let knn_el = {
+        let pairs: Vec<(u32, u32)> = (0..kg.num_edges())
+            .map(|e| (kg.src(e) as u32, kg.dst(e) as u32))
+            .collect();
+        gnnopt_graph::EdgeList::from_pairs(kg.num_vertices(), &pairs)
+    };
+    let knn_scrambled = scramble(&knn_el);
+    // f=64 rows, same scaled-cache reasoning (4×1024 points vs a 256-row
+    // slice of L2 keeps the ratio of a full ModelNet batch).
+    let knn_cache = 256;
+    println!(
+        "\n== gather locality, EdgeConv kNN (k=20, {} points, {} cached rows) ==",
+        kg.num_vertices(),
+        knn_cache
+    );
+    println!("{:<14} {:>10}", "order", "hit rate");
+    for (name, ordered) in [
+        ("scrambled", knn_scrambled.clone()),
+        ("rcm", strategies::rcm(&knn_scrambled).apply_to_edges(&knn_scrambled)),
+        (
+            "cluster",
+            strategies::cluster(&knn_scrambled, 4).apply_to_edges(&knn_scrambled),
+        ),
+    ] {
+        println!(
+            "{:<14} {:>9.1}%",
+            name,
+            locality::lru_hit_rate(&ordered, knn_cache) * 100.0
+        );
+    }
+
+    // ---------- Neighbor grouping: imbalance flattening ----------
+    println!("\n== neighbor grouping (vertex-balanced imbalance, full-scale Reddit) ==");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>14}",
+        "group size", "groups", "imbalance", "merge ops", "preproc (MiB)"
+    );
+    let stats = ds.full_scale_stats();
+    let workers = device.thread_groups;
+    println!(
+        "{:<12} {:>10} {:>12.2} {:>12} {:>14}",
+        "ungrouped",
+        stats.num_vertices(),
+        stats.vertex_balanced_imbalance(workers),
+        0,
+        0
+    );
+    for gs in [1024usize, 256, 64, 16] {
+        let grouping = NeighborGrouping::build(&stats, gs);
+        let gstats: GraphStats = grouping.grouped_stats();
+        println!(
+            "{:<12} {:>10} {:>12.2} {:>12} {:>14.1}",
+            gs,
+            grouping.num_groups(),
+            gstats.vertex_balanced_imbalance(workers),
+            grouping.merge_ops(),
+            grouping.preprocessing_bytes() as f64 / (1 << 20) as f64,
+        );
+    }
+    // Amortization: one preprocessing pass is ~2 edge-index scans.
+    let grouping = NeighborGrouping::build(&stats, 64);
+    let preproc_s = grouping.preprocessing_bytes() as f64 * 2.0 / device.bandwidth;
+    let per_step_gain = base * (1.0 - 1.0 / stats.vertex_balanced_imbalance(workers).min(8.0)) * 0.3;
+    println!(
+        "\npreprocessing ≈ {:.3} ms, amortized after ~{} training steps",
+        preproc_s * 1e3,
+        (preproc_s / per_step_gain).ceil() as u64
+    );
+}

@@ -1,0 +1,75 @@
+//! Mapping-policy ablation with the §5 profiling alternative: static
+//! Auto / ForceVertex / ForceEdge policies, each followed by the
+//! profile-driven autotuner (`gnnopt_core::tune`), on a skewed graph
+//! (Reddit) and a regular one (EdgeConv kNN).
+//!
+//! The paper: *"In general, we can select between vertex-balanced or
+//! edge-balanced mapping based on performance profiling."* The tuner must
+//! never lose to its starting policy, and it should repair a bad static
+//! choice (ForceEdge on softmax-free kernels, ForceVertex on skew) up to
+//! the best static row. Kernels containing an edge-softmax stay pinned
+//! vertex-balanced, so GAT's fused kernels report 0 considered.
+//!
+//! Run with `cargo run --release -p gnnopt-bench --bin tune_ablation`.
+
+use gnnopt_bench::{edgeconv_workload, gat_ablation};
+use gnnopt_core::fusion::MappingPolicy;
+use gnnopt_core::{autotune_mappings, compile, CompileOptions};
+use gnnopt_models::EdgeConvConfig;
+use gnnopt_sim::Device;
+
+fn main() {
+    let device = Device::rtx3090();
+    println!("# Mapping-policy ablation, training step ({})", device.name);
+    let workloads = vec![
+        (
+            "GAT h=4 f=64 / Reddit (skewed)",
+            gat_ablation(&gnnopt_graph::datasets::reddit(), false).expect("gat"),
+        ),
+        (
+            "EdgeConv f=64 k=40 b=64 (regular)",
+            edgeconv_workload(40, 64, &EdgeConvConfig::ablation()).expect("edgeconv"),
+        ),
+    ];
+    for (title, wl) in workloads {
+        println!("\n== {title} ==");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}",
+            "start policy", "static(ms)", "tuned(ms)", "re-mapped"
+        );
+        let mut best_static = f64::INFINITY;
+        let mut best_tuned = f64::INFINITY;
+        for (name, policy) in [
+            ("auto", MappingPolicy::Auto),
+            ("force-vertex", MappingPolicy::ForceVertex),
+            ("force-edge", MappingPolicy::ForceEdge),
+        ] {
+            let opts = CompileOptions {
+                mapping: policy,
+                ..CompileOptions::ours()
+            };
+            let mut plan = compile(&wl.ir, true, &opts).expect("compiles").plan;
+            let static_lat = plan.exec_stats(&device, &wl.stats).latency;
+            let report = autotune_mappings(&mut plan, &device, &wl.stats);
+            let tuned_lat = plan.exec_stats(&device, &wl.stats).latency;
+            assert!(
+                tuned_lat <= static_lat * 1.0001,
+                "the tuner must never lose to its starting policy"
+            );
+            best_static = best_static.min(static_lat);
+            best_tuned = best_tuned.min(tuned_lat);
+            println!(
+                "{:<14} {:>12.3} {:>12.3} {:>9}/{}",
+                name,
+                static_lat * 1e3,
+                tuned_lat * 1e3,
+                report.switched,
+                report.considered,
+            );
+        }
+        assert!(
+            best_tuned <= best_static * 1.0001,
+            "tuning must reach the best static configuration"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Human-readable and Graphviz renderings of IR graphs and execution
+//! plans — the debugging surface for every pass.
+
+use crate::ir::{IrGraph, Phase};
+use crate::op::{OpKind, Space};
+use crate::plan::ExecutionPlan;
+use std::fmt::Write as _;
+
+/// One line per node: `id name space dim phase ← inputs`.
+pub fn dump_ir(ir: &IrGraph) -> String {
+    let mut out = String::new();
+    for n in ir.nodes() {
+        let space = match n.space {
+            Space::Vertex => "V",
+            Space::Edge => "E",
+            Space::Param => "P",
+        };
+        let phase = match n.phase {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+        };
+        let marker = if ir.outputs().contains(&n.id) { " *out" } else { "" };
+        let _ = writeln!(
+            out,
+            "%{:<3} {:<24} {space}[{},{}] {phase} ← {:?}{marker}",
+            n.id, n.name, n.dim.heads, n.dim.feat, n.inputs
+        );
+    }
+    out
+}
+
+/// Graphviz `dot` rendering of the IR with kernels as clusters (when a
+/// plan is supplied). Paste into any dot viewer.
+pub fn to_dot(ir: &IrGraph, plan: Option<&ExecutionPlan>) -> String {
+    let mut out = String::from("digraph gnn {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    let owner: std::collections::HashMap<usize, usize> = plan
+        .map(|p| {
+            p.kernels
+                .iter()
+                .flat_map(|k| k.nodes.iter().map(move |&n| (n, k.id)))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    if let Some(plan) = plan {
+        for k in &plan.kernels {
+            let _ = writeln!(
+                out,
+                "  subgraph cluster_k{} {{ label=\"kernel {} [{:?}]\"; style=dashed;",
+                k.id, k.id, k.mapping
+            );
+            for &n in &k.nodes {
+                let _ = writeln!(out, "    n{n};");
+            }
+            out.push_str("  }\n");
+        }
+    }
+    for n in ir.nodes() {
+        let color = match (n.phase, n.space) {
+            (Phase::Backward, _) => "lightpink",
+            (_, Space::Edge) => "lightyellow",
+            (_, Space::Vertex) => "lightblue",
+            (_, Space::Param) => "lightgrey",
+        };
+        let extra = if owner.contains_key(&n.id) || matches!(
+            n.kind,
+            OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
+        ) {
+            ""
+        } else {
+            ", style=dotted" // fused-away / unscheduled
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n[{},{}]\", fillcolor={color}, style=filled{extra}];",
+            n.id, n.name, n.dim.heads, n.dim.feat
+        );
+        for &i in &n.inputs {
+            let _ = writeln!(out, "  n{i} -> n{};", n.id);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Compact plan summary: one line per kernel with mapping, member count
+/// and recompute count.
+pub fn dump_plan(plan: &ExecutionPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan: {} kernels, {} stashed, {} aux-stashed, training={}",
+        plan.kernels.len(),
+        plan.stash.len(),
+        plan.aux_stash.len(),
+        plan.training
+    );
+    for k in &plan.kernels {
+        let names: Vec<&str> = k
+            .nodes
+            .iter()
+            .map(|&n| plan.ir.node(n).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  k{:<3} {:?}{} [{}]{}",
+            k.id,
+            k.mapping,
+            if k.atomic_reduction { "+atomic" } else { "" },
+            names.join(", "),
+            if k.recompute.is_empty() {
+                String::new()
+            } else {
+                format!(" recompute×{}", k.recompute.len())
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryFn, Dim, EdgeGroup, ReduceFn, ScatterFn};
+    use crate::pipeline::{compile, CompileOptions};
+
+    fn toy() -> IrGraph {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(4));
+        let w = g.param("w", 4, 4);
+        let p = g.linear(h, w).unwrap();
+        let e = g.scatter(ScatterFn::Bin(BinaryFn::Sub), p, p).unwrap();
+        // A softmax makes the training plan exercise recomputation.
+        let sm = g.edge_softmax(e).unwrap();
+        let v = g.gather(ReduceFn::Sum, EdgeGroup::ByDst, sm).unwrap();
+        g.mark_output(v);
+        g
+    }
+
+    #[test]
+    fn dump_ir_lists_every_node() {
+        let g = toy();
+        let s = dump_ir(&g);
+        assert_eq!(s.lines().count(), g.len());
+        assert!(s.contains("*out"));
+        assert!(s.contains("scatter"));
+    }
+
+    #[test]
+    fn dot_is_wellformed() {
+        let g = toy();
+        let compiled = compile(&g, true, &CompileOptions::ours()).unwrap();
+        let dot = to_dot(&compiled.plan.ir, Some(&compiled.plan));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("subgraph cluster_k0"));
+        // Every node appears.
+        for n in compiled.plan.ir.nodes() {
+            assert!(dot.contains(&format!("n{} [", n.id)));
+        }
+    }
+
+    #[test]
+    fn plan_summary_mentions_recompute() {
+        let g = toy();
+        let compiled = compile(&g, true, &CompileOptions::ours()).unwrap();
+        let s = dump_plan(&compiled.plan);
+        assert!(s.contains("kernels"));
+        assert!(s.contains("recompute"), "plan summary: {s}");
+    }
+}

@@ -1,0 +1,739 @@
+//! The computational-graph IR: a DAG of [`Node`]s over the operator
+//! algebra, with a validating builder API.
+
+use crate::op::{
+    BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn,
+};
+
+use std::error::Error;
+use std::fmt;
+
+/// Forward vs backward phase of a node (autodiff appends backward nodes to
+/// the same graph so the passes can rewrite both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase {
+    /// Inference dataflow.
+    #[default]
+    Forward,
+    /// Gradient dataflow.
+    Backward,
+}
+
+/// One operator instance.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Identifier (index into [`IrGraph::nodes`]).
+    pub id: NodeId,
+    /// The operator.
+    pub kind: OpKind,
+    /// Producer nodes, in operator-specific order.
+    pub inputs: Vec<NodeId>,
+    /// Output index space.
+    pub space: Space,
+    /// Output feature dimensions ([`Space::Param`] uses `heads` as rows and
+    /// `feat` as cols).
+    pub dim: Dim,
+    /// Debug label.
+    pub name: String,
+    /// Forward or backward phase.
+    pub phase: Phase,
+    /// Whether gradients flow through this node.
+    pub requires_grad: bool,
+}
+
+/// Errors raised by IR construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Input spaces/dims incompatible with the operator.
+    Incompatible {
+        /// Operator being constructed.
+        op: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// Referenced node id does not exist.
+    UnknownNode(NodeId),
+    /// Autodiff does not support a required operator.
+    Unsupported(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Incompatible { op, detail } => {
+                write!(f, "incompatible operands for {op}: {detail}")
+            }
+            IrError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            IrError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// A GNN computational graph.
+///
+/// Nodes are appended in construction order, which is always a valid
+/// topological order (inputs must exist before use), so `nodes` doubles as
+/// the canonical schedule.
+#[derive(Debug, Clone, Default)]
+pub struct IrGraph {
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+    phase: Phase,
+}
+
+impl IrGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All nodes in topological (construction) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The declared model outputs.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Declares `id` a model output.
+    pub fn mark_output(&mut self, id: NodeId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Consumer lists per node (edges of the DAG, reversed).
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut cons = vec![Vec::new(); self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                cons[i].push(n.id);
+            }
+        }
+        cons
+    }
+
+    fn check(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id).ok_or(IrError::UnknownNode(id))
+    }
+
+    /// Switches the phase stamped on subsequently built nodes. Autodiff
+    /// sets this to [`Phase::Backward`] before emitting gradient nodes.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// The phase currently stamped on new nodes.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn push(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<NodeId>,
+        space: Space,
+        dim: Dim,
+        name: impl Into<String>,
+        phase: Phase,
+    ) -> NodeId {
+        let requires_grad = matches!(kind, OpKind::Param)
+            || inputs.iter().any(|&i| self.nodes[i].requires_grad);
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            kind,
+            inputs,
+            space,
+            dim,
+            name: name.into(),
+            phase,
+            requires_grad,
+        });
+        id
+    }
+
+    /// Appends a node with explicit kind/space/dim, stamped with the
+    /// current phase. Used by autodiff and the passes for backward-only
+    /// and rewritten operators; model code should prefer the typed
+    /// builders.
+    pub(crate) fn push_raw(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<NodeId>,
+        space: Space,
+        dim: Dim,
+        name: impl Into<String>,
+    ) -> NodeId {
+        self.push(kind, inputs, space, dim, name, self.phase)
+    }
+
+    // ---- leaves ----
+
+    /// Adds a per-vertex input of width `dim`.
+    pub fn input_vertex(&mut self, name: &str, dim: Dim) -> NodeId {
+        self.push(
+            OpKind::InputVertex,
+            vec![],
+            Space::Vertex,
+            dim,
+            name,
+            self.phase,
+        )
+    }
+
+    /// Adds a per-edge input of width `dim`.
+    pub fn input_edge(&mut self, name: &str, dim: Dim) -> NodeId {
+        self.push(
+            OpKind::InputEdge,
+            vec![],
+            Space::Edge,
+            dim,
+            name,
+            self.phase,
+        )
+    }
+
+    /// Adds a `[rows, cols]` parameter.
+    pub fn param(&mut self, name: &str, rows: usize, cols: usize) -> NodeId {
+        self.push(
+            OpKind::Param,
+            vec![],
+            Space::Param,
+            Dim {
+                heads: rows,
+                feat: cols,
+            },
+            name,
+            self.phase,
+        )
+    }
+
+    // ---- graph ops ----
+
+    /// `Scatter`: builds edge features from vertex features.
+    ///
+    /// `CopyU`/`CopyV` take one operand; binary functions and `ConcatUV`
+    /// take two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] on non-vertex operands or dim
+    /// mismatches, and requires `heads` to agree for `ConcatUV`.
+    pub fn scatter(&mut self, f: ScatterFn, x: NodeId, y: NodeId) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        let ny = self.check(y)?.clone();
+        if nx.space != Space::Vertex || ny.space != Space::Vertex {
+            return Err(IrError::Incompatible {
+                op: format!("scatter({f:?})"),
+                detail: "operands must be vertex features".into(),
+            });
+        }
+        let dim = match f {
+            ScatterFn::CopyU => nx.dim,
+            ScatterFn::CopyV => ny.dim,
+            ScatterFn::Bin(_) => {
+                if nx.dim != ny.dim {
+                    return Err(IrError::Incompatible {
+                        op: format!("scatter({f:?})"),
+                        detail: format!("dims {:?} vs {:?}", nx.dim, ny.dim),
+                    });
+                }
+                nx.dim
+            }
+            ScatterFn::ConcatUV => {
+                if nx.dim.heads != ny.dim.heads {
+                    return Err(IrError::Incompatible {
+                        op: "scatter(concat)".into(),
+                        detail: format!("head mismatch {:?} vs {:?}", nx.dim, ny.dim),
+                    });
+                }
+                Dim {
+                    heads: nx.dim.heads,
+                    feat: nx.dim.feat + ny.dim.feat,
+                }
+            }
+        };
+        let inputs = match f {
+            ScatterFn::CopyU => vec![x],
+            ScatterFn::CopyV => vec![y],
+            _ => vec![x, y],
+        };
+        Ok(self.push(
+            OpKind::Scatter(f),
+            inputs,
+            Space::Edge,
+            dim,
+            format!("scatter_{f:?}"),
+            self.phase,
+        ))
+    }
+
+    /// `Gather`: reduces edge features into vertex features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] for non-edge input.
+    pub fn gather(&mut self, reduce: ReduceFn, group: EdgeGroup, x: NodeId) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        if nx.space != Space::Edge {
+            return Err(IrError::Incompatible {
+                op: format!("gather({reduce:?})"),
+                detail: "operand must be edge features".into(),
+            });
+        }
+        Ok(self.push(
+            OpKind::Gather { reduce, group },
+            vec![x],
+            Space::Vertex,
+            nx.dim,
+            format!("gather_{reduce:?}"),
+            self.phase,
+        ))
+    }
+
+    /// Edge softmax over per-destination groups (the `ReduceScatter`
+    /// instance of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] for non-edge input.
+    pub fn edge_softmax(&mut self, x: NodeId) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        if nx.space != Space::Edge {
+            return Err(IrError::Incompatible {
+                op: "edge_softmax".into(),
+                detail: "operand must be edge features".into(),
+            });
+        }
+        Ok(self.push(
+            OpKind::EdgeSoftmax,
+            vec![x],
+            Space::Edge,
+            nx.dim,
+            "edge_softmax",
+            self.phase,
+        ))
+    }
+
+    // ---- apply ops ----
+
+    /// Linear projection `x · w` (expensive Apply-).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] unless `w` is a parameter with
+    /// `rows == x.dim.total()`.
+    pub fn linear(&mut self, x: NodeId, w: NodeId) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        let nw = self.check(w)?.clone();
+        if nw.space != Space::Param || nw.dim.heads != nx.dim.total() {
+            return Err(IrError::Incompatible {
+                op: "linear".into(),
+                detail: format!(
+                    "weight {:?} incompatible with input dim {:?}",
+                    nw.dim, nx.dim
+                ),
+            });
+        }
+        Ok(self.push(
+            OpKind::Linear,
+            vec![x, w],
+            nx.space,
+            Dim::flat(nw.dim.feat),
+            "linear",
+            self.phase,
+        ))
+    }
+
+    /// Lightweight unary apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownNode`] for dangling ids.
+    pub fn unary(&mut self, f: UnaryFn, x: NodeId) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        Ok(self.push(
+            OpKind::Unary(f),
+            vec![x],
+            nx.space,
+            nx.dim,
+            format!("unary_{f:?}"),
+            self.phase,
+        ))
+    }
+
+    /// Lightweight binary apply. Operands must share a space and head
+    /// count; one operand may have `feat == 1` and broadcasts across
+    /// features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] otherwise.
+    pub fn binary(&mut self, f: BinaryFn, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let na = self.check(a)?.clone();
+        let nb = self.check(b)?.clone();
+        if na.space != nb.space {
+            return Err(IrError::Incompatible {
+                op: format!("binary({f:?})"),
+                detail: format!("space {:?} vs {:?}", na.space, nb.space),
+            });
+        }
+        if na.dim.heads != nb.dim.heads
+            || (na.dim.feat != nb.dim.feat && na.dim.feat != 1 && nb.dim.feat != 1)
+        {
+            return Err(IrError::Incompatible {
+                op: format!("binary({f:?})"),
+                detail: format!("dims {:?} vs {:?}", na.dim, nb.dim),
+            });
+        }
+        let dim = Dim {
+            heads: na.dim.heads,
+            feat: na.dim.feat.max(nb.dim.feat),
+        };
+        Ok(self.push(
+            OpKind::Binary(f),
+            vec![a, b],
+            na.space,
+            dim,
+            format!("binary_{f:?}"),
+            self.phase,
+        ))
+    }
+
+    /// Per-head dot product with parameter `a` of shape `[heads, feat]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] unless `a` matches `x`'s `[heads,
+    /// feat]`.
+    pub fn head_dot(&mut self, x: NodeId, a: NodeId) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        let na = self.check(a)?.clone();
+        if na.space != Space::Param || na.dim.heads != nx.dim.heads || na.dim.feat != nx.dim.feat {
+            return Err(IrError::Incompatible {
+                op: "head_dot".into(),
+                detail: format!("param {:?} vs input {:?}", na.dim, nx.dim),
+            });
+        }
+        Ok(self.push(
+            OpKind::HeadDot,
+            vec![x, a],
+            nx.space,
+            Dim {
+                heads: nx.dim.heads,
+                feat: 1,
+            },
+            "head_dot",
+            self.phase,
+        ))
+    }
+
+    /// Gaussian mixture weights (MoNet). `pseudo` is `[|E|, r]`; `mu` and
+    /// `inv_sigma` are `[K, r]` parameters; output is `[|E|, K]` (heads=K).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] on mismatched kernel shapes.
+    pub fn gaussian_weight(&mut self, pseudo: NodeId, mu: NodeId, inv_sigma: NodeId) -> Result<NodeId> {
+        let np = self.check(pseudo)?.clone();
+        let nm = self.check(mu)?.clone();
+        let ns = self.check(inv_sigma)?.clone();
+        if np.space != Space::Edge || np.dim.heads != 1 {
+            return Err(IrError::Incompatible {
+                op: "gaussian_weight".into(),
+                detail: "pseudo-coordinates must be single-head edge features".into(),
+            });
+        }
+        if nm.dim != ns.dim || nm.dim.feat != np.dim.feat {
+            return Err(IrError::Incompatible {
+                op: "gaussian_weight".into(),
+                detail: format!("mu {:?} / sigma {:?} vs pseudo {:?}", nm.dim, ns.dim, np.dim),
+            });
+        }
+        Ok(self.push(
+            OpKind::GaussianWeight,
+            vec![pseudo, mu, inv_sigma],
+            Space::Edge,
+            Dim {
+                heads: nm.dim.heads,
+                feat: 1,
+            },
+            "gaussian_weight",
+            self.phase,
+        ))
+    }
+
+    // ---- structural ----
+
+    /// Per-head feature slice `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] on out-of-range slices.
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        if start >= end || end > nx.dim.feat {
+            return Err(IrError::Incompatible {
+                op: "slice_cols".into(),
+                detail: format!("[{start}, {end}) out of 0..{}", nx.dim.feat),
+            });
+        }
+        Ok(self.push(
+            OpKind::SliceCols { start, end },
+            vec![x],
+            nx.space,
+            Dim {
+                heads: nx.dim.heads,
+                feat: end - start,
+            },
+            "slice_cols",
+            self.phase,
+        ))
+    }
+
+    /// Row slice of a parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] unless `x` is a parameter and the
+    /// range is valid.
+    pub fn slice_rows(&mut self, x: NodeId, start: usize, end: usize) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        if nx.space != Space::Param || start >= end || end > nx.dim.heads {
+            return Err(IrError::Incompatible {
+                op: "slice_rows".into(),
+                detail: format!("[{start}, {end}) of param {:?}", nx.dim),
+            });
+        }
+        Ok(self.push(
+            OpKind::SliceRows { start, end },
+            vec![x],
+            Space::Param,
+            Dim {
+                heads: end - start,
+                feat: nx.dim.feat,
+            },
+            "slice_rows",
+            self.phase,
+        ))
+    }
+
+    /// Reinterprets `[1, h·f]` as `[h, f]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] if the total width is not
+    /// divisible by `heads`.
+    pub fn set_heads(&mut self, x: NodeId, heads: usize) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        let total = nx.dim.total();
+        if heads == 0 || total % heads != 0 {
+            return Err(IrError::Incompatible {
+                op: "set_heads".into(),
+                detail: format!("total {total} not divisible by {heads}"),
+            });
+        }
+        Ok(self.push(
+            OpKind::SetHeads { heads },
+            vec![x],
+            nx.space,
+            Dim {
+                heads,
+                feat: total / heads,
+            },
+            "set_heads",
+            self.phase,
+        ))
+    }
+
+    /// Reduces heads to 1 (`Sum` or `Mean`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] for `Max` (unsupported here).
+    pub fn head_reduce(&mut self, f: ReduceFn, x: NodeId) -> Result<NodeId> {
+        if f == ReduceFn::Max {
+            return Err(IrError::Incompatible {
+                op: "head_reduce".into(),
+                detail: "max head-reduction is not supported".into(),
+            });
+        }
+        let nx = self.check(x)?.clone();
+        Ok(self.push(
+            OpKind::HeadReduce(f),
+            vec![x],
+            nx.space,
+            Dim {
+                heads: 1,
+                feat: nx.dim.feat,
+            },
+            "head_reduce",
+            self.phase,
+        ))
+    }
+
+    /// Broadcasts `[1, f]` to `[heads, f]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Incompatible`] unless the input has one head.
+    pub fn head_broadcast(&mut self, x: NodeId, heads: usize) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        if nx.dim.heads != 1 {
+            return Err(IrError::Incompatible {
+                op: "head_broadcast".into(),
+                detail: format!("input already has {} heads", nx.dim.heads),
+            });
+        }
+        Ok(self.push(
+            OpKind::HeadBroadcast { heads },
+            vec![x],
+            nx.space,
+            Dim {
+                heads,
+                feat: nx.dim.feat,
+            },
+            "head_broadcast",
+            self.phase,
+        ))
+    }
+
+    /// Sums features within each head: `[h, f] → [h, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownNode`] for dangling ids.
+    pub fn feat_sum(&mut self, x: NodeId) -> Result<NodeId> {
+        let nx = self.check(x)?.clone();
+        Ok(self.push(
+            OpKind::FeatSum,
+            vec![x],
+            nx.space,
+            Dim {
+                heads: nx.dim.heads,
+                feat: 1,
+            },
+            "feat_sum",
+            self.phase,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_spaces() {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(8));
+        let e = g.scatter(ScatterFn::Bin(BinaryFn::Sub), h, h).unwrap();
+        // gather of a vertex tensor must fail
+        assert!(g.gather(ReduceFn::Sum, EdgeGroup::ByDst, h).is_err());
+        // scatter of an edge tensor must fail
+        assert!(g.scatter(ScatterFn::CopyU, e, e).is_err());
+        let v = g.gather(ReduceFn::Sum, EdgeGroup::ByDst, e).unwrap();
+        assert_eq!(g.node(v).space, Space::Vertex);
+        assert_eq!(g.node(v).dim, Dim::flat(8));
+    }
+
+    #[test]
+    fn concat_adds_feats_and_checks_heads() {
+        let mut g = IrGraph::new();
+        let a = g.input_vertex("a", Dim::multi(2, 4));
+        let b = g.input_vertex("b", Dim::multi(2, 3));
+        let c = g.scatter(ScatterFn::ConcatUV, a, b).unwrap();
+        assert_eq!(g.node(c).dim, Dim::multi(2, 7));
+        let bad = g.input_vertex("bad", Dim::multi(3, 4));
+        assert!(g.scatter(ScatterFn::ConcatUV, a, bad).is_err());
+    }
+
+    #[test]
+    fn linear_checks_param_rows() {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(8));
+        let w = g.param("w", 8, 16);
+        let y = g.linear(h, w).unwrap();
+        assert_eq!(g.node(y).dim, Dim::flat(16));
+        assert!(g.node(y).requires_grad);
+        let wbad = g.param("wbad", 9, 16);
+        assert!(g.linear(h, wbad).is_err());
+    }
+
+    #[test]
+    fn binary_broadcast_rules() {
+        let mut g = IrGraph::new();
+        let a = g.input_vertex("a", Dim::multi(4, 16));
+        let s = g.input_vertex("s", Dim::multi(4, 1));
+        let y = g.binary(BinaryFn::Mul, a, s).unwrap();
+        assert_eq!(g.node(y).dim, Dim::multi(4, 16));
+        let bad = g.input_vertex("bad", Dim::multi(4, 8));
+        assert!(g.binary(BinaryFn::Add, a, bad).is_err());
+    }
+
+    #[test]
+    fn requires_grad_propagates_from_params_only() {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(4));
+        let e = g.scatter(ScatterFn::CopyU, h, h).unwrap();
+        assert!(!g.node(e).requires_grad);
+        let w = g.param("w", 4, 4);
+        let y = g.linear(h, w).unwrap();
+        assert!(g.node(y).requires_grad);
+    }
+
+    #[test]
+    fn set_heads_roundtrip() {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(12));
+        let m = g.set_heads(h, 4).unwrap();
+        assert_eq!(g.node(m).dim, Dim::multi(4, 3));
+        assert!(g.set_heads(h, 5).is_err());
+    }
+
+    #[test]
+    fn consumers_reverse_edges() {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(4));
+        let e1 = g.scatter(ScatterFn::CopyU, h, h).unwrap();
+        let e2 = g.scatter(ScatterFn::CopyV, h, h).unwrap();
+        let cons = g.consumers();
+        assert_eq!(cons[h], vec![e1, e2]);
+    }
+
+    #[test]
+    fn outputs_dedup() {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(4));
+        g.mark_output(h);
+        g.mark_output(h);
+        assert_eq!(g.outputs(), &[h]);
+    }
+}

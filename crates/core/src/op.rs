@@ -1,0 +1,446 @@
+//! The GNN operator algebra (paper §2.1 / Appendix A).
+//!
+//! Four basic operators — `Scatter`, `Gather`, `ApplyEdge`, `ApplyVertex` —
+//! express every model; `ApplyEdge`/`ApplyVertex` are represented here by
+//! graph-irrelevant ops ([`OpKind::Unary`], [`OpKind::Binary`],
+//! [`OpKind::Linear`], …) whose space (vertex or edge) is carried by the
+//! node. The high-level `ReduceScatter` appears as the composite
+//! [`OpKind::EdgeSoftmax`] (its only instantiation in the paper's models),
+//! and `Aggregate` emerges from fusion rather than being a primitive.
+//!
+//! Backward-only operators (suffix `Bwd`) implement the Appendix B rules;
+//! the autodiff module emits them.
+
+/// Which index space a node's output lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// One row per vertex (`[|V|, dim]`).
+    Vertex,
+    /// One row per edge (`[|E|, dim]`).
+    Edge,
+    /// Learnable parameter (explicit 2-D shape).
+    Param,
+}
+
+/// Logical feature dimensions: `heads` independent channels of `feat`
+/// features each. Stored flat as `heads * feat` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Number of heads (1 for single-head models).
+    pub heads: usize,
+    /// Features per head.
+    pub feat: usize,
+}
+
+impl Dim {
+    /// Single-head dimension.
+    pub fn flat(feat: usize) -> Self {
+        Self { heads: 1, feat }
+    }
+
+    /// Multi-head dimension.
+    pub fn multi(heads: usize, feat: usize) -> Self {
+        Self { heads, feat }
+    }
+
+    /// Total flattened column count.
+    pub fn total(&self) -> usize {
+        self.heads * self.feat
+    }
+}
+
+/// Binary elementwise functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryFn {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+}
+
+impl BinaryFn {
+    /// Applies the function to scalars.
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryFn::Add => a + b,
+            BinaryFn::Sub => a - b,
+            BinaryFn::Mul => a * b,
+            BinaryFn::Div => a / b,
+        }
+    }
+}
+
+/// Unary elementwise functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryFn {
+    /// `exp(x)`
+    Exp,
+    /// `ln(x)`
+    Ln,
+    /// `-x`
+    Neg,
+    /// `max(x, 0)`
+    Relu,
+    /// `x > 0 ? x : slope * x`
+    LeakyRelu(f32),
+    /// `1 / (1 + exp(-x))`
+    Sigmoid,
+    /// `tanh(x)`
+    Tanh,
+    /// `c * x`
+    Scale(f32),
+}
+
+impl UnaryFn {
+    /// Applies the function to a scalar.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryFn::Exp => x.exp(),
+            UnaryFn::Ln => x.ln(),
+            UnaryFn::Neg => -x,
+            UnaryFn::Relu => x.max(0.0),
+            UnaryFn::LeakyRelu(s) => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    s * x
+                }
+            }
+            UnaryFn::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryFn::Tanh => x.tanh(),
+            UnaryFn::Scale(c) => c * x,
+        }
+    }
+
+    /// Derivative `f'(x)` evaluated at the forward *input*.
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            UnaryFn::Exp => x.exp(),
+            UnaryFn::Ln => 1.0 / x,
+            UnaryFn::Neg => -1.0,
+            UnaryFn::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryFn::LeakyRelu(s) => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            }
+            UnaryFn::Sigmoid => {
+                let y = 1.0 / (1.0 + (-x).exp());
+                y * (1.0 - y)
+            }
+            UnaryFn::Tanh => 1.0 - x.tanh() * x.tanh(),
+            UnaryFn::Scale(c) => c,
+        }
+    }
+}
+
+/// Per-edge combination functions used by `Scatter` (paper's
+/// `u_op_v` / `copy_u` DGL built-ins).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScatterFn {
+    /// `m_e = x[src(e)]`
+    CopyU,
+    /// `m_e = y[dst(e)]`
+    CopyV,
+    /// `m_e = f(x[src(e)], y[dst(e)])`
+    Bin(BinaryFn),
+    /// `m_e = x[src(e)] ∥ y[dst(e)]` (per-head concatenation).
+    ConcatUV,
+}
+
+/// Reduction functions used by `Gather`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceFn {
+    /// Sum of the group.
+    Sum,
+    /// Elementwise maximum of the group (stores argmax auxiliaries).
+    Max,
+    /// Mean of the group.
+    Mean,
+}
+
+/// Which endpoint groups edges for a reduction.
+///
+/// The paper's `Gather` reduces incoming edges per destination; the
+/// backward pass of `Scatter` needs the source-grouped dual (Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeGroup {
+    /// Group by destination vertex (in-edges).
+    ByDst,
+    /// Group by source vertex (out-edges).
+    BySrc,
+}
+
+/// Node identifier inside an [`crate::IrGraph`].
+pub type NodeId = usize;
+
+/// Every operator the IR can express.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    // ---- leaves ----
+    /// Per-vertex input features.
+    InputVertex,
+    /// Per-edge input features (e.g. MoNet pseudo-coordinates).
+    InputEdge,
+    /// Learnable parameter.
+    Param,
+    /// Seed of the backward pass (`∂L/∂output`), supplied at run time.
+    GradSeed,
+
+    // ---- graph-related operators ----
+    /// `Scatter`: vertex features → edge features.
+    Scatter(ScatterFn),
+    /// `Gather`: edge features → vertex features.
+    Gather {
+        /// Reduction function.
+        reduce: ReduceFn,
+        /// Grouping endpoint.
+        group: EdgeGroup,
+    },
+    /// `ReduceScatter` instance: per-destination-group softmax over edge
+    /// scores (GAT's edge-softmax).
+    EdgeSoftmax,
+
+    // ---- Apply- operators (graph-irrelevant) ----
+    /// Expensive apply: `X · W` (inputs `[x, w]`).
+    Linear,
+    /// Lightweight elementwise unary apply.
+    Unary(UnaryFn),
+    /// Lightweight elementwise binary apply (same space; feat-broadcast
+    /// allowed when one side has `feat == 1`).
+    Binary(BinaryFn),
+    /// Per-head dot product with a parameter: `[.., h, f] × [h, f] → [.., h, 1]`
+    /// (GAT's `aᵀ h`). Classified expensive (it is a projection).
+    HeadDot,
+    /// Gaussian mixture weights (MoNet):
+    /// `w[e,k] = exp(-½ Σ_j σ⁻²[k,j] (pseudo[e,j] − μ[k,j])²)`,
+    /// inputs `[pseudo, mu, inv_sigma]`, output heads = K, feat = 1.
+    GaussianWeight,
+
+    // ---- structural (zero-cost or near-zero-cost) ----
+    /// Per-head column slice `[start, end)` in feat units.
+    SliceCols {
+        /// First feature column (per head).
+        start: usize,
+        /// One past the last feature column (per head).
+        end: usize,
+    },
+    /// Row slice of a parameter.
+    SliceRows {
+        /// First row.
+        start: usize,
+        /// One past the last row.
+        end: usize,
+    },
+    /// Reinterpret `[1, h·f]` as `[h, f]` (no data movement).
+    SetHeads {
+        /// New head count.
+        heads: usize,
+    },
+    /// Reduce heads: `[h, f] → [1, f]`.
+    HeadReduce(ReduceFn),
+    /// Broadcast heads: `[1, f] → [h, f]`.
+    HeadBroadcast {
+        /// Target head count.
+        heads: usize,
+    },
+    /// Reduce features: `[h, f] → [h, 1]`.
+    FeatSum,
+    /// Broadcast features: `[h, 1] → [h, f]`.
+    FeatBroadcast {
+        /// Target per-head feature count.
+        feat: usize,
+    },
+
+    // ---- backward-only operators (Appendix B) ----
+    /// `∂L/∂X = G · Wᵀ` (inputs `[g, w]`).
+    LinearBwdInput,
+    /// `∂L/∂W = Xᵀ · G` (inputs `[x, g]`).
+    LinearBwdWeight,
+    /// `∂L/∂X[.,h,j] = G[.,h] · a[h,j]` (inputs `[g, a]`).
+    HeadDotBwdInput,
+    /// `∂L/∂a[h,j] = Σ_rows G[.,h] X[.,h,j]` (inputs `[x, g]`).
+    HeadDotBwdParam,
+    /// Backward of `Gather(Max)`: routes the vertex gradient to the argmax
+    /// edge recorded by forward node `fwd` (input `[g]`).
+    GatherMaxBwd {
+        /// The forward `Gather(Max)` node whose argmax auxiliary to use.
+        fwd: NodeId,
+    },
+    /// Backward of `Gather(Mean)`: scatters `g[v] / degree(v)` to edges.
+    GatherMeanBwd {
+        /// Grouping endpoint of the forward gather.
+        group: EdgeGroup,
+    },
+    /// Backward of `EdgeSoftmax` (inputs `[g, y]` where `y` is the forward
+    /// output): `∂x_e = y_e (g_e − Σ_{e'∈grp(e)} g_{e'} y_{e'})`.
+    EdgeSoftmaxBwd,
+    /// `g · f'(x)` (inputs `[g, x]`).
+    UnaryBwd(UnaryFn),
+    /// `∂L/∂μ` of [`OpKind::GaussianWeight`]
+    /// (inputs `[pseudo, w, g, mu, inv_sigma]`).
+    GaussianBwdMu,
+    /// `∂L/∂σ⁻¹` of [`OpKind::GaussianWeight`] (same inputs).
+    GaussianBwdSigma,
+    /// Backward of [`OpKind::SliceCols`]: embed into zero-padded columns.
+    EmbedCols {
+        /// First feature column (per head).
+        start: usize,
+        /// One past the last feature column (per head).
+        end: usize,
+        /// Total per-head feature count of the embedding target.
+        total: usize,
+    },
+    /// Backward of [`OpKind::SliceRows`]: embed into zero-padded rows.
+    EmbedRows {
+        /// First row.
+        start: usize,
+        /// One past the last row.
+        end: usize,
+        /// Total row count of the embedding target.
+        total: usize,
+    },
+}
+
+/// How the optimizer classifies an operator for fusion (§5): expensive
+/// Apply- ops stay in dedicated dense kernels, everything graph-related or
+/// lightweight is fusible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionClass {
+    /// Not executed (inputs, parameters, gradient seeds).
+    Leaf,
+    /// Expensive Apply- (linear projections and parameter-gradient
+    /// reductions): dedicated dense kernels, never fused with graph ops.
+    Expensive,
+    /// Graph-related or lightweight Apply-: fusible.
+    Fusible,
+}
+
+impl OpKind {
+    /// Fusion classification (see [`FusionClass`]).
+    pub fn fusion_class(&self) -> FusionClass {
+        use OpKind::*;
+        match self {
+            InputVertex | InputEdge | Param | GradSeed => FusionClass::Leaf,
+            Linear | LinearBwdInput | LinearBwdWeight | HeadDot | HeadDotBwdInput
+            | HeadDotBwdParam | SliceRows { .. } | EmbedRows { .. } => FusionClass::Expensive,
+            // Gaussian parameter gradients are per-edge computations with a
+            // tiny `[K, r]` atomic reduction — they fuse into the backward
+            // graph kernel exactly like the paper's MoNet backward pass.
+            _ => FusionClass::Fusible,
+        }
+    }
+
+    /// The reduction grouping this op performs, if any (drives thread
+    /// mapping selection, §5).
+    pub fn reduction_group(&self) -> Option<EdgeGroup> {
+        match self {
+            OpKind::Gather { group, .. } | OpKind::GatherMeanBwd { group } => Some(*group),
+            OpKind::EdgeSoftmax | OpKind::EdgeSoftmaxBwd => Some(EdgeGroup::ByDst),
+            _ => None,
+        }
+    }
+
+    /// True for backward ops whose output is a parameter-space reduction
+    /// implemented with atomics when fused into a graph kernel.
+    pub fn is_param_reduction(&self) -> bool {
+        matches!(self, OpKind::GaussianBwdMu | OpKind::GaussianBwdSigma)
+    }
+
+    /// True for ops that iterate graph structure (scatter/gather-style
+    /// access patterns).
+    pub fn is_graph_op(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Scatter(_)
+                | OpKind::Gather { .. }
+                | OpKind::EdgeSoftmax
+                | OpKind::EdgeSoftmaxBwd
+                | OpKind::GatherMaxBwd { .. }
+                | OpKind::GatherMeanBwd { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_total() {
+        assert_eq!(Dim::multi(4, 64).total(), 256);
+        assert_eq!(Dim::flat(128).total(), 128);
+    }
+
+    #[test]
+    fn unary_derivatives_match_finite_difference() {
+        let fns = [
+            UnaryFn::Exp,
+            UnaryFn::Ln,
+            UnaryFn::Neg,
+            UnaryFn::LeakyRelu(0.2),
+            UnaryFn::Sigmoid,
+            UnaryFn::Tanh,
+            UnaryFn::Scale(3.0),
+        ];
+        for f in fns {
+            for &x in &[0.3f32, 1.7, 2.5] {
+                let h = 1e-3;
+                let num = (f.apply(x + h) - f.apply(x - h)) / (2.0 * h);
+                let ana = f.derivative(x);
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "{f:?} at {x}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_apply() {
+        assert_eq!(BinaryFn::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinaryFn::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinaryFn::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinaryFn::Div.apply(3.0, 2.0), 1.5);
+    }
+
+    #[test]
+    fn fusion_classes() {
+        assert_eq!(OpKind::Linear.fusion_class(), FusionClass::Expensive);
+        assert_eq!(
+            OpKind::Scatter(ScatterFn::CopyU).fusion_class(),
+            FusionClass::Fusible
+        );
+        assert_eq!(OpKind::Param.fusion_class(), FusionClass::Leaf);
+        assert_eq!(OpKind::EdgeSoftmax.fusion_class(), FusionClass::Fusible);
+    }
+
+    #[test]
+    fn reduction_groups() {
+        assert_eq!(
+            OpKind::Gather {
+                reduce: ReduceFn::Sum,
+                group: EdgeGroup::BySrc
+            }
+            .reduction_group(),
+            Some(EdgeGroup::BySrc)
+        );
+        assert_eq!(
+            OpKind::EdgeSoftmax.reduction_group(),
+            Some(EdgeGroup::ByDst)
+        );
+        assert_eq!(OpKind::Unary(UnaryFn::Relu).reduction_group(), None);
+    }
+}

@@ -1,0 +1,93 @@
+use gnnopt_core::IrError;
+use gnnopt_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A required input/parameter binding was not provided.
+    MissingBinding(String),
+    /// A binding's shape does not match the IR node.
+    BindingShape {
+        /// Leaf name.
+        name: String,
+        /// Expected `[rows, cols]`.
+        expected: (usize, usize),
+        /// Provided shape.
+        got: Vec<usize>,
+    },
+    /// A value needed by a kernel was not live (plan inconsistency).
+    ValueNotLive {
+        /// Node whose value was missing.
+        node: String,
+    },
+    /// The session is not in the right state for the call.
+    Protocol(String),
+    /// Underlying tensor error.
+    Tensor(TensorError),
+    /// Underlying IR error.
+    Ir(IrError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingBinding(name) => write!(f, "missing binding for leaf '{name}'"),
+            ExecError::BindingShape {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "binding '{name}' has shape {got:?}, expected [{}, {}]",
+                expected.0, expected.1
+            ),
+            ExecError::ValueNotLive { node } => {
+                write!(f, "value of node '{node}' is not live (plan inconsistency)")
+            }
+            ExecError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ExecError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ExecError::Ir(e) => write!(f, "ir error: {e}"),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Tensor(e) => Some(e),
+            ExecError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ExecError {
+    fn from(e: TensorError) -> Self {
+        ExecError::Tensor(e)
+    }
+}
+
+impl From<IrError> for ExecError {
+    fn from(e: IrError) -> Self {
+        ExecError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = ExecError::MissingBinding("h".into());
+        assert!(e.to_string().contains('h'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ExecError>();
+    }
+}

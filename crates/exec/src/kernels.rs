@@ -1,0 +1,721 @@
+//! Reference CPU kernels for every IR operator.
+//!
+//! Layout convention: a tensor with dim `{heads, feat}` is stored as
+//! `[rows, heads*feat]` row-major, head-major within a row (head `h`'s
+//! features occupy columns `h*feat .. (h+1)*feat`).
+
+use gnnopt_core::{BinaryFn, Dim, EdgeGroup, ReduceFn, ScatterFn, UnaryFn};
+use gnnopt_graph::Graph;
+use gnnopt_tensor::Tensor;
+
+/// Sentinel argmax entry for empty reduction groups.
+pub const NO_ARGMAX: u32 = u32::MAX;
+
+/// `Scatter`: per-edge combination of endpoint features.
+pub fn scatter(g: &Graph, f: ScatterFn, x: &Tensor, y: &Tensor, out_dim: Dim) -> Tensor {
+    let m = g.num_edges();
+    let total = out_dim.total();
+    let mut out = Tensor::zeros(&[m, total]);
+    match f {
+        ScatterFn::CopyU => {
+            for e in 0..m {
+                out.row_mut(e).copy_from_slice(x.row(g.src(e)));
+            }
+        }
+        ScatterFn::CopyV => {
+            for e in 0..m {
+                out.row_mut(e).copy_from_slice(y.row(g.dst(e)));
+            }
+        }
+        ScatterFn::Bin(bf) => {
+            for e in 0..m {
+                let (xu, yv) = (x.row(g.src(e)), y.row(g.dst(e)));
+                for ((o, &a), &b) in out.row_mut(e).iter_mut().zip(xu).zip(yv) {
+                    *o = bf.apply(a, b);
+                }
+            }
+        }
+        ScatterFn::ConcatUV => {
+            // Per-head concatenation.
+            let heads = out_dim.heads;
+            let fx = x.cols() / heads;
+            let fy = y.cols() / heads;
+            for e in 0..m {
+                let (xu, yv) = (x.row(g.src(e)), y.row(g.dst(e)));
+                let o = out.row_mut(e);
+                for h in 0..heads {
+                    let base = h * (fx + fy);
+                    o[base..base + fx].copy_from_slice(&xu[h * fx..(h + 1) * fx]);
+                    o[base + fx..base + fx + fy].copy_from_slice(&yv[h * fy..(h + 1) * fy]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `Gather`: grouped reduction of edge features into vertex features.
+/// Returns the reduced tensor and, for `Max`, the per-element argmax edge
+/// ids (`NO_ARGMAX` for empty groups).
+pub fn gather(
+    g: &Graph,
+    reduce: ReduceFn,
+    group: EdgeGroup,
+    x: &Tensor,
+) -> (Tensor, Option<Vec<u32>>) {
+    let n = g.num_vertices();
+    let total = x.cols();
+    let mut out = Tensor::zeros(&[n, total]);
+    let adj = match group {
+        EdgeGroup::ByDst => g.in_adj(),
+        EdgeGroup::BySrc => g.out_adj(),
+    };
+    match reduce {
+        ReduceFn::Sum => {
+            for v in 0..n {
+                let o = out.row_mut(v);
+                for &e in adj.edge_ids(v) {
+                    for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
+                        *ov += xv;
+                    }
+                }
+            }
+            (out, None)
+        }
+        ReduceFn::Mean => {
+            for v in 0..n {
+                let deg = adj.degree(v);
+                if deg == 0 {
+                    continue;
+                }
+                let inv = 1.0 / deg as f32;
+                let o = out.row_mut(v);
+                for &e in adj.edge_ids(v) {
+                    for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
+                        *ov += xv * inv;
+                    }
+                }
+            }
+            (out, None)
+        }
+        ReduceFn::Max => {
+            let mut argmax = vec![NO_ARGMAX; n * total];
+            for v in 0..n {
+                let o = out.row_mut(v);
+                let mut first = true;
+                for &e in adj.edge_ids(v) {
+                    let xr = x.row(e as usize);
+                    for c in 0..total {
+                        if first || xr[c] > o[c] {
+                            o[c] = xr[c];
+                            argmax[v * total + c] = e;
+                        }
+                    }
+                    first = false;
+                }
+            }
+            (out, Some(argmax))
+        }
+    }
+}
+
+/// Backward of `Gather(Max)`: routes the vertex gradient to the recorded
+/// argmax edges.
+pub fn gather_max_bwd(g: &Graph, grad: &Tensor, argmax: &[u32]) -> Tensor {
+    let total = grad.cols();
+    let mut out = Tensor::zeros(&[g.num_edges(), total]);
+    for v in 0..g.num_vertices() {
+        let gr = grad.row(v);
+        for c in 0..total {
+            let e = argmax[v * total + c];
+            if e != NO_ARGMAX {
+                out.row_mut(e as usize)[c] += gr[c];
+            }
+        }
+    }
+    out
+}
+
+/// Backward of `Gather(Mean)`: scatters `grad[v] / degree(v)`.
+pub fn gather_mean_bwd(g: &Graph, group: EdgeGroup, grad: &Tensor) -> Tensor {
+    let total = grad.cols();
+    let mut out = Tensor::zeros(&[g.num_edges(), total]);
+    let adj = match group {
+        EdgeGroup::ByDst => g.in_adj(),
+        EdgeGroup::BySrc => g.out_adj(),
+    };
+    for v in 0..g.num_vertices() {
+        let deg = adj.degree(v);
+        if deg == 0 {
+            continue;
+        }
+        let inv = 1.0 / deg as f32;
+        let gr = grad.row(v);
+        for &e in adj.edge_ids(v) {
+            for (o, &gv) in out.row_mut(e as usize).iter_mut().zip(gr) {
+                *o = gv * inv;
+            }
+        }
+    }
+    out
+}
+
+/// Edge softmax over destination groups, per column. Returns
+/// `(y, max, denom)` where `max`/`denom` are the `O(|V|)` auxiliaries the
+/// recomputation pass stashes.
+pub fn edge_softmax(g: &Graph, x: &Tensor) -> (Tensor, Tensor, Tensor) {
+    let (n, total) = (g.num_vertices(), x.cols());
+    let mut maxes = Tensor::full(&[n, total], f32::NEG_INFINITY);
+    let mut denom = Tensor::zeros(&[n, total]);
+    let mut y = Tensor::zeros(&[g.num_edges(), total]);
+    for v in 0..n {
+        let ids = g.in_adj().edge_ids(v);
+        if ids.is_empty() {
+            continue;
+        }
+        let mr = maxes.row_mut(v);
+        for &e in ids {
+            for (m, &xv) in mr.iter_mut().zip(x.row(e as usize)) {
+                *m = m.max(xv);
+            }
+        }
+        for &e in ids {
+            let xr = x.row(e as usize);
+            let dr = denom.row_mut(v);
+            for c in 0..total {
+                dr[c] += (xr[c] - mr[c]).exp();
+            }
+        }
+        for &e in ids {
+            let xr = x.row(e as usize);
+            let yr = y.row_mut(e as usize);
+            let dr = denom.row(v);
+            for c in 0..total {
+                yr[c] = (xr[c] - mr[c]).exp() / dr[c];
+            }
+        }
+    }
+    (y, maxes, denom)
+}
+
+/// Rebuilds edge-softmax outputs from the stashed max/denominator in
+/// `O(1)` per element (the §6 recompute path).
+pub fn edge_softmax_from_aux(g: &Graph, x: &Tensor, maxes: &Tensor, denom: &Tensor) -> Tensor {
+    let total = x.cols();
+    let mut y = Tensor::zeros(&[g.num_edges(), total]);
+    for e in 0..g.num_edges() {
+        let v = g.dst(e);
+        let (xr, mr, dr) = (x.row(e), maxes.row(v), denom.row(v));
+        let yr = y.row_mut(e);
+        for c in 0..total {
+            yr[c] = (xr[c] - mr[c]).exp() / dr[c];
+        }
+    }
+    y
+}
+
+/// Backward of edge softmax:
+/// `∂x_e = y_e (g_e − Σ_{e'∈grp(e)} g_{e'} y_{e'})`.
+pub fn edge_softmax_bwd(g: &Graph, grad: &Tensor, y: &Tensor) -> Tensor {
+    let (n, total) = (g.num_vertices(), grad.cols());
+    let mut out = Tensor::zeros(&[g.num_edges(), total]);
+    for v in 0..n {
+        let ids = g.in_adj().edge_ids(v);
+        let mut s = vec![0.0f32; total];
+        for &e in ids {
+            let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
+            for c in 0..total {
+                s[c] += gr[c] * yr[c];
+            }
+        }
+        for &e in ids {
+            let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
+            let or = out.row_mut(e as usize);
+            for c in 0..total {
+                or[c] = yr[c] * (gr[c] - s[c]);
+            }
+        }
+    }
+    out
+}
+
+/// Elementwise binary with per-head feature broadcast (`feat == 1` on one
+/// side broadcasts across the other side's features).
+pub fn binary_broadcast(f: BinaryFn, a: &Tensor, da: Dim, b: &Tensor, db: Dim) -> Tensor {
+    assert_eq!(da.heads, db.heads, "head counts must agree");
+    let rows = a.rows();
+    let heads = da.heads;
+    if da.feat == db.feat {
+        let mut out = a.clone();
+        for r in 0..rows {
+            let br = b.row(r);
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(br) {
+                *o = f.apply(*o, bv);
+            }
+        }
+        return out;
+    }
+    let feat = da.feat.max(db.feat);
+    let mut out = Tensor::zeros(&[rows, heads * feat]);
+    for r in 0..rows {
+        let (ar, br) = (a.row(r), b.row(r));
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            for c in 0..feat {
+                let av = if da.feat == 1 { ar[h] } else { ar[h * feat + c] };
+                let bv = if db.feat == 1 { br[h] } else { br[h * feat + c] };
+                or[h * feat + c] = f.apply(av, bv);
+            }
+        }
+    }
+    out
+}
+
+/// `UnaryBwd`: `grad · f'(x)`.
+pub fn unary_bwd(f: UnaryFn, grad: &Tensor, x: &Tensor) -> Tensor {
+    let mut out = grad.clone();
+    for (o, &xv) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o *= f.derivative(xv);
+    }
+    out
+}
+
+/// Per-head dot product with a parameter: `[N, h·f] × [h, f] → [N, h]`.
+pub fn head_dot(x: &Tensor, a: &Tensor, heads: usize, feat: usize) -> Tensor {
+    let rows = x.rows();
+    let mut out = Tensor::zeros(&[rows, heads]);
+    for r in 0..rows {
+        let xr = x.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            let ar = a.row(h);
+            let mut acc = 0.0;
+            for c in 0..feat {
+                acc += xr[h * feat + c] * ar[c];
+            }
+            or[h] = acc;
+        }
+    }
+    out
+}
+
+/// Backward of [`head_dot`] w.r.t. the data: `out[r, h·f+c] = g[r,h]·a[h,c]`.
+pub fn head_dot_bwd_input(grad: &Tensor, a: &Tensor, heads: usize, feat: usize) -> Tensor {
+    let rows = grad.rows();
+    let mut out = Tensor::zeros(&[rows, heads * feat]);
+    for r in 0..rows {
+        let gr = grad.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            let ar = a.row(h);
+            for c in 0..feat {
+                or[h * feat + c] = gr[h] * ar[c];
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`head_dot`] w.r.t. the parameter:
+/// `out[h, c] = Σ_r g[r,h]·x[r, h·f+c]`.
+pub fn head_dot_bwd_param(x: &Tensor, grad: &Tensor, heads: usize, feat: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[heads, feat]);
+    for r in 0..x.rows() {
+        let (xr, gr) = (x.row(r), grad.row(r));
+        for h in 0..heads {
+            let or = out.row_mut(h);
+            for c in 0..feat {
+                or[c] += gr[h] * xr[h * feat + c];
+            }
+        }
+    }
+    out
+}
+
+/// Gaussian mixture weights (MoNet):
+/// `w[e,k] = exp(-½ Σ_j σ⁻²[k,j](p[e,j]−μ[k,j])²)`.
+pub fn gaussian_weight(pseudo: &Tensor, mu: &Tensor, inv_sigma: &Tensor) -> Tensor {
+    let (e, r) = (pseudo.rows(), pseudo.cols());
+    let k = mu.rows();
+    let mut out = Tensor::zeros(&[e, k]);
+    for ei in 0..e {
+        let pr = pseudo.row(ei);
+        let or = out.row_mut(ei);
+        for (ki, ov) in or.iter_mut().enumerate().take(k) {
+            let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
+            let mut acc = 0.0;
+            for j in 0..r {
+                let d = (pr[j] - mr[j]) * sr[j];
+                acc += d * d;
+            }
+            *ov = (-0.5 * acc).exp();
+        }
+    }
+    out
+}
+
+/// `∂L/∂μ[k,j] = Σ_e g[e,k]·w[e,k]·σ⁻²[k,j]·(p[e,j]−μ[k,j])`.
+pub fn gaussian_bwd_mu(
+    pseudo: &Tensor,
+    w: &Tensor,
+    grad: &Tensor,
+    mu: &Tensor,
+    inv_sigma: &Tensor,
+) -> Tensor {
+    let (e, r) = (pseudo.rows(), pseudo.cols());
+    let k = mu.rows();
+    let mut out = Tensor::zeros(&[k, r]);
+    for ei in 0..e {
+        let (pr, wr, gr) = (pseudo.row(ei), w.row(ei), grad.row(ei));
+        for ki in 0..k {
+            let coeff = gr[ki] * wr[ki];
+            if coeff == 0.0 {
+                continue;
+            }
+            let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
+            let or = out.row_mut(ki);
+            for j in 0..r {
+                or[j] += coeff * sr[j] * sr[j] * (pr[j] - mr[j]);
+            }
+        }
+    }
+    out
+}
+
+/// `∂L/∂σ⁻¹[k,j] = −Σ_e g[e,k]·w[e,k]·σ⁻¹[k,j]·(p[e,j]−μ[k,j])²`.
+pub fn gaussian_bwd_sigma(
+    pseudo: &Tensor,
+    w: &Tensor,
+    grad: &Tensor,
+    mu: &Tensor,
+    inv_sigma: &Tensor,
+) -> Tensor {
+    let (e, r) = (pseudo.rows(), pseudo.cols());
+    let k = mu.rows();
+    let mut out = Tensor::zeros(&[k, r]);
+    for ei in 0..e {
+        let (pr, wr, gr) = (pseudo.row(ei), w.row(ei), grad.row(ei));
+        for ki in 0..k {
+            let coeff = gr[ki] * wr[ki];
+            if coeff == 0.0 {
+                continue;
+            }
+            let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
+            let or = out.row_mut(ki);
+            for j in 0..r {
+                let d = pr[j] - mr[j];
+                or[j] -= coeff * sr[j] * d * d;
+            }
+        }
+    }
+    out
+}
+
+/// Per-head column slice `[start, end)` (feat units).
+pub fn slice_cols(x: &Tensor, heads: usize, feat: usize, start: usize, end: usize) -> Tensor {
+    let rows = x.rows();
+    let w = end - start;
+    let mut out = Tensor::zeros(&[rows, heads * w]);
+    for r in 0..rows {
+        let xr = x.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            or[h * w..(h + 1) * w].copy_from_slice(&xr[h * feat + start..h * feat + end]);
+        }
+    }
+    out
+}
+
+/// Backward of [`slice_cols`]: embed into zero-padded columns.
+pub fn embed_cols(
+    grad: &Tensor,
+    heads: usize,
+    total_feat: usize,
+    start: usize,
+    end: usize,
+) -> Tensor {
+    let rows = grad.rows();
+    let w = end - start;
+    let mut out = Tensor::zeros(&[rows, heads * total_feat]);
+    for r in 0..rows {
+        let gr = grad.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            or[h * total_feat + start..h * total_feat + end]
+                .copy_from_slice(&gr[h * w..(h + 1) * w]);
+        }
+    }
+    out
+}
+
+/// Head reduction `[N, h·f] → [N, f]` (`Sum` or `Mean`).
+pub fn head_reduce(x: &Tensor, heads: usize, feat: usize, mean: bool) -> Tensor {
+    let rows = x.rows();
+    let mut out = Tensor::zeros(&[rows, feat]);
+    let scale = if mean { 1.0 / heads as f32 } else { 1.0 };
+    for r in 0..rows {
+        let xr = x.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            for c in 0..feat {
+                or[c] += xr[h * feat + c] * scale;
+            }
+        }
+    }
+    out
+}
+
+/// Head broadcast `[N, f] → [N, h·f]`.
+pub fn head_broadcast(x: &Tensor, heads: usize) -> Tensor {
+    let (rows, feat) = (x.rows(), x.cols());
+    let mut out = Tensor::zeros(&[rows, heads * feat]);
+    for r in 0..rows {
+        let xr = x.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            or[h * feat..(h + 1) * feat].copy_from_slice(xr);
+        }
+    }
+    out
+}
+
+/// Per-head feature sum `[N, h·f] → [N, h]`.
+pub fn feat_sum(x: &Tensor, heads: usize, feat: usize) -> Tensor {
+    let rows = x.rows();
+    let mut out = Tensor::zeros(&[rows, heads]);
+    for r in 0..rows {
+        let xr = x.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            or[h] = xr[h * feat..(h + 1) * feat].iter().sum();
+        }
+    }
+    out
+}
+
+/// Per-head feature broadcast `[N, h] → [N, h·f]`.
+pub fn feat_broadcast(x: &Tensor, heads: usize, feat: usize) -> Tensor {
+    let rows = x.rows();
+    let mut out = Tensor::zeros(&[rows, heads * feat]);
+    for r in 0..rows {
+        let xr = x.row(r);
+        let or = out.row_mut(r);
+        for h in 0..heads {
+            for c in 0..feat {
+                or[h * feat + c] = xr[h];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnopt_graph::EdgeList;
+
+    /// 0 → 1, 0 → 2, 1 → 2 (edge ids in dst-major order).
+    fn tri() -> Graph {
+        Graph::from_edge_list(&EdgeList::from_pairs(3, &[(0, 1), (0, 2), (1, 2)]))
+    }
+
+    fn vfeat() -> Tensor {
+        Tensor::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]).unwrap()
+    }
+
+    #[test]
+    fn scatter_variants() {
+        let g = tri();
+        let x = vfeat();
+        let cu = scatter(&g, ScatterFn::CopyU, &x, &x, Dim::flat(2));
+        // edges: (0→1), (0→2), (1→2)
+        assert_eq!(cu.row(0), &[1.0, 10.0]);
+        assert_eq!(cu.row(2), &[2.0, 20.0]);
+        let cv = scatter(&g, ScatterFn::CopyV, &x, &x, Dim::flat(2));
+        assert_eq!(cv.row(0), &[2.0, 20.0]);
+        let sub = scatter(&g, ScatterFn::Bin(BinaryFn::Sub), &x, &x, Dim::flat(2));
+        assert_eq!(sub.row(0), &[-1.0, -10.0]);
+        assert_eq!(sub.row(2), &[-1.0, -10.0]);
+    }
+
+    #[test]
+    fn scatter_concat_per_head() {
+        let g = tri();
+        // 2 heads × 1 feat
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let cat = scatter(&g, ScatterFn::ConcatUV, &x, &x, Dim::multi(2, 2));
+        // edge 0: u=0 (heads 1,2), v=1 (heads 3,4) → per-head: [1,3, 2,4]
+        assert_eq!(cat.row(0), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_sum_and_dual() {
+        let g = tri();
+        let e = Tensor::from_rows(&[&[1.0], &[2.0], &[4.0]]).unwrap();
+        let (by_dst, _) = gather(&g, ReduceFn::Sum, EdgeGroup::ByDst, &e);
+        assert_eq!(by_dst.as_slice(), &[0.0, 1.0, 6.0]);
+        let (by_src, _) = gather(&g, ReduceFn::Sum, EdgeGroup::BySrc, &e);
+        assert_eq!(by_src.as_slice(), &[3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_max_records_argmax() {
+        let g = tri();
+        let e = Tensor::from_rows(&[&[5.0], &[2.0], &[7.0]]).unwrap();
+        let (mx, am) = gather(&g, ReduceFn::Max, EdgeGroup::ByDst, &e);
+        let am = am.unwrap();
+        assert_eq!(mx.as_slice(), &[0.0, 5.0, 7.0]);
+        assert_eq!(am, vec![NO_ARGMAX, 0, 2]);
+        let grad = Tensor::from_rows(&[&[1.0], &[3.0], &[9.0]]).unwrap();
+        let eg = gather_max_bwd(&g, &grad, &am);
+        assert_eq!(eg.as_slice(), &[3.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn softmax_groups_sum_to_one() {
+        let g = tri();
+        let e = Tensor::from_rows(&[&[0.3], &[1.5], &[-0.7]]).unwrap();
+        let (y, maxes, denom) = edge_softmax(&g, &e);
+        // dst=1 group: {edge 0} → 1.0; dst=2 group: {edges 1, 2} sums to 1.
+        assert!((y.at(0, 0) - 1.0).abs() < 1e-6);
+        assert!((y.at(1, 0) + y.at(2, 0) - 1.0).abs() < 1e-6);
+        // Recompute path agrees.
+        let y2 = edge_softmax_from_aux(&g, &e, &maxes, &denom);
+        assert!(y.allclose(&y2));
+    }
+
+    #[test]
+    fn softmax_bwd_matches_finite_difference() {
+        let g = tri();
+        let x = Tensor::from_rows(&[&[0.2], &[0.9], &[-0.4]]).unwrap();
+        let gout = Tensor::from_rows(&[&[1.0], &[-2.0], &[0.5]]).unwrap();
+        let (y, _, _) = edge_softmax(&g, &x);
+        let ana = edge_softmax_bwd(&g, &gout, &y);
+        let h = 1e-3f32;
+        for e in 0..3 {
+            let mut xp = x.clone();
+            xp.row_mut(e)[0] += h;
+            let mut xm = x.clone();
+            xm.row_mut(e)[0] -= h;
+            let (yp, _, _) = edge_softmax(&g, &xp);
+            let (ym, _, _) = edge_softmax(&g, &xm);
+            let mut num = 0.0;
+            for i in 0..3 {
+                num += gout.at(i, 0) * (yp.at(i, 0) - ym.at(i, 0)) / (2.0 * h);
+            }
+            assert!(
+                (num - ana.at(e, 0)).abs() < 1e-2,
+                "edge {e}: numeric {num} vs analytic {}",
+                ana.at(e, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn binary_broadcast_per_head_scalar() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap(); // 2 heads × 2
+        let b = Tensor::from_rows(&[&[10.0, 100.0]]).unwrap(); // 2 heads × 1
+        let out = binary_broadcast(BinaryFn::Mul, &a, Dim::multi(2, 2), &b, Dim::multi(2, 1));
+        assert_eq!(out.as_slice(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn head_dot_roundtrip_gradients() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]).unwrap();
+        let a = Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]).unwrap();
+        let y = head_dot(&x, &a, 2, 2);
+        assert_eq!(y.row(0), &[1.0 * 0.5 - 2.0, 3.0 * 2.0]);
+        let gi = head_dot_bwd_input(&y, &a, 2, 2);
+        assert_eq!(gi.shape(), &[2, 4]);
+        let gp = head_dot_bwd_param(&x, &y, 2, 2);
+        assert_eq!(gp.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn gaussian_weight_peak_at_mu() {
+        let p = Tensor::from_rows(&[&[1.0, 2.0], &[0.0, 0.0]]).unwrap();
+        let mu = Tensor::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let sig = Tensor::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let w = gaussian_weight(&p, &mu, &sig);
+        assert!((w.at(0, 0) - 1.0).abs() < 1e-6, "exact match → weight 1");
+        assert!(w.at(1, 0) < 1.0);
+    }
+
+    #[test]
+    fn gaussian_grads_match_finite_difference() {
+        let p = Tensor::from_rows(&[&[0.5, -0.3], &[1.1, 0.2], &[-0.4, 0.9]]).unwrap();
+        let mu = Tensor::from_rows(&[&[0.1, 0.4], &[-0.2, 0.3]]).unwrap();
+        let sig = Tensor::from_rows(&[&[1.2, 0.8], &[0.5, 1.5]]).unwrap();
+        let grad = Tensor::from_rows(&[&[1.0, -0.5], &[0.3, 0.7], &[-0.2, 0.4]]).unwrap();
+        let w = gaussian_weight(&p, &mu, &sig);
+        let gmu = gaussian_bwd_mu(&p, &w, &grad, &mu, &sig);
+        let gsig = gaussian_bwd_sigma(&p, &w, &grad, &mu, &sig);
+        let h = 1e-3f32;
+        let loss = |mu: &Tensor, sig: &Tensor| -> f32 {
+            let w = gaussian_weight(&p, mu, sig);
+            w.as_slice()
+                .iter()
+                .zip(grad.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for k in 0..2 {
+            for j in 0..2 {
+                let mut mp = mu.clone();
+                mp.set(k, j, mu.at(k, j) + h);
+                let mut mm = mu.clone();
+                mm.set(k, j, mu.at(k, j) - h);
+                let num = (loss(&mp, &sig) - loss(&mm, &sig)) / (2.0 * h);
+                assert!(
+                    (num - gmu.at(k, j)).abs() < 1e-2,
+                    "mu[{k},{j}]: {num} vs {}",
+                    gmu.at(k, j)
+                );
+                let mut sp = sig.clone();
+                sp.set(k, j, sig.at(k, j) + h);
+                let mut sm = sig.clone();
+                sm.set(k, j, sig.at(k, j) - h);
+                let num = (loss(&mu, &sp) - loss(&mu, &sm)) / (2.0 * h);
+                assert!(
+                    (num - gsig.at(k, j)).abs() < 1e-2,
+                    "sig[{k},{j}]: {num} vs {}",
+                    gsig.at(k, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_embed_roundtrip() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]).unwrap(); // 2 heads × 3
+        let s = slice_cols(&x, 2, 3, 1, 3);
+        assert_eq!(s.as_slice(), &[2.0, 3.0, 5.0, 6.0]);
+        let e = embed_cols(&s, 2, 3, 1, 3);
+        assert_eq!(e.as_slice(), &[0.0, 2.0, 3.0, 0.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn head_reduce_broadcast_featsum() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap(); // 2 heads × 2
+        assert_eq!(head_reduce(&x, 2, 2, false).as_slice(), &[4.0, 6.0]);
+        assert_eq!(head_reduce(&x, 2, 2, true).as_slice(), &[2.0, 3.0]);
+        let b = head_broadcast(&Tensor::from_rows(&[&[7.0, 8.0]]).unwrap(), 2);
+        assert_eq!(b.as_slice(), &[7.0, 8.0, 7.0, 8.0]);
+        assert_eq!(feat_sum(&x, 2, 2).as_slice(), &[3.0, 7.0]);
+        assert_eq!(
+            feat_broadcast(&Tensor::from_rows(&[&[3.0, 7.0]]).unwrap(), 2, 2).as_slice(),
+            &[3.0, 3.0, 7.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn gather_mean_and_backward() {
+        let g = tri();
+        let e = Tensor::from_rows(&[&[2.0], &[4.0], &[6.0]]).unwrap();
+        let (m, _) = gather(&g, ReduceFn::Mean, EdgeGroup::ByDst, &e);
+        assert_eq!(m.as_slice(), &[0.0, 2.0, 5.0]);
+        let grad = Tensor::from_rows(&[&[0.0], &[1.0], &[4.0]]).unwrap();
+        let back = gather_mean_bwd(&g, EdgeGroup::ByDst, &grad);
+        assert_eq!(back.as_slice(), &[1.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! CPU reference executor for `gnnopt` execution plans.
+//!
+//! Executes every IR operator with real numbers so that each compiler
+//! rewrite (reorganization, fusion, recomputation) can be validated for
+//! *numerical equivalence* against the unoptimized plan, while the
+//! analytical counters (latency / IO / memory) come from the plan itself
+//! via `gnnopt-sim`.
+//!
+//! The executor honours the plan's memory discipline: values drop as soon
+//! as their last consumer kernel has run, stashed values survive the
+//! forward→backward boundary, and recomputed values are *actually* dropped
+//! and rebuilt inside the backward kernels (including the edge-softmax
+//! rebuild from its stashed max/denominator) — so the recomputation pass
+//! is exercised end-to-end, not just accounted for.
+//!
+//! ```no_run
+//! use gnnopt_core::{compile, CompileOptions};
+//! use gnnopt_exec::Session;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let ir = gnnopt_core::ir::IrGraph::new();
+//! # let graph = gnnopt_graph::Graph::from_edge_list(&gnnopt_graph::EdgeList::from_pairs(2, &[(0,1)]));
+//! # let bindings = gnnopt_exec::Bindings::new();
+//! let compiled = compile(&ir, false, &CompileOptions::ours())?;
+//! let mut sess = Session::new(&compiled.plan, &graph)?;
+//! let outputs = sess.forward(&bindings)?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+pub mod kernels;
+mod session;
+
+pub use error::ExecError;
+pub use session::{Bindings, RunStats, Session};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

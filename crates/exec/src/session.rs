@@ -1,0 +1,564 @@
+//! The execution session: drives a compiled plan over real data.
+
+use crate::kernels;
+use crate::{ExecError, Result};
+use gnnopt_core::{ExecutionPlan, Node, NodeId, OpKind, Phase, ReduceFn, Space};
+use gnnopt_graph::Graph;
+use gnnopt_tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Named tensors bound to the IR's leaves (inputs and parameters).
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    values: HashMap<String, Tensor>,
+}
+
+impl Bindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name` to `value`, returning `self` for chaining.
+    pub fn with(mut self, name: &str, value: Tensor) -> Self {
+        self.values.insert(name.to_owned(), value);
+        self
+    }
+
+    /// Binds `name` to `value`.
+    pub fn insert(&mut self, name: &str, value: Tensor) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.values.get(name)
+    }
+}
+
+/// Measured statistics of one session run (real CPU execution, as opposed
+/// to the analytical device model).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Wall-clock seconds of the forward pass.
+    pub forward_seconds: f64,
+    /// Wall-clock seconds of the backward pass.
+    pub backward_seconds: f64,
+    /// High-water mark of live tensor bytes in the value store.
+    pub peak_value_bytes: u64,
+    /// Bytes held across the forward→backward boundary (stash + aux).
+    pub boundary_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Fresh,
+    ForwardDone,
+}
+
+/// Executes an [`ExecutionPlan`] over a concrete graph and bindings.
+///
+/// The session enforces the plan's memory discipline (drop / stash /
+/// recompute), so a plan bug surfaces as [`ExecError::ValueNotLive`]
+/// rather than silently reading stale data.
+#[derive(Debug)]
+pub struct Session<'a> {
+    plan: &'a ExecutionPlan,
+    graph: &'a Graph,
+    values: HashMap<NodeId, Tensor>,
+    aux_softmax: HashMap<NodeId, (Tensor, Tensor)>,
+    aux_argmax: HashMap<NodeId, Vec<u32>>,
+    leaf_names: HashMap<String, NodeId>,
+    /// Last kernel that reads each node externally.
+    last_reader: HashMap<NodeId, usize>,
+    /// Nodes that persist to the end of the step.
+    persistent: HashSet<NodeId>,
+    state: State,
+    live_bytes: u64,
+    peak_bytes: u64,
+    stats: RunStats,
+}
+
+impl<'a> Session<'a> {
+    /// Prepares a session, validating that leaf names are unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Protocol`] on duplicate leaf names.
+    pub fn new(plan: &'a ExecutionPlan, graph: &'a Graph) -> Result<Self> {
+        let mut leaf_names = HashMap::new();
+        for n in plan.ir.nodes() {
+            if matches!(
+                n.kind,
+                OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
+            ) && leaf_names.insert(n.name.clone(), n.id).is_some()
+            {
+                return Err(ExecError::Protocol(format!(
+                    "duplicate leaf name '{}'",
+                    n.name
+                )));
+            }
+        }
+
+        // External readers per node (recompute members count as internal).
+        let mut last_reader: HashMap<NodeId, usize> = HashMap::new();
+        for k in &plan.kernels {
+            let members: HashSet<NodeId> =
+                k.nodes.iter().chain(&k.recompute).copied().collect();
+            for &nid in k.nodes.iter().chain(&k.recompute) {
+                for &i in &plan.ir.node(nid).inputs {
+                    if !members.contains(&i) {
+                        let e = last_reader.entry(i).or_insert(k.id);
+                        *e = (*e).max(k.id);
+                    }
+                }
+            }
+        }
+
+        let mut persistent: HashSet<NodeId> = plan.ir.outputs().iter().copied().collect();
+        persistent.extend(plan.stash.iter().copied());
+        for n in plan.ir.nodes() {
+            if matches!(
+                n.kind,
+                OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
+            ) {
+                persistent.insert(n.id);
+            }
+        }
+        for &(_, g) in &plan.param_grads {
+            persistent.insert(g);
+        }
+
+        Ok(Self {
+            plan,
+            graph,
+            values: HashMap::new(),
+            aux_softmax: HashMap::new(),
+            aux_argmax: HashMap::new(),
+            leaf_names,
+            last_reader,
+            persistent,
+            state: State::Fresh,
+            live_bytes: 0,
+            peak_bytes: 0,
+            stats: RunStats::default(),
+        })
+    }
+
+    /// Measured statistics of the most recent run.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Runs the forward kernels, returning the model outputs in
+    /// declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding errors, or [`ExecError::ValueNotLive`] if the plan's
+    /// memory discipline is inconsistent.
+    pub fn forward(&mut self, bindings: &Bindings) -> Result<Vec<Tensor>> {
+        self.reset();
+        self.bind_leaves(bindings)?;
+        let t0 = Instant::now();
+        let kernel_ids: Vec<usize> = self
+            .plan
+            .kernels
+            .iter()
+            .filter(|k| self.kernel_phase(k.id) == Phase::Forward)
+            .map(|k| k.id)
+            .collect();
+        for kid in kernel_ids {
+            self.exec_kernel(kid, false)?;
+        }
+        self.stats.forward_seconds = t0.elapsed().as_secs_f64();
+
+        // Forward→backward boundary: everything non-persistent drops here,
+        // exercising the recomputation plan for real.
+        if self.plan.training {
+            let dead: Vec<NodeId> = self
+                .values
+                .keys()
+                .copied()
+                .filter(|n| !self.persistent.contains(n))
+                .collect();
+            for n in dead {
+                self.drop_value(n);
+            }
+            self.stats.boundary_bytes = self.live_bytes
+                + self
+                    .aux_softmax
+                    .values()
+                    .map(|(m, d)| (m.byte_size() + d.byte_size()) as u64)
+                    .sum::<u64>()
+                + self
+                    .aux_argmax
+                    .values()
+                    .map(|a| 4 * a.len() as u64)
+                    .sum::<u64>();
+        }
+
+        self.state = State::ForwardDone;
+        self.plan
+            .ir
+            .outputs()
+            .iter()
+            .map(|&o| {
+                self.values
+                    .get(&o)
+                    .cloned()
+                    .ok_or_else(|| ExecError::ValueNotLive {
+                        node: self.plan.ir.node(o).name.clone(),
+                    })
+            })
+            .collect()
+    }
+
+    /// Runs the backward kernels with the given `∂L/∂output` seed and
+    /// returns parameter gradients keyed by parameter name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Protocol`] unless called right after
+    /// [`Session::forward`] on a training plan.
+    pub fn backward(&mut self, seed: Tensor) -> Result<HashMap<String, Tensor>> {
+        if !self.plan.training {
+            return Err(ExecError::Protocol("plan was compiled for inference".into()));
+        }
+        if self.state != State::ForwardDone {
+            return Err(ExecError::Protocol("call forward() before backward()".into()));
+        }
+        let seed_node = self
+            .plan
+            .ir
+            .nodes()
+            .iter()
+            .find(|n| n.kind == OpKind::GradSeed)
+            .expect("training plan has a grad seed");
+        self.check_shape(seed_node, &seed)?;
+        self.insert_value(seed_node.id, seed);
+
+        let t0 = Instant::now();
+        let kernel_ids: Vec<usize> = self
+            .plan
+            .kernels
+            .iter()
+            .filter(|k| self.kernel_phase(k.id) == Phase::Backward)
+            .map(|k| k.id)
+            .collect();
+        for kid in kernel_ids {
+            self.exec_kernel(kid, true)?;
+        }
+        self.stats.backward_seconds = t0.elapsed().as_secs_f64();
+        self.stats.peak_value_bytes = self.peak_bytes;
+        self.state = State::Fresh;
+
+        let mut grads = HashMap::new();
+        for &(p, g) in &self.plan.param_grads {
+            let name = self.plan.ir.node(p).name.clone();
+            let val = self
+                .values
+                .get(&g)
+                .cloned()
+                .ok_or_else(|| ExecError::ValueNotLive {
+                    node: format!("grad of {name}"),
+                })?;
+            grads.insert(name, val);
+        }
+        Ok(grads)
+    }
+
+    fn reset(&mut self) {
+        self.values.clear();
+        self.aux_softmax.clear();
+        self.aux_argmax.clear();
+        self.live_bytes = 0;
+        self.peak_bytes = 0;
+        self.stats = RunStats::default();
+        self.state = State::Fresh;
+    }
+
+    fn kernel_phase(&self, kid: usize) -> Phase {
+        let k = &self.plan.kernels[kid];
+        if k.nodes
+            .iter()
+            .any(|&n| self.plan.ir.node(n).phase == Phase::Backward)
+        {
+            Phase::Backward
+        } else {
+            Phase::Forward
+        }
+    }
+
+    fn bind_leaves(&mut self, bindings: &Bindings) -> Result<()> {
+        let leaves: Vec<(String, NodeId)> = self
+            .leaf_names
+            .iter()
+            .map(|(n, &i)| (n.clone(), i))
+            .collect();
+        for (name, id) in leaves {
+            let node = self.plan.ir.node(id).clone();
+            if node.kind == OpKind::GradSeed {
+                continue; // bound by backward()
+            }
+            let t = bindings
+                .get(&name)
+                .ok_or_else(|| ExecError::MissingBinding(name.clone()))?;
+            self.check_shape(&node, t)?;
+            self.insert_value(id, t.clone());
+        }
+        Ok(())
+    }
+
+    fn check_shape(&self, node: &Node, t: &Tensor) -> Result<()> {
+        let expected = match node.space {
+            Space::Vertex => (self.graph.num_vertices(), node.dim.total()),
+            Space::Edge => (self.graph.num_edges(), node.dim.total()),
+            Space::Param => (node.dim.heads, node.dim.feat),
+        };
+        if t.rows() != expected.0 || t.cols() != expected.1 {
+            return Err(ExecError::BindingShape {
+                name: node.name.clone(),
+                expected,
+                got: t.shape().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    fn insert_value(&mut self, id: NodeId, t: Tensor) {
+        self.live_bytes += t.byte_size() as u64;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        if let Some(old) = self.values.insert(id, t) {
+            self.live_bytes -= old.byte_size() as u64;
+        }
+    }
+
+    fn drop_value(&mut self, id: NodeId) {
+        if let Some(old) = self.values.remove(&id) {
+            self.live_bytes -= old.byte_size() as u64;
+        }
+    }
+
+    fn exec_kernel(&mut self, kid: usize, backward: bool) -> Result<()> {
+        let kernel = self.plan.kernels[kid].clone();
+        // Rebuild recomputed forward values first (backward kernels only).
+        if backward {
+            for &r in &kernel.recompute {
+                if !self.values.contains_key(&r) {
+                    let t = self.exec_node(r)?;
+                    self.insert_value(r, t);
+                }
+            }
+        }
+        for &n in &kernel.nodes {
+            let t = self.exec_node(n)?;
+            self.insert_value(n, t);
+        }
+        // Recomputed values are kernel-local: drop them again.
+        if backward {
+            for &r in &kernel.recompute {
+                if !self.persistent.contains(&r) {
+                    self.drop_value(r);
+                }
+            }
+        }
+        // Plan-driven eviction of dead transients.
+        let dead: Vec<NodeId> = self
+            .values
+            .keys()
+            .copied()
+            .filter(|n| {
+                !self.persistent.contains(n)
+                    && self.last_reader.get(n).is_none_or(|&k| k <= kid)
+            })
+            .collect();
+        for n in dead {
+            self.drop_value(n);
+        }
+        Ok(())
+    }
+
+    fn value(&self, id: NodeId) -> Result<&Tensor> {
+        self.values.get(&id).ok_or_else(|| ExecError::ValueNotLive {
+            node: self.plan.ir.node(id).name.clone(),
+        })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_node(&mut self, id: NodeId) -> Result<Tensor> {
+        let ir = &self.plan.ir;
+        let node = ir.node(id);
+        let g = self.graph;
+        let din = |i: usize| ir.node(node.inputs[i]).dim;
+        let out = match &node.kind {
+            OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed => {
+                return Err(ExecError::ValueNotLive {
+                    node: node.name.clone(),
+                })
+            }
+
+            OpKind::Scatter(f) => {
+                let x = self.value(node.inputs[0])?;
+                let y = self.value(*node.inputs.last().expect("scatter has inputs"))?;
+                kernels::scatter(g, *f, x, y, node.dim)
+            }
+
+            OpKind::Gather { reduce, group } => {
+                let x = self.value(node.inputs[0])?;
+                let (t, argmax) = kernels::gather(g, *reduce, *group, x);
+                if let Some(a) = argmax {
+                    self.aux_argmax.insert(id, a);
+                }
+                t
+            }
+
+            OpKind::EdgeSoftmax => {
+                let x = self.value(node.inputs[0])?;
+                if let Some((m, d)) = self.aux_softmax.get(&id) {
+                    // Recompute path: O(1) per edge from stashed stats.
+                    kernels::edge_softmax_from_aux(g, x, m, d)
+                } else {
+                    let (y, m, d) = kernels::edge_softmax(g, x);
+                    self.aux_softmax.insert(id, (m, d));
+                    y
+                }
+            }
+
+            OpKind::Linear => {
+                let x = self.value(node.inputs[0])?;
+                let w = self.value(node.inputs[1])?;
+                x.matmul(w)?
+            }
+            OpKind::LinearBwdInput => {
+                let gr = self.value(node.inputs[0])?;
+                let w = self.value(node.inputs[1])?;
+                gr.matmul_nt(w)?
+            }
+            OpKind::LinearBwdWeight => {
+                let x = self.value(node.inputs[0])?;
+                let gr = self.value(node.inputs[1])?;
+                x.matmul_tn(gr)?
+            }
+
+            OpKind::Unary(f) => self.value(node.inputs[0])?.map(|v| f.apply(v)),
+            OpKind::UnaryBwd(f) => {
+                let gr = self.value(node.inputs[0])?;
+                let x = self.value(node.inputs[1])?;
+                kernels::unary_bwd(*f, gr, x)
+            }
+
+            OpKind::Binary(f) => {
+                let a = self.value(node.inputs[0])?;
+                let b = self.value(node.inputs[1])?;
+                kernels::binary_broadcast(*f, a, din(0), b, din(1))
+            }
+
+            OpKind::HeadDot => {
+                let x = self.value(node.inputs[0])?;
+                let a = self.value(node.inputs[1])?;
+                kernels::head_dot(x, a, din(0).heads, din(0).feat)
+            }
+            OpKind::HeadDotBwdInput => {
+                let gr = self.value(node.inputs[0])?;
+                let a = self.value(node.inputs[1])?;
+                kernels::head_dot_bwd_input(gr, a, node.dim.heads, node.dim.feat)
+            }
+            OpKind::HeadDotBwdParam => {
+                let x = self.value(node.inputs[0])?;
+                let gr = self.value(node.inputs[1])?;
+                kernels::head_dot_bwd_param(x, gr, node.dim.heads, node.dim.feat)
+            }
+
+            OpKind::GaussianWeight => {
+                let p = self.value(node.inputs[0])?;
+                let mu = self.value(node.inputs[1])?;
+                let sg = self.value(node.inputs[2])?;
+                kernels::gaussian_weight(p, mu, sg)
+            }
+            OpKind::GaussianBwdMu | OpKind::GaussianBwdSigma => {
+                let p = self.value(node.inputs[0])?;
+                let w = self.value(node.inputs[1])?;
+                let gr = self.value(node.inputs[2])?;
+                let mu = self.value(node.inputs[3])?;
+                let sg = self.value(node.inputs[4])?;
+                if node.kind == OpKind::GaussianBwdMu {
+                    kernels::gaussian_bwd_mu(p, w, gr, mu, sg)
+                } else {
+                    kernels::gaussian_bwd_sigma(p, w, gr, mu, sg)
+                }
+            }
+
+            OpKind::GatherMaxBwd { fwd } => {
+                let argmax = self.aux_argmax.get(fwd).cloned().ok_or_else(|| {
+                    ExecError::ValueNotLive {
+                        node: format!("argmax aux of node {fwd}"),
+                    }
+                })?;
+                let gr = self.value(node.inputs[0])?;
+                kernels::gather_max_bwd(g, gr, &argmax)
+            }
+            OpKind::GatherMeanBwd { group } => {
+                let gr = self.value(node.inputs[0])?;
+                kernels::gather_mean_bwd(g, *group, gr)
+            }
+            OpKind::EdgeSoftmaxBwd => {
+                let gr = self.value(node.inputs[0])?;
+                let y = self.value(node.inputs[1])?;
+                kernels::edge_softmax_bwd(g, gr, y)
+            }
+
+            OpKind::SliceCols { start, end } => {
+                let x = self.value(node.inputs[0])?;
+                // Parameters store heads as rows ([heads, feat]), so the
+                // per-head slice degenerates to a per-row column slice.
+                if ir.node(node.inputs[0]).space == Space::Param {
+                    kernels::slice_cols(x, 1, din(0).feat, *start, *end)
+                } else {
+                    kernels::slice_cols(x, din(0).heads, din(0).feat, *start, *end)
+                }
+            }
+            OpKind::EmbedCols { start, end, total } => {
+                let gr = self.value(node.inputs[0])?;
+                if node.space == Space::Param {
+                    kernels::embed_cols(gr, 1, *total, *start, *end)
+                } else {
+                    kernels::embed_cols(gr, node.dim.heads, *total, *start, *end)
+                }
+            }
+            OpKind::SliceRows { start, end } => {
+                let x = self.value(node.inputs[0])?;
+                let rows: Vec<usize> = (*start..*end).collect();
+                x.select_rows(&rows)?
+            }
+            OpKind::EmbedRows { start, end, total } => {
+                let gr = self.value(node.inputs[0])?;
+                let mut out = Tensor::zeros(&[*total, node.dim.feat]);
+                for (i, r) in (*start..*end).enumerate() {
+                    out.row_mut(r).copy_from_slice(gr.row(i));
+                }
+                out
+            }
+
+            OpKind::SetHeads { .. } => self.value(node.inputs[0])?.clone(),
+            OpKind::HeadReduce(f) => {
+                let x = self.value(node.inputs[0])?;
+                kernels::head_reduce(x, din(0).heads, din(0).feat, *f == ReduceFn::Mean)
+            }
+            OpKind::HeadBroadcast { heads } => {
+                let x = self.value(node.inputs[0])?;
+                kernels::head_broadcast(x, *heads)
+            }
+            OpKind::FeatSum => {
+                let x = self.value(node.inputs[0])?;
+                kernels::feat_sum(x, din(0).heads, din(0).feat)
+            }
+            OpKind::FeatBroadcast { feat } => {
+                let x = self.value(node.inputs[0])?;
+                kernels::feat_broadcast(x, node.dim.heads, *feat)
+            }
+        };
+        Ok(out)
+    }
+}

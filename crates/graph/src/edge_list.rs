@@ -1,0 +1,100 @@
+/// A raw directed edge list (COO form) over `n` vertices.
+///
+/// This is the interchange format produced by generators and consumed by
+/// [`crate::Graph::from_edge_list`]. Edges are `(src, dst)` pairs;
+/// construction deduplicates and removes self-loops, because none of the
+/// paper's models use them and they would distort degree statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    /// Edges sorted destination-major: `(dst, src)` ascending.
+    edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    /// Builds an edge list from `(src, dst)` pairs, dropping self-loops and
+    /// duplicates, and sorting destination-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_pairs(num_vertices: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut edges: Vec<(u32, u32)> = pairs
+            .iter()
+            .filter(|(s, d)| s != d)
+            .map(|&(s, d)| {
+                assert!(
+                    (s as usize) < num_vertices && (d as usize) < num_vertices,
+                    "edge ({s}, {d}) out of range for {num_vertices} vertices"
+                );
+                (s, d)
+            })
+            .collect();
+        edges.sort_unstable_by_key(|&(s, d)| (d, s));
+        edges.dedup();
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Adds the reverse of every edge (making the graph symmetric), then
+    /// re-canonicalizes.
+    pub fn to_undirected(&self) -> Self {
+        let mut pairs: Vec<(u32, u32)> = self.edges.clone();
+        pairs.extend(self.edges.iter().map(|&(s, d)| (d, s)));
+        Self::from_pairs(self.num_vertices, &pairs)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (deduplicated, loop-free) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical destination-major edge slice: `(src, dst)` pairs where
+    /// position in this slice *is* the edge id.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Returns true if the list contains no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_drops_loops() {
+        let el = EdgeList::from_pairs(3, &[(0, 1), (0, 1), (2, 2), (1, 0)]);
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.edges(), &[(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn destination_major_order() {
+        let el = EdgeList::from_pairs(4, &[(3, 1), (0, 2), (2, 1), (0, 1)]);
+        assert_eq!(el.edges(), &[(0, 1), (2, 1), (3, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let el = EdgeList::from_pairs(3, &[(0, 1), (1, 2)]);
+        let und = el.to_undirected();
+        assert_eq!(und.num_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = EdgeList::from_pairs(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Synthetic graph generators.
+//!
+//! All generators are deterministic per seed (using `SmallRng`) so every
+//! experiment in the benchmark harness is reproducible.
+
+use crate::EdgeList;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, m)`: `num_edges` distinct directed edges drawn
+/// uniformly.
+///
+/// # Panics
+///
+/// Panics if `num_edges` exceeds the number of possible loop-free edges.
+pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> EdgeList {
+    let possible = num_vertices.saturating_mul(num_vertices.saturating_sub(1));
+    assert!(
+        num_edges <= possible,
+        "cannot place {num_edges} edges in a {num_vertices}-vertex simple digraph"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(num_edges + num_edges / 8);
+    // Oversample, dedup via EdgeList, and top up until the target is met.
+    let mut el = EdgeList::from_pairs(num_vertices, &[]);
+    while el.num_edges() < num_edges {
+        let need = num_edges - el.num_edges();
+        pairs.clear();
+        pairs.extend(el.edges().iter().copied());
+        for _ in 0..need + need / 4 + 4 {
+            let s = rng.gen_range(0..num_vertices) as u32;
+            let d = rng.gen_range(0..num_vertices) as u32;
+            pairs.push((s, d));
+        }
+        el = EdgeList::from_pairs(num_vertices, &pairs);
+        if el.num_edges() > num_edges {
+            let trimmed: Vec<_> = el.edges()[..num_edges].to_vec();
+            el = EdgeList::from_pairs(num_vertices, &trimmed);
+        }
+    }
+    el
+}
+
+/// R-MAT power-law generator (Chakrabarti et al.), the standard model for
+/// skewed social graphs like Reddit.
+///
+/// `scale` is log2 of the vertex count; `edge_factor` is the average
+/// degree; `(a, b, c)` are the recursive quadrant probabilities (the
+/// remaining mass goes to the fourth quadrant). Typical skew: `a = 0.57,
+/// b = 0.19, c = 0.19`.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> EdgeList {
+    assert!(a + b + c < 1.0, "quadrant probabilities must sum below 1");
+    let n = 1usize << scale;
+    let target = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sample = |rng: &mut SmallRng| {
+        let (mut s, mut d) = (0usize, 0usize);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (si, di) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            s |= si << bit;
+            d |= di << bit;
+        }
+        (s as u32, d as u32)
+    };
+    // Oversample once, then top up only for the deduplication deficit, so
+    // the O(m log m) canonicalization runs a bounded number of times.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(target + target / 2);
+    for _ in 0..target + target / 4 + 16 {
+        pairs.push(sample(&mut rng));
+    }
+    let mut el = EdgeList::from_pairs(n, &pairs);
+    while el.num_edges() < target {
+        let deficit = target - el.num_edges();
+        pairs.clear();
+        pairs.extend_from_slice(el.edges());
+        for _ in 0..deficit * 2 + 1024 {
+            pairs.push(sample(&mut rng));
+        }
+        el = EdgeList::from_pairs(n, &pairs);
+    }
+    if el.num_edges() > target {
+        // Deterministic trim, keeping canonical order.
+        let trimmed: Vec<_> = el.edges()[..target].to_vec();
+        EdgeList::from_pairs(n, &trimmed)
+    } else {
+        el
+    }
+}
+
+/// A directed ring: `i → (i + 1) mod n`.
+pub fn ring(num_vertices: usize) -> EdgeList {
+    let pairs: Vec<(u32, u32)> = (0..num_vertices)
+        .map(|i| (i as u32, ((i + 1) % num_vertices) as u32))
+        .collect();
+    EdgeList::from_pairs(num_vertices, &pairs)
+}
+
+/// A star: every spoke `1..n` points at hub `0`. The most degree-skewed
+/// graph possible — used by load-imbalance tests.
+pub fn star(num_vertices: usize) -> EdgeList {
+    let pairs: Vec<(u32, u32)> = (1..num_vertices).map(|i| (i as u32, 0)).collect();
+    EdgeList::from_pairs(num_vertices, &pairs)
+}
+
+/// A 4-connected 2-D grid of `rows × cols` vertices (directed both ways).
+pub fn grid(rows: usize, cols: usize) -> EdgeList {
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut pairs = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                pairs.push((id(r, c), id(r, c + 1)));
+                pairs.push((id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                pairs.push((id(r, c), id(r + 1, c)));
+                pairs.push((id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    EdgeList::from_pairs(rows * cols, &pairs)
+}
+
+/// Planted-partition (stochastic block model) graph: `num_blocks`
+/// equal-sized communities, each vertex drawing ~`within_degree` in-edges
+/// from its own block and ~`between_degree` from the others.
+///
+/// The ground-truth community structure makes this the reference workload
+/// for locality/reordering experiments: a clustered vertex order should
+/// recover near-block-diagonal adjacency.
+///
+/// # Panics
+///
+/// Panics if `num_blocks` is zero or exceeds `num_vertices`.
+pub fn planted_partition(
+    num_vertices: usize,
+    num_blocks: usize,
+    within_degree: f64,
+    between_degree: f64,
+    seed: u64,
+) -> EdgeList {
+    assert!(
+        num_blocks > 0 && num_blocks <= num_vertices,
+        "need 1..=num_vertices blocks"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let block_size = num_vertices.div_ceil(num_blocks);
+    let block_of = |v: usize| v / block_size;
+    let mut pairs = Vec::new();
+    for v in 0..num_vertices {
+        let b = block_of(v);
+        let lo = b * block_size;
+        let hi = ((b + 1) * block_size).min(num_vertices);
+        let within = poissonish(&mut rng, within_degree);
+        for _ in 0..within {
+            if hi - lo > 1 {
+                let u = rng.gen_range(lo..hi) as u32;
+                pairs.push((u, v as u32));
+            }
+        }
+        let between = poissonish(&mut rng, between_degree);
+        for _ in 0..between {
+            if num_vertices > hi - lo {
+                // Rejection-sample a vertex outside the block.
+                loop {
+                    let u = rng.gen_range(0..num_vertices);
+                    if block_of(u) != b {
+                        pairs.push((u as u32, v as u32));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    EdgeList::from_pairs(num_vertices, &pairs)
+}
+
+/// A cheap integer sample with the given mean: `floor(mean)` plus one
+/// with probability `frac(mean)`.
+fn poissonish(rng: &mut SmallRng, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    base + usize::from(rng.gen_bool(mean.fract().clamp(0.0, 1.0 - 1e-12)))
+}
+
+/// The complete digraph on `n` vertices (no loops).
+pub fn complete(num_vertices: usize) -> EdgeList {
+    let mut pairs = Vec::with_capacity(num_vertices * (num_vertices - 1));
+    for s in 0..num_vertices as u32 {
+        for d in 0..num_vertices as u32 {
+            if s != d {
+                pairs.push((s, d));
+            }
+        }
+    }
+    EdgeList::from_pairs(num_vertices, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_exact_count_and_deterministic() {
+        let a = erdos_renyi(64, 300, 9);
+        let b = erdos_renyi(64, 300, 9);
+        assert_eq!(a.num_edges(), 300);
+        assert_eq!(a, b);
+        let c = erdos_renyi(64, 300, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let el = rmat(8, 16, 0.57, 0.19, 0.19, 3);
+        let g = crate::Graph::from_edge_list(&el);
+        let s = g.stats().degree_summary();
+        assert!(
+            s.max as f64 > 3.0 * s.mean,
+            "rmat should be skewed: max {} mean {}",
+            s.max,
+            s.mean
+        );
+    }
+
+    #[test]
+    fn ring_degrees_are_one() {
+        let g = crate::Graph::from_edge_list(&ring(10));
+        for v in 0..10 {
+            assert_eq!(g.in_degree(v), 1);
+            assert_eq!(g.out_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn star_concentrates_in_degree() {
+        let g = crate::Graph::from_edge_list(&star(17));
+        assert_eq!(g.in_degree(0), 16);
+        assert_eq!(g.out_degree(0), 0);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let el = grid(3, 4);
+        // horizontal: 3 rows × 3 gaps × 2 dirs + vertical: 2 gaps × 4 cols × 2
+        assert_eq!(el.num_edges(), 3 * 3 * 2 + 2 * 4 * 2);
+    }
+
+    #[test]
+    fn complete_has_all_pairs() {
+        assert_eq!(complete(5).num_edges(), 20);
+    }
+
+    #[test]
+    fn planted_partition_is_assortative() {
+        let el = planted_partition(400, 8, 12.0, 2.0, 9);
+        let block = |v: u32| v as usize / 50;
+        let within = el
+            .edges()
+            .iter()
+            .filter(|&&(s, d)| block(s) == block(d))
+            .count();
+        let frac = within as f64 / el.num_edges() as f64;
+        // Expectation ≈ 12/(12+2) ≈ 0.86 (dedup pulls it down slightly).
+        assert!(frac > 0.75, "within-block fraction too low: {frac}");
+    }
+
+    #[test]
+    fn planted_partition_degree_matches_request() {
+        let el = planted_partition(600, 6, 8.0, 4.0, 3);
+        let avg = el.num_edges() as f64 / 600.0;
+        // Dedup collisions shave a little off 12.
+        assert!((9.0..=12.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn planted_partition_deterministic_per_seed() {
+        assert_eq!(
+            planted_partition(100, 4, 6.0, 1.0, 7),
+            planted_partition(100, 4, 6.0, 1.0, 7)
+        );
+        assert_ne!(
+            planted_partition(100, 4, 6.0, 1.0, 7),
+            planted_partition(100, 4, 6.0, 1.0, 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks")]
+    fn planted_partition_rejects_zero_blocks() {
+        let _ = planted_partition(10, 0, 1.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,234 @@
+use crate::{EdgeList, GraphStats};
+
+/// One direction of adjacency in CSR layout with per-entry edge ids.
+///
+/// `indptr` has `n + 1` entries; the neighbours of vertex `v` are
+/// `nbr[indptr[v]..indptr[v+1]]` and the corresponding canonical edge ids
+/// are `eid[...]` over the same range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjacency {
+    indptr: Vec<usize>,
+    nbr: Vec<u32>,
+    eid: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Neighbour ids of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.nbr[self.indptr[v]..self.indptr[v + 1]]
+    }
+
+    /// Canonical edge ids incident to `v` in this direction.
+    pub fn edge_ids(&self, v: usize) -> &[u32] {
+        &self.eid[self.indptr[v]..self.indptr[v + 1]]
+    }
+
+    /// Degree of `v` in this direction.
+    pub fn degree(&self, v: usize) -> usize {
+        self.indptr[v + 1] - self.indptr[v]
+    }
+
+    /// The `indptr` offsets array.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+}
+
+/// A directed graph in dual-CSR form (by destination and by source), with a
+/// canonical destination-major edge numbering shared by both directions.
+///
+/// This is the structure every graph-related kernel in `gnnopt-exec`
+/// iterates; its `O(|V| + |E|)` index arrays are also what the IO cost
+/// model charges for reading graph topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_vertices: usize,
+    num_edges: usize,
+    /// Indexed by destination; neighbours are sources. Edge ids here are
+    /// contiguous (`eid[i] == i`) by the canonical ordering.
+    in_adj: Adjacency,
+    /// Indexed by source; neighbours are destinations.
+    out_adj: Adjacency,
+    /// `src[e]`, `dst[e]` for canonical edge id `e`.
+    src: Vec<u32>,
+    dst: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds the dual-CSR representation from a canonical edge list.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let n = el.num_vertices();
+        let m = el.num_edges();
+        let mut src = Vec::with_capacity(m);
+        let mut dst = Vec::with_capacity(m);
+        for &(s, d) in el.edges() {
+            src.push(s);
+            dst.push(d);
+        }
+
+        // In-adjacency: the canonical order is already destination-major.
+        let mut in_indptr = vec![0usize; n + 1];
+        for &d in &dst {
+            in_indptr[d as usize + 1] += 1;
+        }
+        for v in 0..n {
+            in_indptr[v + 1] += in_indptr[v];
+        }
+        let in_adj = Adjacency {
+            indptr: in_indptr,
+            nbr: src.clone(),
+            eid: (0..m as u32).collect(),
+        };
+
+        // Out-adjacency: counting sort by source.
+        let mut out_indptr = vec![0usize; n + 1];
+        for &s in &src {
+            out_indptr[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            out_indptr[v + 1] += out_indptr[v];
+        }
+        let mut cursor = out_indptr.clone();
+        let mut out_nbr = vec![0u32; m];
+        let mut out_eid = vec![0u32; m];
+        for e in 0..m {
+            let s = src[e] as usize;
+            out_nbr[cursor[s]] = dst[e];
+            out_eid[cursor[s]] = e as u32;
+            cursor[s] += 1;
+        }
+        let out_adj = Adjacency {
+            indptr: out_indptr,
+            nbr: out_nbr,
+            eid: out_eid,
+        };
+
+        Self {
+            num_vertices: n,
+            num_edges: m,
+            in_adj,
+            out_adj,
+            src,
+            dst,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Source vertex of canonical edge `e`.
+    pub fn src(&self, e: usize) -> usize {
+        self.src[e] as usize
+    }
+
+    /// Destination vertex of canonical edge `e`.
+    pub fn dst(&self, e: usize) -> usize {
+        self.dst[e] as usize
+    }
+
+    /// All edge sources, indexed by canonical edge id.
+    pub fn src_slice(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// All edge destinations, indexed by canonical edge id.
+    pub fn dst_slice(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// In-adjacency (neighbours are sources; iteration grouped by dst).
+    pub fn in_adj(&self) -> &Adjacency {
+        &self.in_adj
+    }
+
+    /// Out-adjacency (neighbours are destinations; iteration grouped by src).
+    pub fn out_adj(&self) -> &Adjacency {
+        &self.out_adj
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.in_adj.degree(v)
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out_adj.degree(v)
+    }
+
+    /// Degree statistics consumed by the GPU execution model.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::from_in_degrees(
+            (0..self.num_vertices)
+                .map(|v| self.in_degree(v) as u32)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        Graph::from_edge_list(&EdgeList::from_pairs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]))
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn canonical_edge_ids_are_dst_major() {
+        let g = diamond();
+        // dst-major order: (0,1), (0,2), (1,3), (2,3)
+        assert_eq!(g.src(0), 0);
+        assert_eq!(g.dst(0), 1);
+        assert_eq!(g.dst(3), 3);
+        assert_eq!(g.src(3), 2);
+    }
+
+    #[test]
+    fn in_adj_edge_ids_contiguous() {
+        let g = diamond();
+        assert_eq!(g.in_adj().edge_ids(3), &[2, 3]);
+        assert_eq!(g.in_adj().neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn out_adj_consistent_with_edges() {
+        let g = diamond();
+        for v in 0..g.num_vertices() {
+            for (&d, &e) in g
+                .out_adj()
+                .neighbors(v)
+                .iter()
+                .zip(g.out_adj().edge_ids(v))
+            {
+                assert_eq!(g.src(e as usize), v);
+                assert_eq!(g.dst(e as usize), d as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sums_equal_edge_count() {
+        let g = diamond();
+        let in_sum: usize = (0..4).map(|v| g.in_degree(v)).sum();
+        let out_sum: usize = (0..4).map(|v| g.out_degree(v)).sum();
+        assert_eq!(in_sum, g.num_edges());
+        assert_eq!(out_sum, g.num_edges());
+    }
+}

@@ -1,0 +1,36 @@
+//! Graph substrate for the `gnnopt` GNN computational-graph optimizer.
+//!
+//! Provides the adjacency structures the executor iterates
+//! ([`Graph`], built from an [`EdgeList`]), degree statistics the GPU
+//! execution model consumes ([`GraphStats`]), synthetic graph
+//! [`generators`], k-nearest-neighbour point-cloud graphs ([`knn`]) and
+//! profiles of the paper's evaluation datasets ([`datasets`]).
+//!
+//! Edge identity convention: edge ids are assigned in **destination-major
+//! (CSC) order** — edge `e` is the `e`-th entry when scanning vertices by
+//! destination and, within a destination, by source. `Gather`/edge-softmax
+//! kernels therefore see contiguous edge-feature rows per destination
+//! vertex, exactly like the vertex-balanced GPU kernels in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use gnnopt_graph::{EdgeList, Graph};
+//!
+//! let el = EdgeList::from_pairs(4, &[(0, 1), (2, 1), (1, 3)]);
+//! let g = Graph::from_edge_list(&el);
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.in_degree(1), 2);
+//! ```
+
+pub mod datasets;
+mod edge_list;
+pub mod generators;
+mod graph;
+pub mod knn;
+mod stats;
+
+pub use edge_list::EdgeList;
+pub use graph::{Adjacency, Graph};
+pub use stats::{DegreeSummary, GraphStats};

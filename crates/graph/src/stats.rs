@@ -1,0 +1,185 @@
+//! Degree statistics: the interface between graphs and the GPU execution
+//! model.
+//!
+//! The analytical simulator (`gnnopt-sim`) never touches edge arrays — all
+//! it needs is `|V|`, `|E|` and the in-degree distribution, captured here.
+//! This is what lets the benchmark harness evaluate *full-scale* Reddit
+//! (233 K vertices, 115 M edges) analytically while numerical-correctness
+//! tests run on scaled-down graphs.
+
+/// Summary statistics of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeSummary {
+    /// Maximum in-degree.
+    pub max: u32,
+    /// Mean in-degree.
+    pub mean: f64,
+    /// Coefficient of variation (stddev / mean); 0 for regular graphs.
+    pub cv: f64,
+}
+
+/// The graph-shape information consumed by cost models: vertex count, edge
+/// count and the in-degree of every vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    in_degrees: Vec<u32>,
+    num_edges: usize,
+}
+
+impl GraphStats {
+    /// Builds stats from an explicit in-degree vector.
+    pub fn from_in_degrees(in_degrees: Vec<u32>) -> Self {
+        let num_edges = in_degrees.iter().map(|&d| d as usize).sum();
+        Self {
+            in_degrees,
+            num_edges,
+        }
+    }
+
+    /// Synthesizes a power-law-ish degree distribution with the given
+    /// vertex count, average degree and skew, *without* materializing any
+    /// edges. Used to model full-scale datasets (e.g. Reddit) whose edge
+    /// arrays would not fit the CPU budget.
+    ///
+    /// `skew = 0` gives a regular graph; larger skews concentrate degree on
+    /// low-index vertices following `deg(i) ∝ (i+1)^-skew`, renormalized to
+    /// preserve the requested edge count.
+    pub fn synthesize_power_law(num_vertices: usize, avg_degree: f64, skew: f64) -> Self {
+        assert!(num_vertices > 0, "need at least one vertex");
+        let target_edges = (num_vertices as f64 * avg_degree).round() as usize;
+        if skew <= 0.0 {
+            let d = avg_degree.round() as u32;
+            return Self::from_in_degrees(vec![d; num_vertices]);
+        }
+        let weights: Vec<f64> = (0..num_vertices)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut degrees: Vec<u32> = weights
+            .iter()
+            .map(|w| ((w / total) * target_edges as f64).floor() as u32)
+            .collect();
+        // Distribute the rounding remainder round-robin so Σdeg == target.
+        let assigned: usize = degrees.iter().map(|&d| d as usize).sum();
+        let mut remainder = target_edges.saturating_sub(assigned);
+        let mut i = 0;
+        while remainder > 0 {
+            degrees[i % num_vertices] += 1;
+            remainder -= 1;
+            i += 1;
+        }
+        Self::from_in_degrees(degrees)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.in_degrees.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Per-vertex in-degrees.
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degrees
+    }
+
+    /// Average in-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.in_degrees.is_empty() {
+            0.0
+        } else {
+            self.num_edges as f64 / self.in_degrees.len() as f64
+        }
+    }
+
+    /// Summary statistics (max, mean, coefficient of variation).
+    pub fn degree_summary(&self) -> DegreeSummary {
+        let n = self.in_degrees.len().max(1) as f64;
+        let mean = self.num_edges as f64 / n;
+        let max = self.in_degrees.iter().copied().max().unwrap_or(0);
+        let var = self
+            .in_degrees
+            .iter()
+            .map(|&d| {
+                let x = d as f64 - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / n;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        DegreeSummary { max, mean, cv }
+    }
+
+    /// Work imbalance of a vertex-balanced mapping: vertices are dealt
+    /// round-robin to `workers` thread groups, each group's work is the sum
+    /// of its vertices' degrees, and the imbalance is
+    /// `max_group_work / mean_group_work` (≥ 1).
+    ///
+    /// This is the factor the paper's §5 identifies as the cost of
+    /// vertex-balanced fusion on skewed graphs like Reddit.
+    pub fn vertex_balanced_imbalance(&self, workers: usize) -> f64 {
+        let workers = workers.max(1);
+        if self.num_edges == 0 {
+            return 1.0;
+        }
+        let num_groups = workers.min(self.in_degrees.len()).max(1);
+        let mut group = vec![0u64; num_groups];
+        for (i, &d) in self.in_degrees.iter().enumerate() {
+            group[i % num_groups] += d as u64;
+        }
+        let max = *group.iter().max().expect("nonempty") as f64;
+        let mean = self.num_edges as f64 / group.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            (max / mean).max(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graph_balanced() {
+        let s = GraphStats::synthesize_power_law(128, 8.0, 0.0);
+        assert_eq!(s.num_edges(), 1024);
+        assert!((s.vertex_balanced_imbalance(32) - 1.0).abs() < 1e-9);
+        assert_eq!(s.degree_summary().max, 8);
+    }
+
+    #[test]
+    fn power_law_preserves_edge_count() {
+        let s = GraphStats::synthesize_power_law(1000, 49.2, 1.2);
+        assert_eq!(s.num_edges(), 49200);
+        assert!(s.degree_summary().max > 100);
+    }
+
+    #[test]
+    fn skew_increases_imbalance() {
+        let flat = GraphStats::synthesize_power_law(1024, 16.0, 0.0);
+        let skewed = GraphStats::synthesize_power_law(1024, 16.0, 1.5);
+        assert!(
+            skewed.vertex_balanced_imbalance(64) > flat.vertex_balanced_imbalance(64),
+            "skewed graphs must show more vertex-balanced imbalance"
+        );
+    }
+
+    #[test]
+    fn imbalance_at_least_one() {
+        let s = GraphStats::from_in_degrees(vec![0, 0, 10, 0]);
+        assert!(s.vertex_balanced_imbalance(4) >= 1.0);
+    }
+
+    #[test]
+    fn empty_graph_degenerate() {
+        let s = GraphStats::from_in_degrees(vec![0; 4]);
+        assert_eq!(s.num_edges(), 0);
+        assert_eq!(s.vertex_balanced_imbalance(8), 1.0);
+        assert_eq!(s.avg_degree(), 0.0);
+    }
+}

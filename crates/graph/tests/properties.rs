@@ -1,0 +1,97 @@
+//! Property-based tests of the graph substrate: CSR/CSC consistency and
+//! generator invariants on arbitrary edge lists.
+
+use gnnopt_graph::{generators, EdgeList, Graph, GraphStats};
+use proptest::prelude::*;
+
+fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120)
+            .prop_map(move |pairs| EdgeList::from_pairs(n, &pairs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dual_csr_is_consistent(el in arb_edge_list()) {
+        let g = Graph::from_edge_list(&el);
+        // Every canonical edge appears exactly once in each direction.
+        for e in 0..g.num_edges() {
+            let (s, d) = (g.src(e), g.dst(e));
+            prop_assert!(g.in_adj().edge_ids(d).contains(&(e as u32)));
+            prop_assert!(g.out_adj().edge_ids(s).contains(&(e as u32)));
+        }
+        // Degree sums equal the edge count in both directions.
+        let in_sum: usize = (0..g.num_vertices()).map(|v| g.in_degree(v)).sum();
+        let out_sum: usize = (0..g.num_vertices()).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(in_sum, g.num_edges());
+        prop_assert_eq!(out_sum, g.num_edges());
+    }
+
+    #[test]
+    fn in_adj_edge_ids_are_contiguous(el in arb_edge_list()) {
+        // Canonical (dst-major) numbering ⇒ in-adjacency ids are 0..m.
+        let g = Graph::from_edge_list(&el);
+        let mut seen = Vec::new();
+        for v in 0..g.num_vertices() {
+            seen.extend_from_slice(g.in_adj().edge_ids(v));
+        }
+        let expect: Vec<u32> = (0..g.num_edges() as u32).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates(el in arb_edge_list()) {
+        let mut pairs: Vec<(u32, u32)> = el.edges().to_vec();
+        for &(s, d) in &pairs {
+            prop_assert_ne!(s, d);
+        }
+        let before = pairs.len();
+        pairs.dedup();
+        prop_assert_eq!(before, pairs.len());
+    }
+
+    #[test]
+    fn undirected_is_symmetric(el in arb_edge_list()) {
+        let und = el.to_undirected();
+        let g = Graph::from_edge_list(&und);
+        for e in 0..g.num_edges() {
+            let (s, d) = (g.src(e) as u32, g.dst(e) as u32);
+            prop_assert!(und.edges().contains(&(d, s)), "missing reverse of ({s},{d})");
+        }
+    }
+
+    #[test]
+    fn stats_match_graph(el in arb_edge_list()) {
+        let g = Graph::from_edge_list(&el);
+        let s = g.stats();
+        prop_assert_eq!(s.num_vertices(), g.num_vertices());
+        prop_assert_eq!(s.num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() {
+            prop_assert_eq!(s.in_degrees()[v] as usize, g.in_degree(v));
+        }
+    }
+
+    #[test]
+    fn synthesized_stats_hit_edge_target(
+        n in 1usize..500, avg in 0.5f64..30.0, skew in 0.0f64..2.0,
+    ) {
+        let s = GraphStats::synthesize_power_law(n, avg, skew);
+        let target = (n as f64 * avg).round() as usize;
+        prop_assert_eq!(s.num_edges(), target);
+        prop_assert!(s.vertex_balanced_imbalance(64) >= 1.0);
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic_and_exact(
+        n in 4usize..64, frac in 0.05f64..0.5, seed in 0u64..50,
+    ) {
+        let m = ((n * (n - 1)) as f64 * frac) as usize;
+        let a = generators::erdos_renyi(n, m, seed);
+        let b = generators::erdos_renyi(n, m, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_edges(), m);
+    }
+}

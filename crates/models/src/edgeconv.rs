@@ -1,0 +1,121 @@
+//! EdgeConv / DGCNN (Wang et al., 2019) on point-cloud kNN graphs.
+//!
+//! `h'_v = max_{u∈N(v)} ( Θ·(h_u − h_v) + Φ·h_v )` — built here in the
+//! DGL formulation (Figure 12(e) of the paper): `u_sub_v` on edges, then a
+//! per-edge linear Θ — which is exactly the `Scatter → expensive
+//! ApplyEdge` redundancy that reorganization eliminates (92.4 % of
+//! operator FLOPs, §1).
+
+use crate::ModelSpec;
+use gnnopt_core::ir::Result;
+use gnnopt_core::{BinaryFn, Dim, EdgeGroup, IrGraph, ReduceFn, ScatterFn, Space};
+
+/// EdgeConv configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeConvConfig {
+    /// Input feature width (3 for raw point coordinates).
+    pub in_dim: usize,
+    /// Output width of each EdgeConv layer.
+    pub layer_dims: Vec<usize>,
+}
+
+impl EdgeConvConfig {
+    /// The paper's training setting: 4 layers {64, 64, 128, 256}.
+    pub fn paper() -> Self {
+        Self {
+            in_dim: 3,
+            layer_dims: vec![64, 64, 128, 256],
+        }
+    }
+
+    /// The paper's forward-ablation setting: 1 layer, 64-dim features.
+    pub fn ablation() -> Self {
+        Self {
+            in_dim: 64,
+            layer_dims: vec![64],
+        }
+    }
+}
+
+/// Builds an EdgeConv model (DGL formulation; run the reorganization pass
+/// to obtain Figure 12(f)).
+///
+/// # Errors
+///
+/// Propagates IR construction errors (an internal bug, not bad input).
+pub fn edgeconv(cfg: &EdgeConvConfig) -> Result<ModelSpec> {
+    let mut ir = IrGraph::new();
+    let mut inputs = Vec::new();
+    let mut params = Vec::new();
+
+    let h0 = ir.input_vertex("h", Dim::flat(cfg.in_dim));
+    inputs.push(("h".to_owned(), Space::Vertex, Dim::flat(cfg.in_dim)));
+
+    let mut h = h0;
+    let mut in_dim = cfg.in_dim;
+    for (l, &out_dim) in cfg.layer_dims.iter().enumerate() {
+        let theta = ir.param(&format!("theta{l}"), in_dim, out_dim);
+        let phi = ir.param(&format!("phi{l}"), in_dim, out_dim);
+        params.push((format!("theta{l}"), in_dim, out_dim));
+        params.push((format!("phi{l}"), in_dim, out_dim));
+
+        // u_sub_v on edges, then the per-edge linear Θ (naive/DGL form).
+        let diff = ir.scatter(ScatterFn::Bin(BinaryFn::Sub), h, h)?;
+        let e_theta = ir.linear(diff, theta)?;
+        // Φ·h_v broadcast to edges and added.
+        let n_phi = ir.linear(h, phi)?;
+        let v_side = ir.scatter(ScatterFn::CopyV, n_phi, n_phi)?;
+        let combined = ir.binary(BinaryFn::Add, e_theta, v_side)?;
+        h = ir.gather(ReduceFn::Max, EdgeGroup::ByDst, combined)?;
+        in_dim = out_dim;
+    }
+    ir.mark_output(h);
+    Ok(ModelSpec { ir, inputs, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnopt_core::OpKind;
+
+    #[test]
+    fn paper_config_dims() {
+        let spec = edgeconv(&EdgeConvConfig::paper()).unwrap();
+        assert_eq!(spec.output_dim(), 256);
+        assert_eq!(spec.params.len(), 8);
+    }
+
+    #[test]
+    fn naive_form_has_edge_linear() {
+        let spec = edgeconv(&EdgeConvConfig::ablation()).unwrap();
+        assert!(spec
+            .ir
+            .nodes()
+            .iter()
+            .any(|n| n.kind == OpKind::Linear && n.space == Space::Edge));
+    }
+
+    #[test]
+    fn reorg_moves_all_linears_to_vertices() {
+        let spec = edgeconv(&EdgeConvConfig::paper()).unwrap();
+        let (opt, report) = gnnopt_core::reorg::reorganize(&spec.ir).unwrap();
+        assert!(report.rewrites >= 4, "one rewrite per layer");
+        assert!(opt
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == OpKind::Linear)
+            .all(|n| n.space == Space::Vertex));
+    }
+
+    #[test]
+    fn gather_is_max() {
+        let spec = edgeconv(&EdgeConvConfig::ablation()).unwrap();
+        assert!(spec.ir.nodes().iter().any(|n| matches!(
+            n.kind,
+            OpKind::Gather {
+                reduce: ReduceFn::Max,
+                ..
+            }
+        )));
+    }
+}

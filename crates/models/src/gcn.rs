@@ -1,0 +1,81 @@
+//! Vanilla GCN (Kipf & Welling, 2016), Appendix A of the paper:
+//! `h'_v = relu( Σ_{u∈N(v)} e_uv · (h_u W) )` with static edge weights.
+
+use crate::ModelSpec;
+use gnnopt_core::ir::Result;
+use gnnopt_core::{BinaryFn, Dim, EdgeGroup, IrGraph, ReduceFn, ScatterFn, Space, UnaryFn};
+
+/// GCN configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcnConfig {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output width of each layer.
+    pub layer_dims: Vec<usize>,
+}
+
+impl GcnConfig {
+    /// Two-layer GCN.
+    pub fn two_layer(in_dim: usize, hidden: usize, classes: usize) -> Self {
+        Self {
+            in_dim,
+            layer_dims: vec![hidden, classes],
+        }
+    }
+}
+
+/// Builds a GCN with a per-edge normalization-weight input `"edge_weight"`.
+///
+/// # Errors
+///
+/// Propagates IR construction errors (an internal bug, not bad input).
+pub fn gcn(cfg: &GcnConfig) -> Result<ModelSpec> {
+    let mut ir = IrGraph::new();
+    let mut inputs = Vec::new();
+    let mut params = Vec::new();
+
+    let h0 = ir.input_vertex("h", Dim::flat(cfg.in_dim));
+    inputs.push(("h".to_owned(), Space::Vertex, Dim::flat(cfg.in_dim)));
+    let ew = ir.input_edge("edge_weight", Dim::flat(1));
+    inputs.push(("edge_weight".to_owned(), Space::Edge, Dim::flat(1)));
+
+    let mut h = h0;
+    let mut in_dim = cfg.in_dim;
+    for (l, &out_dim) in cfg.layer_dims.iter().enumerate() {
+        let w = ir.param(&format!("w{l}"), in_dim, out_dim);
+        params.push((format!("w{l}"), in_dim, out_dim));
+        let proj = ir.linear(h, w)?;
+        let hu = ir.scatter(ScatterFn::CopyU, proj, proj)?;
+        let weighted = ir.binary(BinaryFn::Mul, hu, ew)?;
+        let agg = ir.gather(ReduceFn::Sum, EdgeGroup::ByDst, weighted)?;
+        h = ir.unary(UnaryFn::Relu, agg)?;
+        in_dim = out_dim;
+    }
+    ir.mark_output(h);
+    Ok(ModelSpec { ir, inputs, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_and_params() {
+        let spec = gcn(&GcnConfig::two_layer(16, 32, 7)).unwrap();
+        assert_eq!(spec.output_dim(), 7);
+        assert_eq!(spec.params, vec![("w0".into(), 16, 32), ("w1".into(), 32, 7)]);
+    }
+
+    #[test]
+    fn aggregate_pattern_matches_dgl_spmm() {
+        // DGL fuses copy_u → mul → sum into one gSpMM kernel.
+        let spec = gcn(&GcnConfig::two_layer(4, 8, 2)).unwrap();
+        let kernels = gnnopt_core::fusion::partition(
+            &spec.ir,
+            gnnopt_core::FusionLevel::DglBuiltin,
+            Default::default(),
+        );
+        // per layer: linear + fused spmm(3 ops) + relu = 3 kernels
+        assert_eq!(kernels.len(), 6);
+    }
+}

@@ -1,0 +1,37 @@
+//! GNN model zoo expressed in the `gnnopt` operator IR.
+//!
+//! Implements every model from the paper's evaluation (§7.1.1) — GAT,
+//! EdgeConv and MoNet — plus GCN and GraphSAGE from the operator-algebra
+//! appendix, each as an IR builder returning a [`ModelSpec`] (graph +
+//! leaf inventory + deterministic parameter initialization).
+//!
+//! The GAT builder exposes the *naive* formulation (`Scatter(∥)` followed
+//! by a per-edge projection, Figure 3(a) of the paper) and the
+//! `reorganized` variant that DGL's model library hand-codes; the
+//! reorganization pass must turn the former into the latter.
+//!
+//! Two models extend the zoo beyond the paper's benchmarks: GATv2 (the
+//! attention whose reorganization is only *partially* legal — the
+//! nonlinearity pins the attention dot to edges) and APPNP (a deep chain
+//! of graph-only propagation hops that exercises the fusion pass's
+//! cross-group kernel-boundary rule).
+
+mod appnp;
+mod edgeconv;
+mod gat;
+mod gatv2;
+mod gcn;
+mod gin;
+mod monet;
+mod sage;
+mod spec;
+
+pub use appnp::{appnp, AppnpConfig};
+pub use edgeconv::{edgeconv, EdgeConvConfig};
+pub use gat::{gat, GatConfig};
+pub use gatv2::{gatv2, Gatv2Config};
+pub use gcn::{gcn, GcnConfig};
+pub use gin::{gin, GinConfig};
+pub use monet::{monet, MonetConfig};
+pub use sage::{sage, SageConfig};
+pub use spec::ModelSpec;

@@ -1,0 +1,117 @@
+//! MoNet / GMMConv (Monti et al., 2016): gaussian mixture weights over
+//! edge pseudo-coordinates.
+//!
+//! `h'_v = (1/K) Σ_k Σ_{u∈N(v)} w_k(pseudo_uv) · (W_k h_u)` where
+//! `w_k(m) = exp(−½ (m−μ_k)ᵀ Σ_k⁻¹ (m−μ_k))`. MoNet has no leading
+//! `Scatter`, so reorganization does not apply (§7.2) — its wins come from
+//! fusion and recomputation of the `O(|E|·K)` gaussian weights.
+
+use crate::ModelSpec;
+use gnnopt_core::ir::Result;
+use gnnopt_core::{BinaryFn, Dim, EdgeGroup, IrGraph, ReduceFn, ScatterFn, Space};
+
+/// MoNet configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonetConfig {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output width of each GMM layer.
+    pub layer_dims: Vec<usize>,
+    /// Number of gaussian kernels `K`.
+    pub kernels: usize,
+    /// Pseudo-coordinate dimension `r`.
+    pub pseudo_dim: usize,
+}
+
+impl MonetConfig {
+    /// The paper's Figure 7 setting: 2 layers × 16 hidden.
+    pub fn figure7(in_dim: usize, classes: usize, kernels: usize, pseudo_dim: usize) -> Self {
+        Self {
+            in_dim,
+            layer_dims: vec![16, classes],
+            kernels,
+            pseudo_dim,
+        }
+    }
+}
+
+/// Builds a MoNet model.
+///
+/// # Errors
+///
+/// Propagates IR construction errors (an internal bug, not bad input).
+pub fn monet(cfg: &MonetConfig) -> Result<ModelSpec> {
+    let mut ir = IrGraph::new();
+    let mut inputs = Vec::new();
+    let mut params = Vec::new();
+
+    let h0 = ir.input_vertex("h", Dim::flat(cfg.in_dim));
+    inputs.push(("h".to_owned(), Space::Vertex, Dim::flat(cfg.in_dim)));
+    let pseudo = ir.input_edge("pseudo", Dim::flat(cfg.pseudo_dim));
+    inputs.push((
+        "pseudo".to_owned(),
+        Space::Edge,
+        Dim::flat(cfg.pseudo_dim),
+    ));
+
+    let (k, r) = (cfg.kernels, cfg.pseudo_dim);
+    let mut h = h0;
+    let mut in_dim = cfg.in_dim;
+    for (l, &out_dim) in cfg.layer_dims.iter().enumerate() {
+        let mu = ir.param(&format!("mu{l}"), k, r);
+        let sigma = ir.param(&format!("inv_sigma{l}"), k, r);
+        let w = ir.param(&format!("w{l}"), in_dim, k * out_dim);
+        params.push((format!("mu{l}"), k, r));
+        params.push((format!("inv_sigma{l}"), k, r));
+        params.push((format!("w{l}"), in_dim, k * out_dim));
+
+        // Per-edge gaussian mixture weights [E, K] (lightweight ApplyEdge).
+        let gw = ir.gaussian_weight(pseudo, mu, sigma)?;
+        // Per-kernel projections [V, K·f] viewed as K heads.
+        let proj_flat = ir.linear(h, w)?;
+        let proj = ir.set_heads(proj_flat, k)?;
+        // Aggregate: scatter source features, weight per kernel, reduce.
+        let hu = ir.scatter(ScatterFn::CopyU, proj, proj)?;
+        let weighted = ir.binary(BinaryFn::Mul, hu, gw)?;
+        let agg = ir.gather(ReduceFn::Sum, EdgeGroup::ByDst, weighted)?;
+        // Mean over the K kernels.
+        let reduced = ir.head_reduce(ReduceFn::Mean, agg)?;
+        h = ir.set_heads(reduced, 1)?;
+        in_dim = out_dim;
+    }
+    ir.mark_output(h);
+    Ok(ModelSpec { ir, inputs, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnopt_core::OpKind;
+
+    #[test]
+    fn figure7_dims() {
+        let spec = monet(&MonetConfig::figure7(32, 7, 3, 2)).unwrap();
+        assert_eq!(spec.output_dim(), 7);
+        assert_eq!(spec.params.len(), 6);
+    }
+
+    #[test]
+    fn no_reorg_opportunity() {
+        let spec = monet(&MonetConfig::figure7(8, 3, 2, 2)).unwrap();
+        let (_, report) = gnnopt_core::reorg::reorganize(&spec.ir).unwrap();
+        assert_eq!(report.rewrites, 0, "MoNet has no Scatter→Apply pattern");
+    }
+
+    #[test]
+    fn has_gaussian_weights() {
+        let spec = monet(&MonetConfig::figure7(8, 3, 2, 2)).unwrap();
+        assert_eq!(
+            spec.ir
+                .nodes()
+                .iter()
+                .filter(|n| n.kind == OpKind::GaussianWeight)
+                .count(),
+            2
+        );
+    }
+}

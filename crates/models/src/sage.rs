@@ -1,0 +1,81 @@
+//! GraphSAGE (Hamilton et al., 2017) with a mean aggregator:
+//! `h'_v = relu( W_self·h_v + W_neigh·mean_{u∈N(v)} h_u )`.
+
+use crate::ModelSpec;
+use gnnopt_core::ir::Result;
+use gnnopt_core::{BinaryFn, Dim, EdgeGroup, IrGraph, ReduceFn, ScatterFn, Space, UnaryFn};
+
+/// GraphSAGE configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SageConfig {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output width of each layer.
+    pub layer_dims: Vec<usize>,
+}
+
+/// Builds a mean-aggregator GraphSAGE model.
+///
+/// # Errors
+///
+/// Propagates IR construction errors (an internal bug, not bad input).
+pub fn sage(cfg: &SageConfig) -> Result<ModelSpec> {
+    let mut ir = IrGraph::new();
+    let mut inputs = Vec::new();
+    let mut params = Vec::new();
+
+    let h0 = ir.input_vertex("h", Dim::flat(cfg.in_dim));
+    inputs.push(("h".to_owned(), Space::Vertex, Dim::flat(cfg.in_dim)));
+
+    let mut h = h0;
+    let mut in_dim = cfg.in_dim;
+    for (l, &out_dim) in cfg.layer_dims.iter().enumerate() {
+        let ws = ir.param(&format!("w{l}_self"), in_dim, out_dim);
+        let wn = ir.param(&format!("w{l}_neigh"), in_dim, out_dim);
+        params.push((format!("w{l}_self"), in_dim, out_dim));
+        params.push((format!("w{l}_neigh"), in_dim, out_dim));
+
+        let hu = ir.scatter(ScatterFn::CopyU, h, h)?;
+        let mean = ir.gather(ReduceFn::Mean, EdgeGroup::ByDst, hu)?;
+        let self_proj = ir.linear(h, ws)?;
+        let neigh_proj = ir.linear(mean, wn)?;
+        let sum = ir.binary(BinaryFn::Add, self_proj, neigh_proj)?;
+        h = ir.unary(UnaryFn::Relu, sum)?;
+        in_dim = out_dim;
+    }
+    ir.mark_output(h);
+    Ok(ModelSpec { ir, inputs, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnopt_core::OpKind;
+
+    #[test]
+    fn builds_and_dims() {
+        let spec = sage(&SageConfig {
+            in_dim: 8,
+            layer_dims: vec![16, 4],
+        })
+        .unwrap();
+        assert_eq!(spec.output_dim(), 4);
+        assert_eq!(spec.params.len(), 4);
+    }
+
+    #[test]
+    fn mean_gather_present() {
+        let spec = sage(&SageConfig {
+            in_dim: 8,
+            layer_dims: vec![4],
+        })
+        .unwrap();
+        assert!(spec.ir.nodes().iter().any(|n| matches!(
+            n.kind,
+            OpKind::Gather {
+                reduce: ReduceFn::Mean,
+                ..
+            }
+        )));
+    }
+}

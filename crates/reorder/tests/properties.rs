@@ -1,0 +1,132 @@
+//! Property tests for reordering and grouping invariants.
+
+use gnnopt_graph::{generators, EdgeList, GraphStats};
+use gnnopt_reorder::{locality, strategies, NeighborGrouping, Permutation};
+use proptest::prelude::*;
+
+/// A small random graph: vertex count and an edge-pair seed.
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2usize..60, 0u64..1000, 1usize..6).prop_map(|(n, seed, density)| {
+        let edges = (n * density).min(n * (n - 1));
+        generators::erdos_renyi(n, edges, seed)
+    })
+}
+
+fn arb_permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(n).prop_perturb(|n, mut rng| {
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+        Permutation::from_order(&ids).expect("shuffled ids are a bijection")
+    })
+}
+
+proptest! {
+    /// Applying a permutation then its inverse restores the original graph.
+    #[test]
+    fn permutation_roundtrip(el in arb_graph()) {
+        let n = el.num_vertices();
+        let run = |p: Permutation| {
+            let there = p.apply_to_edges(&el);
+            let back = p.inverse().apply_to_edges(&there);
+            prop_assert_eq!(&back, &el);
+            Ok(())
+        };
+        run(Permutation::identity(n))?;
+    }
+
+    /// Random permutations preserve edge count and the degree multiset.
+    #[test]
+    fn random_permutation_is_isomorphism(
+        (el, p) in arb_graph().prop_flat_map(|el| {
+            let n = el.num_vertices();
+            (Just(el), arb_permutation(n))
+        })
+    ) {
+        let out = p.apply_to_edges(&el);
+        prop_assert_eq!(out.num_edges(), el.num_edges());
+        let degrees = |e: &EdgeList| {
+            let mut d = vec![0u32; e.num_vertices()];
+            for &(_, dst) in e.edges() {
+                d[dst as usize] += 1;
+            }
+            d.sort_unstable();
+            d
+        };
+        prop_assert_eq!(degrees(&out), degrees(&el));
+        // Roundtrip through the inverse.
+        prop_assert_eq!(p.inverse().apply_to_edges(&out), el);
+    }
+
+    /// Every strategy yields a valid permutation whose application
+    /// preserves the graph up to isomorphism.
+    #[test]
+    fn strategies_are_bijections(el in arb_graph()) {
+        for p in [
+            strategies::degree_sort(&el),
+            strategies::bfs(&el, 0),
+            strategies::rcm(&el),
+            strategies::cluster(&el, 3),
+        ] {
+            prop_assert_eq!(p.len(), el.num_vertices());
+            let out = p.apply_to_edges(&el);
+            prop_assert_eq!(out.num_edges(), el.num_edges());
+        }
+    }
+
+    /// LRU hit rate is monotone non-decreasing in cache capacity.
+    #[test]
+    fn hit_rate_monotone(el in arb_graph(), caps in proptest::collection::vec(1usize..256, 2..5)) {
+        let mut sorted = caps;
+        sorted.sort_unstable();
+        let mut prev = -1.0f64;
+        for c in sorted {
+            let r = locality::lru_hit_rate(&el, c);
+            prop_assert!(r >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prev = r;
+        }
+    }
+
+    /// Grouping preserves the edge count, bounds every group's size, and
+    /// produces max-degree ≤ group_size stats.
+    #[test]
+    fn grouping_invariants(
+        degrees in proptest::collection::vec(0u32..200, 1..80),
+        group_size in 1usize..64,
+    ) {
+        let stats = GraphStats::from_in_degrees(degrees);
+        let g = NeighborGrouping::build(&stats, group_size);
+        let gs = g.grouped_stats();
+        prop_assert_eq!(gs.num_edges(), stats.num_edges());
+        prop_assert!(gs.in_degrees().iter().all(|&d| d as usize <= group_size));
+        prop_assert_eq!(gs.num_vertices(), g.num_groups());
+        // Merge ops = groups − vertices-with-edges.
+        let nonzero = stats.in_degrees().iter().filter(|&&d| d > 0).count();
+        prop_assert_eq!(g.merge_ops(), g.num_groups() - nonzero);
+    }
+
+    /// Grouped imbalance obeys the dealing-model bound: every worker gets
+    /// at most `ceil(G/W)` groups of at most `group_size` edges, so the
+    /// max/mean ratio is at most `1 + group_size·(V + W)/E`. On skewed
+    /// graphs this is far below the ungrouped imbalance (see the unit
+    /// test `grouping_flattens_imbalance` for the directional claim).
+    #[test]
+    fn grouped_imbalance_is_bounded(
+        n in 16usize..512,
+        avg in 2.0f64..24.0,
+        skew in 0.0f64..1.6,
+        group_size in 4usize..64,
+    ) {
+        let stats = GraphStats::synthesize_power_law(n, avg, skew);
+        let workers = 64usize;
+        let after = NeighborGrouping::build(&stats, group_size)
+            .grouped_stats()
+            .vertex_balanced_imbalance(workers);
+        let e = stats.num_edges() as f64;
+        let bound = 1.0 + group_size as f64 * (n + workers) as f64 / e;
+        prop_assert!(after <= bound + 1e-9, "imbalance {after} exceeds bound {bound}");
+    }
+}

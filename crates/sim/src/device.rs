@@ -1,0 +1,322 @@
+use crate::{KernelEffects, KernelProfile, ThreadMapping};
+use gnnopt_graph::GraphStats;
+use serde::{Deserialize, Serialize};
+
+/// A GPU model: the handful of parameters the roofline latency model needs.
+///
+/// The two presets mirror the paper's evaluation platforms (§7.1.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// DRAM capacity in bytes.
+    pub memory_bytes: u64,
+    /// Sustained DRAM bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Peak fp32 rate in FLOP/s.
+    pub flops: f64,
+    /// Achievable fraction of peak FLOPs for irregular (graph) kernels.
+    pub graph_efficiency: f64,
+    /// Achievable fraction of peak FLOPs for dense (GEMM) kernels.
+    pub dense_efficiency: f64,
+    /// Fixed per-kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Multiplier on written bytes when a reduction uses atomics.
+    pub atomic_penalty: f64,
+    /// Number of independent thread groups used for the vertex-balanced
+    /// imbalance estimate (≈ SMs × resident warps).
+    pub thread_groups: usize,
+    /// L2 cache capacity in bytes (absorbs gather reads after reordering;
+    /// see [`KernelEffects::locality`]).
+    pub l2_bytes: u64,
+    /// Shared memory per SM in bytes (caps the resident groups of fused
+    /// kernels; see [`KernelEffects::shared_memory`]).
+    pub shared_mem_per_sm: u32,
+    /// Thread groups resident per SM at full occupancy.
+    pub resident_groups_per_sm: u32,
+}
+
+impl Device {
+    /// NVIDIA GeForce RTX 3090: 24 GB, ~936 GB/s, ~35.6 TFLOP/s fp32,
+    /// 6 MB L2, 100 KB shared memory per SM.
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX 3090".to_owned(),
+            memory_bytes: 24 * (1 << 30),
+            bandwidth: 936.0e9,
+            flops: 35.6e12,
+            graph_efficiency: 0.12,
+            dense_efficiency: 0.65,
+            launch_overhead: 4.0e-6,
+            atomic_penalty: 2.5,
+            thread_groups: 82 * 32,
+            l2_bytes: 6 << 20,
+            shared_mem_per_sm: 100 << 10,
+            resident_groups_per_sm: 32,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 2080: 8 GB, ~448 GB/s, ~10.1 TFLOP/s fp32,
+    /// 4 MB L2, 64 KB shared memory per SM.
+    pub fn rtx2080() -> Self {
+        Self {
+            name: "RTX 2080".to_owned(),
+            memory_bytes: 8 * (1 << 30),
+            bandwidth: 448.0e9,
+            flops: 10.1e12,
+            graph_efficiency: 0.12,
+            dense_efficiency: 0.65,
+            launch_overhead: 4.0e-6,
+            atomic_penalty: 2.5,
+            thread_groups: 46 * 32,
+            l2_bytes: 4 << 20,
+            shared_mem_per_sm: 64 << 10,
+            resident_groups_per_sm: 32,
+        }
+    }
+
+    /// The compute and IO halves of the roofline for one kernel, before
+    /// launch overhead: `(compute_seconds, io_seconds)`.
+    fn latency_parts(&self, profile: &KernelProfile, stats: &GraphStats) -> (f64, f64) {
+        let (eff, imbalance) = match profile.mapping {
+            ThreadMapping::Dense => (self.dense_efficiency, 1.0),
+            ThreadMapping::VertexBalanced => (
+                self.graph_efficiency,
+                // Cap the modeled slowdown: real kernels oversubscribe
+                // groups, so extreme skew saturates rather than diverges.
+                stats.vertex_balanced_imbalance(self.thread_groups).min(8.0),
+            ),
+            ThreadMapping::EdgeBalanced => (self.graph_efficiency, 1.0),
+        };
+        let compute = profile.flops as f64 / (self.flops * eff) * imbalance;
+        let write_factor = if profile.atomic_reduction {
+            self.atomic_penalty
+        } else {
+            1.0
+        };
+        let io = (profile.bytes_read as f64 + profile.bytes_written as f64 * write_factor)
+            / self.bandwidth;
+        (compute, io)
+    }
+
+    /// Roofline latency of one kernel on this device, in seconds:
+    ///
+    /// `launch + max(compute_time × imbalance, io_time × atomic_factor)`
+    ///
+    /// where `imbalance` comes from the degree distribution for
+    /// vertex-balanced kernels (idle thread groups on skewed graphs) and
+    /// `atomic_factor` inflates written bytes for edge-balanced reductions.
+    pub fn kernel_latency(&self, profile: &KernelProfile, stats: &GraphStats) -> f64 {
+        let (compute, io) = self.latency_parts(profile, stats);
+        self.launch_overhead + compute.max(io)
+    }
+
+    /// Roofline latency with second-order [`KernelEffects`] applied:
+    /// cached gather reads shrink the IO term; a shared-memory footprint
+    /// below full occupancy inflates the compute term (less latency
+    /// hiding).
+    pub fn kernel_latency_with(
+        &self,
+        profile: &KernelProfile,
+        stats: &GraphStats,
+        effects: &KernelEffects,
+    ) -> f64 {
+        let adjusted = KernelProfile {
+            bytes_read: effects.effective_read_bytes(profile.bytes_read),
+            ..*profile
+        };
+        let (compute, io) = self.latency_parts(&adjusted, stats);
+        let occ = self.occupancy(effects.smem_bytes_per_group);
+        self.launch_overhead + (compute / occ).max(io)
+    }
+
+    /// Occupancy factor in `(0, 1]` for a kernel whose thread groups each
+    /// hold `smem_bytes_per_group` bytes of shared memory: the fraction of
+    /// the full-occupancy resident-group budget that actually fits.
+    pub fn occupancy(&self, smem_bytes_per_group: u32) -> f64 {
+        if smem_bytes_per_group == 0 {
+            return 1.0;
+        }
+        let resident = (self.shared_mem_per_sm / smem_bytes_per_group)
+            .min(self.resident_groups_per_sm)
+            .max(1);
+        resident as f64 / self.resident_groups_per_sm as f64
+    }
+
+    /// True when one thread group's shared-memory footprint fits an SM at
+    /// all — if not, the fused kernel cannot launch and the planner must
+    /// tile or split it.
+    pub fn fits_shared_memory(&self, smem_bytes_per_group: u32) -> bool {
+        smem_bytes_per_group <= self.shared_mem_per_sm
+    }
+
+    /// Memory usable by tensors: 90 % of nominal capacity (CUDA context,
+    /// allocator fragmentation and framework workspace take the rest).
+    pub fn usable_memory(&self) -> u64 {
+        self.memory_bytes / 10 * 9
+    }
+
+    /// Latency of a whole kernel sequence.
+    pub fn plan_latency<'a>(
+        &self,
+        profiles: impl IntoIterator<Item = &'a KernelProfile>,
+        stats: &GraphStats,
+    ) -> f64 {
+        profiles
+            .into_iter()
+            .map(|p| self.kernel_latency(p, stats))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_stats() -> GraphStats {
+        GraphStats::synthesize_power_law(1024, 16.0, 0.0)
+    }
+
+    fn skewed_stats() -> GraphStats {
+        GraphStats::synthesize_power_law(1024, 16.0, 1.5)
+    }
+
+    fn graph_profile(mapping: ThreadMapping) -> KernelProfile {
+        KernelProfile {
+            flops: 1 << 24,
+            bytes_read: 1 << 26,
+            bytes_written: 1 << 24,
+            mapping,
+            atomic_reduction: false,
+        }
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        let (a, b) = (Device::rtx3090(), Device::rtx2080());
+        assert!(a.memory_bytes > b.memory_bytes);
+        assert!(a.bandwidth > b.bandwidth);
+        assert!(a.flops > b.flops);
+        assert!(a.l2_bytes > b.l2_bytes);
+        assert!(a.shared_mem_per_sm > b.shared_mem_per_sm);
+    }
+
+    #[test]
+    fn launch_overhead_floors_latency() {
+        let d = Device::rtx3090();
+        let p = KernelProfile::dense(0, 0, 0);
+        assert!(d.kernel_latency(&p, &uniform_stats()) >= d.launch_overhead);
+    }
+
+    #[test]
+    fn skew_slows_vertex_balanced_only() {
+        let d = Device::rtx3090();
+        // Make the kernel compute-bound so imbalance dominates.
+        let p = KernelProfile {
+            flops: 1 << 34,
+            ..graph_profile(ThreadMapping::VertexBalanced)
+        };
+        let flat = d.kernel_latency(&p, &uniform_stats());
+        let skew = d.kernel_latency(&p, &skewed_stats());
+        assert!(skew > flat * 1.2, "skew {skew} should exceed flat {flat}");
+
+        let pe = KernelProfile {
+            flops: 1 << 34,
+            ..graph_profile(ThreadMapping::EdgeBalanced)
+        };
+        let flat_e = d.kernel_latency(&pe, &uniform_stats());
+        let skew_e = d.kernel_latency(&pe, &skewed_stats());
+        assert!((flat_e - skew_e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_penalty_applies_to_writes() {
+        let d = Device::rtx3090();
+        let mut p = graph_profile(ThreadMapping::EdgeBalanced);
+        // IO-bound by construction.
+        p.bytes_written = 1 << 30;
+        let base = d.kernel_latency(&p, &uniform_stats());
+        p.atomic_reduction = true;
+        let with_atomics = d.kernel_latency(&p, &uniform_stats());
+        assert!(with_atomics > base * 1.5);
+    }
+
+    #[test]
+    fn fewer_kernels_is_cheaper_at_same_io() {
+        // Fusion removes launches: 4 kernels vs 1 with identical totals.
+        let d = Device::rtx3090();
+        let small = KernelProfile::dense(1 << 10, 1 << 12, 1 << 12);
+        let mut fused = small;
+        for _ in 0..3 {
+            fused.fuse_with(&small);
+        }
+        let stats = uniform_stats();
+        let separate: f64 = d.plan_latency([&small, &small, &small, &small], &stats);
+        let fused_t = d.kernel_latency(&fused, &stats);
+        assert!(fused_t < separate);
+    }
+
+    #[test]
+    fn neutral_effects_match_base_latency() {
+        let d = Device::rtx3090();
+        let p = graph_profile(ThreadMapping::VertexBalanced);
+        let stats = skewed_stats();
+        let base = d.kernel_latency(&p, &stats);
+        let with = d.kernel_latency_with(&p, &stats, &KernelEffects::default());
+        assert!((base - with).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cache_hits_speed_up_io_bound_kernels() {
+        let d = Device::rtx3090();
+        // IO-bound gather kernel: 1 GiB of reads, negligible compute.
+        let p = KernelProfile {
+            flops: 1 << 10,
+            bytes_read: 1 << 30,
+            bytes_written: 1 << 20,
+            mapping: ThreadMapping::VertexBalanced,
+            atomic_reduction: false,
+        };
+        let stats = uniform_stats();
+        let base = d.kernel_latency(&p, &stats);
+        let cached = d.kernel_latency_with(&p, &stats, &KernelEffects::locality(0.8, 0.9));
+        assert!(
+            cached < base * 0.5,
+            "72 % cached reads should at least halve an IO-bound kernel: {base} -> {cached}"
+        );
+    }
+
+    #[test]
+    fn occupancy_decreases_with_footprint() {
+        let d = Device::rtx3090();
+        assert_eq!(d.occupancy(0), 1.0);
+        let small = d.occupancy(1 << 10);
+        let large = d.occupancy(32 << 10);
+        assert!(small >= large);
+        assert!(large > 0.0);
+        assert!(d.fits_shared_memory(d.shared_mem_per_sm));
+        assert!(!d.fits_shared_memory(d.shared_mem_per_sm + 1));
+    }
+
+    #[test]
+    fn shared_memory_pressure_slows_compute_bound_kernels() {
+        let d = Device::rtx2080();
+        // Compute-bound fused kernel.
+        let p = KernelProfile {
+            flops: 1 << 36,
+            bytes_read: 1 << 20,
+            bytes_written: 1 << 20,
+            mapping: ThreadMapping::VertexBalanced,
+            atomic_reduction: false,
+        };
+        let stats = uniform_stats();
+        let free = d.kernel_latency_with(&p, &stats, &KernelEffects::default());
+        // 16 KB per group on a 64 KB SM → 4 resident groups of 32.
+        let pressured =
+            d.kernel_latency_with(&p, &stats, &KernelEffects::shared_memory(16 << 10));
+        assert!(
+            pressured > free * 4.0,
+            "occupancy 4/32 should slow compute ≥ 4×: {free} -> {pressured}"
+        );
+    }
+}

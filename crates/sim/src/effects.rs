@@ -1,0 +1,109 @@
+//! Second-order kernel effects: cache locality and shared-memory
+//! occupancy.
+//!
+//! The baseline roofline in [`crate::Device::kernel_latency`] charges
+//! every gather read to DRAM and assumes full occupancy. Two effects the
+//! paper discusses qualitatively are modeled here quantitatively:
+//!
+//! * **Gather locality** (§8, GNNAdvisor/Rabbit-order related work): after
+//!   vertex reordering, consecutive edges read nearby feature rows, and a
+//!   fraction of gather reads hit in L2 instead of DRAM. The hit rate
+//!   comes from `gnnopt-reorder`'s exact LRU model.
+//! * **Shared-memory occupancy** (§7.3: "we use shared memory to perform
+//!   operator fusion, which introduces extra overhead"): a fused
+//!   vertex-balanced kernel buffers per-group intermediates in shared
+//!   memory; large footprints cap the number of resident groups per SM
+//!   and shrink the latency-hiding head-room.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable effects applied on top of the base roofline model by
+/// [`crate::Device::kernel_latency_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelEffects {
+    /// L2 hit rate of the kernel's gather reads, in `[0, 1]`.
+    pub gather_hit_rate: f64,
+    /// Fraction of `bytes_read` that are gather (feature-row) reads, in
+    /// `[0, 1]`. Topology index reads and dense operands always go to
+    /// DRAM.
+    pub gather_read_fraction: f64,
+    /// Shared-memory footprint per resident thread group, in bytes
+    /// (0 = the kernel buffers nothing).
+    pub smem_bytes_per_group: u32,
+}
+
+impl Default for KernelEffects {
+    fn default() -> Self {
+        Self {
+            gather_hit_rate: 0.0,
+            gather_read_fraction: 0.0,
+            smem_bytes_per_group: 0,
+        }
+    }
+}
+
+impl KernelEffects {
+    /// Effects of a reordered gather: `hit_rate` of the reads covered by
+    /// `fraction` are served from L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument lies outside `[0, 1]`.
+    pub fn locality(hit_rate: f64, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&hit_rate) && (0.0..=1.0).contains(&fraction),
+            "hit rate and fraction must lie in [0, 1]"
+        );
+        Self {
+            gather_hit_rate: hit_rate,
+            gather_read_fraction: fraction,
+            ..Self::default()
+        }
+    }
+
+    /// Effects of a fused kernel buffering `bytes` of shared memory per
+    /// thread group.
+    pub fn shared_memory(bytes: u32) -> Self {
+        Self {
+            smem_bytes_per_group: bytes,
+            ..Self::default()
+        }
+    }
+
+    /// DRAM read bytes remaining after the cache absorbs its share.
+    pub fn effective_read_bytes(&self, bytes_read: u64) -> u64 {
+        let dram_fraction = 1.0 - self.gather_hit_rate * self.gather_read_fraction;
+        (bytes_read as f64 * dram_fraction).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_neutral() {
+        let e = KernelEffects::default();
+        assert_eq!(e.effective_read_bytes(1 << 20), 1 << 20);
+        assert_eq!(e.smem_bytes_per_group, 0);
+    }
+
+    #[test]
+    fn locality_shrinks_reads_proportionally() {
+        let e = KernelEffects::locality(0.5, 0.8);
+        // 40 % of reads cached → 60 % remain.
+        assert_eq!(e.effective_read_bytes(1000), 600);
+    }
+
+    #[test]
+    fn perfect_cache_on_all_reads_removes_them() {
+        let e = KernelEffects::locality(1.0, 1.0);
+        assert_eq!(e.effective_read_bytes(12345), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn rejects_out_of_range_hit_rate() {
+        let _ = KernelEffects::locality(1.5, 0.5);
+    }
+}

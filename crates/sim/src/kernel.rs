@@ -1,0 +1,135 @@
+use serde::{Deserialize, Serialize};
+
+/// The thread-mapping scheme of a (possibly fused) graph kernel — the
+/// central lever of the paper's §5.
+///
+/// * `VertexBalanced` binds one thread group per destination (or source)
+///   vertex; reductions stay inside the group (no atomics) but skewed
+///   degree distributions leave groups idle.
+/// * `EdgeBalanced` binds threads to edges; work is perfectly balanced but
+///   vertex-space reductions require cross-thread atomics.
+/// * `Dense` marks kernels with no graph indirection (e.g. linear
+///   projections lowered to GEMM), which are modeled at full efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadMapping {
+    /// One thread group per vertex; sequential in-group reduction.
+    VertexBalanced,
+    /// One thread (group) per edge; reductions via atomics.
+    EdgeBalanced,
+    /// Dense tensor kernel (GEMM/elementwise on contiguous data).
+    Dense,
+}
+
+impl ThreadMapping {
+    /// True for mappings that iterate graph structure.
+    pub fn is_graph(self) -> bool {
+        !matches!(self, ThreadMapping::Dense)
+    }
+}
+
+/// Resource profile of one launched kernel, produced by the planner's cost
+/// model and consumed by [`crate::Device::kernel_latency`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Bytes read from DRAM (external inputs + graph topology).
+    pub bytes_read: u64,
+    /// Bytes written to DRAM (external outputs + stashed auxiliaries).
+    pub bytes_written: u64,
+    /// Thread mapping chosen for the kernel.
+    pub mapping: ThreadMapping,
+    /// True when a vertex-space reduction runs under [`ThreadMapping::EdgeBalanced`]
+    /// and therefore pays the atomic penalty on its written bytes.
+    pub atomic_reduction: bool,
+}
+
+impl KernelProfile {
+    /// A dense kernel profile (no graph indirection, no atomics).
+    pub fn dense(flops: u64, bytes_read: u64, bytes_written: u64) -> Self {
+        Self {
+            flops,
+            bytes_read,
+            bytes_written,
+            mapping: ThreadMapping::Dense,
+            atomic_reduction: false,
+        }
+    }
+
+    /// Total DRAM traffic.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Merges another profile into this one, as kernel fusion does: FLOPs
+    /// add, IO adds (the *caller* is responsible for having already removed
+    /// internalized tensors from the operands' IO), mapping must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mappings disagree — fusing kernels with diverged
+    /// thread mappings is exactly what the paper shows to be impossible.
+    pub fn fuse_with(&mut self, other: &KernelProfile) {
+        assert_eq!(
+            self.mapping, other.mapping,
+            "cannot fuse kernels with diverged thread mappings"
+        );
+        self.flops += other.flops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.atomic_reduction |= other.atomic_reduction;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_profile_defaults() {
+        let p = KernelProfile::dense(100, 64, 32);
+        assert_eq!(p.mapping, ThreadMapping::Dense);
+        assert!(!p.atomic_reduction);
+        assert_eq!(p.bytes_total(), 96);
+    }
+
+    #[test]
+    fn fuse_adds_resources() {
+        let mut a = KernelProfile {
+            flops: 10,
+            bytes_read: 100,
+            bytes_written: 50,
+            mapping: ThreadMapping::VertexBalanced,
+            atomic_reduction: false,
+        };
+        let b = KernelProfile {
+            flops: 5,
+            bytes_read: 10,
+            bytes_written: 5,
+            mapping: ThreadMapping::VertexBalanced,
+            atomic_reduction: true,
+        };
+        a.fuse_with(&b);
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.bytes_total(), 165);
+        assert!(a.atomic_reduction);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged thread mappings")]
+    fn fuse_rejects_mismatched_mapping() {
+        let mut a = KernelProfile::dense(1, 1, 1);
+        let b = KernelProfile {
+            mapping: ThreadMapping::EdgeBalanced,
+            ..KernelProfile::dense(1, 1, 1)
+        };
+        a.fuse_with(&b);
+    }
+
+    #[test]
+    fn graph_mapping_predicate() {
+        assert!(ThreadMapping::VertexBalanced.is_graph());
+        assert!(ThreadMapping::EdgeBalanced.is_graph());
+        assert!(!ThreadMapping::Dense.is_graph());
+    }
+}

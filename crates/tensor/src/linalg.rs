@@ -1,0 +1,226 @@
+//! Matrix multiplication and transposition.
+//!
+//! `matmul` parallelizes over row blocks with `crossbeam::scope` when the
+//! problem is large enough to amortize thread spawning; the kernel itself is
+//! a cache-friendly ikj loop.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Below this many multiply-adds, `matmul` stays single-threaded.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Dense matrix product `self[m,k] × other[k,n] → [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self.cols() ==
+    /// other.rows()`.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let work = m * k * n;
+        let threads = available_threads();
+        if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+            matmul_block(self.as_slice(), other.as_slice(), out.as_mut_slice(), k, n);
+            return Ok(out);
+        }
+        let rows_per = m.div_ceil(threads);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let chunks: Vec<&mut [f32]> = out.as_mut_slice().chunks_mut(rows_per * n).collect();
+        crossbeam::scope(|s| {
+            for (ci, chunk) in chunks.into_iter().enumerate() {
+                let a_off = ci * rows_per * k;
+                let a_part = &a[a_off..(a_off + (chunk.len() / n) * k)];
+                s.spawn(move |_| matmul_block(a_part, b, chunk, k, n));
+            }
+        })
+        .expect("matmul worker panicked");
+        Ok(out)
+    }
+
+    /// Matrix product with the left operand transposed:
+    /// `selfᵀ[k,m] × other[k,n] → [m,n]` where `self` is `[k,m]`… i.e.
+    /// computes `Aᵀ B` for `A = self[k,m]`, `B = other[k,n]`.
+    ///
+    /// Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless row counts match.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let o = out.as_mut_slice();
+        for kk in 0..k {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * n..(i + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product with the right operand transposed:
+    /// `self[m,k] × otherᵀ[k,n] → [m,n]` for `other = [n,k]`.
+    ///
+    /// Used for input gradients (`∂L/∂X = ∂L/∂Y · Wᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless inner dims match.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            for (j, ov) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *ov = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposes a 2-D tensor.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                let v = self.at(i, j);
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let c = a.matmul(&Tensor::eye(2)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let b = Tensor::from_rows(&[&[4.0], &[5.0], &[6.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[32.0]);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let b = Tensor::from_rows(&[&[1.0], &[0.5], &[-1.0]]).unwrap();
+        let via_tn = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        assert!(via_tn.allclose(&explicit));
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Tensor::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[0.0, 3.0]]).unwrap();
+        let via_nt = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert!(via_nt.allclose(&explicit));
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Force the parallel path with a matrix big enough to cross the
+        // threshold, then compare against the serial kernel on a slice.
+        let m = 256;
+        let k = 64;
+        let n = 128;
+        let a = Tensor::from_fn(&[m, k], |i| ((i % 13) as f32) - 6.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i % 7) as f32) * 0.25);
+        let par = a.matmul(&b).unwrap();
+        let mut serial = Tensor::zeros(&[m, n]);
+        matmul_block(a.as_slice(), b.as_slice(), serial.as_mut_slice(), k, n);
+        assert!(par.allclose(&serial));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn(&[3, 5], |i| i as f32);
+        assert_eq!(a.transpose().transpose().as_slice(), a.as_slice());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the tensor substrate.
+
+use gnnopt_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::new(&[r, c], data).expect("shape matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        seed in 0u64..1000,
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+    ) {
+        let gen = |s: u64, rows: usize, cols: usize| {
+            Tensor::from_fn(&[rows, cols], |i| (((i as u64 + s) * 2654435761 % 97) as f32 - 48.0) / 16.0)
+        };
+        let a = gen(seed, m, k);
+        let b = gen(seed + 1, k, n);
+        let c = gen(seed + 2, k, n);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.allclose_with(&rhs, 1e-3, 1e-3), "diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn transpose_is_involution(t in small_matrix(8)) {
+        let round_trip = t.transpose().transpose();
+        prop_assert_eq!(round_trip.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6,
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let gen = |s: u64, rows: usize, cols: usize| {
+            Tensor::from_fn(&[rows, cols], |i| (((i as u64 + s) * 40503 % 89) as f32 - 44.0) / 8.0)
+        };
+        let a = gen(seed, m, k);
+        let b = gen(seed + 7, k, n);
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.allclose_with(&rhs, 1e-2, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_matrix(8)) {
+        let s = t.softmax_rows().unwrap();
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip(t in small_matrix(8)) {
+        let z = t.add(&t).unwrap().sub(&t).unwrap();
+        prop_assert!(z.allclose_with(&t, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn select_rows_matches_manual(t in small_matrix(6), idx in proptest::collection::vec(0usize..6, 1..8)) {
+        let valid: Vec<usize> = idx.into_iter().filter(|&i| i < t.rows()).collect();
+        prop_assume!(!valid.is_empty());
+        let sel = t.select_rows(&valid).unwrap();
+        for (out_row, &src) in valid.iter().enumerate() {
+            prop_assert_eq!(sel.row(out_row), t.row(src));
+        }
+    }
+
+    #[test]
+    fn scalar_broadcast_equals_map(t in small_matrix(8), s in -4.0f32..4.0) {
+        let via_broadcast = t.mul(&Tensor::from_vec(vec![s])).unwrap();
+        let via_map = t.scale(s);
+        prop_assert!(via_broadcast.allclose(&via_map));
+    }
+
+    #[test]
+    fn max_cols_is_max(t in small_matrix(8)) {
+        let (vals, idx) = t.max_cols().unwrap();
+        for i in 0..t.rows() {
+            let row = t.row(i);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(vals.at(i, 0), m);
+            prop_assert_eq!(row[idx[i]], m);
+        }
+    }
+}

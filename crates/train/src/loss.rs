@@ -1,0 +1,209 @@
+//! Classification loss and metrics.
+
+use gnnopt_tensor::Tensor;
+
+/// Mean softmax cross-entropy over rows, with the gradient w.r.t. the
+/// logits — the seed of the backward pass.
+///
+/// Returns `(loss, grad)` where `grad[i, c] = (softmax(x_i)[c] − 1[c ==
+/// label_i]) / N`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row");
+    let n = logits.rows().max(1) as f32;
+    let probs = logits
+        .softmax_rows()
+        .expect("logits must have at least one class column");
+    let mut grad = probs.clone();
+    let mut loss = 0.0;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        loss -= probs.at(i, label).max(1e-12).ln();
+        let row = grad.row_mut(i);
+        row[label] -= 1.0;
+        for x in row.iter_mut() {
+            *x /= n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(labels.len(), logits.rows());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let pred = logits.argmax_cols().expect("at least one class column");
+    let hits = pred
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Tensor::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_ln_c() {
+        let logits = Tensor::zeros(&[4, 3]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 0]);
+        assert!((loss - 3.0f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..4 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_rows(&[&[0.5, -0.2, 0.1], &[-0.3, 0.8, 0.0]]).unwrap();
+        let labels = [2usize, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let h = 1e-3;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.at(r, c) + h);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.at(r, c) - h);
+                let (fp, _) = softmax_cross_entropy(&lp, &labels);
+                let (fm, _) = softmax_cross_entropy(&lm, &labels);
+                let num = (fp - fm) / (2.0 * h);
+                assert!(
+                    (num - grad.at(r, c)).abs() < 1e-3,
+                    "[{r},{c}]: {num} vs {}",
+                    grad.at(r, c)
+                );
+            }
+        }
+    }
+}
+
+/// Masked variant of [`softmax_cross_entropy`]: only rows with
+/// `mask[i] == true` contribute to the loss and receive gradient — the
+/// standard semi-supervised node-classification setting (train on the
+/// labeled subset, evaluate on the rest).
+///
+/// Returns `(loss, grad)` normalized by the number of masked rows; a
+/// fully-false mask yields zero loss and zero gradient.
+///
+/// # Panics
+///
+/// Panics if `labels` or `mask` length differs from the row count, or a
+/// masked label is out of range.
+pub fn softmax_cross_entropy_masked(
+    logits: &Tensor,
+    labels: &[usize],
+    mask: &[bool],
+) -> (f32, Tensor) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row");
+    assert_eq!(mask.len(), logits.rows(), "one mask bit per row");
+    let n = mask.iter().filter(|&&m| m).count();
+    let mut grad = Tensor::zeros(logits.shape());
+    if n == 0 {
+        return (0.0, grad);
+    }
+    let probs = logits
+        .softmax_rows()
+        .expect("logits must have at least one class column");
+    let mut loss = 0.0;
+    for (i, (&label, &m)) in labels.iter().zip(mask).enumerate() {
+        if !m {
+            continue;
+        }
+        assert!(label < logits.cols(), "label {label} out of range");
+        loss -= probs.at(i, label).max(1e-12).ln();
+        let row = grad.row_mut(i);
+        row.copy_from_slice(probs.row(i));
+        row[label] -= 1.0;
+        for x in row.iter_mut() {
+            *x /= n as f32;
+        }
+    }
+    (loss / n as f32, grad)
+}
+
+/// Accuracy over the masked rows only (0 when the mask is empty).
+///
+/// # Panics
+///
+/// Panics if `labels` or `mask` length differs from the row count.
+pub fn accuracy_masked(logits: &Tensor, labels: &[usize], mask: &[bool]) -> f32 {
+    assert_eq!(labels.len(), logits.rows());
+    assert_eq!(mask.len(), logits.rows());
+    let pred = logits.argmax_cols().expect("at least one class column");
+    let (mut hits, mut total) = (0usize, 0usize);
+    for ((p, l), &m) in pred.iter().zip(labels).zip(mask) {
+        if m {
+            total += 1;
+            hits += usize::from(p == l);
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod masked_tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_matches_unmasked() {
+        let logits = Tensor::from_rows(&[&[0.5, -0.2], &[-0.3, 0.8]]).unwrap();
+        let labels = [0usize, 1];
+        let (l1, g1) = softmax_cross_entropy(&logits, &labels);
+        let (l2, g2) = softmax_cross_entropy_masked(&logits, &labels, &[true, true]);
+        assert!((l1 - l2).abs() < 1e-6);
+        assert!(g1.allclose(&g2));
+    }
+
+    #[test]
+    fn unmasked_rows_get_zero_gradient() {
+        let logits = Tensor::from_rows(&[&[0.5, -0.2], &[-0.3, 0.8]]).unwrap();
+        let (_, g) = softmax_cross_entropy_masked(&logits, &[0, 1], &[true, false]);
+        assert!(g.row(1).iter().all(|&x| x == 0.0));
+        assert!(g.row(0).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn empty_mask_is_zero() {
+        let logits = Tensor::zeros(&[3, 2]);
+        let (l, g) = softmax_cross_entropy_masked(&logits, &[0, 1, 0], &[false; 3]);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(accuracy_masked(&logits, &[0, 1, 0], &[false; 3]), 0.0);
+    }
+
+    #[test]
+    fn masked_accuracy_counts_subset() {
+        let logits = Tensor::from_rows(&[&[5.0, 0.0], &[5.0, 0.0], &[0.0, 5.0]]).unwrap();
+        let labels = [0usize, 1, 1];
+        // Overall: 2/3; over mask {0, 2}: 2/2.
+        assert!((accuracy(&logits, &labels) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy_masked(&logits, &labels, &[true, false, true]), 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Classification metrics beyond plain accuracy.
+
+use gnnopt_tensor::Tensor;
+
+/// A `C × C` confusion matrix: `m[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from logits and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()` or a label is out of
+    /// range for the logit columns.
+    pub fn from_logits(logits: &Tensor, labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), logits.rows(), "one label per row");
+        let c = logits.cols();
+        let mut counts = vec![vec![0usize; c]; c];
+        let preds = logits.argmax_cols().expect("at least one class column");
+        for (&pred, &actual) in preds.iter().zip(labels) {
+            assert!(actual < c, "label {actual} out of range");
+            counts[actual][pred] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of rows with `actual` label predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.num_classes()).map(|i| self.counts[i][i]).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Precision of one class: `tp / (tp + fp)` (0 when undefined).
+    pub fn precision(&self, class: usize) -> f32 {
+        let tp = self.counts[class][class];
+        let predicted: usize = (0..self.num_classes()).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f32 / predicted as f32
+        }
+    }
+
+    /// Recall of one class: `tp / (tp + fn)` (0 when undefined).
+    pub fn recall(&self, class: usize) -> f32 {
+        let tp = self.counts[class][class];
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f32 / actual as f32
+        }
+    }
+
+    /// F1 of one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f32 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over classes.
+    pub fn macro_f1(&self) -> f32 {
+        let c = self.num_classes();
+        if c == 0 {
+            return 0.0;
+        }
+        (0..c).map(|i| self.f1(i)).sum::<f32>() / c as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_for(preds: &[usize], classes: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[preds.len(), classes]);
+        for (i, &p) in preds.iter().enumerate() {
+            t.set(i, p, 5.0);
+        }
+        t
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let labels = [0usize, 1, 2, 1];
+        let m = ConfusionMatrix::from_logits(&logits_for(&labels, 3), &labels);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        for c in 0..3 {
+            assert_eq!(m.precision(c), 1.0);
+            assert_eq!(m.recall(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn counts_land_in_cells() {
+        // actual 0 predicted 1, actual 1 predicted 1.
+        let m = ConfusionMatrix::from_logits(&logits_for(&[1, 1], 2), &[0, 1]);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.count(0, 0), 0);
+        assert_eq!(m.accuracy(), 0.5);
+        // Class 1: tp=1, fp=1, fn=0 → precision .5, recall 1.
+        assert_eq!(m.precision(1), 0.5);
+        assert_eq!(m.recall(1), 1.0);
+        // Class 0: tp=0 → f1 = 0.
+        assert_eq!(m.f1(0), 0.0);
+        let expected_f1_1 = 2.0 * 0.5 * 1.0 / 1.5;
+        assert!((m.macro_f1() - expected_f1_1 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absent_class_scores_zero_not_nan() {
+        // Class 2 never appears and is never predicted.
+        let m = ConfusionMatrix::from_logits(&logits_for(&[0, 1], 3), &[0, 1]);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+        assert!(m.macro_f1().is_finite());
+    }
+}

@@ -1,0 +1,193 @@
+//! Learning-rate schedules and early stopping.
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+pub trait LrSchedule {
+    /// Learning rate to use for `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// A fixed learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Multiplies the rate by `gamma` every `every` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Decay multiplier.
+    pub gamma: f32,
+    /// Epochs between decays.
+    pub every: usize,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        self.base * self.gamma.powi((epoch / self.every.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from `base` to `min` over `total` epochs, then `min`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineAnnealing {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Final learning rate.
+    pub min: f32,
+    /// Annealing horizon in epochs.
+    pub total: usize,
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        if self.total == 0 || epoch >= self.total {
+            return self.min;
+        }
+        let progress = epoch as f32 / self.total as f32;
+        self.min
+            + 0.5 * (self.base - self.min) * (1.0 + (std::f32::consts::PI * progress).cos())
+    }
+}
+
+/// Linear warmup over the first `warmup` epochs, then the inner schedule
+/// (queried with the post-warmup epoch index).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Warmup<S> {
+    /// Schedule after warmup.
+    pub inner: S,
+    /// Warmup length in epochs.
+    pub warmup: usize,
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup {
+            let target = self.inner.lr_at(0);
+            target * (epoch + 1) as f32 / self.warmup as f32
+        } else {
+            self.inner.lr_at(epoch - self.warmup)
+        }
+    }
+}
+
+/// Early stopping on a monitored loss: stops when the loss has not
+/// improved by at least `min_delta` for `patience` consecutive checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopping {
+    /// Checks without improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum decrease that counts as improvement.
+    pub min_delta: f32,
+    best: f32,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    /// A stopper with the given patience and delta.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f32::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Records a new loss; returns `true` when training should stop.
+    pub fn should_stop(&mut self, loss: f32) -> bool {
+        if loss < self.best - self.min_delta {
+            self.best = loss;
+            self.stale = 0;
+            false
+        } else {
+            self.stale += 1;
+            self.stale > self.patience
+        }
+    }
+
+    /// Best loss observed so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.1);
+        assert_eq!(s.lr_at(0), s.lr_at(1000));
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = StepDecay {
+            base: 1.0,
+            gamma: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotonicity() {
+        let s = CosineAnnealing {
+            base: 1.0,
+            min: 0.1,
+            total: 100,
+        };
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(50) - 0.55).abs() < 1e-6);
+        // Monotone decreasing over the horizon.
+        let mut prev = f32::INFINITY;
+        for e in 0..=100 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev + 1e-6);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = Warmup {
+            inner: ConstantLr(0.8),
+            warmup: 4,
+        };
+        assert!((s.lr_at(0) - 0.2).abs() < 1e-6);
+        assert!((s.lr_at(1) - 0.4).abs() < 1e-6);
+        assert!((s.lr_at(3) - 0.8).abs() < 1e-6);
+        assert_eq!(s.lr_at(10), 0.8);
+    }
+
+    #[test]
+    fn early_stopping_fires_after_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.should_stop(1.0));
+        assert!(!es.should_stop(0.9)); // improvement
+        assert!(!es.should_stop(0.95)); // stale 1
+        assert!(!es.should_stop(0.91)); // stale 2
+        assert!(es.should_stop(0.92)); // stale 3 > patience
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let mut es = EarlyStopping::new(0, 0.1);
+        assert!(!es.should_stop(1.0));
+        // 0.95 improves by < 0.1 → counts as stale → stops immediately
+        // with patience 0.
+        assert!(es.should_stop(0.95));
+    }
+}

@@ -1,0 +1,58 @@
+//! EdgeConv on synthetic point clouds: build a kNN graph from a batch of
+//! parametric shapes (the ModelNet40 stand-in), train a 2-layer EdgeConv
+//! to classify every point's parent cloud — the workload of the paper's
+//! EdgeConv experiments, end to end.
+//!
+//! Run with `cargo run --release --example point_cloud`.
+
+use gnnopt::core::{compile, CompileOptions};
+use gnnopt::graph::knn::PointCloud;
+use gnnopt::models::{edgeconv, EdgeConvConfig};
+use gnnopt::train::{Adam, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 8 clouds × 128 points, kNN with k = 8.
+    let clouds = PointCloud::synthetic(8, 128, 11);
+    let graph = clouds.knn_graph(8);
+    println!(
+        "point-cloud batch: {} points, kNN graph with {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Classify each point into one of 8 shape families (coarsened from
+    // the 40 classes so the tiny model converges quickly on CPU).
+    let classes = 8;
+    let labels: Vec<usize> = (0..graph.num_vertices())
+        .map(|p| clouds.labels()[p / clouds.points_per_cloud()] % classes)
+        .collect();
+
+    let spec = edgeconv(&EdgeConvConfig {
+        in_dim: 3,
+        layer_dims: vec![32, classes],
+    })?;
+    let compiled = compile(&spec.ir, true, &CompileOptions::ours())?;
+    println!(
+        "compiled with {} kernels ({} reorganization rewrites)",
+        compiled.plan.kernels.len(),
+        compiled.reorg.rewrites
+    );
+
+    let mut values = spec.init_values(&graph, 5);
+    // Real coordinates as input features.
+    values.insert("h".into(), clouds.points().clone());
+
+    let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
+    let mut trainer = Trainer::new(&compiled.plan, &graph, values, params, Adam::new(0.02));
+    for epoch in 0..30 {
+        let report = trainer.step(&labels)?;
+        if epoch % 5 == 0 || epoch == 29 {
+            println!(
+                "epoch {epoch:>3}: loss {:.4}, point accuracy {:.1}%",
+                report.loss,
+                report.accuracy * 100.0
+            );
+        }
+    }
+    Ok(())
+}

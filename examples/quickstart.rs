@@ -1,0 +1,67 @@
+//! Quickstart: build a GAT, compile it with the paper's three
+//! optimizations, execute it, and compare against the DGL-style baseline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use gnnopt::core::{compile, CompileOptions, Preset};
+use gnnopt::exec::{Bindings, Session};
+use gnnopt::graph::{generators, Graph};
+use gnnopt::models::{gat, GatConfig};
+use gnnopt::sim::Device;
+use gnnopt::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic power-law graph standing in for a citation network.
+    let graph = Graph::from_edge_list(&generators::rmat(12, 16, 0.57, 0.19, 0.19, 7));
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // A 2-layer multi-head GAT in its *naive* formulation — concatenate
+    // endpoint features on every edge, then apply the attention projection
+    // per edge (the §4 redundancy the compiler must eliminate).
+    let spec = gat(&GatConfig {
+        in_dim: 32,
+        layers: vec![(4, 16), (1, 7)],
+        negative_slope: 0.2,
+        reorganized: false,
+    })?;
+    let values = spec.init_values(&graph, 42);
+    let mut bindings = Bindings::new();
+    for (name, tensor) in &values {
+        bindings.insert(name, tensor.clone());
+    }
+
+    let device = Device::rtx3090();
+    let stats = graph.stats();
+
+    for preset in [Preset::Dgl, Preset::Ours] {
+        let compiled = compile(&spec.ir, true, &CompileOptions::preset(preset))?;
+        let mut session = Session::new(&compiled.plan, &graph)?;
+        let outputs = session.forward(&bindings)?;
+        let grads = session.backward(Tensor::ones(outputs[0].shape()))?;
+        let sim = compiled.plan.exec_stats(&device, &stats);
+        println!(
+            "\n{preset:?}: {} kernels, {} reorganization rewrites",
+            compiled.plan.kernels.len(),
+            compiled.reorg.rewrites
+        );
+        println!(
+            "  simulated on {}: latency {:.3} ms, DRAM traffic {:.1} MiB, peak memory {:.1} MiB",
+            device.name,
+            sim.latency * 1e3,
+            sim.total_io() as f64 / (1 << 20) as f64,
+            sim.peak_memory as f64 / (1 << 20) as f64,
+        );
+        println!(
+            "  executed on CPU: forward {:.1} ms, backward {:.1} ms, {} parameter gradients",
+            session.stats().forward_seconds * 1e3,
+            session.stats().backward_seconds * 1e3,
+            grads.len()
+        );
+        println!("  output[0][..4] = {:?}", &outputs[0].as_slice()[..4]);
+    }
+    Ok(())
+}

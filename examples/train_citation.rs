@@ -1,0 +1,73 @@
+//! Train a GCN on a synthetic citation network (Cora-profile graph) and
+//! watch the loss fall — the full forward/loss/backward/update loop
+//! running on the optimized execution plan.
+//!
+//! Run with `cargo run --release --example train_citation`.
+
+use gnnopt::core::{compile, CompileOptions};
+use gnnopt::graph::datasets;
+use gnnopt::models::{gcn, GcnConfig};
+use gnnopt::tensor::Tensor;
+use gnnopt::train::{Adam, Trainer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = datasets::cora();
+    let graph = ds.build_graph(1);
+    println!(
+        "{}-profile graph: {} vertices, {} edges, {} classes",
+        ds.name,
+        graph.num_vertices(),
+        graph.num_edges(),
+        ds.num_classes
+    );
+
+    // 2-layer GCN with a small input width (the synthetic features are
+    // random; the published 1433-dim features would train identically but
+    // slower on CPU).
+    let spec = gcn(&GcnConfig::two_layer(64, 32, ds.num_classes))?;
+    let compiled = compile(&spec.ir, true, &CompileOptions::ours())?;
+
+    let mut values = spec.init_values(&graph, 7);
+    // Symmetric-normalization edge weights 1/deg(dst).
+    let weights: Vec<f32> = (0..graph.num_edges())
+        .map(|e| 1.0 / graph.in_degree(graph.dst(e)).max(1) as f32)
+        .collect();
+    values.insert(
+        "edge_weight".into(),
+        Tensor::new(&[graph.num_edges(), 1], weights)?,
+    );
+
+    // Community-correlated labels: vertices inherit their class from a
+    // hash of their highest-degree in-neighbour, so the task is learnable.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let labels: Vec<usize> = (0..graph.num_vertices())
+        .map(|v| {
+            let hub = graph
+                .in_adj()
+                .neighbors(v)
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(v as u32) as usize;
+            (hub + rng.gen_range(0..2)) % ds.num_classes
+        })
+        .collect();
+
+    let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
+    let mut trainer = Trainer::new(&compiled.plan, &graph, values, params, Adam::new(0.01));
+    for epoch in 0..40 {
+        let report = trainer.step(&labels)?;
+        if epoch % 5 == 0 {
+            println!(
+                "epoch {epoch:>3}: loss {:.4}, accuracy {:.1}%  (fwd {:.1} ms, bwd {:.1} ms)",
+                report.loss,
+                report.accuracy * 100.0,
+                report.run.forward_seconds * 1e3,
+                report.run.backward_seconds * 1e3,
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! `gnnopt-inspect` — the compiler's introspection CLI.
+//!
+//! Builds a named model, compiles it under a named preset, and dumps any
+//! of: the (rewritten) IR, the kernel plan with stash/recompute decisions,
+//! a Graphviz rendering, the analytical per-kernel timeline on a device,
+//! or a JSON trace. The tool a downstream user reaches for first when a
+//! plan does something unexpected.
+//!
+//! ```text
+//! cargo run --release --bin gnnopt-inspect -- gat ours plan
+//! cargo run --release --bin gnnopt-inspect -- edgeconv dgl dot > plan.dot
+//! cargo run --release --bin gnnopt-inspect -- monet ours timeline --device 2080
+//! ```
+
+use gnnopt::core::{compile, display, CompileOptions, Phase, Preset};
+use gnnopt::graph::datasets;
+use gnnopt::models::*;
+use gnnopt::sim::{Device, Timeline, TracePhase};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: gnnopt-inspect <model> <preset> <view> [--device 3090|2080] [--inference]
+  model:  gat | gatv2 | edgeconv | monet | gcn | sage | gin | appnp
+  preset: dgl | fusegnn | ours
+  view:   ir | plan | dot | timeline | json";
+
+fn model_ir(name: &str) -> Option<ModelSpec> {
+    let spec = match name {
+        "gat" => gat(&GatConfig::ablation(64)),
+        "gatv2" => gatv2(&Gatv2Config::ablation(64)),
+        "edgeconv" => edgeconv(&EdgeConvConfig::ablation()),
+        "monet" => monet(&MonetConfig {
+            in_dim: 16,
+            layer_dims: vec![16],
+            kernels: 2,
+            pseudo_dim: 1,
+        }),
+        "gcn" => gcn(&GcnConfig::two_layer(64, 32, 7)),
+        "sage" => sage(&SageConfig {
+            in_dim: 64,
+            layer_dims: vec![32, 7],
+        }),
+        "gin" => gin(&GinConfig {
+            in_dim: 64,
+            layer_dims: vec![32, 7],
+            epsilon: 0.1,
+        }),
+        "appnp" => appnp(&AppnpConfig::standard(64, 32, 7)),
+        _ => return None,
+    };
+    Some(spec.expect("model builders are infallible for valid configs"))
+}
+
+fn preset_of(name: &str) -> Option<Preset> {
+    Some(match name {
+        "dgl" => Preset::Dgl,
+        "fusegnn" => Preset::FuseGnn,
+        "ours" => Preset::Ours,
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let (model_name, preset_name, view) = (&args[0], &args[1], &args[2]);
+    let device = if args.iter().any(|a| a == "2080") {
+        Device::rtx2080()
+    } else {
+        Device::rtx3090()
+    };
+    let training = !args.iter().any(|a| a == "--inference");
+
+    let Some(spec) = model_ir(model_name) else {
+        eprintln!("unknown model '{model_name}'\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(preset) = preset_of(preset_name) else {
+        eprintln!("unknown preset '{preset_name}'\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let compiled = match compile(&spec.ir, training, &CompileOptions::preset(preset)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = datasets::reddit().full_scale_stats();
+
+    match view.as_str() {
+        "ir" => print!("{}", display::dump_ir(&compiled.plan.ir)),
+        "plan" => {
+            print!("{}", display::dump_plan(&compiled.plan));
+            println!(
+                "\nreorganization rewrites: {}; stash: {} tensors; aux stash: {}",
+                compiled.reorg.rewrites,
+                compiled.plan.stash.len(),
+                compiled.plan.aux_stash.len()
+            );
+        }
+        "dot" => print!("{}", display::to_dot(&compiled.plan.ir, Some(&compiled.plan))),
+        "timeline" | "json" => {
+            let mut timeline = Timeline::new();
+            let profiles = compiled.plan.profiles(&stats);
+            for (kernel, profile) in compiled.plan.kernels.iter().zip(&profiles) {
+                let phase = if compiled.plan.ir.node(kernel.nodes[0]).phase == Phase::Forward {
+                    TracePhase::Forward
+                } else {
+                    TracePhase::Backward
+                };
+                let name = kernel
+                    .nodes
+                    .iter()
+                    .map(|&n| compiled.plan.ir.node(n).name.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+");
+                timeline.record(name, phase, *profile, device.kernel_latency(profile, &stats));
+            }
+            if view == "json" {
+                println!("{}", timeline.to_json().expect("trace serializes"));
+            } else {
+                println!("# {} / {} on {} (Reddit full-scale stats)", model_name, preset_name, device.name);
+                println!("{timeline}");
+                for phase in [TracePhase::Forward, TracePhase::Backward] {
+                    let b = timeline.breakdown(phase);
+                    if b.kernels > 0 {
+                        println!(
+                            "{phase}: {} kernels, {:.3} ms, {:.2} GiB IO",
+                            b.kernels,
+                            b.latency * 1e3,
+                            b.io_bytes as f64 / (1u64 << 30) as f64
+                        );
+                    }
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown view '{other}'\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

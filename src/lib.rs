@@ -1,0 +1,32 @@
+//! # gnnopt — coordinated computation / IO / memory optimization for GNNs
+//!
+//! A full reproduction of *"Understanding GNN Computational Graph: A
+//! Coordinated Computation, IO, and Memory Perspective"* (MLSys 2022).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense `f32` tensors,
+//! * [`graph`] — CSR/CSC graphs, generators, datasets,
+//! * [`core`] — the operator IR, autodiff and the three optimization passes
+//!   (propagation-postponed reorganization, unified-thread-mapping fusion,
+//!   intermediate-data recomputation),
+//! * [`sim`] — the analytical GPU execution model,
+//! * [`exec`] — the CPU reference executor,
+//! * [`models`] — GCN / GAT / GATv2 / EdgeConv / MoNet / GraphSAGE / GIN /
+//!   APPNP,
+//! * [`train`] — losses, optimizers, schedules and the epoch driver,
+//! * [`reorder`] — vertex reordering and neighbor grouping (runtime
+//!   optimizations, §8 related work),
+//! * [`mod@bench`] — the experiment harness behind every figure binary.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use gnnopt_bench as bench;
+pub use gnnopt_core as core;
+pub use gnnopt_exec as exec;
+pub use gnnopt_graph as graph;
+pub use gnnopt_models as models;
+pub use gnnopt_reorder as reorder;
+pub use gnnopt_sim as sim;
+pub use gnnopt_tensor as tensor;
+pub use gnnopt_train as train;

@@ -1,0 +1,134 @@
+//! Gradient property tests on randomly generated model IRs: the
+//! autodiff-derived parameter gradients (executed through the *fully
+//! optimized* plan — reorganization + fusion + recomputation) must match
+//! central finite differences, and every preset must agree with the DGL
+//! baseline on the same random model.
+
+mod common;
+
+use common::{arb_steps, build_ir};
+use gnnopt::core::{compile, CompileOptions, Preset};
+use gnnopt::exec::{Bindings, Session};
+use gnnopt::graph::{generators, Graph};
+use gnnopt::tensor::{Tensor, XavierInit};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn leaf_values(ir: &gnnopt::core::IrGraph, g: &Graph, seed: u64) -> HashMap<String, Tensor> {
+    let mut init = XavierInit::new(seed);
+    let mut vals = HashMap::new();
+    for n in ir.nodes() {
+        match n.kind {
+            gnnopt::core::OpKind::InputVertex => {
+                vals.insert(
+                    n.name.clone(),
+                    init.uniform(&[g.num_vertices(), n.dim.total()], 0.1, 1.0),
+                );
+            }
+            gnnopt::core::OpKind::InputEdge => {
+                vals.insert(
+                    n.name.clone(),
+                    init.uniform(&[g.num_edges(), n.dim.total()], 0.1, 1.0),
+                );
+            }
+            gnnopt::core::OpKind::Param => {
+                vals.insert(n.name.clone(), init.matrix(n.dim.heads, n.dim.feat));
+            }
+            _ => {}
+        }
+    }
+    vals
+}
+
+fn bindings_from(vals: &HashMap<String, Tensor>) -> Bindings {
+    let mut b = Bindings::new();
+    for (k, v) in vals {
+        b.insert(k, v.clone());
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// FD check of the first element of every parameter gradient, run
+    /// through the fully optimized plan.
+    #[test]
+    fn optimized_gradients_match_finite_differences(
+        steps in arb_steps(),
+        seed in 0u64..500,
+    ) {
+        let ir = build_ir(&steps, 3);
+        let g = Graph::from_edge_list(&generators::erdos_renyi(12, 40, seed));
+        let vals = leaf_values(&ir, &g, seed);
+        let compiled = compile(&ir, true, &CompileOptions::ours()).expect("compiles");
+
+        let forward_sum = |vals: &HashMap<String, Tensor>| -> f32 {
+            let mut sess = Session::new(&compiled.plan, &g).expect("session");
+            sess.forward(&bindings_from(vals)).expect("forward")[0].sum_all()
+        };
+        let mut sess = Session::new(&compiled.plan, &g).expect("session");
+        let out = sess.forward(&bindings_from(&vals)).expect("forward");
+        let grads = sess
+            .backward(Tensor::ones(out[0].shape()))
+            .expect("backward");
+
+        let h = 1e-2f32;
+        for (pname, grad) in &grads {
+            let mut probe = vals.clone();
+            let base = probe[pname].as_slice()[0];
+            probe.get_mut(pname).unwrap().as_mut_slice()[0] = base + h;
+            let fp = forward_sum(&probe);
+            probe.get_mut(pname).unwrap().as_mut_slice()[0] = base - h;
+            let fm = forward_sum(&probe);
+            let numeric = (fp - fm) / (2.0 * h);
+            let analytic = grad.as_slice()[0];
+            // LeakyReLU kinks and f32 give FD limited precision; a
+            // relative band is the meaningful check.
+            prop_assert!(
+                (numeric - analytic).abs() <= 0.15 * (1.0 + analytic.abs().max(numeric.abs())),
+                "fd grad of '{pname}' = {numeric}, analytic = {analytic} (steps {steps:?})"
+            );
+        }
+    }
+
+    /// All presets produce identical outputs and gradients on random IRs.
+    #[test]
+    fn presets_agree_on_random_models(
+        steps in arb_steps(),
+        seed in 0u64..500,
+    ) {
+        let ir = build_ir(&steps, 4);
+        let g = Graph::from_edge_list(&generators::erdos_renyi(10, 30, seed));
+        let vals = leaf_values(&ir, &g, seed);
+
+        let mut results = Vec::new();
+        for preset in [Preset::Dgl, Preset::FuseGnn, Preset::Ours] {
+            let compiled =
+                compile(&ir, true, &CompileOptions::preset(preset)).expect("compiles");
+            let mut sess = Session::new(&compiled.plan, &g).expect("session");
+            let out = sess.forward(&bindings_from(&vals)).expect("forward");
+            let grads = sess
+                .backward(Tensor::ones(out[0].shape()))
+                .expect("backward");
+            results.push((out[0].clone(), grads));
+        }
+        let (base_out, base_grads) = &results[0];
+        for (out, grads) in &results[1..] {
+            prop_assert!(
+                out.allclose_with(base_out, 1e-4, 1e-4),
+                "outputs diverge by {}",
+                out.max_abs_diff(base_out)
+            );
+            prop_assert_eq!(grads.len(), base_grads.len());
+            for (k, v) in grads {
+                prop_assert!(
+                    v.allclose_with(&base_grads[k], 1e-3, 1e-3),
+                    "grad '{}' diverges by {}",
+                    k,
+                    v.max_abs_diff(&base_grads[k])
+                );
+            }
+        }
+    }
+}

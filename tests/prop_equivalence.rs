@@ -1,0 +1,73 @@
+//! Property-based cross-preset equivalence: on *arbitrary* graphs and
+//! dimensions, the optimized plan must agree with the baseline plan to
+//! floating-point tolerance — outputs and gradients alike.
+
+use gnnopt::core::{compile, CompileOptions, Preset};
+use gnnopt::exec::{Bindings, Session};
+use gnnopt::graph::{EdgeList, Graph};
+use gnnopt::models::{gat, gcn, GatConfig, GcnConfig};
+use gnnopt::tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..60)
+            .prop_map(move |pairs| Graph::from_edge_list(&EdgeList::from_pairs(n, &pairs)))
+    })
+}
+
+fn run(
+    ir: &gnnopt::core::IrGraph,
+    vals: &std::collections::HashMap<String, Tensor>,
+    g: &Graph,
+    preset: Preset,
+) -> (Tensor, std::collections::HashMap<String, Tensor>) {
+    let compiled = compile(ir, true, &CompileOptions::preset(preset)).expect("compiles");
+    let mut b = Bindings::new();
+    for (k, v) in vals {
+        b.insert(k, v.clone());
+    }
+    let mut sess = Session::new(&compiled.plan, g).expect("session");
+    let out = sess.forward(&b).expect("forward");
+    let grads = sess
+        .backward(Tensor::ones(out[0].shape()))
+        .expect("backward");
+    (out[0].clone(), grads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gat_equivalent_on_arbitrary_graphs(
+        g in arb_graph(), seed in 0u64..1000, heads in 1usize..3, feat in 1usize..6,
+    ) {
+        let spec = gat(&GatConfig {
+            in_dim: 4,
+            layers: vec![(heads, feat)],
+            negative_slope: 0.2,
+            reorganized: false,
+        }).unwrap();
+        let vals = spec.init_values(&g, seed);
+        let (o1, g1) = run(&spec.ir, &vals, &g, Preset::Dgl);
+        let (o2, g2) = run(&spec.ir, &vals, &g, Preset::Ours);
+        prop_assert!(o1.allclose_with(&o2, 1e-3, 1e-3), "outputs differ by {}", o1.max_abs_diff(&o2));
+        for (k, v) in &g1 {
+            prop_assert!(v.allclose_with(&g2[k], 1e-2, 1e-2), "grad {k} differs by {}", v.max_abs_diff(&g2[k]));
+        }
+    }
+
+    #[test]
+    fn gcn_equivalent_on_arbitrary_graphs(
+        g in arb_graph(), seed in 0u64..1000, hidden in 1usize..8,
+    ) {
+        let spec = gcn(&GcnConfig::two_layer(3, hidden, 2)).unwrap();
+        let vals = spec.init_values(&g, seed);
+        let (o1, g1) = run(&spec.ir, &vals, &g, Preset::Dgl);
+        let (o2, g2) = run(&spec.ir, &vals, &g, Preset::Ours);
+        prop_assert!(o1.allclose_with(&o2, 1e-3, 1e-3));
+        for (k, v) in &g1 {
+            prop_assert!(v.allclose_with(&g2[k], 1e-2, 1e-2), "grad {k}");
+        }
+    }
+}
