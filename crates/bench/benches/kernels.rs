@@ -10,11 +10,7 @@ use gnnopt_graph::{generators, Graph};
 use gnnopt_models::{edgeconv, gat, monet, EdgeConvConfig, GatConfig, MonetConfig};
 use gnnopt_tensor::Tensor;
 
-fn bindings_for(
-    spec: &gnnopt_models::ModelSpec,
-    graph: &Graph,
-    seed: u64,
-) -> Bindings {
+fn bindings_for(spec: &gnnopt_models::ModelSpec, graph: &Graph, seed: u64) -> Bindings {
     let mut b = Bindings::new();
     for (k, v) in spec.init_values(graph, seed) {
         b.insert(&k, v);
@@ -43,7 +39,8 @@ fn bench_presets(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sess = Session::new(&compiled.plan, &graph).expect("session");
                     let out = sess.forward(&bindings).expect("forward");
-                    sess.backward(Tensor::ones(out[0].shape())).expect("backward")
+                    sess.backward(Tensor::ones(out[0].shape()))
+                        .expect("backward")
                 });
             },
         );
@@ -67,12 +64,16 @@ fn bench_reorg(c: &mut Criterion) {
             ..CompileOptions::ours()
         };
         let compiled = compile(&spec.ir, false, &opts).expect("compiles");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &compiled, |b, compiled| {
-            b.iter(|| {
-                let mut sess = Session::new(&compiled.plan, &graph).expect("session");
-                sess.forward(&bindings).expect("forward")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+                    sess.forward(&bindings).expect("forward")
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -98,7 +99,8 @@ fn bench_monet(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sess = Session::new(&compiled.plan, &graph).expect("session");
                     let out = sess.forward(&bindings).expect("forward");
-                    sess.backward(Tensor::ones(out[0].shape())).expect("backward")
+                    sess.backward(Tensor::ones(out[0].shape()))
+                        .expect("backward")
                 });
             },
         );

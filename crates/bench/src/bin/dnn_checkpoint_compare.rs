@@ -23,8 +23,8 @@ fn main() {
     let device = Device::rtx3090();
     let wl = gat_figure7(&datasets::reddit(), true).expect("gat workload");
     println!(
-        "# DNN segment checkpointing vs §6 operator recomputation — GAT 2×128 / {} ({})",
-        "Reddit", device.name
+        "# DNN segment checkpointing vs §6 operator recomputation — GAT 2×128 / Reddit ({})",
+        device.name
     );
 
     // Measured rows: the real compiler with and without §6.
@@ -32,8 +32,8 @@ fn main() {
         recompute: RecomputeScope::None,
         ..CompileOptions::ours()
     };
-    let stash = run_variant("stash", &wl.ir, &wl.stats, &stash_opts, true, &device)
-        .expect("stash variant");
+    let stash =
+        run_variant("stash", &wl.ir, &wl.stats, &stash_opts, true, &device).expect("stash variant");
     let ours = run_variant(
         "ours",
         &wl.ir,

@@ -74,8 +74,7 @@ fn main() {
     let rows: Vec<VariantResult> = variants()
         .into_iter()
         .map(|(label, opts)| {
-            run_variant(label, &gat_wl.ir, &gat_wl.stats, &opts, true, &device)
-                .expect("variant")
+            run_variant(label, &gat_wl.ir, &gat_wl.stats, &opts, true, &device).expect("variant")
         })
         .collect();
     print_rows("GAT h=4 f=64 / Reddit", &rows);

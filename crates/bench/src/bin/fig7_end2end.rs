@@ -5,8 +5,7 @@
 //! Run with `cargo run --release -p gnnopt-bench --bin fig7_end2end`.
 
 use gnnopt_bench::{
-    edgeconv_workload, figure7_systems, gat_figure7, monet_figure7, print_normalized,
-    run_variant,
+    edgeconv_workload, figure7_systems, gat_figure7, monet_figure7, print_normalized, run_variant,
 };
 use gnnopt_graph::datasets;
 use gnnopt_models::EdgeConvConfig;
@@ -14,7 +13,10 @@ use gnnopt_sim::Device;
 
 fn main() {
     let device = Device::rtx3090();
-    println!("# Figure 7 — end-to-end training, normalized to DGL ({})", device.name);
+    println!(
+        "# Figure 7 — end-to-end training, normalized to DGL ({})",
+        device.name
+    );
 
     // GAT: 2 × 128 hidden. DGL/fuseGNN run the hand-reorganized attention
     // from DGL's model zoo; "Ours" starts naive and relies on the pass.
@@ -23,8 +25,7 @@ fn main() {
         for (label, opts) in figure7_systems() {
             let wl = gat_figure7(&ds, label != "Ours").expect("gat workload");
             rows.push(
-                run_variant(label, &wl.ir, &wl.stats, &opts, true, &device)
-                    .expect("variant runs"),
+                run_variant(label, &wl.ir, &wl.stats, &opts, true, &device).expect("variant runs"),
             );
         }
         print_normalized(&format!("GAT / {}", ds.name), &rows);
@@ -58,8 +59,7 @@ fn main() {
                 continue;
             }
             rows.push(
-                run_variant(label, &wl.ir, &wl.stats, &opts, true, &device)
-                    .expect("variant runs"),
+                run_variant(label, &wl.ir, &wl.stats, &opts, true, &device).expect("variant runs"),
             );
         }
         print_normalized(&wl.name, &rows);

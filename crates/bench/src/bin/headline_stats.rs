@@ -73,7 +73,10 @@ fn main() {
     }
     let intermediate = stats.peak_memory.saturating_sub(persistent);
     println!("\nGAT (h=4, f=64, Reddit) under DGL training:");
-    println!("  peak memory:        {:.3} GiB", gnnopt_bench::gib(stats.peak_memory));
+    println!(
+        "  peak memory:        {:.3} GiB",
+        gnnopt_bench::gib(stats.peak_memory)
+    );
     println!(
         "  inputs+parameters:  {:.3} GiB",
         gnnopt_bench::gib(persistent)

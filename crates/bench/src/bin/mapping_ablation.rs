@@ -28,7 +28,10 @@ fn options(policy: MappingPolicy) -> CompileOptions {
 
 fn main() {
     let device = Device::rtx3090();
-    println!("# Thread-mapping ablation (fused EdgeConv forward, {})", device.name);
+    println!(
+        "# Thread-mapping ablation (fused EdgeConv forward, {})",
+        device.name
+    );
 
     // EdgeConv has no softmax, so the kernel can genuinely run under
     // either mapping.

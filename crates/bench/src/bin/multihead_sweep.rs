@@ -36,8 +36,15 @@ fn main() {
             ir: gat(&cfg).expect("gat builds").ir,
             stats: ds.full_scale_stats(),
         };
-        let dgl = run_variant("DGL", &wl.ir, &wl.stats, &CompileOptions::dgl(), true, &device)
-            .expect("dgl variant");
+        let dgl = run_variant(
+            "DGL",
+            &wl.ir,
+            &wl.stats,
+            &CompileOptions::dgl(),
+            true,
+            &device,
+        )
+        .expect("dgl variant");
         let ours = run_variant(
             "Ours",
             &wl.ir,

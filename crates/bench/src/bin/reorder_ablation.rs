@@ -69,7 +69,10 @@ fn main() {
     let row_bytes = 4 * 64 * 4;
     let cache_rows = ((device.l2_bytes / row_bytes) as f64 * ds.exec_scale) as usize;
 
-    println!("\n== gather locality (L2 = {} rows of h·f floats) ==", cache_rows);
+    println!(
+        "\n== gather locality (L2 = {} rows of h·f floats) ==",
+        cache_rows
+    );
     println!("{:<14} {:>10} {:>12}", "order", "hit rate", "mean |u-v|");
     let strategies: Vec<(&str, Option<gnnopt_reorder::Permutation>)> = vec![
         ("scrambled", None),
@@ -152,7 +155,10 @@ fn main() {
     println!("{:<14} {:>10}", "order", "hit rate");
     for (name, ordered) in [
         ("scrambled", knn_scrambled.clone()),
-        ("rcm", strategies::rcm(&knn_scrambled).apply_to_edges(&knn_scrambled)),
+        (
+            "rcm",
+            strategies::rcm(&knn_scrambled).apply_to_edges(&knn_scrambled),
+        ),
         (
             "cluster",
             strategies::cluster(&knn_scrambled, 4).apply_to_edges(&knn_scrambled),
@@ -196,7 +202,8 @@ fn main() {
     // Amortization: one preprocessing pass is ~2 edge-index scans.
     let grouping = NeighborGrouping::build(&stats, 64);
     let preproc_s = grouping.preprocessing_bytes() as f64 * 2.0 / device.bandwidth;
-    let per_step_gain = base * (1.0 - 1.0 / stats.vertex_balanced_imbalance(workers).min(8.0)) * 0.3;
+    let per_step_gain =
+        base * (1.0 - 1.0 / stats.vertex_balanced_imbalance(workers).min(8.0)) * 0.3;
     println!(
         "\npreprocessing ≈ {:.3} ms, amortized after ~{} training steps",
         preproc_s * 1e3,

@@ -109,11 +109,7 @@ pub fn gat_ablation(ds: &DatasetSpec, reorganized: bool) -> IrResult<Workload> {
 /// # Errors
 ///
 /// Propagates model-construction errors.
-pub fn edgeconv_workload(
-    k: usize,
-    batch: usize,
-    cfg: &EdgeConvConfig,
-) -> IrResult<Workload> {
+pub fn edgeconv_workload(k: usize, batch: usize, cfg: &EdgeConvConfig) -> IrResult<Workload> {
     let n = batch * 1024;
     Ok(Workload {
         name: format!("EdgeConv(k={k},b={batch})"),
@@ -231,11 +227,24 @@ mod tests {
     fn edgeconv_memory_savings_are_large() {
         let wl = edgeconv_workload(40, 64, &EdgeConvConfig::paper()).unwrap();
         let device = Device::rtx3090();
-        let dgl = run_variant("DGL", &wl.ir, &wl.stats, &CompileOptions::dgl(), true, &device)
-            .unwrap();
-        let ours =
-            run_variant("Ours", &wl.ir, &wl.stats, &CompileOptions::ours(), true, &device)
-                .unwrap();
+        let dgl = run_variant(
+            "DGL",
+            &wl.ir,
+            &wl.stats,
+            &CompileOptions::dgl(),
+            true,
+            &device,
+        )
+        .unwrap();
+        let ours = run_variant(
+            "Ours",
+            &wl.ir,
+            &wl.stats,
+            &CompileOptions::ours(),
+            true,
+            &device,
+        )
+        .unwrap();
         let saving = dgl.stats.peak_memory as f64 / ours.stats.peak_memory as f64;
         assert!(saving > 2.0, "EdgeConv memory saving only {saving:.2}x");
     }

@@ -8,9 +8,7 @@
 //! recomputation rewrite forward and backward dataflow uniformly.
 
 use crate::ir::{IrError, IrGraph, Phase, Result};
-use crate::op::{
-    BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn,
-};
+use crate::op::{BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn};
 use std::collections::HashMap;
 
 /// Output of [`append_backward`].

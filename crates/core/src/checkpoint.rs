@@ -214,8 +214,8 @@ pub fn optimal_plan(stages: &[StageCost], budget_bytes: u64) -> Option<Checkpoin
     });
     for i in 1..=n {
         let mut cands: Vec<State> = Vec::new();
-        for j in 0..i {
-            for base in &frontier[j] {
+        for (j, states) in frontier.iter().enumerate().take(i) {
+            for base in states {
                 // Segment [j, i): its boundary is stage i−1's output;
                 // interior = stages j..i−1, which are also what backward
                 // recomputation re-runs.
@@ -349,9 +349,18 @@ mod tests {
         // never persist... or after, if keeping it is cheaper than the
         // interior. Verify the DP picks the cheaper of the two.
         let stages = vec![
-            StageCost { flops: 1000, activation_bytes: 10 },
-            StageCost { flops: 1, activation_bytes: 1000 },
-            StageCost { flops: 1000, activation_bytes: 10 },
+            StageCost {
+                flops: 1000,
+                activation_bytes: 10,
+            },
+            StageCost {
+                flops: 1,
+                activation_bytes: 1000,
+            },
+            StageCost {
+                flops: 1000,
+                activation_bytes: 10,
+            },
         ];
         let opt = optimal_plan(&stages, 1020).expect("feasible");
         // Keeping stage 0 (10 bytes) leaves interior {1, 2} = 1010 ≤

@@ -76,13 +76,9 @@ impl<'a> CostModel<'a> {
             OpKind::EdgeSoftmax | OpKind::EdgeSoftmaxBwd => 4 * e * total,
 
             // y = x·W: 2·rows·d_in·d_out multiply-adds.
-            OpKind::Linear => {
-                2 * self.rows(node) * inputs[0].dim.total() as u64 * total
-            }
+            OpKind::Linear => 2 * self.rows(node) * inputs[0].dim.total() as u64 * total,
             // ∂x = g·Wᵀ: same work as forward.
-            OpKind::LinearBwdInput => {
-                2 * self.rows(node) * inputs[0].dim.total() as u64 * total
-            }
+            OpKind::LinearBwdInput => 2 * self.rows(node) * inputs[0].dim.total() as u64 * total,
             // ∂W = xᵀ·g: reduces over the data rows of x.
             OpKind::LinearBwdWeight => {
                 2 * self.rows(inputs[0]) * node.dim.heads as u64 * node.dim.feat as u64

@@ -19,7 +19,11 @@ pub fn dump_ir(ir: &IrGraph) -> String {
             Phase::Forward => "fwd",
             Phase::Backward => "bwd",
         };
-        let marker = if ir.outputs().contains(&n.id) { " *out" } else { "" };
+        let marker = if ir.outputs().contains(&n.id) {
+            " *out"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "%{:<3} {:<24} {space}[{},{}] {phase} ← {:?}{marker}",
@@ -62,10 +66,11 @@ pub fn to_dot(ir: &IrGraph, plan: Option<&ExecutionPlan>) -> String {
             (_, Space::Vertex) => "lightblue",
             (_, Space::Param) => "lightgrey",
         };
-        let extra = if owner.contains_key(&n.id) || matches!(
-            n.kind,
-            OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
-        ) {
+        let extra = if owner.contains_key(&n.id)
+            || matches!(
+                n.kind,
+                OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
+            ) {
             ""
         } else {
             ", style=dotted" // fused-away / unscheduled

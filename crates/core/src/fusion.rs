@@ -495,8 +495,7 @@ fn assignment_is_legal(ir: &IrGraph, region: &[Option<usize>]) -> bool {
             let mut groups = Vec::new();
             in_region_groups(ir, region, r, base, &mut groups);
             for g in groups {
-                let legal =
-                    g == Some(endpoint) && primary.get(&r).is_none_or(|&p| p == endpoint);
+                let legal = g == Some(endpoint) && primary.get(&r).is_none_or(|&p| p == endpoint);
                 if !legal {
                     return false;
                 }
@@ -609,7 +608,12 @@ fn finalize_regions(ir: &IrGraph, uf: &mut UnionFind) -> Vec<Option<usize>> {
 
 /// True if `id` is a `Scatter(CopyU)`/`Scatter(CopyV)` whose only consumer
 /// is `only`.
-fn is_private_copy_scatter(ir: &IrGraph, consumers: &[Vec<NodeId>], id: NodeId, only: NodeId) -> bool {
+fn is_private_copy_scatter(
+    ir: &IrGraph,
+    consumers: &[Vec<NodeId>],
+    id: NodeId,
+    only: NodeId,
+) -> bool {
     matches!(
         ir.node(id).kind,
         OpKind::Scatter(ScatterFn::CopyU) | OpKind::Scatter(ScatterFn::CopyV)
@@ -796,10 +800,7 @@ fn try_build_kernels(
         return None; // cyclic kernel DAG: regions were not convex
     }
 
-    let mut out: Vec<Kernel> = order
-        .into_iter()
-        .map(|ki| kernels[ki].clone())
-        .collect();
+    let mut out: Vec<Kernel> = order.into_iter().map(|ki| kernels[ki].clone()).collect();
     for (i, k) in out.iter_mut().enumerate() {
         k.id = i;
         k.nodes.sort_unstable();
@@ -846,11 +847,7 @@ pub(crate) fn atomic_flag(ir: &IrGraph, nodes: &[NodeId], mapping: ThreadMapping
 }
 
 /// Mapping + atomics decision for one kernel (§5).
-fn choose_mapping(
-    ir: &IrGraph,
-    nodes: &[NodeId],
-    policy: MappingPolicy,
-) -> (ThreadMapping, bool) {
+fn choose_mapping(ir: &IrGraph, nodes: &[NodeId], policy: MappingPolicy) -> (ThreadMapping, bool) {
     let has_graph = nodes.iter().any(|&n| ir.node(n).kind.is_graph_op());
     let has_param_reduction = nodes.iter().any(|&n| ir.node(n).kind.is_param_reduction());
     if !has_graph {
@@ -887,16 +884,12 @@ mod tests {
         let mut g = IrGraph::new();
         let a = g.input_vertex("a", Dim::multi(2, 1));
         let h = g.input_vertex("h", Dim::multi(2, 8));
-        let e = g
-            .scatter(ScatterFn::Bin(BinaryFn::Add), a, a)
-            .unwrap();
+        let e = g.scatter(ScatterFn::Bin(BinaryFn::Add), a, a).unwrap();
         let lr = g.unary(UnaryFn::LeakyRelu(0.2), e).unwrap();
         let sm = g.edge_softmax(lr).unwrap();
         let hu = g.scatter(ScatterFn::CopyU, h, h).unwrap();
         let me = g.binary(BinaryFn::Mul, hu, sm).unwrap();
-        let out = g
-            .gather(ReduceFn::Sum, EdgeGroup::ByDst, me)
-            .unwrap();
+        let out = g.gather(ReduceFn::Sum, EdgeGroup::ByDst, me).unwrap();
         g.mark_output(out);
         (g, [e, lr, sm, hu, me, out])
     }
@@ -966,10 +959,7 @@ mod tests {
         let kernels = partition(&g, FusionLevel::Unified, MappingPolicy::Auto);
         // scatter | linear | relu+gather
         assert_eq!(kernels.len(), 3);
-        let lin = kernels
-            .iter()
-            .find(|k| k.nodes.contains(&le))
-            .unwrap();
+        let lin = kernels.iter().find(|k| k.nodes.contains(&le)).unwrap();
         assert_eq!(lin.mapping, ThreadMapping::Dense);
         let tail = kernels.iter().find(|k| k.nodes.contains(&out)).unwrap();
         assert!(tail.nodes.contains(&r));

@@ -1,9 +1,7 @@
 //! The computational-graph IR: a DAG of [`Node`]s over the operator
 //! algebra, with a validating builder API.
 
-use crate::op::{
-    BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn,
-};
+use crate::op::{BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn};
 
 use std::error::Error;
 use std::fmt;
@@ -163,8 +161,8 @@ impl IrGraph {
         name: impl Into<String>,
         phase: Phase,
     ) -> NodeId {
-        let requires_grad = matches!(kind, OpKind::Param)
-            || inputs.iter().any(|&i| self.nodes[i].requires_grad);
+        let requires_grad =
+            matches!(kind, OpKind::Param) || inputs.iter().any(|&i| self.nodes[i].requires_grad);
         let id = self.nodes.len();
         self.nodes.push(Node {
             id,
@@ -461,7 +459,12 @@ impl IrGraph {
     /// # Errors
     ///
     /// Returns [`IrError::Incompatible`] on mismatched kernel shapes.
-    pub fn gaussian_weight(&mut self, pseudo: NodeId, mu: NodeId, inv_sigma: NodeId) -> Result<NodeId> {
+    pub fn gaussian_weight(
+        &mut self,
+        pseudo: NodeId,
+        mu: NodeId,
+        inv_sigma: NodeId,
+    ) -> Result<NodeId> {
         let np = self.check(pseudo)?.clone();
         let nm = self.check(mu)?.clone();
         let ns = self.check(inv_sigma)?.clone();
@@ -474,7 +477,10 @@ impl IrGraph {
         if nm.dim != ns.dim || nm.dim.feat != np.dim.feat {
             return Err(IrError::Incompatible {
                 op: "gaussian_weight".into(),
-                detail: format!("mu {:?} / sigma {:?} vs pseudo {:?}", nm.dim, ns.dim, np.dim),
+                detail: format!(
+                    "mu {:?} / sigma {:?} vs pseudo {:?}",
+                    nm.dim, ns.dim, np.dim
+                ),
             });
         }
         Ok(self.push(

@@ -334,8 +334,14 @@ impl OpKind {
         use OpKind::*;
         match self {
             InputVertex | InputEdge | Param | GradSeed => FusionClass::Leaf,
-            Linear | LinearBwdInput | LinearBwdWeight | HeadDot | HeadDotBwdInput
-            | HeadDotBwdParam | SliceRows { .. } | EmbedRows { .. } => FusionClass::Expensive,
+            Linear
+            | LinearBwdInput
+            | LinearBwdWeight
+            | HeadDot
+            | HeadDotBwdInput
+            | HeadDotBwdParam
+            | SliceRows { .. }
+            | EmbedRows { .. } => FusionClass::Expensive,
             // Gaussian parameter gradients are per-edge computations with a
             // tiny `[K, r]` atomic reduction — they fuse into the backward
             // graph kernel exactly like the paper's MoNet backward pass.

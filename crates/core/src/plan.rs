@@ -262,8 +262,14 @@ impl ExecutionPlan {
             let is_output = self.ir.outputs().contains(&node.id);
             let persistent = leaf
                 || is_output
-                || matches!(node.kind, OpKind::LinearBwdWeight | OpKind::HeadDotBwdParam
-                    | OpKind::GaussianBwdMu | OpKind::GaussianBwdSigma | OpKind::EmbedRows { .. });
+                || matches!(
+                    node.kind,
+                    OpKind::LinearBwdWeight
+                        | OpKind::HeadDotBwdParam
+                        | OpKind::GaussianBwdMu
+                        | OpKind::GaussianBwdSigma
+                        | OpKind::EmbedRows { .. }
+                );
             if persistent {
                 death = num_kernels;
             }
@@ -340,6 +346,7 @@ impl ExecutionPlan {
     ///
     /// Returns the OOM description when it does not fit.
     pub fn check_fits(&self, device: &Device, stats: &GraphStats) -> Result<u64, MemoryError> {
-        self.memory_replay(stats, device.usable_memory()).map(|p| p.0)
+        self.memory_replay(stats, device.usable_memory())
+            .map(|p| p.0)
     }
 }

@@ -132,17 +132,15 @@ pub fn plan_training_memory(
     // Stash/recompute decision per saved node.
     for (&s, reader_kernels) in &saved {
         let node = ir.node(s);
-        let expensive_reader = reader_kernels
-            .iter()
-            .any(|&k| kernel_is_expensive[k]);
+        let expensive_reader = reader_kernels.iter().any(|&k| kernel_is_expensive[k]);
         let cheap = cost_per_element(ir, node) <= opts.flops_per_element_threshold;
         // A node is forward-internal when every forward consumer shares
         // its kernel and it is not a model output — i.e. fusion already
         // keeps it on-chip and the fused built-in's backward rebuilds it.
         let forward_internal = !ir.outputs().contains(&s)
-            && consumers[s].iter().all(|&c| {
-                ir.node(c).phase != Phase::Forward || owner.get(&c) == owner.get(&s)
-            });
+            && consumers[s]
+                .iter()
+                .all(|&c| ir.node(c).phase != Phase::Forward || owner.get(&c) == owner.get(&s));
         let eligible = match opts.scope {
             RecomputeScope::None => false,
             RecomputeScope::FusedInternalsOnly => forward_internal,
@@ -177,9 +175,7 @@ pub fn plan_training_memory(
                 continue;
             }
             let cheap = cost_per_element(ir, inp) <= opts.flops_per_element_threshold;
-            if inp.space == Space::Edge
-                && inp.kind.fusion_class() == FusionClass::Fusible
-                && cheap
+            if inp.space == Space::Edge && inp.kind.fusion_class() == FusionClass::Fusible && cheap
             {
                 full_recompute.insert(i);
                 if inp.kind == OpKind::EdgeSoftmax {
@@ -254,7 +250,9 @@ mod tests {
         let hw = g.linear(h, w).unwrap();
         let a = g.param("a", 8, 1);
         let score = g.linear(hw, a).unwrap(); // [V,1] attention logit
-        let e = g.scatter(ScatterFn::Bin(BinaryFn::Add), score, score).unwrap();
+        let e = g
+            .scatter(ScatterFn::Bin(BinaryFn::Add), score, score)
+            .unwrap();
         let lr = g.unary(UnaryFn::LeakyRelu(0.2), e).unwrap();
         let sm = g.edge_softmax(lr).unwrap();
         let hu = g.scatter(ScatterFn::CopyU, hw, hw).unwrap();
@@ -296,7 +294,10 @@ mod tests {
         };
         let plan = plan_training_memory(&g, &mut kernels, &opts);
         assert!(plan.recomputed.is_empty());
-        assert!(plan.stash.contains(&sm), "softmax output stashed when disabled");
+        assert!(
+            plan.stash.contains(&sm),
+            "softmax output stashed when disabled"
+        );
         assert!(kernels.iter().all(|k| k.recompute.is_empty()));
     }
 

@@ -95,9 +95,10 @@ fn rewrite_once(ir: &IrGraph) -> Result<(IrGraph, usize)> {
                         let proj = apply_projection(&mut out, &node.kind, y, m(w, &map))?;
                         out.scatter(ScatterFn::CopyV, proj, proj)?
                     }
-                    (OpKind::Scatter(ScatterFn::Bin(bf @ (BinaryFn::Add | BinaryFn::Sub))), true)
-                        if node.kind == OpKind::Linear =>
-                    {
+                    (
+                        OpKind::Scatter(ScatterFn::Bin(bf @ (BinaryFn::Add | BinaryFn::Sub))),
+                        true,
+                    ) if node.kind == OpKind::Linear => {
                         applied += 1;
                         let x = m(src_node.inputs[0], &map);
                         let y = m(src_node.inputs[1], &map);
@@ -179,12 +180,7 @@ fn copy_node(
 }
 
 /// Emits the expensive projection `kind` on a vertex tensor.
-fn apply_projection(
-    out: &mut IrGraph,
-    kind: &OpKind,
-    x: NodeId,
-    w: NodeId,
-) -> Result<NodeId> {
+fn apply_projection(out: &mut IrGraph, kind: &OpKind, x: NodeId, w: NodeId) -> Result<NodeId> {
     match kind {
         OpKind::Linear => out.linear(x, w),
         OpKind::HeadDot => out.head_dot(x, w),
@@ -339,11 +335,7 @@ mod tests {
         g.mark_output(le);
         let (r, rep) = reorganize(&g).unwrap();
         assert_eq!(rep.rewrites, 1);
-        let lin = r
-            .nodes()
-            .iter()
-            .find(|n| n.kind == OpKind::Linear)
-            .unwrap();
+        let lin = r.nodes().iter().find(|n| n.kind == OpKind::Linear).unwrap();
         assert_eq!(lin.space, Space::Vertex);
     }
 }

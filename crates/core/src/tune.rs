@@ -82,14 +82,16 @@ pub fn autotune_mappings(
     device: &Device,
     stats: &GraphStats,
 ) -> TuneReport {
-    let mut report = TuneReport::default();
-    report.latency_before = plan_latency(plan, device, stats);
+    let mut report = TuneReport {
+        latency_before: plan_latency(plan, device, stats),
+        ..TuneReport::default()
+    };
 
     // Candidate evaluation uses each kernel's *current* resource profile;
     // byte/FLOP counts do not depend on the mapping, only the latency
     // model's interpretation does (imbalance vs. atomic penalty).
     let profiles = plan.profiles(stats);
-    for ki in 0..plan.kernels.len() {
+    for (ki, profile) in profiles.iter().enumerate() {
         let members: Vec<_> = plan.kernels[ki]
             .nodes
             .iter()
@@ -106,7 +108,7 @@ pub fn autotune_mappings(
         let mut best = (
             plan.kernels[ki].mapping,
             plan.kernels[ki].atomic_reduction,
-            device.kernel_latency(&profiles[ki], stats),
+            device.kernel_latency(profile, stats),
         );
         for mapping in [ThreadMapping::VertexBalanced, ThreadMapping::EdgeBalanced] {
             if mapping == plan.kernels[ki].mapping {
@@ -116,7 +118,7 @@ pub fn autotune_mappings(
             let candidate = KernelProfile {
                 mapping,
                 atomic_reduction: atomic,
-                ..profiles[ki]
+                ..*profile
             };
             let lat = device.kernel_latency(&candidate, stats);
             if lat < best.2 {
@@ -141,10 +143,10 @@ fn plan_latency(plan: &ExecutionPlan, device: &Device, stats: &GraphStats) -> f6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fusion::MappingPolicy;
     use crate::ir::IrGraph;
     use crate::op::{BinaryFn, Dim, EdgeGroup, OpKind, ReduceFn, ScatterFn, UnaryFn};
     use crate::pipeline::{compile, CompileOptions};
-    use crate::fusion::MappingPolicy;
 
     /// A fused scatter→gather chain with *no* softmax: the kernel the
     /// tuner is free to re-map. With `project`, a trailing linear adds a
@@ -276,6 +278,10 @@ mod tests {
         assert!(plan
             .kernels
             .iter()
-            .all(|k| k.mapping == ThreadMapping::Dense || !k.nodes.iter().any(|&n| matches!(plan.ir.node(n).kind, OpKind::Linear))));
+            .all(|k| k.mapping == ThreadMapping::Dense
+                || !k
+                    .nodes
+                    .iter()
+                    .any(|&n| matches!(plan.ir.node(n).kind, OpKind::Linear))));
     }
 }

@@ -262,8 +262,16 @@ pub fn binary_broadcast(f: BinaryFn, a: &Tensor, da: Dim, b: &Tensor, db: Dim) -
         let or = out.row_mut(r);
         for h in 0..heads {
             for c in 0..feat {
-                let av = if da.feat == 1 { ar[h] } else { ar[h * feat + c] };
-                let bv = if db.feat == 1 { br[h] } else { br[h * feat + c] };
+                let av = if da.feat == 1 {
+                    ar[h]
+                } else {
+                    ar[h * feat + c]
+                };
+                let bv = if db.feat == 1 {
+                    br[h]
+                } else {
+                    br[h * feat + c]
+                };
                 or[h * feat + c] = f.apply(av, bv);
             }
         }

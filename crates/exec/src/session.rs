@@ -104,8 +104,7 @@ impl<'a> Session<'a> {
         // External readers per node (recompute members count as internal).
         let mut last_reader: HashMap<NodeId, usize> = HashMap::new();
         for k in &plan.kernels {
-            let members: HashSet<NodeId> =
-                k.nodes.iter().chain(&k.recompute).copied().collect();
+            let members: HashSet<NodeId> = k.nodes.iter().chain(&k.recompute).copied().collect();
             for &nid in k.nodes.iter().chain(&k.recompute) {
                 for &i in &plan.ir.node(nid).inputs {
                     if !members.contains(&i) {
@@ -224,10 +223,14 @@ impl<'a> Session<'a> {
     /// [`Session::forward`] on a training plan.
     pub fn backward(&mut self, seed: Tensor) -> Result<HashMap<String, Tensor>> {
         if !self.plan.training {
-            return Err(ExecError::Protocol("plan was compiled for inference".into()));
+            return Err(ExecError::Protocol(
+                "plan was compiled for inference".into(),
+            ));
         }
         if self.state != State::ForwardDone {
-            return Err(ExecError::Protocol("call forward() before backward()".into()));
+            return Err(ExecError::Protocol(
+                "call forward() before backward()".into(),
+            ));
         }
         let seed_node = self
             .plan
@@ -370,8 +373,7 @@ impl<'a> Session<'a> {
             .keys()
             .copied()
             .filter(|n| {
-                !self.persistent.contains(n)
-                    && self.last_reader.get(n).is_none_or(|&k| k <= kid)
+                !self.persistent.contains(n) && self.last_reader.get(n).is_none_or(|&k| k <= kid)
             })
             .collect();
         for n in dead {
@@ -392,173 +394,174 @@ impl<'a> Session<'a> {
         let node = ir.node(id);
         let g = self.graph;
         let din = |i: usize| ir.node(node.inputs[i]).dim;
-        let out = match &node.kind {
-            OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed => {
-                return Err(ExecError::ValueNotLive {
-                    node: node.name.clone(),
-                })
-            }
-
-            OpKind::Scatter(f) => {
-                let x = self.value(node.inputs[0])?;
-                let y = self.value(*node.inputs.last().expect("scatter has inputs"))?;
-                kernels::scatter(g, *f, x, y, node.dim)
-            }
-
-            OpKind::Gather { reduce, group } => {
-                let x = self.value(node.inputs[0])?;
-                let (t, argmax) = kernels::gather(g, *reduce, *group, x);
-                if let Some(a) = argmax {
-                    self.aux_argmax.insert(id, a);
+        let out =
+            match &node.kind {
+                OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed => {
+                    return Err(ExecError::ValueNotLive {
+                        node: node.name.clone(),
+                    })
                 }
-                t
-            }
 
-            OpKind::EdgeSoftmax => {
-                let x = self.value(node.inputs[0])?;
-                if let Some((m, d)) = self.aux_softmax.get(&id) {
-                    // Recompute path: O(1) per edge from stashed stats.
-                    kernels::edge_softmax_from_aux(g, x, m, d)
-                } else {
-                    let (y, m, d) = kernels::edge_softmax(g, x);
-                    self.aux_softmax.insert(id, (m, d));
-                    y
+                OpKind::Scatter(f) => {
+                    let x = self.value(node.inputs[0])?;
+                    let y = self.value(*node.inputs.last().expect("scatter has inputs"))?;
+                    kernels::scatter(g, *f, x, y, node.dim)
                 }
-            }
 
-            OpKind::Linear => {
-                let x = self.value(node.inputs[0])?;
-                let w = self.value(node.inputs[1])?;
-                x.matmul(w)?
-            }
-            OpKind::LinearBwdInput => {
-                let gr = self.value(node.inputs[0])?;
-                let w = self.value(node.inputs[1])?;
-                gr.matmul_nt(w)?
-            }
-            OpKind::LinearBwdWeight => {
-                let x = self.value(node.inputs[0])?;
-                let gr = self.value(node.inputs[1])?;
-                x.matmul_tn(gr)?
-            }
-
-            OpKind::Unary(f) => self.value(node.inputs[0])?.map(|v| f.apply(v)),
-            OpKind::UnaryBwd(f) => {
-                let gr = self.value(node.inputs[0])?;
-                let x = self.value(node.inputs[1])?;
-                kernels::unary_bwd(*f, gr, x)
-            }
-
-            OpKind::Binary(f) => {
-                let a = self.value(node.inputs[0])?;
-                let b = self.value(node.inputs[1])?;
-                kernels::binary_broadcast(*f, a, din(0), b, din(1))
-            }
-
-            OpKind::HeadDot => {
-                let x = self.value(node.inputs[0])?;
-                let a = self.value(node.inputs[1])?;
-                kernels::head_dot(x, a, din(0).heads, din(0).feat)
-            }
-            OpKind::HeadDotBwdInput => {
-                let gr = self.value(node.inputs[0])?;
-                let a = self.value(node.inputs[1])?;
-                kernels::head_dot_bwd_input(gr, a, node.dim.heads, node.dim.feat)
-            }
-            OpKind::HeadDotBwdParam => {
-                let x = self.value(node.inputs[0])?;
-                let gr = self.value(node.inputs[1])?;
-                kernels::head_dot_bwd_param(x, gr, node.dim.heads, node.dim.feat)
-            }
-
-            OpKind::GaussianWeight => {
-                let p = self.value(node.inputs[0])?;
-                let mu = self.value(node.inputs[1])?;
-                let sg = self.value(node.inputs[2])?;
-                kernels::gaussian_weight(p, mu, sg)
-            }
-            OpKind::GaussianBwdMu | OpKind::GaussianBwdSigma => {
-                let p = self.value(node.inputs[0])?;
-                let w = self.value(node.inputs[1])?;
-                let gr = self.value(node.inputs[2])?;
-                let mu = self.value(node.inputs[3])?;
-                let sg = self.value(node.inputs[4])?;
-                if node.kind == OpKind::GaussianBwdMu {
-                    kernels::gaussian_bwd_mu(p, w, gr, mu, sg)
-                } else {
-                    kernels::gaussian_bwd_sigma(p, w, gr, mu, sg)
-                }
-            }
-
-            OpKind::GatherMaxBwd { fwd } => {
-                let argmax = self.aux_argmax.get(fwd).cloned().ok_or_else(|| {
-                    ExecError::ValueNotLive {
-                        node: format!("argmax aux of node {fwd}"),
+                OpKind::Gather { reduce, group } => {
+                    let x = self.value(node.inputs[0])?;
+                    let (t, argmax) = kernels::gather(g, *reduce, *group, x);
+                    if let Some(a) = argmax {
+                        self.aux_argmax.insert(id, a);
                     }
-                })?;
-                let gr = self.value(node.inputs[0])?;
-                kernels::gather_max_bwd(g, gr, &argmax)
-            }
-            OpKind::GatherMeanBwd { group } => {
-                let gr = self.value(node.inputs[0])?;
-                kernels::gather_mean_bwd(g, *group, gr)
-            }
-            OpKind::EdgeSoftmaxBwd => {
-                let gr = self.value(node.inputs[0])?;
-                let y = self.value(node.inputs[1])?;
-                kernels::edge_softmax_bwd(g, gr, y)
-            }
+                    t
+                }
 
-            OpKind::SliceCols { start, end } => {
-                let x = self.value(node.inputs[0])?;
-                // Parameters store heads as rows ([heads, feat]), so the
-                // per-head slice degenerates to a per-row column slice.
-                if ir.node(node.inputs[0]).space == Space::Param {
-                    kernels::slice_cols(x, 1, din(0).feat, *start, *end)
-                } else {
-                    kernels::slice_cols(x, din(0).heads, din(0).feat, *start, *end)
+                OpKind::EdgeSoftmax => {
+                    let x = self.value(node.inputs[0])?;
+                    if let Some((m, d)) = self.aux_softmax.get(&id) {
+                        // Recompute path: O(1) per edge from stashed stats.
+                        kernels::edge_softmax_from_aux(g, x, m, d)
+                    } else {
+                        let (y, m, d) = kernels::edge_softmax(g, x);
+                        self.aux_softmax.insert(id, (m, d));
+                        y
+                    }
                 }
-            }
-            OpKind::EmbedCols { start, end, total } => {
-                let gr = self.value(node.inputs[0])?;
-                if node.space == Space::Param {
-                    kernels::embed_cols(gr, 1, *total, *start, *end)
-                } else {
-                    kernels::embed_cols(gr, node.dim.heads, *total, *start, *end)
-                }
-            }
-            OpKind::SliceRows { start, end } => {
-                let x = self.value(node.inputs[0])?;
-                let rows: Vec<usize> = (*start..*end).collect();
-                x.select_rows(&rows)?
-            }
-            OpKind::EmbedRows { start, end, total } => {
-                let gr = self.value(node.inputs[0])?;
-                let mut out = Tensor::zeros(&[*total, node.dim.feat]);
-                for (i, r) in (*start..*end).enumerate() {
-                    out.row_mut(r).copy_from_slice(gr.row(i));
-                }
-                out
-            }
 
-            OpKind::SetHeads { .. } => self.value(node.inputs[0])?.clone(),
-            OpKind::HeadReduce(f) => {
-                let x = self.value(node.inputs[0])?;
-                kernels::head_reduce(x, din(0).heads, din(0).feat, *f == ReduceFn::Mean)
-            }
-            OpKind::HeadBroadcast { heads } => {
-                let x = self.value(node.inputs[0])?;
-                kernels::head_broadcast(x, *heads)
-            }
-            OpKind::FeatSum => {
-                let x = self.value(node.inputs[0])?;
-                kernels::feat_sum(x, din(0).heads, din(0).feat)
-            }
-            OpKind::FeatBroadcast { feat } => {
-                let x = self.value(node.inputs[0])?;
-                kernels::feat_broadcast(x, node.dim.heads, *feat)
-            }
-        };
+                OpKind::Linear => {
+                    let x = self.value(node.inputs[0])?;
+                    let w = self.value(node.inputs[1])?;
+                    x.matmul(w)?
+                }
+                OpKind::LinearBwdInput => {
+                    let gr = self.value(node.inputs[0])?;
+                    let w = self.value(node.inputs[1])?;
+                    gr.matmul_nt(w)?
+                }
+                OpKind::LinearBwdWeight => {
+                    let x = self.value(node.inputs[0])?;
+                    let gr = self.value(node.inputs[1])?;
+                    x.matmul_tn(gr)?
+                }
+
+                OpKind::Unary(f) => self.value(node.inputs[0])?.map(|v| f.apply(v)),
+                OpKind::UnaryBwd(f) => {
+                    let gr = self.value(node.inputs[0])?;
+                    let x = self.value(node.inputs[1])?;
+                    kernels::unary_bwd(*f, gr, x)
+                }
+
+                OpKind::Binary(f) => {
+                    let a = self.value(node.inputs[0])?;
+                    let b = self.value(node.inputs[1])?;
+                    kernels::binary_broadcast(*f, a, din(0), b, din(1))
+                }
+
+                OpKind::HeadDot => {
+                    let x = self.value(node.inputs[0])?;
+                    let a = self.value(node.inputs[1])?;
+                    kernels::head_dot(x, a, din(0).heads, din(0).feat)
+                }
+                OpKind::HeadDotBwdInput => {
+                    let gr = self.value(node.inputs[0])?;
+                    let a = self.value(node.inputs[1])?;
+                    kernels::head_dot_bwd_input(gr, a, node.dim.heads, node.dim.feat)
+                }
+                OpKind::HeadDotBwdParam => {
+                    let x = self.value(node.inputs[0])?;
+                    let gr = self.value(node.inputs[1])?;
+                    kernels::head_dot_bwd_param(x, gr, node.dim.heads, node.dim.feat)
+                }
+
+                OpKind::GaussianWeight => {
+                    let p = self.value(node.inputs[0])?;
+                    let mu = self.value(node.inputs[1])?;
+                    let sg = self.value(node.inputs[2])?;
+                    kernels::gaussian_weight(p, mu, sg)
+                }
+                OpKind::GaussianBwdMu | OpKind::GaussianBwdSigma => {
+                    let p = self.value(node.inputs[0])?;
+                    let w = self.value(node.inputs[1])?;
+                    let gr = self.value(node.inputs[2])?;
+                    let mu = self.value(node.inputs[3])?;
+                    let sg = self.value(node.inputs[4])?;
+                    if node.kind == OpKind::GaussianBwdMu {
+                        kernels::gaussian_bwd_mu(p, w, gr, mu, sg)
+                    } else {
+                        kernels::gaussian_bwd_sigma(p, w, gr, mu, sg)
+                    }
+                }
+
+                OpKind::GatherMaxBwd { fwd } => {
+                    let argmax = self.aux_argmax.get(fwd).cloned().ok_or_else(|| {
+                        ExecError::ValueNotLive {
+                            node: format!("argmax aux of node {fwd}"),
+                        }
+                    })?;
+                    let gr = self.value(node.inputs[0])?;
+                    kernels::gather_max_bwd(g, gr, &argmax)
+                }
+                OpKind::GatherMeanBwd { group } => {
+                    let gr = self.value(node.inputs[0])?;
+                    kernels::gather_mean_bwd(g, *group, gr)
+                }
+                OpKind::EdgeSoftmaxBwd => {
+                    let gr = self.value(node.inputs[0])?;
+                    let y = self.value(node.inputs[1])?;
+                    kernels::edge_softmax_bwd(g, gr, y)
+                }
+
+                OpKind::SliceCols { start, end } => {
+                    let x = self.value(node.inputs[0])?;
+                    // Parameters store heads as rows ([heads, feat]), so the
+                    // per-head slice degenerates to a per-row column slice.
+                    if ir.node(node.inputs[0]).space == Space::Param {
+                        kernels::slice_cols(x, 1, din(0).feat, *start, *end)
+                    } else {
+                        kernels::slice_cols(x, din(0).heads, din(0).feat, *start, *end)
+                    }
+                }
+                OpKind::EmbedCols { start, end, total } => {
+                    let gr = self.value(node.inputs[0])?;
+                    if node.space == Space::Param {
+                        kernels::embed_cols(gr, 1, *total, *start, *end)
+                    } else {
+                        kernels::embed_cols(gr, node.dim.heads, *total, *start, *end)
+                    }
+                }
+                OpKind::SliceRows { start, end } => {
+                    let x = self.value(node.inputs[0])?;
+                    let rows: Vec<usize> = (*start..*end).collect();
+                    x.select_rows(&rows)?
+                }
+                OpKind::EmbedRows { start, end, total } => {
+                    let gr = self.value(node.inputs[0])?;
+                    let mut out = Tensor::zeros(&[*total, node.dim.feat]);
+                    for (i, r) in (*start..*end).enumerate() {
+                        out.row_mut(r).copy_from_slice(gr.row(i));
+                    }
+                    out
+                }
+
+                OpKind::SetHeads { .. } => self.value(node.inputs[0])?.clone(),
+                OpKind::HeadReduce(f) => {
+                    let x = self.value(node.inputs[0])?;
+                    kernels::head_reduce(x, din(0).heads, din(0).feat, *f == ReduceFn::Mean)
+                }
+                OpKind::HeadBroadcast { heads } => {
+                    let x = self.value(node.inputs[0])?;
+                    kernels::head_broadcast(x, *heads)
+                }
+                OpKind::FeatSum => {
+                    let x = self.value(node.inputs[0])?;
+                    kernels::feat_sum(x, din(0).heads, din(0).feat)
+                }
+                OpKind::FeatBroadcast { feat } => {
+                    let x = self.value(node.inputs[0])?;
+                    kernels::feat_broadcast(x, node.dim.heads, *feat)
+                }
+            };
         Ok(out)
     }
 }

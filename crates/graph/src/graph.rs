@@ -211,12 +211,7 @@ mod tests {
     fn out_adj_consistent_with_edges() {
         let g = diamond();
         for v in 0..g.num_vertices() {
-            for (&d, &e) in g
-                .out_adj()
-                .neighbors(v)
-                .iter()
-                .zip(g.out_adj().edge_ids(v))
-            {
+            for (&d, &e) in g.out_adj().neighbors(v).iter().zip(g.out_adj().edge_ids(v)) {
                 assert_eq!(g.src(e as usize), v);
                 assert_eq!(g.dst(e as usize), d as usize);
             }

@@ -63,7 +63,10 @@ mod tests {
     fn dims_and_params() {
         let spec = gcn(&GcnConfig::two_layer(16, 32, 7)).unwrap();
         assert_eq!(spec.output_dim(), 7);
-        assert_eq!(spec.params, vec![("w0".into(), 16, 32), ("w1".into(), 32, 7)]);
+        assert_eq!(
+            spec.params,
+            vec![("w0".into(), 16, 32), ("w1".into(), 32, 7)]
+        );
     }
 
     #[test]

@@ -48,11 +48,7 @@ pub fn monet(cfg: &MonetConfig) -> Result<ModelSpec> {
     let h0 = ir.input_vertex("h", Dim::flat(cfg.in_dim));
     inputs.push(("h".to_owned(), Space::Vertex, Dim::flat(cfg.in_dim)));
     let pseudo = ir.input_edge("pseudo", Dim::flat(cfg.pseudo_dim));
-    inputs.push((
-        "pseudo".to_owned(),
-        Space::Edge,
-        Dim::flat(cfg.pseudo_dim),
-    ));
+    inputs.push(("pseudo".to_owned(), Space::Edge, Dim::flat(cfg.pseudo_dim)));
 
     let (k, r) = (cfg.kernels, cfg.pseudo_dim);
     let mut h = h0;

@@ -26,10 +26,7 @@ impl ModelSpec {
                 Space::Edge => graph.num_edges(),
                 Space::Param => dim.heads,
             };
-            out.insert(
-                name.clone(),
-                init.uniform(&[rows, dim.total()], -1.0, 1.0),
-            );
+            out.insert(name.clone(), init.uniform(&[rows, dim.total()], -1.0, 1.0));
         }
         for (name, rows, cols) in &self.params {
             out.insert(name.clone(), init.matrix(*rows, *cols));

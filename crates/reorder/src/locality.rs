@@ -79,7 +79,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Self { tree: vec![0; n + 1] }
+        Self {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i64) {

@@ -35,7 +35,10 @@ impl fmt::Display for PermutationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PermutationError::NotBijective { id } => {
-                write!(f, "permutation is not bijective: id {id} repeated or missing")
+                write!(
+                    f,
+                    "permutation is not bijective: id {id} repeated or missing"
+                )
             }
             PermutationError::OutOfRange { id, len } => {
                 write!(f, "permutation id {id} out of range for length {len}")

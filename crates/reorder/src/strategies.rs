@@ -330,7 +330,9 @@ mod tests {
         // Fisher–Yates with a tiny LCG, fixed seed.
         let mut state = 0x2545_f491_u64;
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             ids.swap(i, j);
         }

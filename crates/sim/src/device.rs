@@ -312,8 +312,7 @@ mod tests {
         let stats = uniform_stats();
         let free = d.kernel_latency_with(&p, &stats, &KernelEffects::default());
         // 16 KB per group on a 64 KB SM → 4 resident groups of 32.
-        let pressured =
-            d.kernel_latency_with(&p, &stats, &KernelEffects::shared_memory(16 << 10));
+        let pressured = d.kernel_latency_with(&p, &stats, &KernelEffects::shared_memory(16 << 10));
         assert!(
             pressured > free * 4.0,
             "occupancy 4/32 should slow compute ≥ 4×: {free} -> {pressured}"

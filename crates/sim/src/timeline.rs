@@ -165,7 +165,14 @@ fn truncate_label(s: &str, max: usize) -> String {
     if s.len() <= max {
         s.to_owned()
     } else {
-        format!("{}…", &s[..s.char_indices().take(max - 1).last().map_or(0, |(i, c)| i + c.len_utf8())])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(max - 1)
+                .last()
+                .map_or(0, |(i, c)| i + c.len_utf8())]
+        )
     }
 }
 
@@ -236,7 +243,12 @@ mod tests {
     #[test]
     fn display_renders_rows_and_total() {
         let mut t = Timeline::new();
-        t.record("very_long_kernel_name_that_overflows_the_column", TracePhase::Forward, profile(1), 1e-6);
+        t.record(
+            "very_long_kernel_name_that_overflows_the_column",
+            TracePhase::Forward,
+            profile(1),
+            1e-6,
+        );
         let s = t.to_string();
         assert!(s.contains("total:"));
         assert!(s.contains("forward"));

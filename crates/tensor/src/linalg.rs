@@ -1,6 +1,6 @@
 //! Matrix multiplication and transposition.
 //!
-//! `matmul` parallelizes over row blocks with `crossbeam::scope` when the
+//! `matmul` parallelizes over row blocks with `std::thread::scope` when the
 //! problem is large enough to amortize thread spawning; the kernel itself is
 //! a cache-friendly ikj loop.
 
@@ -54,14 +54,13 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let chunks: Vec<&mut [f32]> = out.as_mut_slice().chunks_mut(rows_per * n).collect();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (ci, chunk) in chunks.into_iter().enumerate() {
                 let a_off = ci * rows_per * k;
                 let a_part = &a[a_off..(a_off + (chunk.len() / n) * k)];
-                s.spawn(move |_| matmul_block(a_part, b, chunk, k, n));
+                s.spawn(move || matmul_block(a_part, b, chunk, k, n));
             }
-        })
-        .expect("matmul worker panicked");
+        });
         Ok(out)
     }
 

@@ -12,9 +12,7 @@ mod optim;
 mod schedule;
 mod trainer;
 
-pub use loss::{
-    accuracy, accuracy_masked, softmax_cross_entropy, softmax_cross_entropy_masked,
-};
+pub use loss::{accuracy, accuracy_masked, softmax_cross_entropy, softmax_cross_entropy_masked};
 pub use metrics::ConfusionMatrix;
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use schedule::{ConstantLr, CosineAnnealing, EarlyStopping, LrSchedule, StepDecay, Warmup};

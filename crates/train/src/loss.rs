@@ -42,11 +42,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
         return 0.0;
     }
     let pred = logits.argmax_cols().expect("at least one class column");
-    let hits = pred
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count();
+    let hits = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
     hits as f32 / labels.len() as f32
 }
 

@@ -50,8 +50,7 @@ impl LrSchedule for CosineAnnealing {
             return self.min;
         }
         let progress = epoch as f32 / self.total as f32;
-        self.min
-            + 0.5 * (self.base - self.min) * (1.0 + (std::f32::consts::PI * progress).cos())
+        self.min + 0.5 * (self.base - self.min) * (1.0 + (std::f32::consts::PI * progress).cos())
     }
 }
 

@@ -188,7 +188,10 @@ mod tests {
         let ew: Vec<f32> = (0..g.num_edges())
             .map(|e| 1.0 / g.in_degree(g.dst(e)).max(1) as f32)
             .collect();
-        values.insert("edge_weight".into(), Tensor::new(&[g.num_edges(), 1], ew).unwrap());
+        values.insert(
+            "edge_weight".into(),
+            Tensor::new(&[g.num_edges(), 1], ew).unwrap(),
+        );
         let mut rng = SmallRng::seed_from_u64(1);
         let labels: Vec<usize> = (0..24).map(|_| rng.gen_range(0..3)).collect();
         let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
@@ -196,10 +199,7 @@ mod tests {
         let reports = trainer.fit(&labels, 150).unwrap();
         let first = reports.first().unwrap().loss;
         let last = reports.last().unwrap().loss;
-        assert!(
-            last < first * 0.8,
-            "loss should decrease: {first} → {last}"
-        );
+        assert!(last < first * 0.8, "loss should decrease: {first} → {last}");
     }
 
     fn gcn_fixture() -> (
@@ -262,8 +262,8 @@ mod tests {
         let (g, spec, values, labels) = gcn_fixture();
         let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
         let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
-        let mut trainer = Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.0))
-            .with_clip_norm(5.0);
+        let mut trainer =
+            Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.0)).with_clip_norm(5.0);
         let schedule = crate::CosineAnnealing {
             base: 1.0,
             min: 0.01,
@@ -275,6 +275,10 @@ mod tests {
         let reports = trainer
             .fit_scheduled(&labels, 200, &schedule, Some(&mut stopper))
             .unwrap();
-        assert!(reports.len() <= 2, "stopper must truncate: {}", reports.len());
+        assert!(
+            reports.len() <= 2,
+            "stopper must truncate: {}",
+            reports.len()
+        );
     }
 }

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let before = locality::lru_hit_rate(&el, cache_rows);
         let after = locality::lru_hit_rate(&perm.apply_to_edges(&el), cache_rows);
-        println!("  {name:<8} hit rate {:.1}% → {:.1}%", before * 100.0, after * 100.0);
+        println!(
+            "  {name:<8} hit rate {:.1}% → {:.1}%",
+            before * 100.0,
+            after * 100.0
+        );
     }
 
     // 2. Neighbor grouping: flatten the skew seen by vertex-balanced

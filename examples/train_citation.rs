@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .max()
                 .copied()
                 .unwrap_or(v as u32) as usize;
-            (hub + rng.gen_range(0..2)) % ds.num_classes
+            (hub + rng.gen_range(0..2usize)) % ds.num_classes
         })
         .collect();
 

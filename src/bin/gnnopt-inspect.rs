@@ -18,7 +18,8 @@ use gnnopt::models::*;
 use gnnopt::sim::{Device, Timeline, TracePhase};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: gnnopt-inspect <model> <preset> <view> [--device 3090|2080] [--inference]
+const USAGE: &str =
+    "usage: gnnopt-inspect <model> <preset> <view> [--device 3090|2080] [--inference]
   model:  gat | gatv2 | edgeconv | monet | gcn | sage | gin | appnp
   preset: dgl | fusegnn | ours
   view:   ir | plan | dot | timeline | json";
@@ -101,7 +102,10 @@ fn main() -> ExitCode {
                 compiled.plan.aux_stash.len()
             );
         }
-        "dot" => print!("{}", display::to_dot(&compiled.plan.ir, Some(&compiled.plan))),
+        "dot" => print!(
+            "{}",
+            display::to_dot(&compiled.plan.ir, Some(&compiled.plan))
+        ),
         "timeline" | "json" => {
             let mut timeline = Timeline::new();
             let profiles = compiled.plan.profiles(&stats);
@@ -117,12 +121,20 @@ fn main() -> ExitCode {
                     .map(|&n| compiled.plan.ir.node(n).name.as_str())
                     .collect::<Vec<_>>()
                     .join("+");
-                timeline.record(name, phase, *profile, device.kernel_latency(profile, &stats));
+                timeline.record(
+                    name,
+                    phase,
+                    *profile,
+                    device.kernel_latency(profile, &stats),
+                );
             }
             if view == "json" {
                 println!("{}", timeline.to_json().expect("trace serializes"));
             } else {
-                println!("# {} / {} on {} (Reddit full-scale stats)", model_name, preset_name, device.name);
+                println!(
+                    "# {} / {} on {} (Reddit full-scale stats)",
+                    model_name, preset_name, device.name
+                );
                 println!("{timeline}");
                 for phase in [TracePhase::Forward, TracePhase::Backward] {
                     let b = timeline.breakdown(phase);

@@ -20,6 +20,24 @@
 //! * [`mod@bench`] — the experiment harness behind every figure binary.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
+//!
+//! # Building and testing
+//!
+//! The workspace builds with stable Rust (pinned via
+//! `rust-toolchain.toml`) and has **no crates.io dependencies**: the
+//! four external crates the code uses (`rand`, `serde`, `proptest`,
+//! `criterion`) are vendored as API-compatible subsets under `vendor/`,
+//! so a plain checkout builds fully offline.
+//!
+//! ```text
+//! cargo build --release      # everything, including the 13 figure binaries
+//! cargo test -q              # unit + integration + property + doc tests
+//! cargo bench --no-run       # compile-check the criterion benches
+//! cargo run --example quickstart
+//! ```
+//!
+//! Property suites honour `PROPTEST_CASES` as a hard cap on cases (CI
+//! sets 32) and `PROPTEST_SEED` to reproduce a reported failure.
 
 pub use gnnopt_bench as bench;
 pub use gnnopt_core as core;

@@ -1,9 +1,7 @@
 //! Shared helpers for integration tests: a random-model-IR generator used
 //! by the fusion-invariant and gradient property suites.
 
-use gnnopt::core::{
-    BinaryFn, Dim, EdgeGroup, IrGraph, ReduceFn, ScatterFn, Space, UnaryFn,
-};
+use gnnopt::core::{BinaryFn, Dim, EdgeGroup, IrGraph, ReduceFn, ScatterFn, Space, UnaryFn};
 use proptest::prelude::*;
 
 /// One randomly chosen IR-building step. The builder tracks the current

@@ -9,8 +9,8 @@ mod common;
 
 use common::{arb_steps, build_ir};
 use gnnopt::core::fusion::{partition, MappingPolicy};
-use gnnopt::core::{EdgeGroup, FusionLevel, IrGraph, NodeId, OpKind, ScatterFn, Space};
 use gnnopt::core::{compile, CompileOptions};
+use gnnopt::core::{EdgeGroup, FusionLevel, IrGraph, NodeId, OpKind, ScatterFn, Space};
 use gnnopt::sim::ThreadMapping;
 use proptest::prelude::*;
 use std::collections::HashMap;

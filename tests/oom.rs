@@ -13,8 +13,15 @@ fn dgl_gat_reddit_needs_3090_ours_fits_2080() {
     let rtx2080 = Device::rtx2080();
     let rtx3090 = Device::rtx3090();
 
-    let dgl_2080 = run_variant("DGL", &wl.ir, &wl.stats, &CompileOptions::dgl(), true, &rtx2080)
-        .expect("dgl compiles");
+    let dgl_2080 = run_variant(
+        "DGL",
+        &wl.ir,
+        &wl.stats,
+        &CompileOptions::dgl(),
+        true,
+        &rtx2080,
+    )
+    .expect("dgl compiles");
     assert!(
         dgl_2080.fits.is_err(),
         "DGL's stash-everything plan must OOM on 8 GB: got {:?}",
@@ -38,8 +45,15 @@ fn dgl_gat_reddit_needs_3090_ours_fits_2080() {
 
     // Comparable latency: ours-on-2080 within 2× of DGL-on-3090 (the
     // paper reports parity or better).
-    let dgl_3090 = run_variant("DGL", &wl.ir, &wl.stats, &CompileOptions::dgl(), true, &rtx3090)
-        .expect("dgl compiles");
+    let dgl_3090 = run_variant(
+        "DGL",
+        &wl.ir,
+        &wl.stats,
+        &CompileOptions::dgl(),
+        true,
+        &rtx3090,
+    )
+    .expect("dgl compiles");
     assert!(
         ours_2080.stats.latency < dgl_3090.stats.latency * 2.0,
         "ours on 2080 ({:.1} ms) should be comparable to DGL on 3090 ({:.1} ms)",
@@ -52,8 +66,15 @@ fn dgl_gat_reddit_needs_3090_ours_fits_2080() {
 fn monet_reddit_memory_ordering_holds_on_both_devices() {
     let wl = monet_ablation(&datasets::reddit()).expect("monet workload");
     for device in [Device::rtx3090(), Device::rtx2080()] {
-        let dgl = run_variant("DGL", &wl.ir, &wl.stats, &CompileOptions::dgl(), true, &device)
-            .expect("dgl compiles");
+        let dgl = run_variant(
+            "DGL",
+            &wl.ir,
+            &wl.stats,
+            &CompileOptions::dgl(),
+            true,
+            &device,
+        )
+        .expect("dgl compiles");
         let ours = run_variant(
             "Ours",
             &wl.ir,

@@ -1,0 +1,179 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this crate keeps
+//! the workspace's benches compiling and runnable: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, [`black_box`],
+//! and the [`macro@criterion_group!`] / [`macro@criterion_main!`]
+//! macros. Measurement is a simple median over `sample_size` samples —
+//! no warm-up model, outlier statistics, or HTML reports. CI only
+//! compile-checks benches (`cargo bench --no-run`); treat local numbers
+//! as relative indicators, exactly as the seed's bench docs already do.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(self.sample_size, &name.into(), &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing a `Criterion` configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion.sample_size, &label, &mut f);
+    }
+
+    /// Runs one benchmark of the group against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion.sample_size, &label, &mut |b| f(b, input));
+    }
+
+    /// Finishes the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{parameter}", name.into()))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        Self(s.into())
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (called repeatedly across samples).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+    }
+}
+
+fn run_one(sample_size: usize, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut samples: Vec<u128> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher::default();
+            f(&mut b);
+            if b.iters == 0 {
+                0
+            } else {
+                b.elapsed_ns / u128::from(b.iters)
+            }
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{label}: median {} per iter ({sample_size} samples)",
+        fmt_ns(median)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,140 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the property-testing surface the workspace uses:
+//! the [`macro@proptest!`] macro, `prop_assert*` / [`macro@prop_assume!`] /
+//! [`macro@prop_oneof!`], [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_perturb`, [`strategy::Just`], range and tuple
+//! strategies, and [`collection::vec`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its RNG seed and case
+//!   number instead of a minimized input. Re-run with
+//!   `PROPTEST_SEED=<seed>` to reproduce the exact failing stream.
+//! * **Deterministic by default.** Runs use a fixed seed so CI is
+//!   reproducible; set `PROPTEST_SEED` to explore other streams.
+//! * **`PROPTEST_CASES` is a hard cap**: it bounds even suites that set
+//!   an explicit `ProptestConfig::with_cases`, which is how CI keeps
+//!   the property suites fast.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-imported surface test files expect.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            $crate::proptest!(@run ($cfg), ($($args)*), $body);
+        }
+    )*};
+    (@run ($cfg:expr), ($($pat:pat in $strategy:expr),+ $(,)?), $body:block) => {{
+        let mut runner = $crate::test_runner::TestRunner::new($cfg);
+        let strategy = ($($strategy,)+);
+        if let ::std::result::Result::Err(e) = runner.run(&strategy, |($($pat,)+)| {
+            $body
+            ::std::result::Result::Ok(())
+        }) {
+            ::std::panic!("{}", e);
+        }
+    }};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case with a formatted message if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{} (at {}:{})",
+                    ::std::format!($($fmt)*),
+                    ::std::file!(),
+                    ::std::line!()
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the operands are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (without failing) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among the given same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,171 @@
+//! The case-generation loop: configuration, the test RNG, and the
+//! runner the [`crate::proptest!`] macro drives.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Default seed for deterministic runs (override with `PROPTEST_SEED`).
+const DEFAULT_SEED: u64 = 0x676e_6e6f_7074_2d31; // "gnnopt-1"
+
+/// Per-suite configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated across the run.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases (before the `PROPTEST_CASES` cap).
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (not a failure).
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The random source strategies draw from. Wraps the vendored
+/// `rand::rngs::SmallRng`; `prop_perturb` closures receive a fork.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Splits off an independent generator (for `prop_perturb`).
+    pub(crate) fn fork(&mut self) -> Self {
+        Self::from_seed(self.next_u64())
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}
+
+/// Generates cases from a strategy and applies the test closure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner, applying the `PROPTEST_CASES` cap and the
+    /// `PROPTEST_SEED` override from the environment.
+    pub fn new(mut config: Config) -> Self {
+        if let Some(cap) = env_u64("PROPTEST_CASES") {
+            config.cases = config.cases.min(cap.min(u64::from(u32::MAX)) as u32);
+        }
+        let seed = env_u64("PROPTEST_SEED").unwrap_or(DEFAULT_SEED);
+        Self {
+            config,
+            rng: TestRng::from_seed(seed),
+            seed,
+        }
+    }
+
+    /// Runs `test` over `config.cases` generated inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable report (seed + case number + message)
+    /// for the first failing case, or when `prop_assume!` rejects too
+    /// many cases.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "proptest aborted: {rejected} cases rejected by prop_assume! \
+                             (last: {reason}) with only {passed} passes \
+                             [seed {seed:#018x}]",
+                            seed = self.seed,
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(format!(
+                        "proptest case #{case} failed: {msg}\n\
+                         (no shrinking in the vendored proptest; rerun with \
+                         PROPTEST_SEED={seed:#018x} to reproduce)",
+                        case = passed + rejected,
+                        seed = self.seed,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: ignoring unparseable {name}={raw}");
+            None
+        }
+    }
+}

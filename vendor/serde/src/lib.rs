@@ -1,0 +1,323 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the surface the workspace actually uses: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` plus the trait pair behind them, built on an
+//! explicit [`Value`] tree instead of serde's visitor architecture. The
+//! companion `serde_json` vendored crate renders and parses [`Value`]s
+//! as JSON.
+//!
+//! Supported out of the box: primitives, `String`, `Vec<T>`, `Option<T>`
+//! (as JSON null), `Result<T, E>` (externally tagged, as real serde),
+//! and anything deriving the traits (named-field structs and unit-only
+//! enums; see `serde_derive`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value — the crate's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (used for `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (JSON number without fraction/exponent).
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree (the vendored analogue of
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] tree (the vendored analogue of
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Deserializes a value of `Self` from `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `v` has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Derive-support helpers (referenced by serde_derive expansions).
+// ---------------------------------------------------------------------
+
+/// Asserts `v` is an object; `ty` names the deserialized type in errors.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `v` is not an object.
+pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    v.as_object()
+        .ok_or_else(|| Error::custom(format!("expected object for `{ty}`")))
+}
+
+/// Asserts `v` is a string; `ty` names the deserialized type in errors.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `v` is not a string.
+pub fn expect_str<'v>(v: &'v Value, ty: &str) -> Result<&'v str, Error> {
+    v.as_str()
+        .ok_or_else(|| Error::custom(format!("expected string for `{ty}`")))
+}
+
+/// Looks up `name` in `obj` and deserializes it; `ty` names the
+/// containing type in errors.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the field is missing or has the wrong shape.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` in `{ty}`")))?;
+    T::from_value(v).map_err(|e| Error::custom(format!("field `{ty}.{name}`: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls.
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                i64::try_from(v).map_or(Value::UInt(v), Value::Int)
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        self.as_ref().map_or(Value::Null, Serialize::to_value)
+    }
+}
+
+/// Externally tagged, matching real serde: `{"Ok": v}` / `{"Err": e}`.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        let (tag, v) = match self {
+            Ok(v) => ("Ok", v.to_value()),
+            Err(e) => ("Err", e.to_value()),
+        };
+        Value::Object(vec![(tag.to_owned(), v)])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let err = || Error::custom(concat!("expected ", stringify!($t)));
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| err()),
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| err()),
+                    // Accept integral floats (JSON has one number type).
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_object() {
+            Some([(tag, inner)]) if tag == "Ok" => T::from_value(inner).map(Ok),
+            Some([(tag, inner)]) if tag == "Err" => E::from_value(inner).map(Err),
+            _ => Err(Error::custom("expected {\"Ok\": ...} or {\"Err\": ...}")),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

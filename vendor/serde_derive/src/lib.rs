@@ -1,0 +1,243 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so these derives are
+//! hand-rolled on top of `proc_macro` alone (no `syn`/`quote`). They
+//! cover exactly the shapes the workspace serializes:
+//!
+//! * structs with named fields (any visibility, no generics), and
+//! * enums whose variants are all unit variants (serialized as their
+//!   name string),
+//!
+//! targeting the value-tree data model of the vendored `serde` crate
+//! (`Serialize::to_value` / `Deserialize::from_value`). Unsupported
+//! shapes produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed derive input: the type name plus its field or variant names.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` (or `!` `[...]`, not expected here).
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the struct/enum the derive was applied to.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generics (on `{name}`)"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+            "vendored serde derive supports only brace-bodied types, found {other:?} on `{name}`"
+        ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        }),
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Parses `field: Type, ...`, returning the field names. Types are
+/// skipped with angle-bracket depth tracking so `Vec<(A, B)>`-style
+/// commas do not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected field name, found {tt:?}"));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses `Variant, ...`, rejecting payload-carrying variants.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected variant name, found {tt:?}"));
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "vendored serde derive supports only unit enum variants (`{}` has a payload)",
+                    variants.last().unwrap()
+                ))
+            }
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![\n"
+            );
+            for f in &fields {
+                let _ = writeln!(
+                    out,
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            out.push_str("])\n}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            );
+            for v in &variants {
+                let _ = writeln!(
+                    out,
+                    "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),"
+                );
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let obj = ::serde::expect_object(v, {name:?})?;\n\
+                 ::std::result::Result::Ok(Self {{\n"
+            );
+            for f in &fields {
+                let _ = writeln!(out, "{f}: ::serde::field(obj, {f:?}, {name:?})?,");
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match ::serde::expect_str(v, {name:?})? {{\n"
+            );
+            for v in &variants {
+                let _ = writeln!(out, "{v:?} => ::std::result::Result::Ok({name}::{v}),");
+            }
+            let _ = writeln!(
+                out,
+                "other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"unknown {name} variant `{{other}}`\"))),"
+            );
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse().unwrap()
+}
