@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --release -p gnnopt-bench --bin cost_model_table`.
 
-use gnnopt_core::{compile, CompileOptions, FusionLevel, Phase, RecomputeScope};
+use gnnopt_core::{compile, CompileOptions, ExecPolicy, FusionLevel, Phase, RecomputeScope};
 use gnnopt_graph::GraphStats;
 use gnnopt_models::{gat, GatConfig};
 use gnnopt_sim::ThreadMapping;
@@ -41,6 +41,7 @@ fn main() {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
+        exec: ExecPolicy::auto(),
     };
     let device = gnnopt_sim::Device::rtx3090();
     // Count only the attention-score portion: everything except the

@@ -7,7 +7,7 @@
 //! Run with `cargo run --release -p gnnopt-bench --bin fig10_recompute`.
 
 use gnnopt_bench::{gat_ablation, gib, monet_ablation, run_variant, VariantResult};
-use gnnopt_core::{CompileOptions, FusionLevel, RecomputeScope};
+use gnnopt_core::{CompileOptions, ExecPolicy, FusionLevel, RecomputeScope};
 use gnnopt_graph::datasets;
 use gnnopt_sim::Device;
 
@@ -18,6 +18,7 @@ fn variants() -> Vec<(&'static str, CompileOptions)> {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
+        exec: ExecPolicy::auto(),
     };
     vec![
         // "w/o fusion" retains the standard built-in fused kernels

@@ -7,7 +7,7 @@
 //! Run with `cargo run --release -p gnnopt-bench --bin fig8_reorg`.
 
 use gnnopt_bench::{edgeconv_workload, gat_ablation, print_normalized, run_variant};
-use gnnopt_core::{CompileOptions, FusionLevel, RecomputeScope};
+use gnnopt_core::{CompileOptions, ExecPolicy, FusionLevel, RecomputeScope};
 use gnnopt_graph::datasets;
 use gnnopt_models::EdgeConvConfig;
 use gnnopt_sim::Device;
@@ -19,6 +19,7 @@ fn variant(reorg: bool) -> CompileOptions {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
+        exec: ExecPolicy::auto(),
     }
 }
 

@@ -8,7 +8,7 @@
 use gnnopt_bench::{
     edgeconv_workload, gat_ablation, monet_ablation, print_normalized, run_variant,
 };
-use gnnopt_core::{CompileOptions, FusionLevel, RecomputeScope};
+use gnnopt_core::{CompileOptions, ExecPolicy, FusionLevel, RecomputeScope};
 use gnnopt_graph::datasets;
 use gnnopt_models::EdgeConvConfig;
 use gnnopt_sim::Device;
@@ -20,6 +20,7 @@ fn variant(fusion: FusionLevel) -> CompileOptions {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
+        exec: ExecPolicy::auto(),
     }
 }
 

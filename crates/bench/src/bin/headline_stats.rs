@@ -8,7 +8,7 @@
 //! Run with `cargo run --release -p gnnopt-bench --bin headline_stats`.
 
 use gnnopt_bench::{edgeconv_workload, gat_ablation};
-use gnnopt_core::{compile, CompileOptions, FusionLevel, RecomputeScope};
+use gnnopt_core::{compile, CompileOptions, ExecPolicy, FusionLevel, RecomputeScope};
 use gnnopt_graph::datasets;
 use gnnopt_models::EdgeConvConfig;
 use gnnopt_sim::Device;
@@ -24,6 +24,7 @@ fn main() {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
+        exec: ExecPolicy::auto(),
     };
     let naive = compile(&wl.ir, false, &base).expect("naive");
     let reorg = compile(

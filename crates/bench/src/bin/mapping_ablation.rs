@@ -11,7 +11,7 @@
 
 use gnnopt_bench::run_variant;
 use gnnopt_core::fusion::MappingPolicy;
-use gnnopt_core::{CompileOptions, FusionLevel, RecomputeScope};
+use gnnopt_core::{CompileOptions, ExecPolicy, FusionLevel, RecomputeScope};
 use gnnopt_graph::GraphStats;
 use gnnopt_models::{edgeconv, EdgeConvConfig};
 use gnnopt_sim::Device;
@@ -23,6 +23,7 @@ fn options(policy: MappingPolicy) -> CompileOptions {
         mapping: policy,
         recompute: RecomputeScope::All,
         recompute_threshold: 16.0,
+        exec: ExecPolicy::auto(),
     }
 }
 

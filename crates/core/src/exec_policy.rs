@@ -1,0 +1,112 @@
+//! The execution policy: how the CPU reference executor runs the
+//! compiled kernels.
+//!
+//! The compiler's output (the [`crate::plan::ExecutionPlan`]) describes
+//! *what* to run; [`ExecPolicy`] describes *how wide* to run it on the
+//! host CPU. It is carried by [`crate::pipeline::CompileOptions`] into the
+//! plan so a single compile call fixes both, and `gnnopt-exec` resolves
+//! the `threads = 0` auto marker against the shared pool-size detection in
+//! `gnnopt_tensor::parallel` (which honours the `GNNOPT_THREADS`
+//! environment override).
+
+/// Thread-parallelism policy for the CPU reference executor.
+///
+/// The parallel kernels partition their output over contiguous row (or CSR
+/// vertex) ranges with deterministic chunk boundaries, so for any
+/// `threads` value the result is **bit-identical** to the serial path —
+/// no floating-point reduction ever crosses a chunk boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker threads for graph/row kernels. `0` means auto-detect: the
+    /// `GNNOPT_THREADS` environment variable when set, else hardware
+    /// parallelism (resolved by the executor at session creation).
+    pub threads: usize,
+    /// Minimum per-kernel work (output elements, or edge touches for
+    /// gather-style kernels) below which the kernel stays serial; thread
+    /// spawning would otherwise dominate.
+    pub parallel_threshold: usize,
+}
+
+impl ExecPolicy {
+    /// Work threshold below which parallel dispatch is not worth the
+    /// `std::thread::scope` spawn overhead (~tens of µs per worker).
+    pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 17;
+
+    /// Auto-detected thread count (the default for every preset).
+    pub fn auto() -> Self {
+        Self {
+            threads: 0,
+            parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Single-threaded reference execution.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// An explicit thread count (still subject to the work threshold).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// True when this policy requests auto-detection.
+    pub fn is_auto(&self) -> bool {
+        self.threads == 0
+    }
+
+    /// Resolves the auto marker with the given detector, leaving explicit
+    /// thread counts untouched.
+    pub fn resolved(self, detect: impl FnOnce() -> usize) -> Self {
+        Self {
+            threads: if self.threads == 0 {
+                detect().max(1)
+            } else {
+                self.threads
+            },
+            ..self
+        }
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_via_detector() {
+        let p = ExecPolicy::auto().resolved(|| 6);
+        assert_eq!(p.threads, 6);
+        assert_eq!(p.parallel_threshold, ExecPolicy::DEFAULT_PARALLEL_THRESHOLD);
+    }
+
+    #[test]
+    fn explicit_threads_win_over_detector() {
+        let p = ExecPolicy::with_threads(3).resolved(|| 12);
+        assert_eq!(p.threads, 3);
+    }
+
+    #[test]
+    fn detector_zero_clamps_to_one() {
+        assert_eq!(ExecPolicy::auto().resolved(|| 0).threads, 1);
+    }
+
+    #[test]
+    fn serial_is_one_thread() {
+        assert_eq!(ExecPolicy::serial().threads, 1);
+        assert!(!ExecPolicy::serial().is_auto());
+        assert!(ExecPolicy::default().is_auto());
+    }
+}

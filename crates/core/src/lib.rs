@@ -36,6 +36,7 @@ pub mod autodiff;
 pub mod checkpoint;
 pub mod cost;
 pub mod display;
+pub mod exec_policy;
 pub mod fusion;
 pub mod ir;
 pub mod op;
@@ -45,6 +46,7 @@ pub mod recompute;
 pub mod reorg;
 pub mod tune;
 
+pub use exec_policy::ExecPolicy;
 pub use ir::{IrError, IrGraph, Node, Phase};
 pub use op::{BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn};
 pub use pipeline::{compile, CompileOptions, FusionLevel, Preset};

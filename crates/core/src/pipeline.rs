@@ -12,6 +12,7 @@
 //! ablation studies (Figures 8–10).
 
 use crate::autodiff::{append_backward, BackwardResult};
+use crate::exec_policy::ExecPolicy;
 use crate::fusion::{duplicate_copy_scatters, partition, MappingPolicy};
 use crate::ir::{IrError, IrGraph, Result};
 use crate::plan::ExecutionPlan;
@@ -44,6 +45,8 @@ pub struct CompileOptions {
     pub recompute: RecomputeScope,
     /// Recompute threshold (FLOPs per rebuilt element).
     pub recompute_threshold: f64,
+    /// CPU thread-parallelism policy for the reference executor.
+    pub exec: ExecPolicy,
 }
 
 impl CompileOptions {
@@ -56,6 +59,7 @@ impl CompileOptions {
                 mapping: MappingPolicy::Auto,
                 recompute: RecomputeScope::FusedInternalsOnly,
                 recompute_threshold: 16.0,
+                exec: ExecPolicy::auto(),
             },
             Preset::FuseGnn => Self {
                 reorg: false,
@@ -63,6 +67,7 @@ impl CompileOptions {
                 mapping: MappingPolicy::Auto,
                 recompute: RecomputeScope::FusedInternalsOnly,
                 recompute_threshold: 16.0,
+                exec: ExecPolicy::auto(),
             },
             Preset::Ours => Self {
                 reorg: true,
@@ -70,6 +75,7 @@ impl CompileOptions {
                 mapping: MappingPolicy::Auto,
                 recompute: RecomputeScope::All,
                 recompute_threshold: 16.0,
+                exec: ExecPolicy::auto(),
             },
         }
     }
@@ -186,6 +192,7 @@ pub fn compile(ir: &IrGraph, training: bool, opts: &CompileOptions) -> Result<Co
             aux_stash: aux,
             param_grads,
             training,
+            exec: opts.exec,
         },
         backward,
         reorg: reorg_report,

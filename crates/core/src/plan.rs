@@ -8,6 +8,7 @@
 //! (`gnnopt-sim`).
 
 use crate::cost::CostModel;
+use crate::exec_policy::ExecPolicy;
 use crate::ir::{IrGraph, Phase};
 use crate::op::{NodeId, OpKind};
 use gnnopt_graph::GraphStats;
@@ -57,6 +58,9 @@ pub struct ExecutionPlan {
     pub param_grads: Vec<(NodeId, NodeId)>,
     /// Whether the plan includes a backward pass.
     pub training: bool,
+    /// CPU thread-parallelism policy the reference executor should run
+    /// this plan under (from [`crate::pipeline::CompileOptions::exec`]).
+    pub exec: ExecPolicy,
 }
 
 impl ExecutionPlan {

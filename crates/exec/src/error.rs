@@ -24,6 +24,8 @@ pub enum ExecError {
     },
     /// The session is not in the right state for the call.
     Protocol(String),
+    /// The execution policy (or its `GNNOPT_THREADS` override) is invalid.
+    Policy(String),
     /// Underlying tensor error.
     Tensor(TensorError),
     /// Underlying IR error.
@@ -47,6 +49,7 @@ impl fmt::Display for ExecError {
                 write!(f, "value of node '{node}' is not live (plan inconsistency)")
             }
             ExecError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ExecError::Policy(msg) => write!(f, "execution policy error: {msg}"),
             ExecError::Tensor(e) => write!(f, "tensor error: {e}"),
             ExecError::Ir(e) => write!(f, "ir error: {e}"),
         }

@@ -3,61 +3,243 @@
 //! Layout convention: a tensor with dim `{heads, feat}` is stored as
 //! `[rows, heads*feat]` row-major, head-major within a row (head `h`'s
 //! features occupy columns `h*feat .. (h+1)*feat`).
+//!
+//! # Thread parallelism
+//!
+//! Every kernel whose output rows are independent takes an
+//! [`ExecPolicy`] and partitions its work over `std::thread::scope`
+//! workers (the same pattern as `Tensor::matmul`, sharing the pool size
+//! via `gnnopt_tensor::parallel`):
+//!
+//! * **row-partitioned** kernels (scatter, elementwise, head ops, MoNet
+//!   weights) split the output into contiguous row ranges;
+//! * **vertex-partitioned** kernels (gather, edge softmax and its
+//!   backward) split the CSR vertex range; because canonical edge ids are
+//!   destination-major, each vertex range also owns a *contiguous* block
+//!   of edge rows, so `ByDst` edge-space outputs split without atomics.
+//!
+//! Chunk boundaries depend only on `(rows, threads)` and every output
+//! element is computed by exactly the same expression and accumulation
+//! order as the serial path — no reduction crosses a chunk boundary — so
+//! results are **bit-identical** to serial execution for any thread
+//! count (property-tested in `tests/parallel.rs`).
+//!
+//! Kernels that reduce *across* rows into a small parameter-shaped output
+//! ([`head_dot_bwd_param`], [`gaussian_bwd_mu`], [`gaussian_bwd_sigma`])
+//! and the scattered-write [`gather_max_bwd`] stay serial: partitioning
+//! them would either reorder floating-point accumulation (breaking the
+//! determinism guarantee) or race on output rows.
+//!
+//! # Empty-group (isolated-vertex) semantics
+//!
+//! Grouped reductions over vertices with no incident edges follow an
+//! explicit identity-element contract:
+//!
+//! * [`gather`] with `Sum`/`Mean` leaves empty rows at `0.0` (the sum
+//!   identity; `Mean` never divides by a zero degree);
+//! * [`gather`] with `Max` leaves empty rows at `0.0` — **not** `-inf` —
+//!   and marks every element with the [`NO_ARGMAX`] sentinel, which
+//!   [`gather_max_bwd`] uses to route *no* gradient to any edge;
+//! * [`edge_softmax`] stashes `-inf` max and `0.0` denominator for empty
+//!   destination groups (the true identities of max / sum-of-exp). Those
+//!   rows are never read back: every edge belongs to a non-empty group,
+//!   so [`edge_softmax_from_aux`] and [`edge_softmax_bwd`] only touch
+//!   auxiliaries of vertices with in-degree ≥ 1.
+//!
+//! The contract is asserted on graphs with isolated vertices in this
+//! module's tests and exercised by the property suites, whose graph
+//! generators emit isolated vertices on purpose.
 
-use gnnopt_core::{BinaryFn, Dim, EdgeGroup, ReduceFn, ScatterFn, UnaryFn};
+use gnnopt_core::{BinaryFn, Dim, EdgeGroup, ExecPolicy, ReduceFn, ScatterFn, UnaryFn};
 use gnnopt_graph::Graph;
 use gnnopt_tensor::Tensor;
+use std::ops::Range;
 
 /// Sentinel argmax entry for empty reduction groups.
 pub const NO_ARGMAX: u32 = u32::MAX;
 
-/// `Scatter`: per-edge combination of endpoint features.
-pub fn scatter(g: &Graph, f: ScatterFn, x: &Tensor, y: &Tensor, out_dim: Dim) -> Tensor {
+/// Effective worker count for a kernel of `rows` independent rows and
+/// `work` total touched elements: serial below the policy threshold, and
+/// never more workers than rows.
+fn plan_threads(policy: &ExecPolicy, rows: usize, work: usize) -> usize {
+    if work < policy.parallel_threshold {
+        1
+    } else {
+        policy.threads.clamp(1, rows.max(1))
+    }
+}
+
+/// Deterministic chunk boundaries over `rows`: a function of
+/// `(rows, threads)` only, so a given policy always yields the same
+/// partition (and the partition never affects results anyway — chunks are
+/// data-disjoint).
+fn chunk_bounds(rows: usize, threads: usize) -> Vec<usize> {
+    let per = rows.div_ceil(threads.max(1)).max(1);
+    let mut bounds = vec![0];
+    while *bounds.last().expect("bounds is non-empty") < rows {
+        bounds.push((bounds.last().expect("non-empty") + per).min(rows));
+    }
+    bounds
+}
+
+/// Splits a row-major buffer of `cols`-wide rows into the consecutive
+/// chunks delimited by `bounds`.
+fn split_rows<'a, T>(mut buf: &'a mut [T], cols: usize, bounds: &[usize]) -> Vec<&'a mut [T]> {
+    let mut chunks = Vec::with_capacity(bounds.len().saturating_sub(1));
+    for w in bounds.windows(2) {
+        let (head, rest) = buf.split_at_mut((w[1] - w[0]) * cols);
+        chunks.push(head);
+        buf = rest;
+    }
+    chunks
+}
+
+/// Runs `body(row_range, chunk)` over disjoint contiguous row ranges of
+/// `out`, in parallel when the policy allows. `chunk` is the sub-slice
+/// holding exactly the rows of `row_range` (local row `i` of the chunk is
+/// global row `row_range.start + i`).
+fn par_rows<F>(policy: &ExecPolicy, rows: usize, cols: usize, work: usize, out: &mut [f32], body: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    let threads = plan_threads(policy, rows, work);
+    if threads < 2 || cols == 0 {
+        body(0..rows, out);
+        return;
+    }
+    let bounds = chunk_bounds(rows, threads);
+    let chunks = split_rows(out, cols, &bounds);
+    std::thread::scope(|s| {
+        for (w, chunk) in bounds.windows(2).zip(chunks) {
+            let body = &body;
+            s.spawn(move || body(w[0]..w[1], chunk));
+        }
+    });
+}
+
+/// Runs `body(vertex_range, edge_rows_chunk)` over disjoint destination
+/// vertex ranges. Canonical edge ids are destination-major, so the edges
+/// of vertices `[v0, v1)` occupy the contiguous rows
+/// `[indptr[v0], indptr[v1])` of the edge-space output — each worker's
+/// chunk starts at edge `indptr[vertex_range.start]`.
+fn par_dst_groups<F>(policy: &ExecPolicy, g: &Graph, cols: usize, out: &mut [f32], body: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    let n = g.num_vertices();
+    let threads = plan_threads(policy, n, g.num_edges() * cols);
+    if threads < 2 || cols == 0 {
+        body(0..n, out);
+        return;
+    }
+    let indptr = g.in_adj().indptr();
+    let bounds = chunk_bounds(n, threads);
+    let ebounds: Vec<usize> = bounds.iter().map(|&v| indptr[v]).collect();
+    let chunks = split_rows(out, cols, &ebounds);
+    std::thread::scope(|s| {
+        for (w, chunk) in bounds.windows(2).zip(chunks) {
+            let body = &body;
+            s.spawn(move || body(w[0]..w[1], chunk));
+        }
+    });
+}
+
+/// `Scatter`: per-edge combination of endpoint features (row-partitioned).
+pub fn scatter(
+    policy: &ExecPolicy,
+    g: &Graph,
+    f: ScatterFn,
+    x: &Tensor,
+    y: &Tensor,
+    out_dim: Dim,
+) -> Tensor {
     let m = g.num_edges();
     let total = out_dim.total();
     let mut out = Tensor::zeros(&[m, total]);
+    let work = m * total;
     match f {
         ScatterFn::CopyU => {
-            for e in 0..m {
-                out.row_mut(e).copy_from_slice(x.row(g.src(e)));
-            }
+            par_rows(
+                policy,
+                m,
+                total,
+                work,
+                out.as_mut_slice(),
+                |range, chunk| {
+                    for (i, e) in range.enumerate() {
+                        chunk[i * total..(i + 1) * total].copy_from_slice(x.row(g.src(e)));
+                    }
+                },
+            );
         }
         ScatterFn::CopyV => {
-            for e in 0..m {
-                out.row_mut(e).copy_from_slice(y.row(g.dst(e)));
-            }
+            par_rows(
+                policy,
+                m,
+                total,
+                work,
+                out.as_mut_slice(),
+                |range, chunk| {
+                    for (i, e) in range.enumerate() {
+                        chunk[i * total..(i + 1) * total].copy_from_slice(y.row(g.dst(e)));
+                    }
+                },
+            );
         }
         ScatterFn::Bin(bf) => {
-            for e in 0..m {
-                let (xu, yv) = (x.row(g.src(e)), y.row(g.dst(e)));
-                for ((o, &a), &b) in out.row_mut(e).iter_mut().zip(xu).zip(yv) {
-                    *o = bf.apply(a, b);
-                }
-            }
+            par_rows(
+                policy,
+                m,
+                total,
+                work,
+                out.as_mut_slice(),
+                |range, chunk| {
+                    for (i, e) in range.enumerate() {
+                        let (xu, yv) = (x.row(g.src(e)), y.row(g.dst(e)));
+                        let o = &mut chunk[i * total..(i + 1) * total];
+                        for ((ov, &a), &b) in o.iter_mut().zip(xu).zip(yv) {
+                            *ov = bf.apply(a, b);
+                        }
+                    }
+                },
+            );
         }
         ScatterFn::ConcatUV => {
             // Per-head concatenation.
             let heads = out_dim.heads;
             let fx = x.cols() / heads;
             let fy = y.cols() / heads;
-            for e in 0..m {
-                let (xu, yv) = (x.row(g.src(e)), y.row(g.dst(e)));
-                let o = out.row_mut(e);
-                for h in 0..heads {
-                    let base = h * (fx + fy);
-                    o[base..base + fx].copy_from_slice(&xu[h * fx..(h + 1) * fx]);
-                    o[base + fx..base + fx + fy].copy_from_slice(&yv[h * fy..(h + 1) * fy]);
-                }
-            }
+            par_rows(
+                policy,
+                m,
+                total,
+                work,
+                out.as_mut_slice(),
+                |range, chunk| {
+                    for (i, e) in range.enumerate() {
+                        let (xu, yv) = (x.row(g.src(e)), y.row(g.dst(e)));
+                        let o = &mut chunk[i * total..(i + 1) * total];
+                        for h in 0..heads {
+                            let base = h * (fx + fy);
+                            o[base..base + fx].copy_from_slice(&xu[h * fx..(h + 1) * fx]);
+                            o[base + fx..base + fx + fy].copy_from_slice(&yv[h * fy..(h + 1) * fy]);
+                        }
+                    }
+                },
+            );
         }
     }
     out
 }
 
-/// `Gather`: grouped reduction of edge features into vertex features.
-/// Returns the reduced tensor and, for `Max`, the per-element argmax edge
-/// ids (`NO_ARGMAX` for empty groups).
+/// `Gather`: grouped reduction of edge features into vertex features
+/// (vertex-partitioned). Returns the reduced tensor and, for `Max`, the
+/// per-element argmax edge ids (`NO_ARGMAX` for empty groups).
+///
+/// Empty groups (isolated vertices) keep the `0.0` identity row — see the
+/// module-level contract.
 pub fn gather(
+    policy: &ExecPolicy,
     g: &Graph,
     reduce: ReduceFn,
     group: EdgeGroup,
@@ -70,49 +252,85 @@ pub fn gather(
         EdgeGroup::ByDst => g.in_adj(),
         EdgeGroup::BySrc => g.out_adj(),
     };
+    let work = g.num_edges() * total;
     match reduce {
         ReduceFn::Sum => {
-            for v in 0..n {
-                let o = out.row_mut(v);
-                for &e in adj.edge_ids(v) {
-                    for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
-                        *ov += xv;
+            par_rows(
+                policy,
+                n,
+                total,
+                work,
+                out.as_mut_slice(),
+                |range, chunk| {
+                    for (i, v) in range.enumerate() {
+                        let o = &mut chunk[i * total..(i + 1) * total];
+                        for &e in adj.edge_ids(v) {
+                            for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
+                                *ov += xv;
+                            }
+                        }
                     }
-                }
-            }
+                },
+            );
             (out, None)
         }
         ReduceFn::Mean => {
-            for v in 0..n {
-                let deg = adj.degree(v);
-                if deg == 0 {
-                    continue;
-                }
-                let inv = 1.0 / deg as f32;
-                let o = out.row_mut(v);
-                for &e in adj.edge_ids(v) {
-                    for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
-                        *ov += xv * inv;
+            par_rows(
+                policy,
+                n,
+                total,
+                work,
+                out.as_mut_slice(),
+                |range, chunk| {
+                    for (i, v) in range.enumerate() {
+                        let deg = adj.degree(v);
+                        if deg == 0 {
+                            continue;
+                        }
+                        let inv = 1.0 / deg as f32;
+                        let o = &mut chunk[i * total..(i + 1) * total];
+                        for &e in adj.edge_ids(v) {
+                            for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
+                                *ov += xv * inv;
+                            }
+                        }
                     }
-                }
-            }
+                },
+            );
             (out, None)
         }
         ReduceFn::Max => {
             let mut argmax = vec![NO_ARGMAX; n * total];
-            for v in 0..n {
-                let o = out.row_mut(v);
-                let mut first = true;
-                for &e in adj.edge_ids(v) {
-                    let xr = x.row(e as usize);
-                    for c in 0..total {
-                        if first || xr[c] > o[c] {
-                            o[c] = xr[c];
-                            argmax[v * total + c] = e;
+            let run = |range: Range<usize>, chunk: &mut [f32], am: &mut [u32]| {
+                for (i, v) in range.enumerate() {
+                    let o = &mut chunk[i * total..(i + 1) * total];
+                    let ar = &mut am[i * total..(i + 1) * total];
+                    let mut first = true;
+                    for &e in adj.edge_ids(v) {
+                        let xr = x.row(e as usize);
+                        for c in 0..total {
+                            if first || xr[c] > o[c] {
+                                o[c] = xr[c];
+                                ar[c] = e;
+                            }
                         }
+                        first = false;
                     }
-                    first = false;
                 }
+            };
+            let threads = plan_threads(policy, n, work);
+            if threads < 2 || total == 0 {
+                run(0..n, out.as_mut_slice(), &mut argmax);
+            } else {
+                let bounds = chunk_bounds(n, threads);
+                let out_chunks = split_rows(out.as_mut_slice(), total, &bounds);
+                let am_chunks = split_rows(&mut argmax, total, &bounds);
+                std::thread::scope(|s| {
+                    for ((w, oc), ac) in bounds.windows(2).zip(out_chunks).zip(am_chunks) {
+                        let run = &run;
+                        s.spawn(move || run(w[0]..w[1], oc, ac));
+                    }
+                });
             }
             (out, Some(argmax))
         }
@@ -120,7 +338,10 @@ pub fn gather(
 }
 
 /// Backward of `Gather(Max)`: routes the vertex gradient to the recorded
-/// argmax edges.
+/// argmax edges. Stays serial: the argmax table scatters writes to
+/// arbitrary edge rows, so a row partition would race.
+///
+/// `NO_ARGMAX` entries (empty groups) route no gradient.
 pub fn gather_max_bwd(g: &Graph, grad: &Tensor, argmax: &[u32]) -> Tensor {
     let total = grad.cols();
     let mut out = Tensor::zeros(&[g.num_edges(), total]);
@@ -136,196 +357,343 @@ pub fn gather_max_bwd(g: &Graph, grad: &Tensor, argmax: &[u32]) -> Tensor {
     out
 }
 
-/// Backward of `Gather(Mean)`: scatters `grad[v] / degree(v)`.
-pub fn gather_mean_bwd(g: &Graph, group: EdgeGroup, grad: &Tensor) -> Tensor {
+/// Backward of `Gather(Mean)`: scatters `grad[v] / degree(v)`
+/// (row-partitioned over edges — each edge row depends only on its group
+/// vertex, and a vertex with an incident edge always has degree ≥ 1).
+pub fn gather_mean_bwd(policy: &ExecPolicy, g: &Graph, group: EdgeGroup, grad: &Tensor) -> Tensor {
     let total = grad.cols();
-    let mut out = Tensor::zeros(&[g.num_edges(), total]);
+    let m = g.num_edges();
+    let mut out = Tensor::zeros(&[m, total]);
     let adj = match group {
         EdgeGroup::ByDst => g.in_adj(),
         EdgeGroup::BySrc => g.out_adj(),
     };
-    for v in 0..g.num_vertices() {
-        let deg = adj.degree(v);
-        if deg == 0 {
-            continue;
-        }
-        let inv = 1.0 / deg as f32;
-        let gr = grad.row(v);
-        for &e in adj.edge_ids(v) {
-            for (o, &gv) in out.row_mut(e as usize).iter_mut().zip(gr) {
-                *o = gv * inv;
+    par_rows(
+        policy,
+        m,
+        total,
+        m * total,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, e) in range.enumerate() {
+                let v = match group {
+                    EdgeGroup::ByDst => g.dst(e),
+                    EdgeGroup::BySrc => g.src(e),
+                };
+                let inv = 1.0 / adj.degree(v) as f32;
+                let o = &mut chunk[i * total..(i + 1) * total];
+                for (ov, &gv) in o.iter_mut().zip(grad.row(v)) {
+                    *ov = gv * inv;
+                }
             }
-        }
-    }
+        },
+    );
     out
 }
 
-/// Edge softmax over destination groups, per column. Returns
-/// `(y, max, denom)` where `max`/`denom` are the `O(|V|)` auxiliaries the
-/// recomputation pass stashes.
-pub fn edge_softmax(g: &Graph, x: &Tensor) -> (Tensor, Tensor, Tensor) {
+/// Edge softmax over destination groups, per column (vertex-partitioned).
+/// Returns `(y, max, denom)` where `max`/`denom` are the `O(|V|)`
+/// auxiliaries the recomputation pass stashes.
+///
+/// Empty destination groups keep the reduction identities in the
+/// auxiliaries — `-inf` max, `0.0` denominator — and are never read back
+/// (see the module-level contract).
+pub fn edge_softmax(policy: &ExecPolicy, g: &Graph, x: &Tensor) -> (Tensor, Tensor, Tensor) {
     let (n, total) = (g.num_vertices(), x.cols());
+    let m = g.num_edges();
     let mut maxes = Tensor::full(&[n, total], f32::NEG_INFINITY);
     let mut denom = Tensor::zeros(&[n, total]);
-    let mut y = Tensor::zeros(&[g.num_edges(), total]);
-    for v in 0..n {
-        let ids = g.in_adj().edge_ids(v);
-        if ids.is_empty() {
-            continue;
-        }
-        let mr = maxes.row_mut(v);
-        for &e in ids {
-            for (m, &xv) in mr.iter_mut().zip(x.row(e as usize)) {
-                *m = m.max(xv);
+    let mut y = Tensor::zeros(&[m, total]);
+    let indptr = g.in_adj().indptr();
+    let run = |vs: Range<usize>, mc: &mut [f32], dc: &mut [f32], yc: &mut [f32]| {
+        let e0 = indptr[vs.start];
+        for (i, v) in vs.enumerate() {
+            let ids = g.in_adj().edge_ids(v);
+            if ids.is_empty() {
+                continue;
+            }
+            let mr = &mut mc[i * total..(i + 1) * total];
+            for &e in ids {
+                for (mv, &xv) in mr.iter_mut().zip(x.row(e as usize)) {
+                    *mv = mv.max(xv);
+                }
+            }
+            let dr = &mut dc[i * total..(i + 1) * total];
+            for &e in ids {
+                let xr = x.row(e as usize);
+                for c in 0..total {
+                    dr[c] += (xr[c] - mr[c]).exp();
+                }
+            }
+            for &e in ids {
+                let xr = x.row(e as usize);
+                let yr = &mut yc[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
+                for c in 0..total {
+                    yr[c] = (xr[c] - mr[c]).exp() / dr[c];
+                }
             }
         }
-        for &e in ids {
-            let xr = x.row(e as usize);
-            let dr = denom.row_mut(v);
-            for c in 0..total {
-                dr[c] += (xr[c] - mr[c]).exp();
+    };
+    let threads = plan_threads(policy, n, m * total);
+    if threads < 2 || total == 0 {
+        run(
+            0..n,
+            maxes.as_mut_slice(),
+            denom.as_mut_slice(),
+            y.as_mut_slice(),
+        );
+    } else {
+        let bounds = chunk_bounds(n, threads);
+        let ebounds: Vec<usize> = bounds.iter().map(|&v| indptr[v]).collect();
+        let m_chunks = split_rows(maxes.as_mut_slice(), total, &bounds);
+        let d_chunks = split_rows(denom.as_mut_slice(), total, &bounds);
+        let y_chunks = split_rows(y.as_mut_slice(), total, &ebounds);
+        std::thread::scope(|s| {
+            for (((w, mc), dc), yc) in bounds.windows(2).zip(m_chunks).zip(d_chunks).zip(y_chunks) {
+                let run = &run;
+                s.spawn(move || run(w[0]..w[1], mc, dc, yc));
             }
-        }
-        for &e in ids {
-            let xr = x.row(e as usize);
-            let yr = y.row_mut(e as usize);
-            let dr = denom.row(v);
-            for c in 0..total {
-                yr[c] = (xr[c] - mr[c]).exp() / dr[c];
-            }
-        }
+        });
     }
     (y, maxes, denom)
 }
 
 /// Rebuilds edge-softmax outputs from the stashed max/denominator in
-/// `O(1)` per element (the §6 recompute path).
-pub fn edge_softmax_from_aux(g: &Graph, x: &Tensor, maxes: &Tensor, denom: &Tensor) -> Tensor {
+/// `O(1)` per element (the §6 recompute path; row-partitioned over
+/// edges). Only non-empty groups are read: every edge's destination has
+/// in-degree ≥ 1.
+pub fn edge_softmax_from_aux(
+    policy: &ExecPolicy,
+    g: &Graph,
+    x: &Tensor,
+    maxes: &Tensor,
+    denom: &Tensor,
+) -> Tensor {
     let total = x.cols();
-    let mut y = Tensor::zeros(&[g.num_edges(), total]);
-    for e in 0..g.num_edges() {
-        let v = g.dst(e);
-        let (xr, mr, dr) = (x.row(e), maxes.row(v), denom.row(v));
-        let yr = y.row_mut(e);
-        for c in 0..total {
-            yr[c] = (xr[c] - mr[c]).exp() / dr[c];
-        }
-    }
+    let m = g.num_edges();
+    let mut y = Tensor::zeros(&[m, total]);
+    par_rows(
+        policy,
+        m,
+        total,
+        m * total,
+        y.as_mut_slice(),
+        |range, chunk| {
+            for (i, e) in range.enumerate() {
+                let v = g.dst(e);
+                let (xr, mr, dr) = (x.row(e), maxes.row(v), denom.row(v));
+                let yr = &mut chunk[i * total..(i + 1) * total];
+                for c in 0..total {
+                    yr[c] = (xr[c] - mr[c]).exp() / dr[c];
+                }
+            }
+        },
+    );
     y
 }
 
-/// Backward of edge softmax:
+/// Backward of edge softmax (vertex-partitioned):
 /// `∂x_e = y_e (g_e − Σ_{e'∈grp(e)} g_{e'} y_{e'})`.
-pub fn edge_softmax_bwd(g: &Graph, grad: &Tensor, y: &Tensor) -> Tensor {
-    let (n, total) = (g.num_vertices(), grad.cols());
+pub fn edge_softmax_bwd(policy: &ExecPolicy, g: &Graph, grad: &Tensor, y: &Tensor) -> Tensor {
+    let total = grad.cols();
     let mut out = Tensor::zeros(&[g.num_edges(), total]);
-    for v in 0..n {
-        let ids = g.in_adj().edge_ids(v);
-        let mut s = vec![0.0f32; total];
-        for &e in ids {
-            let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
-            for c in 0..total {
-                s[c] += gr[c] * yr[c];
+    let indptr = g.in_adj().indptr();
+    par_dst_groups(policy, g, total, out.as_mut_slice(), |vs, chunk| {
+        let e0 = indptr[vs.start];
+        for v in vs {
+            let ids = g.in_adj().edge_ids(v);
+            let mut s = vec![0.0f32; total];
+            for &e in ids {
+                let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
+                for c in 0..total {
+                    s[c] += gr[c] * yr[c];
+                }
+            }
+            for &e in ids {
+                let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
+                let or = &mut chunk[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
+                for c in 0..total {
+                    or[c] = yr[c] * (gr[c] - s[c]);
+                }
             }
         }
-        for &e in ids {
-            let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
-            let or = out.row_mut(e as usize);
-            for c in 0..total {
-                or[c] = yr[c] * (gr[c] - s[c]);
-            }
-        }
-    }
+    });
     out
 }
 
 /// Elementwise binary with per-head feature broadcast (`feat == 1` on one
-/// side broadcasts across the other side's features).
-pub fn binary_broadcast(f: BinaryFn, a: &Tensor, da: Dim, b: &Tensor, db: Dim) -> Tensor {
+/// side broadcasts across the other side's features; row-partitioned).
+pub fn binary_broadcast(
+    policy: &ExecPolicy,
+    f: BinaryFn,
+    a: &Tensor,
+    da: Dim,
+    b: &Tensor,
+    db: Dim,
+) -> Tensor {
     assert_eq!(da.heads, db.heads, "head counts must agree");
     let rows = a.rows();
     let heads = da.heads;
     if da.feat == db.feat {
+        let cols = a.cols();
         let mut out = a.clone();
-        for r in 0..rows {
-            let br = b.row(r);
-            for (o, &bv) in out.row_mut(r).iter_mut().zip(br) {
-                *o = f.apply(*o, bv);
-            }
-        }
+        par_rows(
+            policy,
+            rows,
+            cols,
+            rows * cols,
+            out.as_mut_slice(),
+            |range, chunk| {
+                for (i, r) in range.enumerate() {
+                    let o = &mut chunk[i * cols..(i + 1) * cols];
+                    for (ov, &bv) in o.iter_mut().zip(b.row(r)) {
+                        *ov = f.apply(*ov, bv);
+                    }
+                }
+            },
+        );
         return out;
     }
     let feat = da.feat.max(db.feat);
-    let mut out = Tensor::zeros(&[rows, heads * feat]);
-    for r in 0..rows {
-        let (ar, br) = (a.row(r), b.row(r));
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            for c in 0..feat {
-                let av = if da.feat == 1 {
-                    ar[h]
-                } else {
-                    ar[h * feat + c]
-                };
-                let bv = if db.feat == 1 {
-                    br[h]
-                } else {
-                    br[h * feat + c]
-                };
-                or[h * feat + c] = f.apply(av, bv);
+    let cols = heads * feat;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    par_rows(
+        policy,
+        rows,
+        cols,
+        rows * cols,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let (ar, br) = (a.row(r), b.row(r));
+                let or = &mut chunk[i * cols..(i + 1) * cols];
+                for h in 0..heads {
+                    for c in 0..feat {
+                        let av = if da.feat == 1 {
+                            ar[h]
+                        } else {
+                            ar[h * feat + c]
+                        };
+                        let bv = if db.feat == 1 {
+                            br[h]
+                        } else {
+                            br[h * feat + c]
+                        };
+                        or[h * feat + c] = f.apply(av, bv);
+                    }
+                }
             }
-        }
-    }
+        },
+    );
     out
 }
 
-/// `UnaryBwd`: `grad · f'(x)`.
-pub fn unary_bwd(f: UnaryFn, grad: &Tensor, x: &Tensor) -> Tensor {
+/// `Unary`: elementwise `f(x)` (partitioned over the flat buffer).
+pub fn unary(policy: &ExecPolicy, f: UnaryFn, x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    let numel = out.numel();
+    par_rows(
+        policy,
+        numel,
+        1,
+        numel,
+        out.as_mut_slice(),
+        |_range, chunk| {
+            for o in chunk.iter_mut() {
+                *o = f.apply(*o);
+            }
+        },
+    );
+    out
+}
+
+/// `UnaryBwd`: `grad · f'(x)` (partitioned over the flat buffer).
+pub fn unary_bwd(policy: &ExecPolicy, f: UnaryFn, grad: &Tensor, x: &Tensor) -> Tensor {
     let mut out = grad.clone();
-    for (o, &xv) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
-        *o *= f.derivative(xv);
-    }
+    let numel = out.numel();
+    par_rows(
+        policy,
+        numel,
+        1,
+        numel,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (o, &xv) in chunk.iter_mut().zip(&x.as_slice()[range]) {
+                *o *= f.derivative(xv);
+            }
+        },
+    );
     out
 }
 
-/// Per-head dot product with a parameter: `[N, h·f] × [h, f] → [N, h]`.
-pub fn head_dot(x: &Tensor, a: &Tensor, heads: usize, feat: usize) -> Tensor {
+/// Per-head dot product with a parameter: `[N, h·f] × [h, f] → [N, h]`
+/// (row-partitioned).
+pub fn head_dot(policy: &ExecPolicy, x: &Tensor, a: &Tensor, heads: usize, feat: usize) -> Tensor {
     let rows = x.rows();
     let mut out = Tensor::zeros(&[rows, heads]);
-    for r in 0..rows {
-        let xr = x.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            let ar = a.row(h);
-            let mut acc = 0.0;
-            for c in 0..feat {
-                acc += xr[h * feat + c] * ar[c];
+    par_rows(
+        policy,
+        rows,
+        heads,
+        rows * heads * feat,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let xr = x.row(r);
+                let or = &mut chunk[i * heads..(i + 1) * heads];
+                for h in 0..heads {
+                    let ar = a.row(h);
+                    let mut acc = 0.0;
+                    for c in 0..feat {
+                        acc += xr[h * feat + c] * ar[c];
+                    }
+                    or[h] = acc;
+                }
             }
-            or[h] = acc;
-        }
-    }
+        },
+    );
     out
 }
 
-/// Backward of [`head_dot`] w.r.t. the data: `out[r, h·f+c] = g[r,h]·a[h,c]`.
-pub fn head_dot_bwd_input(grad: &Tensor, a: &Tensor, heads: usize, feat: usize) -> Tensor {
+/// Backward of [`head_dot`] w.r.t. the data: `out[r, h·f+c] = g[r,h]·a[h,c]`
+/// (row-partitioned).
+pub fn head_dot_bwd_input(
+    policy: &ExecPolicy,
+    grad: &Tensor,
+    a: &Tensor,
+    heads: usize,
+    feat: usize,
+) -> Tensor {
     let rows = grad.rows();
-    let mut out = Tensor::zeros(&[rows, heads * feat]);
-    for r in 0..rows {
-        let gr = grad.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            let ar = a.row(h);
-            for c in 0..feat {
-                or[h * feat + c] = gr[h] * ar[c];
+    let cols = heads * feat;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    par_rows(
+        policy,
+        rows,
+        cols,
+        rows * cols,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let gr = grad.row(r);
+                let or = &mut chunk[i * cols..(i + 1) * cols];
+                for h in 0..heads {
+                    let ar = a.row(h);
+                    for c in 0..feat {
+                        or[h * feat + c] = gr[h] * ar[c];
+                    }
+                }
             }
-        }
-    }
+        },
+    );
     out
 }
 
 /// Backward of [`head_dot`] w.r.t. the parameter:
 /// `out[h, c] = Σ_r g[r,h]·x[r, h·f+c]`.
+///
+/// Serial by design: the output is a row-reduction over all `r`, and a
+/// row partition would reorder the floating-point accumulation.
 pub fn head_dot_bwd_param(x: &Tensor, grad: &Tensor, heads: usize, feat: usize) -> Tensor {
     let mut out = Tensor::zeros(&[heads, feat]);
     for r in 0..x.rows() {
@@ -340,29 +708,45 @@ pub fn head_dot_bwd_param(x: &Tensor, grad: &Tensor, heads: usize, feat: usize) 
     out
 }
 
-/// Gaussian mixture weights (MoNet):
+/// Gaussian mixture weights (MoNet; row-partitioned over edges):
 /// `w[e,k] = exp(-½ Σ_j σ⁻²[k,j](p[e,j]−μ[k,j])²)`.
-pub fn gaussian_weight(pseudo: &Tensor, mu: &Tensor, inv_sigma: &Tensor) -> Tensor {
+pub fn gaussian_weight(
+    policy: &ExecPolicy,
+    pseudo: &Tensor,
+    mu: &Tensor,
+    inv_sigma: &Tensor,
+) -> Tensor {
     let (e, r) = (pseudo.rows(), pseudo.cols());
     let k = mu.rows();
     let mut out = Tensor::zeros(&[e, k]);
-    for ei in 0..e {
-        let pr = pseudo.row(ei);
-        let or = out.row_mut(ei);
-        for (ki, ov) in or.iter_mut().enumerate().take(k) {
-            let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
-            let mut acc = 0.0;
-            for j in 0..r {
-                let d = (pr[j] - mr[j]) * sr[j];
-                acc += d * d;
+    par_rows(
+        policy,
+        e,
+        k,
+        e * k * r,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, ei) in range.enumerate() {
+                let pr = pseudo.row(ei);
+                let or = &mut chunk[i * k..(i + 1) * k];
+                for (ki, ov) in or.iter_mut().enumerate().take(k) {
+                    let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
+                    let mut acc = 0.0;
+                    for j in 0..r {
+                        let d = (pr[j] - mr[j]) * sr[j];
+                        acc += d * d;
+                    }
+                    *ov = (-0.5 * acc).exp();
+                }
             }
-            *ov = (-0.5 * acc).exp();
-        }
-    }
+        },
+    );
     out
 }
 
 /// `∂L/∂μ[k,j] = Σ_e g[e,k]·w[e,k]·σ⁻²[k,j]·(p[e,j]−μ[k,j])`.
+///
+/// Serial by design (edge-reduction into a parameter-shaped output).
 pub fn gaussian_bwd_mu(
     pseudo: &Tensor,
     w: &Tensor,
@@ -391,6 +775,8 @@ pub fn gaussian_bwd_mu(
 }
 
 /// `∂L/∂σ⁻¹[k,j] = −Σ_e g[e,k]·w[e,k]·σ⁻¹[k,j]·(p[e,j]−μ[k,j])²`.
+///
+/// Serial by design (edge-reduction into a parameter-shaped output).
 pub fn gaussian_bwd_sigma(
     pseudo: &Tensor,
     w: &Tensor,
@@ -419,23 +805,42 @@ pub fn gaussian_bwd_sigma(
     out
 }
 
-/// Per-head column slice `[start, end)` (feat units).
-pub fn slice_cols(x: &Tensor, heads: usize, feat: usize, start: usize, end: usize) -> Tensor {
+/// Per-head column slice `[start, end)` (feat units; row-partitioned).
+pub fn slice_cols(
+    policy: &ExecPolicy,
+    x: &Tensor,
+    heads: usize,
+    feat: usize,
+    start: usize,
+    end: usize,
+) -> Tensor {
     let rows = x.rows();
     let w = end - start;
-    let mut out = Tensor::zeros(&[rows, heads * w]);
-    for r in 0..rows {
-        let xr = x.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            or[h * w..(h + 1) * w].copy_from_slice(&xr[h * feat + start..h * feat + end]);
-        }
-    }
+    let cols = heads * w;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    par_rows(
+        policy,
+        rows,
+        cols,
+        rows * cols,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let xr = x.row(r);
+                let or = &mut chunk[i * cols..(i + 1) * cols];
+                for h in 0..heads {
+                    or[h * w..(h + 1) * w].copy_from_slice(&xr[h * feat + start..h * feat + end]);
+                }
+            }
+        },
+    );
     out
 }
 
-/// Backward of [`slice_cols`]: embed into zero-padded columns.
+/// Backward of [`slice_cols`]: embed into zero-padded columns
+/// (row-partitioned).
 pub fn embed_cols(
+    policy: &ExecPolicy,
     grad: &Tensor,
     heads: usize,
     total_feat: usize,
@@ -444,76 +849,130 @@ pub fn embed_cols(
 ) -> Tensor {
     let rows = grad.rows();
     let w = end - start;
-    let mut out = Tensor::zeros(&[rows, heads * total_feat]);
-    for r in 0..rows {
-        let gr = grad.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            or[h * total_feat + start..h * total_feat + end]
-                .copy_from_slice(&gr[h * w..(h + 1) * w]);
-        }
-    }
+    let cols = heads * total_feat;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    par_rows(
+        policy,
+        rows,
+        cols,
+        rows * cols,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let gr = grad.row(r);
+                let or = &mut chunk[i * cols..(i + 1) * cols];
+                for h in 0..heads {
+                    or[h * total_feat + start..h * total_feat + end]
+                        .copy_from_slice(&gr[h * w..(h + 1) * w]);
+                }
+            }
+        },
+    );
     out
 }
 
-/// Head reduction `[N, h·f] → [N, f]` (`Sum` or `Mean`).
-pub fn head_reduce(x: &Tensor, heads: usize, feat: usize, mean: bool) -> Tensor {
+/// Head reduction `[N, h·f] → [N, f]` (`Sum` or `Mean`; row-partitioned).
+pub fn head_reduce(
+    policy: &ExecPolicy,
+    x: &Tensor,
+    heads: usize,
+    feat: usize,
+    mean: bool,
+) -> Tensor {
     let rows = x.rows();
     let mut out = Tensor::zeros(&[rows, feat]);
     let scale = if mean { 1.0 / heads as f32 } else { 1.0 };
-    for r in 0..rows {
-        let xr = x.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            for c in 0..feat {
-                or[c] += xr[h * feat + c] * scale;
+    par_rows(
+        policy,
+        rows,
+        feat,
+        rows * heads * feat,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let xr = x.row(r);
+                let or = &mut chunk[i * feat..(i + 1) * feat];
+                for h in 0..heads {
+                    for c in 0..feat {
+                        or[c] += xr[h * feat + c] * scale;
+                    }
+                }
             }
-        }
-    }
+        },
+    );
     out
 }
 
-/// Head broadcast `[N, f] → [N, h·f]`.
-pub fn head_broadcast(x: &Tensor, heads: usize) -> Tensor {
+/// Head broadcast `[N, f] → [N, h·f]` (row-partitioned).
+pub fn head_broadcast(policy: &ExecPolicy, x: &Tensor, heads: usize) -> Tensor {
     let (rows, feat) = (x.rows(), x.cols());
-    let mut out = Tensor::zeros(&[rows, heads * feat]);
-    for r in 0..rows {
-        let xr = x.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            or[h * feat..(h + 1) * feat].copy_from_slice(xr);
-        }
-    }
+    let cols = heads * feat;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    par_rows(
+        policy,
+        rows,
+        cols,
+        rows * cols,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let xr = x.row(r);
+                let or = &mut chunk[i * cols..(i + 1) * cols];
+                for h in 0..heads {
+                    or[h * feat..(h + 1) * feat].copy_from_slice(xr);
+                }
+            }
+        },
+    );
     out
 }
 
-/// Per-head feature sum `[N, h·f] → [N, h]`.
-pub fn feat_sum(x: &Tensor, heads: usize, feat: usize) -> Tensor {
+/// Per-head feature sum `[N, h·f] → [N, h]` (row-partitioned).
+pub fn feat_sum(policy: &ExecPolicy, x: &Tensor, heads: usize, feat: usize) -> Tensor {
     let rows = x.rows();
     let mut out = Tensor::zeros(&[rows, heads]);
-    for r in 0..rows {
-        let xr = x.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            or[h] = xr[h * feat..(h + 1) * feat].iter().sum();
-        }
-    }
+    par_rows(
+        policy,
+        rows,
+        heads,
+        rows * heads * feat,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let xr = x.row(r);
+                let or = &mut chunk[i * heads..(i + 1) * heads];
+                for h in 0..heads {
+                    or[h] = xr[h * feat..(h + 1) * feat].iter().sum();
+                }
+            }
+        },
+    );
     out
 }
 
-/// Per-head feature broadcast `[N, h] → [N, h·f]`.
-pub fn feat_broadcast(x: &Tensor, heads: usize, feat: usize) -> Tensor {
+/// Per-head feature broadcast `[N, h] → [N, h·f]` (row-partitioned).
+pub fn feat_broadcast(policy: &ExecPolicy, x: &Tensor, heads: usize, feat: usize) -> Tensor {
     let rows = x.rows();
-    let mut out = Tensor::zeros(&[rows, heads * feat]);
-    for r in 0..rows {
-        let xr = x.row(r);
-        let or = out.row_mut(r);
-        for h in 0..heads {
-            for c in 0..feat {
-                or[h * feat + c] = xr[h];
+    let cols = heads * feat;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    par_rows(
+        policy,
+        rows,
+        cols,
+        rows * cols,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, r) in range.enumerate() {
+                let xr = x.row(r);
+                let or = &mut chunk[i * cols..(i + 1) * cols];
+                for h in 0..heads {
+                    for c in 0..feat {
+                        or[h * feat + c] = xr[h];
+                    }
+                }
             }
-        }
-    }
+        },
+    );
     out
 }
 
@@ -522,9 +981,18 @@ mod tests {
     use super::*;
     use gnnopt_graph::EdgeList;
 
+    fn serial() -> ExecPolicy {
+        ExecPolicy::serial()
+    }
+
     /// 0 → 1, 0 → 2, 1 → 2 (edge ids in dst-major order).
     fn tri() -> Graph {
         Graph::from_edge_list(&EdgeList::from_pairs(3, &[(0, 1), (0, 2), (1, 2)]))
+    }
+
+    /// `tri()` plus an isolated vertex 3 (no in- or out-edges).
+    fn tri_iso() -> Graph {
+        Graph::from_edge_list(&EdgeList::from_pairs(4, &[(0, 1), (0, 2), (1, 2)]))
     }
 
     fn vfeat() -> Tensor {
@@ -535,13 +1003,20 @@ mod tests {
     fn scatter_variants() {
         let g = tri();
         let x = vfeat();
-        let cu = scatter(&g, ScatterFn::CopyU, &x, &x, Dim::flat(2));
+        let cu = scatter(&serial(), &g, ScatterFn::CopyU, &x, &x, Dim::flat(2));
         // edges: (0→1), (0→2), (1→2)
         assert_eq!(cu.row(0), &[1.0, 10.0]);
         assert_eq!(cu.row(2), &[2.0, 20.0]);
-        let cv = scatter(&g, ScatterFn::CopyV, &x, &x, Dim::flat(2));
+        let cv = scatter(&serial(), &g, ScatterFn::CopyV, &x, &x, Dim::flat(2));
         assert_eq!(cv.row(0), &[2.0, 20.0]);
-        let sub = scatter(&g, ScatterFn::Bin(BinaryFn::Sub), &x, &x, Dim::flat(2));
+        let sub = scatter(
+            &serial(),
+            &g,
+            ScatterFn::Bin(BinaryFn::Sub),
+            &x,
+            &x,
+            Dim::flat(2),
+        );
         assert_eq!(sub.row(0), &[-1.0, -10.0]);
         assert_eq!(sub.row(2), &[-1.0, -10.0]);
     }
@@ -551,7 +1026,7 @@ mod tests {
         let g = tri();
         // 2 heads × 1 feat
         let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
-        let cat = scatter(&g, ScatterFn::ConcatUV, &x, &x, Dim::multi(2, 2));
+        let cat = scatter(&serial(), &g, ScatterFn::ConcatUV, &x, &x, Dim::multi(2, 2));
         // edge 0: u=0 (heads 1,2), v=1 (heads 3,4) → per-head: [1,3, 2,4]
         assert_eq!(cat.row(0), &[1.0, 3.0, 2.0, 4.0]);
     }
@@ -560,9 +1035,9 @@ mod tests {
     fn gather_sum_and_dual() {
         let g = tri();
         let e = Tensor::from_rows(&[&[1.0], &[2.0], &[4.0]]).unwrap();
-        let (by_dst, _) = gather(&g, ReduceFn::Sum, EdgeGroup::ByDst, &e);
+        let (by_dst, _) = gather(&serial(), &g, ReduceFn::Sum, EdgeGroup::ByDst, &e);
         assert_eq!(by_dst.as_slice(), &[0.0, 1.0, 6.0]);
-        let (by_src, _) = gather(&g, ReduceFn::Sum, EdgeGroup::BySrc, &e);
+        let (by_src, _) = gather(&serial(), &g, ReduceFn::Sum, EdgeGroup::BySrc, &e);
         assert_eq!(by_src.as_slice(), &[3.0, 4.0, 0.0]);
     }
 
@@ -570,7 +1045,7 @@ mod tests {
     fn gather_max_records_argmax() {
         let g = tri();
         let e = Tensor::from_rows(&[&[5.0], &[2.0], &[7.0]]).unwrap();
-        let (mx, am) = gather(&g, ReduceFn::Max, EdgeGroup::ByDst, &e);
+        let (mx, am) = gather(&serial(), &g, ReduceFn::Max, EdgeGroup::ByDst, &e);
         let am = am.unwrap();
         assert_eq!(mx.as_slice(), &[0.0, 5.0, 7.0]);
         assert_eq!(am, vec![NO_ARGMAX, 0, 2]);
@@ -580,15 +1055,54 @@ mod tests {
     }
 
     #[test]
+    fn empty_groups_keep_identity_elements() {
+        // The module-level empty-group contract, asserted on an isolated
+        // vertex (id 3): Sum/Mean/Max rows stay 0.0, Max marks NO_ARGMAX,
+        // the backward routes no gradient, and edge_softmax stashes the
+        // -inf / 0.0 reduction identities without reading them back.
+        let g = tri_iso();
+        let e = Tensor::from_rows(&[&[5.0, -1.0], &[2.0, 4.0], &[7.0, 0.5]]).unwrap();
+
+        for reduce in [ReduceFn::Sum, ReduceFn::Mean, ReduceFn::Max] {
+            let (out, _) = gather(&serial(), &g, reduce, EdgeGroup::ByDst, &e);
+            assert_eq!(out.row(3), &[0.0, 0.0], "{reduce:?} identity row");
+            let (out, _) = gather(&serial(), &g, reduce, EdgeGroup::BySrc, &e);
+            assert_eq!(out.row(3), &[0.0, 0.0], "{reduce:?} identity row (src)");
+        }
+
+        let (_, am) = gather(&serial(), &g, ReduceFn::Max, EdgeGroup::ByDst, &e);
+        let am = am.unwrap();
+        assert_eq!(&am[6..8], &[NO_ARGMAX, NO_ARGMAX], "isolated vertex");
+        assert_eq!(&am[0..2], &[NO_ARGMAX, NO_ARGMAX], "in-degree-0 vertex 0");
+        let grad = Tensor::from_fn(&[4, 2], |i| i as f32 + 1.0);
+        let eg = gather_max_bwd(&g, &grad, &am);
+        // Gradient mass routed = grads of vertices with non-empty groups.
+        let routed: f32 = eg.as_slice().iter().sum();
+        let expected: f32 = grad.row(1).iter().sum::<f32>() + grad.row(2).iter().sum::<f32>();
+        assert!((routed - expected).abs() < 1e-6);
+
+        let x = Tensor::from_rows(&[&[0.3], &[1.5], &[-0.7]]).unwrap();
+        let (y, maxes, denom) = edge_softmax(&serial(), &g, &x);
+        assert_eq!(maxes.row(3), &[f32::NEG_INFINITY], "max identity");
+        assert_eq!(denom.row(3), &[0.0], "sum-of-exp identity");
+        assert_eq!(maxes.row(0), &[f32::NEG_INFINITY], "in-degree-0 vertex");
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let y2 = edge_softmax_from_aux(&serial(), &g, &x, &maxes, &denom);
+        assert!(y.allclose(&y2), "aux rebuild never reads empty groups");
+        let bwd = edge_softmax_bwd(&serial(), &g, &Tensor::ones(&[3, 1]), &y);
+        assert!(bwd.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
     fn softmax_groups_sum_to_one() {
         let g = tri();
         let e = Tensor::from_rows(&[&[0.3], &[1.5], &[-0.7]]).unwrap();
-        let (y, maxes, denom) = edge_softmax(&g, &e);
+        let (y, maxes, denom) = edge_softmax(&serial(), &g, &e);
         // dst=1 group: {edge 0} → 1.0; dst=2 group: {edges 1, 2} sums to 1.
         assert!((y.at(0, 0) - 1.0).abs() < 1e-6);
         assert!((y.at(1, 0) + y.at(2, 0) - 1.0).abs() < 1e-6);
         // Recompute path agrees.
-        let y2 = edge_softmax_from_aux(&g, &e, &maxes, &denom);
+        let y2 = edge_softmax_from_aux(&serial(), &g, &e, &maxes, &denom);
         assert!(y.allclose(&y2));
     }
 
@@ -597,16 +1111,16 @@ mod tests {
         let g = tri();
         let x = Tensor::from_rows(&[&[0.2], &[0.9], &[-0.4]]).unwrap();
         let gout = Tensor::from_rows(&[&[1.0], &[-2.0], &[0.5]]).unwrap();
-        let (y, _, _) = edge_softmax(&g, &x);
-        let ana = edge_softmax_bwd(&g, &gout, &y);
+        let (y, _, _) = edge_softmax(&serial(), &g, &x);
+        let ana = edge_softmax_bwd(&serial(), &g, &gout, &y);
         let h = 1e-3f32;
         for e in 0..3 {
             let mut xp = x.clone();
             xp.row_mut(e)[0] += h;
             let mut xm = x.clone();
             xm.row_mut(e)[0] -= h;
-            let (yp, _, _) = edge_softmax(&g, &xp);
-            let (ym, _, _) = edge_softmax(&g, &xm);
+            let (yp, _, _) = edge_softmax(&serial(), &g, &xp);
+            let (ym, _, _) = edge_softmax(&serial(), &g, &xm);
             let mut num = 0.0;
             for i in 0..3 {
                 num += gout.at(i, 0) * (yp.at(i, 0) - ym.at(i, 0)) / (2.0 * h);
@@ -623,7 +1137,14 @@ mod tests {
     fn binary_broadcast_per_head_scalar() {
         let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap(); // 2 heads × 2
         let b = Tensor::from_rows(&[&[10.0, 100.0]]).unwrap(); // 2 heads × 1
-        let out = binary_broadcast(BinaryFn::Mul, &a, Dim::multi(2, 2), &b, Dim::multi(2, 1));
+        let out = binary_broadcast(
+            &serial(),
+            BinaryFn::Mul,
+            &a,
+            Dim::multi(2, 2),
+            &b,
+            Dim::multi(2, 1),
+        );
         assert_eq!(out.as_slice(), &[10.0, 20.0, 300.0, 400.0]);
     }
 
@@ -631,9 +1152,9 @@ mod tests {
     fn head_dot_roundtrip_gradients() {
         let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]).unwrap();
         let a = Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]).unwrap();
-        let y = head_dot(&x, &a, 2, 2);
+        let y = head_dot(&serial(), &x, &a, 2, 2);
         assert_eq!(y.row(0), &[1.0 * 0.5 - 2.0, 3.0 * 2.0]);
-        let gi = head_dot_bwd_input(&y, &a, 2, 2);
+        let gi = head_dot_bwd_input(&serial(), &y, &a, 2, 2);
         assert_eq!(gi.shape(), &[2, 4]);
         let gp = head_dot_bwd_param(&x, &y, 2, 2);
         assert_eq!(gp.shape(), &[2, 2]);
@@ -644,7 +1165,7 @@ mod tests {
         let p = Tensor::from_rows(&[&[1.0, 2.0], &[0.0, 0.0]]).unwrap();
         let mu = Tensor::from_rows(&[&[1.0, 2.0]]).unwrap();
         let sig = Tensor::from_rows(&[&[1.0, 1.0]]).unwrap();
-        let w = gaussian_weight(&p, &mu, &sig);
+        let w = gaussian_weight(&serial(), &p, &mu, &sig);
         assert!((w.at(0, 0) - 1.0).abs() < 1e-6, "exact match → weight 1");
         assert!(w.at(1, 0) < 1.0);
     }
@@ -655,12 +1176,12 @@ mod tests {
         let mu = Tensor::from_rows(&[&[0.1, 0.4], &[-0.2, 0.3]]).unwrap();
         let sig = Tensor::from_rows(&[&[1.2, 0.8], &[0.5, 1.5]]).unwrap();
         let grad = Tensor::from_rows(&[&[1.0, -0.5], &[0.3, 0.7], &[-0.2, 0.4]]).unwrap();
-        let w = gaussian_weight(&p, &mu, &sig);
+        let w = gaussian_weight(&serial(), &p, &mu, &sig);
         let gmu = gaussian_bwd_mu(&p, &w, &grad, &mu, &sig);
         let gsig = gaussian_bwd_sigma(&p, &w, &grad, &mu, &sig);
         let h = 1e-3f32;
         let loss = |mu: &Tensor, sig: &Tensor| -> f32 {
-            let w = gaussian_weight(&p, mu, sig);
+            let w = gaussian_weight(&serial(), &p, mu, sig);
             w.as_slice()
                 .iter()
                 .zip(grad.as_slice())
@@ -696,22 +1217,28 @@ mod tests {
     #[test]
     fn slice_embed_roundtrip() {
         let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]).unwrap(); // 2 heads × 3
-        let s = slice_cols(&x, 2, 3, 1, 3);
+        let s = slice_cols(&serial(), &x, 2, 3, 1, 3);
         assert_eq!(s.as_slice(), &[2.0, 3.0, 5.0, 6.0]);
-        let e = embed_cols(&s, 2, 3, 1, 3);
+        let e = embed_cols(&serial(), &s, 2, 3, 1, 3);
         assert_eq!(e.as_slice(), &[0.0, 2.0, 3.0, 0.0, 5.0, 6.0]);
     }
 
     #[test]
     fn head_reduce_broadcast_featsum() {
         let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap(); // 2 heads × 2
-        assert_eq!(head_reduce(&x, 2, 2, false).as_slice(), &[4.0, 6.0]);
-        assert_eq!(head_reduce(&x, 2, 2, true).as_slice(), &[2.0, 3.0]);
-        let b = head_broadcast(&Tensor::from_rows(&[&[7.0, 8.0]]).unwrap(), 2);
-        assert_eq!(b.as_slice(), &[7.0, 8.0, 7.0, 8.0]);
-        assert_eq!(feat_sum(&x, 2, 2).as_slice(), &[3.0, 7.0]);
         assert_eq!(
-            feat_broadcast(&Tensor::from_rows(&[&[3.0, 7.0]]).unwrap(), 2, 2).as_slice(),
+            head_reduce(&serial(), &x, 2, 2, false).as_slice(),
+            &[4.0, 6.0]
+        );
+        assert_eq!(
+            head_reduce(&serial(), &x, 2, 2, true).as_slice(),
+            &[2.0, 3.0]
+        );
+        let b = head_broadcast(&serial(), &Tensor::from_rows(&[&[7.0, 8.0]]).unwrap(), 2);
+        assert_eq!(b.as_slice(), &[7.0, 8.0, 7.0, 8.0]);
+        assert_eq!(feat_sum(&serial(), &x, 2, 2).as_slice(), &[3.0, 7.0]);
+        assert_eq!(
+            feat_broadcast(&serial(), &Tensor::from_rows(&[&[3.0, 7.0]]).unwrap(), 2, 2).as_slice(),
             &[3.0, 3.0, 7.0, 7.0]
         );
     }
@@ -720,10 +1247,23 @@ mod tests {
     fn gather_mean_and_backward() {
         let g = tri();
         let e = Tensor::from_rows(&[&[2.0], &[4.0], &[6.0]]).unwrap();
-        let (m, _) = gather(&g, ReduceFn::Mean, EdgeGroup::ByDst, &e);
+        let (m, _) = gather(&serial(), &g, ReduceFn::Mean, EdgeGroup::ByDst, &e);
         assert_eq!(m.as_slice(), &[0.0, 2.0, 5.0]);
         let grad = Tensor::from_rows(&[&[0.0], &[1.0], &[4.0]]).unwrap();
-        let back = gather_mean_bwd(&g, EdgeGroup::ByDst, &grad);
+        let back = gather_mean_bwd(&serial(), &g, EdgeGroup::ByDst, &grad);
         assert_eq!(back.as_slice(), &[1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn deterministic_chunking_is_exhaustive_and_disjoint() {
+        for rows in [0usize, 1, 2, 7, 16, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let b = chunk_bounds(rows, threads);
+                assert_eq!(b[0], 0);
+                assert_eq!(*b.last().unwrap(), rows);
+                assert!(b.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+                assert!(b.len() - 1 <= threads.max(1) || rows == 0);
+            }
+        }
     }
 }

@@ -13,6 +13,23 @@
 //! rebuild from its stashed max/denominator) — so the recomputation pass
 //! is exercised end-to-end, not just accounted for.
 //!
+//! # Thread-parallel backend
+//!
+//! Kernels run under an [`gnnopt_core::ExecPolicy`] carried by the
+//! compiled plan (`CompileOptions::exec`) or pinned per session via
+//! [`Session::with_policy`]. Gather-style kernels partition the CSR
+//! vertex range and scatter/elementwise/head kernels partition output
+//! rows across `std::thread::scope` workers — the same pattern (and the
+//! same pool size, via `gnnopt_tensor::parallel`) as `Tensor::matmul`.
+//!
+//! **Determinism guarantee:** chunk boundaries are a pure function of
+//! `(rows, threads)` and no floating-point reduction ever crosses a
+//! chunk, so every kernel is *bit-identical* to its serial reference for
+//! any thread count. Set `GNNOPT_THREADS=<n>` to override the
+//! auto-detected pool size (`GNNOPT_THREADS=1` forces the serial path);
+//! see the [`kernels`] module docs for the partitioning scheme per kernel
+//! and the tensor layout convention the chunks slice along.
+//!
 //! ```no_run
 //! use gnnopt_core::{compile, CompileOptions};
 //! use gnnopt_exec::Session;

@@ -2,7 +2,7 @@
 
 use crate::kernels;
 use crate::{ExecError, Result};
-use gnnopt_core::{ExecutionPlan, Node, NodeId, OpKind, Phase, ReduceFn, Space};
+use gnnopt_core::{ExecPolicy, ExecutionPlan, Node, NodeId, OpKind, Phase, ReduceFn, Space};
 use gnnopt_graph::Graph;
 use gnnopt_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
@@ -49,6 +49,8 @@ pub struct RunStats {
     pub peak_value_bytes: u64,
     /// Bytes held across the forward→backward boundary (stash + aux).
     pub boundary_bytes: u64,
+    /// Worker threads the kernels ran under (resolved [`ExecPolicy`]).
+    pub threads: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +68,7 @@ enum State {
 pub struct Session<'a> {
     plan: &'a ExecutionPlan,
     graph: &'a Graph,
+    policy: ExecPolicy,
     values: HashMap<NodeId, Tensor>,
     aux_softmax: HashMap<NodeId, (Tensor, Tensor)>,
     aux_argmax: HashMap<NodeId, Vec<u32>>,
@@ -81,12 +84,47 @@ pub struct Session<'a> {
 }
 
 impl<'a> Session<'a> {
-    /// Prepares a session, validating that leaf names are unique.
+    /// Prepares a session running under the plan's own [`ExecPolicy`]
+    /// (from `CompileOptions::exec`), validating that leaf names are
+    /// unique. An `auto` policy resolves against the shared pool-size
+    /// detection in `gnnopt_tensor::parallel`, which honours the
+    /// `GNNOPT_THREADS` environment override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Protocol`] on duplicate leaf names, or
+    /// [`ExecError::Policy`] when `GNNOPT_THREADS` is set to something
+    /// other than a positive integer.
+    pub fn new(plan: &'a ExecutionPlan, graph: &'a Graph) -> Result<Self> {
+        let policy = if plan.exec.is_auto() {
+            // Surface a bad env override loudly instead of silently
+            // falling back like the infallible tensor-side detection.
+            gnnopt_tensor::parallel::env_threads().map_err(ExecError::Policy)?;
+            plan.exec
+                .resolved(gnnopt_tensor::parallel::available_threads)
+        } else {
+            plan.exec
+        };
+        Self::with_policy(plan, graph, policy)
+    }
+
+    /// Prepares a session under an explicit policy instead of the plan's
+    /// own. A nonzero `threads` is used verbatim — independent of any
+    /// `GNNOPT_THREADS` override — which is how serial-vs-parallel
+    /// comparisons pin the backend. `threads = 0` still auto-detects
+    /// (and auto-detection honours `GNNOPT_THREADS`, falling back to
+    /// hardware parallelism on an invalid value; use [`Session::new`]
+    /// for the loud-error behaviour).
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::Protocol`] on duplicate leaf names.
-    pub fn new(plan: &'a ExecutionPlan, graph: &'a Graph) -> Result<Self> {
+    pub fn with_policy(
+        plan: &'a ExecutionPlan,
+        graph: &'a Graph,
+        policy: ExecPolicy,
+    ) -> Result<Self> {
+        let policy = policy.resolved(gnnopt_tensor::parallel::available_threads);
         let mut leaf_names = HashMap::new();
         for n in plan.ir.nodes() {
             if matches!(
@@ -132,6 +170,7 @@ impl<'a> Session<'a> {
         Ok(Self {
             plan,
             graph,
+            policy,
             values: HashMap::new(),
             aux_softmax: HashMap::new(),
             aux_argmax: HashMap::new(),
@@ -150,6 +189,11 @@ impl<'a> Session<'a> {
         self.stats
     }
 
+    /// The resolved execution policy this session runs kernels under.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
     /// Runs the forward kernels, returning the model outputs in
     /// declaration order.
     ///
@@ -160,6 +204,7 @@ impl<'a> Session<'a> {
     pub fn forward(&mut self, bindings: &Bindings) -> Result<Vec<Tensor>> {
         self.reset();
         self.bind_leaves(bindings)?;
+        self.stats.threads = self.policy.threads;
         let t0 = Instant::now();
         let kernel_ids: Vec<usize> = self
             .plan
@@ -393,6 +438,7 @@ impl<'a> Session<'a> {
         let ir = &self.plan.ir;
         let node = ir.node(id);
         let g = self.graph;
+        let pol = self.policy;
         let din = |i: usize| ir.node(node.inputs[i]).dim;
         let out =
             match &node.kind {
@@ -405,12 +451,12 @@ impl<'a> Session<'a> {
                 OpKind::Scatter(f) => {
                     let x = self.value(node.inputs[0])?;
                     let y = self.value(*node.inputs.last().expect("scatter has inputs"))?;
-                    kernels::scatter(g, *f, x, y, node.dim)
+                    kernels::scatter(&pol, g, *f, x, y, node.dim)
                 }
 
                 OpKind::Gather { reduce, group } => {
                     let x = self.value(node.inputs[0])?;
-                    let (t, argmax) = kernels::gather(g, *reduce, *group, x);
+                    let (t, argmax) = kernels::gather(&pol, g, *reduce, *group, x);
                     if let Some(a) = argmax {
                         self.aux_argmax.insert(id, a);
                     }
@@ -421,9 +467,9 @@ impl<'a> Session<'a> {
                     let x = self.value(node.inputs[0])?;
                     if let Some((m, d)) = self.aux_softmax.get(&id) {
                         // Recompute path: O(1) per edge from stashed stats.
-                        kernels::edge_softmax_from_aux(g, x, m, d)
+                        kernels::edge_softmax_from_aux(&pol, g, x, m, d)
                     } else {
-                        let (y, m, d) = kernels::edge_softmax(g, x);
+                        let (y, m, d) = kernels::edge_softmax(&pol, g, x);
                         self.aux_softmax.insert(id, (m, d));
                         y
                     }
@@ -445,28 +491,28 @@ impl<'a> Session<'a> {
                     x.matmul_tn(gr)?
                 }
 
-                OpKind::Unary(f) => self.value(node.inputs[0])?.map(|v| f.apply(v)),
+                OpKind::Unary(f) => kernels::unary(&pol, *f, self.value(node.inputs[0])?),
                 OpKind::UnaryBwd(f) => {
                     let gr = self.value(node.inputs[0])?;
                     let x = self.value(node.inputs[1])?;
-                    kernels::unary_bwd(*f, gr, x)
+                    kernels::unary_bwd(&pol, *f, gr, x)
                 }
 
                 OpKind::Binary(f) => {
                     let a = self.value(node.inputs[0])?;
                     let b = self.value(node.inputs[1])?;
-                    kernels::binary_broadcast(*f, a, din(0), b, din(1))
+                    kernels::binary_broadcast(&pol, *f, a, din(0), b, din(1))
                 }
 
                 OpKind::HeadDot => {
                     let x = self.value(node.inputs[0])?;
                     let a = self.value(node.inputs[1])?;
-                    kernels::head_dot(x, a, din(0).heads, din(0).feat)
+                    kernels::head_dot(&pol, x, a, din(0).heads, din(0).feat)
                 }
                 OpKind::HeadDotBwdInput => {
                     let gr = self.value(node.inputs[0])?;
                     let a = self.value(node.inputs[1])?;
-                    kernels::head_dot_bwd_input(gr, a, node.dim.heads, node.dim.feat)
+                    kernels::head_dot_bwd_input(&pol, gr, a, node.dim.heads, node.dim.feat)
                 }
                 OpKind::HeadDotBwdParam => {
                     let x = self.value(node.inputs[0])?;
@@ -478,7 +524,7 @@ impl<'a> Session<'a> {
                     let p = self.value(node.inputs[0])?;
                     let mu = self.value(node.inputs[1])?;
                     let sg = self.value(node.inputs[2])?;
-                    kernels::gaussian_weight(p, mu, sg)
+                    kernels::gaussian_weight(&pol, p, mu, sg)
                 }
                 OpKind::GaussianBwdMu | OpKind::GaussianBwdSigma => {
                     let p = self.value(node.inputs[0])?;
@@ -504,12 +550,12 @@ impl<'a> Session<'a> {
                 }
                 OpKind::GatherMeanBwd { group } => {
                     let gr = self.value(node.inputs[0])?;
-                    kernels::gather_mean_bwd(g, *group, gr)
+                    kernels::gather_mean_bwd(&pol, g, *group, gr)
                 }
                 OpKind::EdgeSoftmaxBwd => {
                     let gr = self.value(node.inputs[0])?;
                     let y = self.value(node.inputs[1])?;
-                    kernels::edge_softmax_bwd(g, gr, y)
+                    kernels::edge_softmax_bwd(&pol, g, gr, y)
                 }
 
                 OpKind::SliceCols { start, end } => {
@@ -517,17 +563,17 @@ impl<'a> Session<'a> {
                     // Parameters store heads as rows ([heads, feat]), so the
                     // per-head slice degenerates to a per-row column slice.
                     if ir.node(node.inputs[0]).space == Space::Param {
-                        kernels::slice_cols(x, 1, din(0).feat, *start, *end)
+                        kernels::slice_cols(&pol, x, 1, din(0).feat, *start, *end)
                     } else {
-                        kernels::slice_cols(x, din(0).heads, din(0).feat, *start, *end)
+                        kernels::slice_cols(&pol, x, din(0).heads, din(0).feat, *start, *end)
                     }
                 }
                 OpKind::EmbedCols { start, end, total } => {
                     let gr = self.value(node.inputs[0])?;
                     if node.space == Space::Param {
-                        kernels::embed_cols(gr, 1, *total, *start, *end)
+                        kernels::embed_cols(&pol, gr, 1, *total, *start, *end)
                     } else {
-                        kernels::embed_cols(gr, node.dim.heads, *total, *start, *end)
+                        kernels::embed_cols(&pol, gr, node.dim.heads, *total, *start, *end)
                     }
                 }
                 OpKind::SliceRows { start, end } => {
@@ -547,19 +593,19 @@ impl<'a> Session<'a> {
                 OpKind::SetHeads { .. } => self.value(node.inputs[0])?.clone(),
                 OpKind::HeadReduce(f) => {
                     let x = self.value(node.inputs[0])?;
-                    kernels::head_reduce(x, din(0).heads, din(0).feat, *f == ReduceFn::Mean)
+                    kernels::head_reduce(&pol, x, din(0).heads, din(0).feat, *f == ReduceFn::Mean)
                 }
                 OpKind::HeadBroadcast { heads } => {
                     let x = self.value(node.inputs[0])?;
-                    kernels::head_broadcast(x, *heads)
+                    kernels::head_broadcast(&pol, x, *heads)
                 }
                 OpKind::FeatSum => {
                     let x = self.value(node.inputs[0])?;
-                    kernels::feat_sum(x, din(0).heads, din(0).feat)
+                    kernels::feat_sum(&pol, x, din(0).heads, din(0).feat)
                 }
                 OpKind::FeatBroadcast { feat } => {
                     let x = self.value(node.inputs[0])?;
-                    kernels::feat_broadcast(x, node.dim.heads, *feat)
+                    kernels::feat_broadcast(&pol, x, node.dim.heads, *feat)
                 }
             };
         Ok(out)

@@ -26,6 +26,7 @@ mod elementwise;
 mod error;
 mod init;
 mod linalg;
+pub mod parallel;
 mod reduce;
 mod tensor;
 

@@ -1,21 +1,28 @@
 //! Matrix multiplication and transposition.
 //!
 //! `matmul` parallelizes over row blocks with `std::thread::scope` when the
-//! problem is large enough to amortize thread spawning; the kernel itself is
-//! a cache-friendly ikj loop.
+//! problem is large enough to amortize thread spawning (pool size from
+//! [`crate::parallel::available_threads`], shared with the `gnnopt-exec`
+//! graph kernels); the kernel itself is a cache-friendly ikj loop.
 
+use crate::parallel::available_threads;
 use crate::{Result, Tensor, TensorError};
 
 /// Below this many multiply-adds, `matmul` stays single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 20;
 
-fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+/// Inner GEMM block. `skip_zeros` enables the sparse-row fast path that
+/// skips `a`-coefficients equal to zero; it is only sound when `b` is
+/// known to be free of non-finite values, because IEEE 754 defines
+/// `0 · ±inf` and `0 · NaN` as `NaN` — skipping would silently mask a
+/// diverging operand instead of propagating it.
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, skip_zeros: bool) {
     let rows = out.len() / n;
     for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
         for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
+            if skip_zeros && av == 0.0 {
                 continue;
             }
             let brow = &b[kk * n..(kk + 1) * n];
@@ -24,6 +31,12 @@ fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             }
         }
     }
+}
+
+/// True when every element is finite — the precondition for the zero-skip
+/// fast path in [`matmul_block`].
+fn all_finite(xs: &[f32]) -> bool {
+    xs.iter().all(|v| v.is_finite())
 }
 
 impl Tensor {
@@ -46,8 +59,18 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let work = m * k * n;
         let threads = available_threads();
+        // The zero-skip fast path must not mask 0 · NaN / 0 · inf
+        // contributions from a non-finite right operand.
+        let skip_zeros = all_finite(other.as_slice());
         if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
-            matmul_block(self.as_slice(), other.as_slice(), out.as_mut_slice(), k, n);
+            matmul_block(
+                self.as_slice(),
+                other.as_slice(),
+                out.as_mut_slice(),
+                k,
+                n,
+                skip_zeros,
+            );
             return Ok(out);
         }
         let rows_per = m.div_ceil(threads);
@@ -58,7 +81,7 @@ impl Tensor {
             for (ci, chunk) in chunks.into_iter().enumerate() {
                 let a_off = ci * rows_per * k;
                 let a_part = &a[a_off..(a_off + (chunk.len() / n) * k)];
-                s.spawn(move || matmul_block(a_part, b, chunk, k, n));
+                s.spawn(move || matmul_block(a_part, b, chunk, k, n, skip_zeros));
             }
         });
         Ok(out)
@@ -86,12 +109,15 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.as_slice();
         let b = other.as_slice();
+        // Same soundness condition as `matmul`: skipping zero coefficients
+        // is only exact when the multiplied-in rows are finite.
+        let skip_zeros = all_finite(b);
         let o = out.as_mut_slice();
         for kk in 0..k {
             let arow = &a[kk * m..(kk + 1) * m];
             let brow = &b[kk * n..(kk + 1) * n];
             for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
+                if skip_zeros && av == 0.0 {
                     continue;
                 }
                 let orow = &mut o[i * n..(i + 1) * n];
@@ -154,10 +180,6 @@ impl Tensor {
     }
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,8 +235,36 @@ mod tests {
         let b = Tensor::from_fn(&[k, n], |i| ((i % 7) as f32) * 0.25);
         let par = a.matmul(&b).unwrap();
         let mut serial = Tensor::zeros(&[m, n]);
-        matmul_block(a.as_slice(), b.as_slice(), serial.as_mut_slice(), k, n);
+        matmul_block(
+            a.as_slice(),
+            b.as_slice(),
+            serial.as_mut_slice(),
+            k,
+            n,
+            true,
+        );
         assert!(par.allclose(&serial));
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // A zero coefficient multiplied into a NaN/inf operand must yield
+        // NaN in the product (IEEE 754), not be skipped: a silently clean
+        // output would mask divergence during training.
+        let a = Tensor::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let b = Tensor::from_rows(&[&[f32::NAN, f32::INFINITY], &[2.0, 3.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.at(0, 0).is_nan(), "0·NaN must propagate, got {c:?}");
+        assert!(c.at(0, 1).is_nan(), "0·inf + finite must be NaN, got {c:?}");
+
+        let via_tn = a.transpose().matmul_tn(&b).unwrap();
+        assert!(via_tn.at(0, 0).is_nan() && via_tn.at(0, 1).is_nan());
+
+        // With finite operands the skip stays enabled and exact: a sparse
+        // left operand still produces the plain dense product.
+        let sparse = Tensor::from_rows(&[&[0.0, 2.0]]).unwrap();
+        let dense = Tensor::from_rows(&[&[5.0, -1.0], &[0.5, 4.0]]).unwrap();
+        assert_eq!(sparse.matmul(&dense).unwrap().as_slice(), &[1.0, 8.0]);
     }
 
     #[test]
