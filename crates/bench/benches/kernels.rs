@@ -147,9 +147,41 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reference node-by-node execution vs the tiled fused interpreter on
+/// the same compiled GAT plan: the wall-clock side of the realized fusion
+/// (the memory side is `RunStats::peak_value_bytes`, asserted in
+/// `tests/fused_exec.rs`). Results are bit-identical on both sides.
+fn bench_fused_exec(c: &mut Criterion) {
+    let graph = Graph::from_edge_list(&generators::rmat(13, 16, 0.57, 0.19, 0.19, 5));
+    let spec = gat(&GatConfig {
+        in_dim: 32,
+        layers: vec![(2, 16)],
+        negative_slope: 0.2,
+        reorganized: true,
+    })
+    .expect("gat builds");
+    let bindings = bindings_for(&spec, &graph, 7);
+    let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
+
+    let mut group = c.benchmark_group("gat_fused_exec");
+    for (label, fused) in [("reference", false), ("fused", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fused, |b, &fused| {
+            b.iter(|| {
+                let mut sess =
+                    Session::with_policy_fused(&compiled.plan, &graph, ExecPolicy::auto(), fused)
+                        .expect("session");
+                let out = sess.forward(&bindings).expect("forward");
+                sess.backward(Tensor::ones(out[0].shape()))
+                    .expect("backward")
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_presets, bench_reorg, bench_monet, bench_thread_scaling
+    targets = bench_presets, bench_reorg, bench_monet, bench_thread_scaling, bench_fused_exec
 }
 criterion_main!(benches);

@@ -42,6 +42,7 @@ fn main() {
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
         exec: ExecPolicy::auto(),
+        fused_exec: false,
     };
     let device = gnnopt_sim::Device::rtx3090();
     // Count only the attention-score portion: everything except the

@@ -19,6 +19,7 @@ fn variants() -> Vec<(&'static str, CompileOptions)> {
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
         exec: ExecPolicy::auto(),
+        fused_exec: true,
     };
     vec![
         // "w/o fusion" retains the standard built-in fused kernels

@@ -20,6 +20,7 @@ fn variant(reorg: bool) -> CompileOptions {
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
         exec: ExecPolicy::auto(),
+        fused_exec: true,
     }
 }
 

@@ -25,6 +25,7 @@ fn main() {
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
         exec: ExecPolicy::auto(),
+        fused_exec: true,
     };
     let naive = compile(&wl.ir, false, &base).expect("naive");
     let reorg = compile(

@@ -24,6 +24,7 @@ fn options(policy: MappingPolicy) -> CompileOptions {
         recompute: RecomputeScope::All,
         recompute_threshold: 16.0,
         exec: ExecPolicy::auto(),
+        fused_exec: true,
     }
 }
 

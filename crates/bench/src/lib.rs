@@ -83,6 +83,47 @@ pub fn run_real(
     training: bool,
     seed: u64,
 ) -> IrResult<RunStats> {
+    run_real_impl(spec, graph, opts, threads, training, seed, None)
+}
+
+/// Like [`run_real`], but with the fused-execution choice pinned
+/// explicitly (independent of the plan default and of `GNNOPT_FUSED`):
+/// the reference-vs-fused measurement probe behind the fusion figure.
+///
+/// # Errors
+///
+/// Propagates IR/compile errors.
+///
+/// # Panics
+///
+/// Panics if the compiled plan fails to execute (a harness bug, not a
+/// measurement outcome).
+pub fn run_real_fused(
+    spec: &ModelSpec,
+    graph: &Graph,
+    opts: &CompileOptions,
+    threads: usize,
+    training: bool,
+    seed: u64,
+    fused: bool,
+) -> IrResult<RunStats> {
+    run_real_impl(spec, graph, opts, threads, training, seed, Some(fused))
+}
+
+/// Shared body of [`run_real`] / [`run_real_fused`]. `fused: None` keeps
+/// the plan's own fused-execution default (and the `GNNOPT_FUSED`
+/// override); `Some(f)` pins it.
+fn run_real_impl(
+    spec: &ModelSpec,
+    graph: &Graph,
+    opts: &CompileOptions,
+    threads: usize,
+    training: bool,
+    seed: u64,
+    fused: Option<bool>,
+) -> IrResult<RunStats> {
+    // The explicit thread count is compiled into the plan, so the session
+    // adopts it as-is (no auto-detection, no GNNOPT_THREADS interference).
     let opts = CompileOptions {
         exec: ExecPolicy::with_threads(threads),
         ..*opts
@@ -92,9 +133,11 @@ pub fn run_real(
     for (k, v) in spec.init_values(graph, seed) {
         bindings.insert(&k, v);
     }
-    // The explicit thread count is compiled into the plan, so the session
-    // adopts it as-is (no auto-detection, no GNNOPT_THREADS interference).
-    let mut sess = Session::new(&compiled.plan, graph).expect("session builds");
+    let mut sess = match fused {
+        None => Session::new(&compiled.plan, graph),
+        Some(f) => Session::with_policy_fused(&compiled.plan, graph, compiled.plan.exec, f),
+    }
+    .expect("session builds");
     let out = sess.forward(&bindings).expect("forward runs");
     if training {
         sess.backward(gnnopt_tensor::Tensor::ones(out[0].shape()))

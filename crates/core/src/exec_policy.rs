@@ -25,6 +25,13 @@ pub struct ExecPolicy {
     /// gather-style kernels) below which the kernel stays serial; thread
     /// spawning would otherwise dominate.
     pub parallel_threshold: usize,
+    /// Edge budget per tile of the fused tiled interpreter: destination
+    /// vertex ranges are cut so each tile covers at most this many edges
+    /// (a single vertex whose in-degree exceeds the budget still gets one
+    /// intact tile — reduction groups never split). Smaller tiles bound
+    /// scratch tighter; the value never affects results, which are
+    /// bit-identical to the reference path for any tiling.
+    pub tile_edges: usize,
 }
 
 impl ExecPolicy {
@@ -32,11 +39,17 @@ impl ExecPolicy {
     /// `std::thread::scope` spawn overhead (~tens of µs per worker).
     pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 17;
 
+    /// Default per-tile edge budget of the fused interpreter: at the
+    /// typical feature widths (≤ a few hundred floats per edge row) a
+    /// tile's scratch stays within L2-cache scale.
+    pub const DEFAULT_TILE_EDGES: usize = 4096;
+
     /// Auto-detected thread count (the default for every preset).
     pub fn auto() -> Self {
         Self {
             threads: 0,
             parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+            tile_edges: Self::DEFAULT_TILE_EDGES,
         }
     }
 
@@ -45,6 +58,7 @@ impl ExecPolicy {
         Self {
             threads: 1,
             parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+            tile_edges: Self::DEFAULT_TILE_EDGES,
         }
     }
 
@@ -53,6 +67,7 @@ impl ExecPolicy {
         Self {
             threads,
             parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+            tile_edges: Self::DEFAULT_TILE_EDGES,
         }
     }
 

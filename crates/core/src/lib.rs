@@ -39,6 +39,7 @@ pub mod display;
 pub mod exec_policy;
 pub mod fusion;
 pub mod ir;
+pub mod lower;
 pub mod op;
 pub mod pipeline;
 pub mod plan;
@@ -48,6 +49,7 @@ pub mod tune;
 
 pub use exec_policy::ExecPolicy;
 pub use ir::{IrError, IrGraph, Node, Phase};
+pub use lower::{KernelProgram, ProgramStep, Storage};
 pub use op::{BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn};
 pub use pipeline::{compile, CompileOptions, FusionLevel, Preset};
 pub use plan::{ExecutionPlan, Kernel};

@@ -2,11 +2,11 @@
 //!
 //! Presets mirror the systems compared in the paper's evaluation (§7):
 //!
-//! | Preset | Reorg (§4) | Fusion (§5) | Recompute (§6) |
-//! |---|---|---|---|
-//! | [`Preset::Dgl`] | no | DGL built-ins | no (stash all) |
-//! | [`Preset::FuseGnn`] | no | edge-centric chains | no (stash all) |
-//! | [`Preset::Ours`] | yes | unified mapping | yes |
+//! | Preset | Reorg (§4) | Fusion (§5) | Recompute (§6) | Fused exec |
+//! |---|---|---|---|---|
+//! | [`Preset::Dgl`] | no | DGL built-ins | no (stash all) | no |
+//! | [`Preset::FuseGnn`] | no | edge-centric chains | no (stash all) | no |
+//! | [`Preset::Ours`] | yes | unified mapping | yes | yes (tiled) |
 //!
 //! [`CompileOptions`] exposes each technique independently for the
 //! ablation studies (Figures 8–10).
@@ -47,6 +47,12 @@ pub struct CompileOptions {
     pub recompute_threshold: f64,
     /// CPU thread-parallelism policy for the reference executor.
     pub exec: ExecPolicy,
+    /// Execute fused kernels as tiled [`crate::lower::KernelProgram`]s
+    /// (per-worker scratch, no full edge intermediates) instead of
+    /// node-by-node. On for [`Preset::Ours`]; the reference presets keep
+    /// the materializing executor they model. Overridable per run with
+    /// `GNNOPT_FUSED=0|1`.
+    pub fused_exec: bool,
 }
 
 impl CompileOptions {
@@ -60,6 +66,7 @@ impl CompileOptions {
                 recompute: RecomputeScope::FusedInternalsOnly,
                 recompute_threshold: 16.0,
                 exec: ExecPolicy::auto(),
+                fused_exec: false,
             },
             Preset::FuseGnn => Self {
                 reorg: false,
@@ -68,6 +75,7 @@ impl CompileOptions {
                 recompute: RecomputeScope::FusedInternalsOnly,
                 recompute_threshold: 16.0,
                 exec: ExecPolicy::auto(),
+                fused_exec: false,
             },
             Preset::Ours => Self {
                 reorg: true,
@@ -76,6 +84,7 @@ impl CompileOptions {
                 recompute: RecomputeScope::All,
                 recompute_threshold: 16.0,
                 exec: ExecPolicy::auto(),
+                fused_exec: true,
             },
         }
     }
@@ -184,16 +193,23 @@ pub fn compile(ir: &IrGraph, training: bool, opts: &CompileOptions) -> Result<Co
         .as_ref()
         .map(|b| b.param_grads.clone())
         .unwrap_or_default();
+    let mut plan = ExecutionPlan {
+        ir: graph,
+        kernels,
+        stash,
+        aux_stash: aux,
+        param_grads,
+        training,
+        exec: opts.exec,
+        fused_exec: opts.fused_exec,
+        programs: Vec::new(),
+    };
+    // Lower every fusible kernel to a tiled program. Always computed —
+    // even for `fused_exec = false` plans — so `GNNOPT_FUSED=1` can force
+    // the tiled interpreter onto any plan for A/B comparison.
+    plan.programs = crate::lower::lower_plan(&plan);
     Ok(CompiledModel {
-        plan: ExecutionPlan {
-            ir: graph,
-            kernels,
-            stash,
-            aux_stash: aux,
-            param_grads,
-            training,
-            exec: opts.exec,
-        },
+        plan,
         backward,
         reorg: reorg_report,
     })

@@ -10,6 +10,7 @@
 use crate::cost::CostModel;
 use crate::exec_policy::ExecPolicy;
 use crate::ir::{IrGraph, Phase};
+use crate::lower::KernelProgram;
 use crate::op::{NodeId, OpKind};
 use gnnopt_graph::GraphStats;
 use gnnopt_sim::{Device, ExecStats, KernelProfile, MemoryError, MemoryTracker, ThreadMapping};
@@ -61,6 +62,15 @@ pub struct ExecutionPlan {
     /// CPU thread-parallelism policy the reference executor should run
     /// this plan under (from [`crate::pipeline::CompileOptions::exec`]).
     pub exec: ExecPolicy,
+    /// Whether the executor should run lowered [`KernelProgram`]s by
+    /// default (from [`crate::pipeline::CompileOptions::fused_exec`]; the
+    /// session-level `GNNOPT_FUSED` override wins either way).
+    pub fused_exec: bool,
+    /// Tiled lowering of each kernel, indexed by kernel id; `None` means
+    /// the kernel falls back to the reference node-by-node path (see
+    /// [`crate::lower`] for the rules). Always populated so a session can
+    /// force fused execution on plans compiled with `fused_exec = false`.
+    pub programs: Vec<Option<KernelProgram>>,
 }
 
 impl ExecutionPlan {

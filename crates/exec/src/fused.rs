@@ -1,0 +1,1027 @@
+//! Tiled execution of lowered [`KernelProgram`]s: fusion realized on the
+//! host, not just in the analytical model.
+//!
+//! The reference path in `session.rs` materializes every node of a fused
+//! kernel as a full tensor, so fusion only changes the *accounting*. This
+//! interpreter executes a program over CSR **destination-vertex ranges**
+//! (tiles): scratch-class members live only as per-tile rows inside a
+//! worker-local arena, so the `O(|E|·d)` intermediates of a
+//! gather→edge-op→scatter chain never exist in memory — the measured
+//! `peak_value_bytes` drops toward what `gnnopt-sim` predicts for the
+//! fused plan (interior spills, see `gnnopt_core::lower`, are the
+//! remaining gap).
+//!
+//! # Tiling and determinism
+//!
+//! Destination tiles are cut greedily along `indptr` with at most
+//! [`gnnopt_core::ExecPolicy::tile_edges`] edges per tile (a single
+//! vertex whose in-degree exceeds the budget still gets one intact tile —
+//! reduction groups never split). Because the canonical edge numbering is
+//! destination-major, a tile `[v0, v1)` owns the contiguous edge rows
+//! `[indptr[v0], indptr[v1])`, every `ByDst` group is wholly inside one
+//! tile, and per-vertex edge order is preserved. Each step executes the
+//! *same expressions in the same order* as the reference kernels in
+//! [`crate::kernels`], so fused results are **bit-identical** to the
+//! node-by-node path for any tile budget and any thread count.
+//!
+//! # Parallelism and scratch
+//!
+//! Tiles are distributed over `std::thread::scope` workers in contiguous
+//! runs (reusing the `ExecPolicy` partitioning of PR 2), so each worker
+//! writes disjoint contiguous row ranges of the materialized outputs and
+//! auxiliaries — no atomics. Every worker owns one scratch arena sized
+//! for its largest tile and reuses it across its tiles; the total arena
+//! footprint is reported as `RunStats::scratch_bytes`.
+
+use crate::kernels::{chunk_bounds, split_rows, NO_ARGMAX};
+use crate::{ExecError, Result};
+use gnnopt_core::lower::{KernelProgram, StepExec, Storage};
+use gnnopt_core::{Dim, ExecPolicy, IrGraph, Node, NodeId, OpKind, ReduceFn, ScatterFn, Space};
+use gnnopt_graph::Graph;
+use gnnopt_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Everything a fused kernel launch produced for the session's stores.
+pub(crate) struct ProgramResult {
+    /// Every full tensor the program produced, in step order: boundary
+    /// values *and* interior spills. The session retires the spills as
+    /// soon as the kernel finishes (death lists for ordinary members, the
+    /// explicit recompute drop for spilled recompute values), so they
+    /// only count toward the peak while they are genuinely alive.
+    pub outputs: Vec<(NodeId, Tensor)>,
+    /// Freshly computed edge-softmax auxiliaries (max, denominator).
+    pub new_aux_softmax: Vec<(NodeId, (Tensor, Tensor))>,
+    /// Freshly computed gather-max argmax tables.
+    pub new_aux_argmax: Vec<(NodeId, Vec<u32>)>,
+    /// High-water mark of scratch-arena bytes across workers (max over
+    /// the program's tiled segments).
+    pub scratch_bytes: u64,
+}
+
+/// Where a step operand's rows come from at tile-execution time.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    /// A live full tensor in the session's value store.
+    Global(NodeId),
+    /// A same-segment step's scratch slot (tile-relative rows).
+    Slot {
+        /// Index into `KernelProgram::steps`.
+        step: usize,
+        cols: usize,
+        space: Space,
+    },
+    /// An earlier segment's materialized/interior tensor (full rows,
+    /// complete before this segment runs).
+    Mat(usize),
+    /// A prelude tensor (parameter-space view, full rows).
+    Prelude(usize),
+}
+
+/// Per-step execution metadata, precomputed once per launch.
+struct StepPlan {
+    node: NodeId,
+    space: Space,
+    cols: usize,
+    storage: Storage,
+    srcs: Vec<Src>,
+    /// Input dims (`ir.node(inputs[i]).dim`), for broadcast/head layout.
+    dins: Vec<Dim>,
+}
+
+/// Cuts destination-vertex tile boundaries so each tile covers at most
+/// `tile_edges` edges (always at least one vertex per tile).
+pub(crate) fn tile_bounds(indptr: &[usize], tile_edges: usize) -> Vec<usize> {
+    let n = indptr.len() - 1;
+    let mut bounds = vec![0];
+    let mut v = 0;
+    while v < n {
+        let e0 = indptr[v];
+        v += 1;
+        while v < n && indptr[v + 1] - e0 <= tile_edges {
+            v += 1;
+        }
+        bounds.push(v);
+    }
+    bounds
+}
+
+/// Read access to step operands inside one tile.
+struct TileView<'a> {
+    v0: usize,
+    e0: usize,
+    slots: &'a [Vec<f32>],
+    mat: &'a [Option<Tensor>],
+    values: &'a HashMap<NodeId, Tensor>,
+    preludes: &'a [Tensor],
+}
+
+impl TileView<'_> {
+    fn row(&self, src: Src, r: usize) -> &[f32] {
+        match src {
+            Src::Global(id) => self.values[&id].row(r),
+            Src::Prelude(i) => self.preludes[i].row(r),
+            Src::Mat(si) => self.mat[si]
+                .as_ref()
+                .expect("earlier-segment tensor is complete")
+                .row(r),
+            Src::Slot { step, cols, space } => {
+                let base = match space {
+                    Space::Edge => self.e0,
+                    Space::Vertex => self.v0,
+                    Space::Param => 0,
+                };
+                let off = (r - base) * cols;
+                &self.slots[step][off..off + cols]
+            }
+        }
+    }
+}
+
+/// Mutable auxiliary sinks for one step in one tile (rows are relative to
+/// the worker's first vertex).
+enum StepAux<'a> {
+    None,
+    /// Fresh softmax: worker-chunk rows of the global max/denominator.
+    SoftmaxFresh {
+        maxes: &'a mut [f32],
+        denom: &'a mut [f32],
+        chunk_v0: usize,
+    },
+    /// Recompute softmax from the session's stashed auxiliaries.
+    SoftmaxFromAux {
+        maxes: &'a Tensor,
+        denom: &'a Tensor,
+    },
+    /// Gather(Max): worker-chunk rows of the global argmax table.
+    ArgMax {
+        table: &'a mut [u32],
+        chunk_v0: usize,
+    },
+}
+
+/// Executes one lowered kernel over the graph, tile by tile.
+///
+/// # Errors
+///
+/// Returns [`ExecError::ValueNotLive`] when an out-of-kernel operand is
+/// not in the value store (a plan inconsistency, same contract as the
+/// reference path).
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_program(
+    policy: &ExecPolicy,
+    g: &Graph,
+    ir: &IrGraph,
+    program: &KernelProgram,
+    values: &HashMap<NodeId, Tensor>,
+    aux_softmax: &HashMap<NodeId, (Tensor, Tensor)>,
+) -> Result<ProgramResult> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let indptr = g.in_adj().indptr();
+
+    // Step lookup and prelude evaluation (parameter-space views are
+    // O(params): computed once, shared read-only by all workers).
+    let mut step_index: HashMap<NodeId, usize> = HashMap::new();
+    for (si, s) in program.steps.iter().enumerate() {
+        step_index.insert(s.node, si);
+    }
+    let mut preludes: Vec<Tensor> = Vec::new();
+    let mut prelude_idx: HashMap<NodeId, usize> = HashMap::new();
+    let not_live = |id: NodeId| ExecError::ValueNotLive {
+        node: ir.node(id).name.clone(),
+    };
+    for s in &program.steps {
+        if s.storage != Storage::Prelude {
+            continue;
+        }
+        let node = ir.node(s.node);
+        let input = node.inputs[0];
+        let x: &Tensor = prelude_idx
+            .get(&input)
+            .map(|&i| &preludes[i])
+            .or_else(|| values.get(&input))
+            .ok_or_else(|| not_live(input))?;
+        let din = ir.node(input).dim;
+        let t = match &node.kind {
+            // Mirrors the reference `exec_node` exactly: parameters store
+            // heads as rows, so the per-head slice degenerates to heads=1.
+            OpKind::SliceCols { start, end } => {
+                crate::kernels::slice_cols(&ExecPolicy::serial(), x, 1, din.feat, *start, *end)
+            }
+            OpKind::SliceRows { start, end } => {
+                let rows: Vec<usize> = (*start..*end).collect();
+                x.select_rows(&rows)?
+            }
+            OpKind::SetHeads { .. } => x.clone(),
+            other => unreachable!("non-view prelude op {other:?} survived lowering"),
+        };
+        prelude_idx.insert(s.node, preludes.len());
+        preludes.push(t);
+    }
+
+    // Operand sources per step: same-segment members resolve to scratch
+    // slots, earlier-segment members to their (complete) full tensors.
+    let mut steps: Vec<StepPlan> = Vec::with_capacity(program.steps.len());
+    for s in &program.steps {
+        let node = ir.node(s.node);
+        let mut srcs = Vec::with_capacity(node.inputs.len());
+        for &i in &node.inputs {
+            let src = if let Some(&pi) = prelude_idx.get(&i) {
+                Src::Prelude(pi)
+            } else if let Some(&si) = step_index.get(&i) {
+                let inp = &program.steps[si];
+                if s.exec == StepExec::Tiled && inp.segment == s.segment {
+                    Src::Slot {
+                        step: si,
+                        cols: inp.cols,
+                        space: inp.space,
+                    }
+                } else {
+                    Src::Mat(si)
+                }
+            } else if values.contains_key(&i) {
+                Src::Global(i)
+            } else {
+                return Err(not_live(i));
+            };
+            srcs.push(src);
+        }
+        steps.push(StepPlan {
+            node: s.node,
+            space: s.space,
+            cols: s.cols,
+            storage: s.storage,
+            srcs,
+            dins: node.inputs.iter().map(|&i| ir.node(i).dim).collect(),
+        });
+    }
+
+    // Full-tensor storage for materialized/interior steps. Tiled ones are
+    // pre-allocated (workers fill disjoint chunks); full steps produce
+    // theirs when their segment runs.
+    let mut mat: Vec<Option<Tensor>> = vec![None; steps.len()];
+    for (si, sp) in steps.iter().enumerate() {
+        if matches!(sp.storage, Storage::Materialized | Storage::Interior)
+            && program.steps[si].exec == StepExec::Tiled
+        {
+            let rows = match sp.space {
+                Space::Edge => m,
+                Space::Vertex => n,
+                Space::Param => unreachable!("param steps are prelude-class"),
+            };
+            mat[si] = Some(Tensor::zeros(&[rows, sp.cols]));
+        }
+    }
+
+    // Auxiliaries: tiled softmax / gather-max fill global tables in
+    // disjoint chunks; a full BySrc gather-max returns its table whole.
+    let mut fresh_softmax: Vec<(usize, Tensor, Tensor)> = Vec::new();
+    let mut from_aux: HashMap<usize, (&Tensor, &Tensor)> = HashMap::new();
+    let mut argmax_tables: Vec<(usize, Vec<u32>)> = Vec::new();
+    for (si, sp) in steps.iter().enumerate() {
+        match &ir.node(sp.node).kind {
+            OpKind::EdgeSoftmax => {
+                if let Some((mx, dn)) = aux_softmax.get(&sp.node) {
+                    from_aux.insert(si, (mx, dn));
+                } else {
+                    fresh_softmax.push((
+                        si,
+                        Tensor::full(&[n, sp.cols], f32::NEG_INFINITY),
+                        Tensor::zeros(&[n, sp.cols]),
+                    ));
+                }
+            }
+            OpKind::Gather {
+                reduce: ReduceFn::Max,
+                ..
+            } if program.steps[si].exec == StepExec::Tiled => {
+                argmax_tables.push((si, vec![NO_ARGMAX; n * sp.cols]));
+            }
+            _ => {}
+        }
+    }
+
+    // Tiles and worker partition (shared by every tiled segment).
+    let tiles = tile_bounds(indptr, policy.tile_edges);
+    let num_tiles = tiles.len() - 1;
+    let work: usize = steps
+        .iter()
+        .map(|s| match s.space {
+            Space::Edge => m * s.cols,
+            Space::Vertex => n * s.cols,
+            Space::Param => 0,
+        })
+        .sum();
+    let threads = if work < policy.parallel_threshold {
+        1
+    } else {
+        policy.threads.clamp(1, num_tiles.max(1))
+    };
+    let wt = chunk_bounds(num_tiles, threads); // worker → tile boundaries
+    let wv: Vec<usize> = wt.iter().map(|&t| tiles[t]).collect();
+    let we: Vec<usize> = wv.iter().map(|&v| indptr[v]).collect();
+    let workers = wt.len() - 1;
+
+    // Worker arena sizes are a pure function of the partition, so the
+    // scratch high-water mark (max over segments, sum over workers) is
+    // known before running.
+    let mut scratch_bytes = 0u64;
+    let worker_max_tile = |w: usize| -> (usize, usize) {
+        let (mut tv, mut te) = (0usize, 0usize);
+        for t in wt[w]..wt[w + 1] {
+            tv = tv.max(tiles[t + 1] - tiles[t]);
+            te = te.max(indptr[tiles[t + 1]] - indptr[tiles[t]]);
+        }
+        (tv, te)
+    };
+    for seg in program.segments() {
+        let mut total = 0u64;
+        for w in 0..workers {
+            let (tv, te) = worker_max_tile(w);
+            total += program.scratch_tile_bytes(seg, tv, te);
+        }
+        scratch_bytes = scratch_bytes.max(total);
+    }
+
+    // Execute segments in order: full steps once over the whole graph via
+    // the (deterministic, thread-parallel) reference kernels; tiled
+    // segments over destination ranges with per-worker scratch.
+    let mut new_argmax_full: Vec<(usize, Vec<u32>)> = Vec::new();
+    for seg in program.segments() {
+        let seg_steps: Vec<usize> = (0..steps.len())
+            .filter(|&si| {
+                program.steps[si].segment == seg && program.steps[si].storage != Storage::Prelude
+            })
+            .collect();
+        if seg_steps
+            .iter()
+            .any(|&si| program.steps[si].exec == StepExec::Full)
+        {
+            // A full segment holds exactly one step.
+            let si = seg_steps[0];
+            let sp = &steps[si];
+            let full = |src: Src| -> &Tensor {
+                match src {
+                    Src::Global(id) => &values[&id],
+                    Src::Prelude(i) => &preludes[i],
+                    Src::Mat(mi) => mat[mi].as_ref().expect("earlier segment is complete"),
+                    Src::Slot { .. } => unreachable!("full steps never read scratch"),
+                }
+            };
+            let t = match &ir.node(sp.node).kind {
+                OpKind::Gather { reduce, group } => {
+                    let (t, am) =
+                        crate::kernels::gather(policy, g, *reduce, *group, full(sp.srcs[0]));
+                    if let Some(am) = am {
+                        new_argmax_full.push((si, am));
+                    }
+                    t
+                }
+                OpKind::GatherMeanBwd { group } => {
+                    crate::kernels::gather_mean_bwd(policy, g, *group, full(sp.srcs[0]))
+                }
+                other => unreachable!("op {other:?} is not a full step"),
+            };
+            mat[si] = Some(t);
+            continue;
+        }
+
+        // Tiled segment: take the segment's full tensors out for chunked
+        // writing (same-segment reads go through scratch, never `mat`).
+        struct SegOut {
+            si: usize,
+            tensor: Tensor,
+        }
+        let mut seg_out: Vec<SegOut> = Vec::new();
+        for &si in &seg_steps {
+            if matches!(steps[si].storage, Storage::Materialized | Storage::Interior) {
+                seg_out.push(SegOut {
+                    si,
+                    tensor: mat[si].take().expect("tiled output pre-allocated"),
+                });
+            }
+        }
+
+        struct WorkerSinks<'w> {
+            out: Vec<(usize, &'w mut [f32])>,
+            sm: Vec<(usize, &'w mut [f32], &'w mut [f32])>,
+            am: Vec<(usize, &'w mut [u32])>,
+        }
+        let mut sinks: Vec<WorkerSinks<'_>> = (0..workers)
+            .map(|_| WorkerSinks {
+                out: Vec::new(),
+                sm: Vec::new(),
+                am: Vec::new(),
+            })
+            .collect();
+        for so in &mut seg_out {
+            let sp = &steps[so.si];
+            let bounds = if sp.space == Space::Edge { &we } else { &wv };
+            for (w, chunk) in split_rows(so.tensor.as_mut_slice(), sp.cols, bounds)
+                .into_iter()
+                .enumerate()
+            {
+                sinks[w].out.push((so.si, chunk));
+            }
+        }
+        for (si, mx, dn) in &mut fresh_softmax {
+            if !seg_steps.contains(si) {
+                continue;
+            }
+            let cols = steps[*si].cols;
+            let mx_chunks = split_rows(mx.as_mut_slice(), cols, &wv);
+            let dn_chunks = split_rows(dn.as_mut_slice(), cols, &wv);
+            for (w, (mc, dc)) in mx_chunks.into_iter().zip(dn_chunks).enumerate() {
+                sinks[w].sm.push((*si, mc, dc));
+            }
+        }
+        for (si, table) in &mut argmax_tables {
+            if !seg_steps.contains(si) {
+                continue;
+            }
+            let cols = steps[*si].cols;
+            for (w, chunk) in split_rows(table, cols, &wv).into_iter().enumerate() {
+                sinks[w].am.push((*si, chunk));
+            }
+        }
+
+        // Run the segment. Each worker walks its tiles sequentially,
+        // reusing one arena.
+        let mat_ref = &mat;
+        let run_worker = |tile_range: std::ops::Range<usize>, mut sinks: WorkerSinks<'_>| {
+            let (wv0, we0) = (tiles[tile_range.start], indptr[tiles[tile_range.start]]);
+            let (mut max_tv, mut max_te) = (0usize, 0usize);
+            for t in tile_range.clone() {
+                max_tv = max_tv.max(tiles[t + 1] - tiles[t]);
+                max_te = max_te.max(indptr[tiles[t + 1]] - indptr[tiles[t]]);
+            }
+            let mut slots: Vec<Vec<f32>> = (0..steps.len())
+                .map(|si| {
+                    if !seg_steps.contains(&si) {
+                        return Vec::new();
+                    }
+                    match steps[si].space {
+                        Space::Edge => vec![0.0; max_te * steps[si].cols],
+                        Space::Vertex => vec![0.0; max_tv * steps[si].cols],
+                        Space::Param => Vec::new(),
+                    }
+                })
+                .collect();
+            for t in tile_range {
+                let (v0, v1) = (tiles[t], tiles[t + 1]);
+                let (e0, e1) = (indptr[v0], indptr[v1]);
+                for &si in &seg_steps {
+                    let sp = &steps[si];
+                    let mut buf = std::mem::take(&mut slots[si]);
+                    {
+                        let view = TileView {
+                            v0,
+                            e0,
+                            slots: &slots,
+                            mat: mat_ref,
+                            values,
+                            preludes: &preludes,
+                        };
+                        let aux = match &ir.node(sp.node).kind {
+                            OpKind::EdgeSoftmax => {
+                                if let Some(&(mx, dn)) = from_aux.get(&si) {
+                                    StepAux::SoftmaxFromAux {
+                                        maxes: mx,
+                                        denom: dn,
+                                    }
+                                } else {
+                                    let (_, mc, dc) = sinks
+                                        .sm
+                                        .iter_mut()
+                                        .find(|(i, _, _)| *i == si)
+                                        .expect("fresh softmax has an aux sink");
+                                    StepAux::SoftmaxFresh {
+                                        maxes: mc,
+                                        denom: dc,
+                                        chunk_v0: wv0,
+                                    }
+                                }
+                            }
+                            OpKind::Gather {
+                                reduce: ReduceFn::Max,
+                                ..
+                            } => {
+                                let (_, table) = sinks
+                                    .am
+                                    .iter_mut()
+                                    .find(|(i, _)| *i == si)
+                                    .expect("gather-max has an argmax sink");
+                                StepAux::ArgMax {
+                                    table,
+                                    chunk_v0: wv0,
+                                }
+                            }
+                            _ => StepAux::None,
+                        };
+                        exec_step(
+                            ir.node(sp.node),
+                            sp,
+                            g,
+                            &view,
+                            (v0, v1, e0, e1),
+                            &mut buf,
+                            aux,
+                        );
+                    }
+                    if matches!(sp.storage, Storage::Materialized | Storage::Interior) {
+                        let (rows, r0, wbase) = match sp.space {
+                            Space::Edge => (e1 - e0, e0, we0),
+                            _ => (v1 - v0, v0, wv0),
+                        };
+                        let (_, chunk) = sinks
+                            .out
+                            .iter_mut()
+                            .find(|(i, _)| *i == si)
+                            .expect("materialized step has an output sink");
+                        let dst = (r0 - wbase) * sp.cols;
+                        chunk[dst..dst + rows * sp.cols].copy_from_slice(&buf[..rows * sp.cols]);
+                    }
+                    slots[si] = buf;
+                }
+            }
+        };
+
+        if workers < 2 {
+            if let Some(s) = sinks.pop() {
+                run_worker(0..num_tiles, s);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (w, s) in sinks.into_iter().enumerate() {
+                    let run_worker = &run_worker;
+                    let range = wt[w]..wt[w + 1];
+                    scope.spawn(move || run_worker(range, s));
+                }
+            });
+        }
+
+        // Restore the segment's tensors for later segments to read.
+        for so in seg_out {
+            mat[so.si] = Some(so.tensor);
+        }
+    }
+
+    let mut new_aux_argmax: Vec<(NodeId, Vec<u32>)> = argmax_tables
+        .into_iter()
+        .map(|(si, a)| (steps[si].node, a))
+        .collect();
+    new_aux_argmax.extend(
+        new_argmax_full
+            .into_iter()
+            .map(|(si, a)| (steps[si].node, a)),
+    );
+    Ok(ProgramResult {
+        outputs: mat
+            .into_iter()
+            .enumerate()
+            .filter_map(|(si, t)| t.map(|t| (steps[si].node, t)))
+            .collect(),
+        new_aux_softmax: fresh_softmax
+            .into_iter()
+            .map(|(si, mx, dn)| (steps[si].node, (mx, dn)))
+            .collect(),
+        scratch_bytes,
+        new_aux_argmax,
+    })
+}
+
+/// Executes one step over one tile into `buf` (tile-relative rows).
+///
+/// Every arm reproduces the corresponding kernel in [`crate::kernels`]
+/// expression-for-expression and in the same iteration order, which is
+/// what makes fused execution bit-identical to the reference path.
+#[allow(clippy::too_many_lines)]
+fn exec_step(
+    node: &Node,
+    sp: &StepPlan,
+    g: &Graph,
+    tv: &TileView<'_>,
+    (v0, v1, e0, e1): (usize, usize, usize, usize),
+    buf: &mut [f32],
+    aux: StepAux<'_>,
+) {
+    let total = sp.cols;
+    let adj = g.in_adj();
+    match &node.kind {
+        OpKind::Scatter(f) => {
+            let x = sp.srcs[0];
+            let y = *sp.srcs.last().expect("scatter has inputs");
+            match f {
+                ScatterFn::CopyU => {
+                    for e in e0..e1 {
+                        buf[(e - e0) * total..(e - e0 + 1) * total]
+                            .copy_from_slice(tv.row(x, g.src(e)));
+                    }
+                }
+                ScatterFn::CopyV => {
+                    for e in e0..e1 {
+                        buf[(e - e0) * total..(e - e0 + 1) * total]
+                            .copy_from_slice(tv.row(y, g.dst(e)));
+                    }
+                }
+                ScatterFn::Bin(bf) => {
+                    for e in e0..e1 {
+                        let (xu, yv) = (tv.row(x, g.src(e)), tv.row(y, g.dst(e)));
+                        let o = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
+                        for ((ov, &a), &b) in o.iter_mut().zip(xu).zip(yv) {
+                            *ov = bf.apply(a, b);
+                        }
+                    }
+                }
+                ScatterFn::ConcatUV => {
+                    let heads = node.dim.heads;
+                    for e in e0..e1 {
+                        let (xu, yv) = (tv.row(x, g.src(e)), tv.row(y, g.dst(e)));
+                        let (fx, fy) = (xu.len() / heads, yv.len() / heads);
+                        let o = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
+                        for h in 0..heads {
+                            let base = h * (fx + fy);
+                            o[base..base + fx].copy_from_slice(&xu[h * fx..(h + 1) * fx]);
+                            o[base + fx..base + fx + fy].copy_from_slice(&yv[h * fy..(h + 1) * fy]);
+                        }
+                    }
+                }
+            }
+        }
+
+        OpKind::Gather { reduce, .. } => {
+            let x = sp.srcs[0];
+            match reduce {
+                ReduceFn::Sum => {
+                    for v in v0..v1 {
+                        let o = &mut buf[(v - v0) * total..(v - v0 + 1) * total];
+                        o.fill(0.0);
+                        for &e in adj.edge_ids(v) {
+                            for (ov, &xv) in o.iter_mut().zip(tv.row(x, e as usize)) {
+                                *ov += xv;
+                            }
+                        }
+                    }
+                }
+                ReduceFn::Mean => {
+                    for v in v0..v1 {
+                        let o = &mut buf[(v - v0) * total..(v - v0 + 1) * total];
+                        o.fill(0.0);
+                        let deg = adj.degree(v);
+                        if deg == 0 {
+                            continue;
+                        }
+                        let inv = 1.0 / deg as f32;
+                        for &e in adj.edge_ids(v) {
+                            for (ov, &xv) in o.iter_mut().zip(tv.row(x, e as usize)) {
+                                *ov += xv * inv;
+                            }
+                        }
+                    }
+                }
+                ReduceFn::Max => {
+                    let StepAux::ArgMax { table, chunk_v0 } = aux else {
+                        unreachable!("gather-max executes with an argmax sink")
+                    };
+                    for v in v0..v1 {
+                        let o = &mut buf[(v - v0) * total..(v - v0 + 1) * total];
+                        o.fill(0.0);
+                        let ar = &mut table[(v - chunk_v0) * total..(v - chunk_v0 + 1) * total];
+                        ar.fill(NO_ARGMAX);
+                        let mut first = true;
+                        for &e in adj.edge_ids(v) {
+                            let xr = tv.row(x, e as usize);
+                            for c in 0..total {
+                                if first || xr[c] > o[c] {
+                                    o[c] = xr[c];
+                                    ar[c] = e;
+                                }
+                            }
+                            first = false;
+                        }
+                    }
+                }
+            }
+        }
+
+        OpKind::EdgeSoftmax => {
+            let x = sp.srcs[0];
+            match aux {
+                StepAux::SoftmaxFresh {
+                    maxes,
+                    denom,
+                    chunk_v0,
+                } => {
+                    for v in v0..v1 {
+                        let ids = adj.edge_ids(v);
+                        if ids.is_empty() {
+                            continue;
+                        }
+                        let mr = &mut maxes[(v - chunk_v0) * total..(v - chunk_v0 + 1) * total];
+                        for &e in ids {
+                            for (mv, &xv) in mr.iter_mut().zip(tv.row(x, e as usize)) {
+                                *mv = mv.max(xv);
+                            }
+                        }
+                        let dr = &mut denom[(v - chunk_v0) * total..(v - chunk_v0 + 1) * total];
+                        for &e in ids {
+                            let xr = tv.row(x, e as usize);
+                            for c in 0..total {
+                                dr[c] += (xr[c] - mr[c]).exp();
+                            }
+                        }
+                        for &e in ids {
+                            let xr = tv.row(x, e as usize);
+                            let yr =
+                                &mut buf[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
+                            for c in 0..total {
+                                yr[c] = (xr[c] - mr[c]).exp() / dr[c];
+                            }
+                        }
+                    }
+                }
+                StepAux::SoftmaxFromAux { maxes, denom } => {
+                    for e in e0..e1 {
+                        let v = g.dst(e);
+                        let (xr, mr, dr) = (tv.row(x, e), maxes.row(v), denom.row(v));
+                        let yr = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
+                        for c in 0..total {
+                            yr[c] = (xr[c] - mr[c]).exp() / dr[c];
+                        }
+                    }
+                }
+                _ => unreachable!("softmax executes with a softmax aux"),
+            }
+        }
+
+        OpKind::EdgeSoftmaxBwd => {
+            let (gr_src, y_src) = (sp.srcs[0], sp.srcs[1]);
+            for v in v0..v1 {
+                let ids = adj.edge_ids(v);
+                let mut s = vec![0.0f32; total];
+                for &e in ids {
+                    let (gr, yr) = (tv.row(gr_src, e as usize), tv.row(y_src, e as usize));
+                    for c in 0..total {
+                        s[c] += gr[c] * yr[c];
+                    }
+                }
+                for &e in ids {
+                    let (gr, yr) = (tv.row(gr_src, e as usize), tv.row(y_src, e as usize));
+                    let or = &mut buf[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
+                    for c in 0..total {
+                        or[c] = yr[c] * (gr[c] - s[c]);
+                    }
+                }
+            }
+        }
+
+        OpKind::GatherMeanBwd { .. } => {
+            let gr_src = sp.srcs[0];
+            for e in e0..e1 {
+                let v = g.dst(e);
+                let inv = 1.0 / adj.degree(v) as f32;
+                let o = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
+                for (ov, &gv) in o.iter_mut().zip(tv.row(gr_src, v)) {
+                    *ov = gv * inv;
+                }
+            }
+        }
+
+        OpKind::Unary(f) => {
+            let x = sp.srcs[0];
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let xr = tv.row(x, r);
+                let o = &mut buf[i * total..(i + 1) * total];
+                for (ov, &xv) in o.iter_mut().zip(xr) {
+                    *ov = f.apply(xv);
+                }
+            });
+        }
+        OpKind::UnaryBwd(f) => {
+            let (gr_src, x_src) = (sp.srcs[0], sp.srcs[1]);
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let (gr, xr) = (tv.row(gr_src, r), tv.row(x_src, r));
+                let o = &mut buf[i * total..(i + 1) * total];
+                for ((ov, &gv), &xv) in o.iter_mut().zip(gr).zip(xr) {
+                    *ov = gv * f.derivative(xv);
+                }
+            });
+        }
+
+        OpKind::Binary(f) => {
+            let (a_src, b_src) = (sp.srcs[0], sp.srcs[1]);
+            let (da, db) = (node_input_dim(sp, 0), node_input_dim(sp, 1));
+            let heads = da.heads;
+            if da.feat == db.feat {
+                for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                    let (ar, br) = (tv.row(a_src, r), tv.row(b_src, r));
+                    let o = &mut buf[i * total..(i + 1) * total];
+                    for ((ov, &av), &bv) in o.iter_mut().zip(ar).zip(br) {
+                        *ov = f.apply(av, bv);
+                    }
+                });
+            } else {
+                let feat = da.feat.max(db.feat);
+                for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                    let (ar, br) = (tv.row(a_src, r), tv.row(b_src, r));
+                    let or = &mut buf[i * total..(i + 1) * total];
+                    for h in 0..heads {
+                        for c in 0..feat {
+                            let av = if da.feat == 1 {
+                                ar[h]
+                            } else {
+                                ar[h * feat + c]
+                            };
+                            let bv = if db.feat == 1 {
+                                br[h]
+                            } else {
+                                br[h * feat + c]
+                            };
+                            or[h * feat + c] = f.apply(av, bv);
+                        }
+                    }
+                });
+            }
+        }
+
+        OpKind::GaussianWeight => {
+            let (p_src, mu_src, sg_src) = (sp.srcs[0], sp.srcs[1], sp.srcs[2]);
+            let k = total;
+            for e in e0..e1 {
+                let pr = tv.row(p_src, e);
+                let r = pr.len();
+                let or = &mut buf[(e - e0) * k..(e - e0 + 1) * k];
+                for (ki, ov) in or.iter_mut().enumerate().take(k) {
+                    let (mr, sr) = (tv.row(mu_src, ki), tv.row(sg_src, ki));
+                    let mut acc = 0.0;
+                    for j in 0..r {
+                        let d = (pr[j] - mr[j]) * sr[j];
+                        acc += d * d;
+                    }
+                    *ov = (-0.5 * acc).exp();
+                }
+            }
+        }
+
+        OpKind::SliceCols { start, end } => {
+            let x = sp.srcs[0];
+            let din = node_input_dim(sp, 0);
+            let (heads, feat) = (din.heads, din.feat);
+            let w = end - start;
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let xr = tv.row(x, r);
+                let or = &mut buf[i * total..(i + 1) * total];
+                for h in 0..heads {
+                    or[h * w..(h + 1) * w].copy_from_slice(&xr[h * feat + start..h * feat + end]);
+                }
+            });
+        }
+        OpKind::EmbedCols {
+            start,
+            end,
+            total: tf,
+        } => {
+            let x = sp.srcs[0];
+            let heads = node.dim.heads;
+            let w = end - start;
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let gr = tv.row(x, r);
+                let or = &mut buf[i * total..(i + 1) * total];
+                or.fill(0.0);
+                for h in 0..heads {
+                    or[h * tf + start..h * tf + end].copy_from_slice(&gr[h * w..(h + 1) * w]);
+                }
+            });
+        }
+
+        OpKind::SetHeads { .. } => {
+            let x = sp.srcs[0];
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                buf[i * total..(i + 1) * total].copy_from_slice(tv.row(x, r));
+            });
+        }
+        OpKind::HeadReduce(f) => {
+            let x = sp.srcs[0];
+            let din = node_input_dim(sp, 0);
+            let (heads, feat) = (din.heads, din.feat);
+            let scale = if *f == ReduceFn::Mean {
+                1.0 / heads as f32
+            } else {
+                1.0
+            };
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let xr = tv.row(x, r);
+                let or = &mut buf[i * feat..(i + 1) * feat];
+                or.fill(0.0);
+                for h in 0..heads {
+                    for c in 0..feat {
+                        or[c] += xr[h * feat + c] * scale;
+                    }
+                }
+            });
+        }
+        OpKind::HeadBroadcast { heads } => {
+            let x = sp.srcs[0];
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let xr = tv.row(x, r);
+                let feat = xr.len();
+                let or = &mut buf[i * total..(i + 1) * total];
+                for h in 0..*heads {
+                    or[h * feat..(h + 1) * feat].copy_from_slice(xr);
+                }
+            });
+        }
+        OpKind::FeatSum => {
+            let x = sp.srcs[0];
+            let din = node_input_dim(sp, 0);
+            let (heads, feat) = (din.heads, din.feat);
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let xr = tv.row(x, r);
+                let or = &mut buf[i * heads..(i + 1) * heads];
+                for h in 0..heads {
+                    or[h] = xr[h * feat..(h + 1) * feat].iter().sum();
+                }
+            });
+        }
+        OpKind::FeatBroadcast { feat } => {
+            let x = sp.srcs[0];
+            let heads = node.dim.heads;
+            for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
+                let xr = tv.row(x, r);
+                let or = &mut buf[i * total..(i + 1) * total];
+                for h in 0..heads {
+                    for c in 0..*feat {
+                        or[h * feat + c] = xr[h];
+                    }
+                }
+            });
+        }
+
+        other => unreachable!("op {other:?} survived lowering but cannot tile"),
+    }
+}
+
+/// Iterates the tile's rows of a step's own space: `(global row, tile-local
+/// index)`.
+fn for_rows(
+    space: Space,
+    (v0, v1, e0, e1): (usize, usize, usize, usize),
+    mut body: impl FnMut(usize, usize),
+) {
+    let range = match space {
+        Space::Edge => e0..e1,
+        Space::Vertex => v0..v1,
+        Space::Param => 0..0,
+    };
+    let base = range.start;
+    for r in range {
+        body(r, r - base);
+    }
+}
+
+/// Input dim lookup stored on the step plan at build time.
+fn node_input_dim(sp: &StepPlan, idx: usize) -> Dim {
+    sp.dins[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tile_bounds;
+
+    #[test]
+    fn tile_bounds_respect_edge_budget_and_cover_all_vertices() {
+        // indptr of 6 vertices with degrees [2, 0, 3, 1, 0, 4].
+        let indptr = [0usize, 2, 2, 5, 6, 6, 10];
+        for budget in [0usize, 1, 2, 3, 5, 10, 1000] {
+            let b = tile_bounds(&indptr, budget);
+            assert_eq!(*b.first().unwrap(), 0);
+            assert_eq!(*b.last().unwrap(), 6, "tiles must cover every vertex");
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+            for w in b.windows(2) {
+                let edges = indptr[w[1]] - indptr[w[0]];
+                // A tile may exceed the budget only when a single vertex
+                // does (groups never split).
+                assert!(
+                    edges <= budget || w[1] - w[0] == 1,
+                    "budget {budget}: tile {w:?} has {edges} edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_bounds_handle_empty_and_edgeless_graphs() {
+        assert_eq!(tile_bounds(&[0], 8), vec![0], "no vertices → no tiles");
+        // 3 vertices, 0 edges: one tile covering all of them.
+        assert_eq!(tile_bounds(&[0, 0, 0, 0], 8), vec![0, 3]);
+    }
+
+    #[test]
+    fn tile_bounds_isolate_a_vertex_over_budget() {
+        // Vertex 1 has 7 in-edges, more than the budget of 4: it still
+        // gets one intact tile.
+        let indptr = [0usize, 1, 8, 9];
+        let b = tile_bounds(&indptr, 4);
+        assert_eq!(b, vec![0, 1, 2, 3]);
+    }
+}

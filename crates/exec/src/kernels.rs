@@ -73,7 +73,7 @@ fn plan_threads(policy: &ExecPolicy, rows: usize, work: usize) -> usize {
 /// `(rows, threads)` only, so a given policy always yields the same
 /// partition (and the partition never affects results anyway — chunks are
 /// data-disjoint).
-fn chunk_bounds(rows: usize, threads: usize) -> Vec<usize> {
+pub(crate) fn chunk_bounds(rows: usize, threads: usize) -> Vec<usize> {
     let per = rows.div_ceil(threads.max(1)).max(1);
     let mut bounds = vec![0];
     while *bounds.last().expect("bounds is non-empty") < rows {
@@ -84,7 +84,11 @@ fn chunk_bounds(rows: usize, threads: usize) -> Vec<usize> {
 
 /// Splits a row-major buffer of `cols`-wide rows into the consecutive
 /// chunks delimited by `bounds`.
-fn split_rows<'a, T>(mut buf: &'a mut [T], cols: usize, bounds: &[usize]) -> Vec<&'a mut [T]> {
+pub(crate) fn split_rows<'a, T>(
+    mut buf: &'a mut [T],
+    cols: usize,
+    bounds: &[usize],
+) -> Vec<&'a mut [T]> {
     let mut chunks = Vec::with_capacity(bounds.len().saturating_sub(1));
     for w in bounds.windows(2) {
         let (head, rest) = buf.split_at_mut((w[1] - w[0]) * cols);

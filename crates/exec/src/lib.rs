@@ -30,6 +30,22 @@
 //! see the [`kernels`] module docs for the partitioning scheme per kernel
 //! and the tensor layout convention the chunks slice along.
 //!
+//! # Fused tiled execution
+//!
+//! When the plan enables `fused_exec` (the `Ours` preset; override per
+//! process with `GNNOPT_FUSED=0|1`, or pin per session via
+//! [`Session::with_policy_fused`]), kernels lowered to
+//! `gnnopt_core::KernelProgram`s execute through the tiled interpreter
+//! in `fused.rs` instead of node-by-node: kernel-internal values live in
+//! per-worker scratch arenas covering one destination-vertex tile at a
+//! time, so fused `O(|E|·d)` edge intermediates never materialize —
+//! [`RunStats::peak_value_bytes`] genuinely drops, and
+//! [`RunStats::scratch_bytes`] / [`RunStats::fused_kernels`] report the
+//! realized substitution. Fused results remain bit-identical to the
+//! reference path for any tile budget and thread count; kernels the
+//! lowering cannot tile (see `gnnopt_core::lower` for the rules) fall
+//! back per kernel.
+//!
 //! ```no_run
 //! use gnnopt_core::{compile, CompileOptions};
 //! use gnnopt_exec::Session;
@@ -45,6 +61,7 @@
 //! ```
 
 mod error;
+mod fused;
 pub mod kernels;
 mod session;
 

@@ -1,6 +1,6 @@
 //! The execution session: drives a compiled plan over real data.
 
-use crate::kernels;
+use crate::{fused, kernels};
 use crate::{ExecError, Result};
 use gnnopt_core::{ExecPolicy, ExecutionPlan, Node, NodeId, OpKind, Phase, ReduceFn, Space};
 use gnnopt_graph::Graph;
@@ -51,12 +51,33 @@ pub struct RunStats {
     pub boundary_bytes: u64,
     /// Worker threads the kernels ran under (resolved [`ExecPolicy`]).
     pub threads: usize,
+    /// High-water mark of the fused interpreter's per-worker scratch
+    /// arenas (total across workers, max over kernels); `0` when every
+    /// kernel ran on the reference path.
+    pub scratch_bytes: u64,
+    /// Kernels executed as tiled [`gnnopt_core::KernelProgram`]s instead
+    /// of node-by-node.
+    pub fused_kernels: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     Fresh,
     ForwardDone,
+}
+
+/// Parses the `GNNOPT_FUSED` override: `Ok(None)` when unset,
+/// `Ok(Some(_))` on `0`/`1` (and the usual boolean spellings), `Err` on
+/// anything else.
+fn fused_env() -> std::result::Result<Option<bool>, String> {
+    match std::env::var("GNNOPT_FUSED") {
+        Err(_) => Ok(None),
+        Ok(s) => match s.trim() {
+            "0" | "false" | "off" => Ok(Some(false)),
+            "1" | "true" | "on" => Ok(Some(true)),
+            other => Err(format!("GNNOPT_FUSED must be 0 or 1, got '{other}'")),
+        },
+    }
 }
 
 /// Executes an [`ExecutionPlan`] over a concrete graph and bindings.
@@ -73,10 +94,20 @@ pub struct Session<'a> {
     aux_softmax: HashMap<NodeId, (Tensor, Tensor)>,
     aux_argmax: HashMap<NodeId, Vec<u32>>,
     leaf_names: HashMap<String, NodeId>,
-    /// Last kernel that reads each node externally.
+    /// Last kernel that reads each node externally. After construction it
+    /// only backs the debug-build assertion that the precomputed death
+    /// lists reproduce the liveness sweep, hence unread in release.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     last_reader: HashMap<NodeId, usize>,
     /// Nodes that persist to the end of the step.
     persistent: HashSet<NodeId>,
+    /// Per-kernel eviction lists, precomputed at session build time: the
+    /// non-persistent nodes whose last external reader is that kernel
+    /// (replacing an `O(live values)` sweep after every kernel).
+    kernel_deaths: Vec<Vec<NodeId>>,
+    /// Run fused kernels through the tiled interpreter (plan default or
+    /// `GNNOPT_FUSED` override).
+    fused: bool,
     state: State,
     live_bytes: u64,
     peak_bytes: u64,
@@ -94,7 +125,8 @@ impl<'a> Session<'a> {
     ///
     /// Returns [`ExecError::Protocol`] on duplicate leaf names, or
     /// [`ExecError::Policy`] when `GNNOPT_THREADS` is set to something
-    /// other than a positive integer.
+    /// other than a positive integer or `GNNOPT_FUSED` to something other
+    /// than `0`/`1`.
     pub fn new(plan: &'a ExecutionPlan, graph: &'a Graph) -> Result<Self> {
         let policy = if plan.exec.is_auto() {
             // Surface a bad env override loudly instead of silently
@@ -105,7 +137,10 @@ impl<'a> Session<'a> {
         } else {
             plan.exec
         };
-        Self::with_policy(plan, graph, policy)
+        let fused = fused_env()
+            .map_err(ExecError::Policy)?
+            .unwrap_or(plan.fused_exec);
+        Self::with_policy_fused(plan, graph, policy, fused)
     }
 
     /// Prepares a session under an explicit policy instead of the plan's
@@ -123,6 +158,26 @@ impl<'a> Session<'a> {
         plan: &'a ExecutionPlan,
         graph: &'a Graph,
         policy: ExecPolicy,
+    ) -> Result<Self> {
+        // Lenient env handling (mirrors the thread auto-detection):
+        // an invalid GNNOPT_FUSED falls back to the plan's default.
+        let fused = fused_env().ok().flatten().unwrap_or(plan.fused_exec);
+        Self::with_policy_fused(plan, graph, policy, fused)
+    }
+
+    /// Prepares a session with both the policy *and* the fused-execution
+    /// choice pinned explicitly — independent of the plan's defaults and
+    /// of any `GNNOPT_FUSED`/`GNNOPT_THREADS` override. This is how
+    /// fused-vs-reference comparisons pin both sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Protocol`] on duplicate leaf names.
+    pub fn with_policy_fused(
+        plan: &'a ExecutionPlan,
+        graph: &'a Graph,
+        policy: ExecPolicy,
+        fused: bool,
     ) -> Result<Self> {
         let policy = policy.resolved(gnnopt_tensor::parallel::available_threads);
         let mut leaf_names = HashMap::new();
@@ -167,6 +222,25 @@ impl<'a> Session<'a> {
             persistent.insert(g);
         }
 
+        // Precompute eviction lists: a kernel-owned, non-persistent node
+        // dies after its last external reader (or after its own kernel if
+        // nothing reads it). Recomputed values are dropped explicitly by
+        // `exec_kernel` and never re-enter the store afterwards, so these
+        // lists reproduce the old per-kernel liveness sweep exactly
+        // (debug-asserted there).
+        let node_kernel = plan.node_kernel();
+        let mut kernel_deaths: Vec<Vec<NodeId>> = vec![Vec::new(); plan.kernels.len()];
+        for n in plan.ir.nodes() {
+            if persistent.contains(&n.id) {
+                continue;
+            }
+            let Some(&birth) = node_kernel.get(&n.id) else {
+                continue;
+            };
+            let death = last_reader.get(&n.id).copied().unwrap_or(birth).max(birth);
+            kernel_deaths[death].push(n.id);
+        }
+
         Ok(Self {
             plan,
             graph,
@@ -177,6 +251,8 @@ impl<'a> Session<'a> {
             leaf_names,
             last_reader,
             persistent,
+            kernel_deaths,
+            fused,
             state: State::Fresh,
             live_bytes: 0,
             peak_bytes: 0,
@@ -192,6 +268,11 @@ impl<'a> Session<'a> {
     /// The resolved execution policy this session runs kernels under.
     pub fn policy(&self) -> ExecPolicy {
         self.policy
+    }
+
+    /// True when fused kernels run through the tiled interpreter.
+    pub fn fused(&self) -> bool {
+        self.fused
     }
 
     /// Runs the forward kernels, returning the model outputs in
@@ -217,6 +298,9 @@ impl<'a> Session<'a> {
             self.exec_kernel(kid, false)?;
         }
         self.stats.forward_seconds = t0.elapsed().as_secs_f64();
+        // Inference runs stop here; report the high-water mark either way
+        // (backward refreshes it with the final value).
+        self.stats.peak_value_bytes = self.peak_bytes;
 
         // Forward→backward boundary: everything non-persistent drops here,
         // exercising the recomputation plan for real.
@@ -376,11 +460,15 @@ impl<'a> Session<'a> {
     }
 
     fn insert_value(&mut self, id: NodeId, t: Tensor) {
+        // Retire the overwritten value *before* taking the high-water
+        // mark: overwriting is a replacement, not a moment where both
+        // tensors are live, so the old accounting (add, peak, subtract)
+        // transiently inflated the reported peak.
         self.live_bytes += t.byte_size() as u64;
-        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
         if let Some(old) = self.values.insert(id, t) {
             self.live_bytes -= old.byte_size() as u64;
         }
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
     }
 
     fn drop_value(&mut self, id: NodeId) {
@@ -390,6 +478,44 @@ impl<'a> Session<'a> {
     }
 
     fn exec_kernel(&mut self, kid: usize, backward: bool) -> Result<()> {
+        // Fused tiled path: kernel-internal values stay in per-worker
+        // scratch and never enter the value store (incl. recomputed
+        // values, which rebuild per tile instead of per kernel).
+        if self.fused {
+            if let Some(program) = self.plan.programs.get(kid).and_then(Option::as_ref) {
+                let res = fused::run_program(
+                    &self.policy,
+                    self.graph,
+                    &self.plan.ir,
+                    program,
+                    &self.values,
+                    &self.aux_softmax,
+                )?;
+                for (n, aux) in res.new_aux_softmax {
+                    self.aux_softmax.insert(n, aux);
+                }
+                for (n, a) in res.new_aux_argmax {
+                    self.aux_argmax.insert(n, a);
+                }
+                for (n, t) in res.outputs {
+                    self.insert_value(n, t);
+                }
+                // A recomputed value spilled to an interior tensor must
+                // drop here, like the reference path's explicit recompute
+                // drop: its death list belongs to its *forward* kernel,
+                // which already ran.
+                let plan = self.plan;
+                for &r in &plan.kernels[kid].recompute {
+                    if !self.persistent.contains(&r) {
+                        self.drop_value(r);
+                    }
+                }
+                self.stats.scratch_bytes = self.stats.scratch_bytes.max(res.scratch_bytes);
+                self.stats.fused_kernels += 1;
+                self.evict_after(kid);
+                return Ok(());
+            }
+        }
         let kernel = self.plan.kernels[kid].clone();
         // Rebuild recomputed forward values first (backward kernels only).
         if backward {
@@ -412,19 +538,35 @@ impl<'a> Session<'a> {
                 }
             }
         }
-        // Plan-driven eviction of dead transients.
-        let dead: Vec<NodeId> = self
-            .values
-            .keys()
-            .copied()
-            .filter(|n| {
-                !self.persistent.contains(n) && self.last_reader.get(n).is_none_or(|&k| k <= kid)
-            })
-            .collect();
-        for n in dead {
+        self.evict_after(kid);
+        Ok(())
+    }
+
+    /// Plan-driven eviction of dead transients, from the per-kernel death
+    /// lists precomputed at session build time.
+    fn evict_after(&mut self, kid: usize) {
+        for i in 0..self.kernel_deaths[kid].len() {
+            let n = self.kernel_deaths[kid][i];
             self.drop_value(n);
         }
-        Ok(())
+        // The lists must reproduce the old O(live-values) sweep exactly:
+        // after applying them, no live transient may be past its last
+        // external reader.
+        #[cfg(debug_assertions)]
+        {
+            let leaked: Vec<&NodeId> = self
+                .values
+                .keys()
+                .filter(|n| {
+                    !self.persistent.contains(n)
+                        && self.last_reader.get(n).is_none_or(|&k| k <= kid)
+                })
+                .collect();
+            debug_assert!(
+                leaked.is_empty(),
+                "death lists diverge from the liveness sweep after kernel {kid}: {leaked:?}"
+            );
+        }
     }
 
     fn value(&self, id: NodeId) -> Result<&Tensor> {
@@ -609,5 +751,71 @@ impl<'a> Session<'a> {
                 }
             };
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnopt_core::{compile, BinaryFn, CompileOptions, Dim, EdgeGroup, IrGraph, ScatterFn};
+    use gnnopt_graph::EdgeList;
+
+    fn tiny_plan() -> ExecutionPlan {
+        let mut ir = IrGraph::new();
+        let h = ir.input_vertex("h", Dim::flat(2));
+        let e = ir.scatter(ScatterFn::Bin(BinaryFn::Sub), h, h).unwrap();
+        let v = ir
+            .gather(gnnopt_core::ReduceFn::Sum, EdgeGroup::ByDst, e)
+            .unwrap();
+        ir.mark_output(v);
+        compile(&ir, false, &CompileOptions::ours()).unwrap().plan
+    }
+
+    /// Regression: overwriting a live value is a replacement, not a
+    /// moment where both tensors coexist — the peak must not transiently
+    /// count old + new together.
+    #[test]
+    fn overwrite_does_not_inflate_peak_bytes() {
+        let graph = Graph::from_edge_list(&EdgeList::from_pairs(3, &[(0, 1), (1, 2)]));
+        let plan = tiny_plan();
+        let mut sess =
+            Session::with_policy_fused(&plan, &graph, ExecPolicy::serial(), false).unwrap();
+        let t = Tensor::zeros(&[8, 4]); // 128 bytes
+        sess.insert_value(1, t.clone());
+        assert_eq!(sess.peak_bytes, 128);
+        sess.insert_value(1, t);
+        assert_eq!(
+            sess.peak_bytes, 128,
+            "same-size overwrite must keep the peak at one tensor's bytes"
+        );
+        assert_eq!(sess.live_bytes, 128);
+        // Shrinking overwrite: live drops, peak stays.
+        sess.insert_value(1, Tensor::zeros(&[4, 4]));
+        assert_eq!(sess.live_bytes, 64);
+        assert_eq!(sess.peak_bytes, 128);
+    }
+
+    /// The precomputed death lists must cover every kernel-owned node
+    /// exactly once (eviction equivalence with the old sweep is
+    /// debug-asserted inside `evict_after` on every test run).
+    #[test]
+    fn death_lists_partition_transient_nodes() {
+        let graph = Graph::from_edge_list(&EdgeList::from_pairs(3, &[(0, 1), (1, 2)]));
+        let plan = tiny_plan();
+        let sess = Session::with_policy_fused(&plan, &graph, ExecPolicy::serial(), false).unwrap();
+        let mut seen = HashSet::new();
+        for deaths in &sess.kernel_deaths {
+            for &n in deaths {
+                assert!(seen.insert(n), "node {n} in two death lists");
+                assert!(!sess.persistent.contains(&n));
+            }
+        }
+        let owned: usize = plan
+            .kernels
+            .iter()
+            .flat_map(|k| &k.nodes)
+            .filter(|n| !sess.persistent.contains(n))
+            .count();
+        assert_eq!(seen.len(), owned, "every transient node has a death");
     }
 }

@@ -20,6 +20,7 @@ fn par(threads: usize) -> ExecPolicy {
     ExecPolicy {
         threads,
         parallel_threshold: 0,
+        ..ExecPolicy::auto()
     }
 }
 
@@ -233,6 +234,7 @@ fn session_parallel_matches_serial_bitwise_including_peak_memory() {
         let (out_p, grads_p, stats_p) = run(ExecPolicy {
             threads,
             parallel_threshold: 0,
+            ..ExecPolicy::auto()
         });
         assert_eq!(out_s.len(), out_p.len());
         for (a, b) in out_s.iter().zip(&out_p) {
