@@ -179,9 +179,52 @@ fn bench_fused_exec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Identity vs reordered session execution of the same compiled GAT plan
+/// on a scrambled RMAT graph: the wall-clock side of runtime vertex
+/// reordering (the locality side is the LRU proxy in `fig8_reorg`).
+/// Sessions are prebuilt so the one-time permutation cost stays out of
+/// the loop — that is precisely the amortization claim.
+fn bench_reordered_exec(c: &mut Criterion) {
+    let el = gnnopt_bench::scramble_ids(&generators::rmat(13, 16, 0.57, 0.19, 0.19, 5), 0x5eed);
+    let graph = Graph::from_edge_list(&el);
+    let spec = gat(&GatConfig {
+        in_dim: 32,
+        layers: vec![(2, 16)],
+        negative_slope: 0.2,
+        reorganized: true,
+    })
+    .expect("gat builds");
+    let bindings = bindings_for(&spec, &graph, 7);
+    let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
+
+    let mut group = c.benchmark_group("gat_reordered_exec");
+    for (label, reorder) in [
+        ("identity", gnnopt_core::ReorderPolicy::None),
+        ("rcm", gnnopt_core::ReorderPolicy::Rcm),
+        ("cluster", gnnopt_core::ReorderPolicy::Cluster),
+    ] {
+        let mut sess = Session::with_policy_fused(
+            &compiled.plan,
+            &graph,
+            ExecPolicy::auto().reordered(reorder),
+            true,
+        )
+        .expect("session");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                let out = sess.forward(&bindings).expect("forward");
+                sess.backward(Tensor::ones(out[0].shape()))
+                    .expect("backward")
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_presets, bench_reorg, bench_monet, bench_thread_scaling, bench_fused_exec
+    targets = bench_presets, bench_reorg, bench_monet, bench_thread_scaling, bench_fused_exec,
+        bench_reordered_exec
 }
 criterion_main!(benches);

@@ -17,7 +17,7 @@ use gnnopt_models::{gat, GatConfig};
 use gnnopt_sim::ThreadMapping;
 
 fn main() {
-    let v = 10_000u64;
+    let v = gnnopt_bench::smoke_scale(10_000u64, 1_000);
     let avg_deg = 20.0;
     let stats = GraphStats::synthesize_power_law(v as usize, avg_deg, 0.8);
     let e = stats.num_edges() as u64;

@@ -21,7 +21,8 @@ use gnnopt_sim::Device;
 
 fn main() {
     let device = Device::rtx3090();
-    let wl = gat_figure7(&datasets::reddit(), true).expect("gat workload");
+    let ds = gnnopt_bench::smoke_scale(datasets::reddit(), datasets::pubmed());
+    let wl = gat_figure7(&ds, true).expect("gat workload");
     println!(
         "# DNN segment checkpointing vs §6 operator recomputation — GAT 2×128 / Reddit ({})",
         device.name

@@ -72,7 +72,8 @@ fn main() {
     let device = Device::rtx3090();
     println!("# Figure 10 — recomputation ablation ({})", device.name);
 
-    let gat_wl = gat_ablation(&datasets::reddit(), false).expect("gat");
+    let ds = gnnopt_bench::smoke_scale(datasets::reddit(), datasets::pubmed());
+    let gat_wl = gat_ablation(&ds, false).expect("gat");
     let rows: Vec<VariantResult> = variants()
         .into_iter()
         .map(|(label, opts)| {
@@ -81,7 +82,7 @@ fn main() {
         .collect();
     print_rows("GAT h=4 f=64 / Reddit", &rows);
 
-    let monet_wl = monet_ablation(&datasets::reddit()).expect("monet");
+    let monet_wl = monet_ablation(&ds).expect("monet");
     let rows: Vec<VariantResult> = variants()
         .into_iter()
         .map(|(label, opts)| {

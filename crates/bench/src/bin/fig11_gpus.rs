@@ -88,6 +88,13 @@ fn main() {
         &gat_ablation(&datasets::reddit(), true).expect("gat dgl"),
         &gat_ablation(&datasets::reddit(), false).expect("gat ours"),
     );
-    report(&edgeconv_workload(40, 64, &EdgeConvConfig::paper()).expect("edgeconv"));
+    report(
+        &edgeconv_workload(
+            40,
+            gnnopt_bench::smoke_scale(64, 8),
+            &EdgeConvConfig::paper(),
+        )
+        .expect("edgeconv"),
+    );
     report(&monet_ablation(&datasets::reddit()).expect("monet"));
 }

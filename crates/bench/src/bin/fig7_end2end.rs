@@ -9,7 +9,7 @@
 
 use gnnopt_bench::{
     edgeconv_workload, figure7_systems, gat_figure7, monet_figure7, print_normalized, run_real,
-    run_variant, with_real_run,
+    run_variant, smoke, smoke_scale, with_real_run,
 };
 use gnnopt_core::CompileOptions;
 use gnnopt_graph::{datasets, generators, Graph};
@@ -26,7 +26,12 @@ fn main() {
 
     // GAT: 2 × 128 hidden. DGL/fuseGNN run the hand-reorganized attention
     // from DGL's model zoo; "Ours" starts naive and relies on the pass.
-    for ds in datasets::figure7_datasets() {
+    // GNNOPT_SMOKE=1 keeps one dataset and one sweep point per section.
+    let mut figure7 = datasets::figure7_datasets();
+    if smoke() {
+        figure7.truncate(1);
+    }
+    for ds in figure7.clone() {
         let mut rows = Vec::new();
         for (label, opts) in figure7_systems() {
             let wl = gat_figure7(&ds, label != "Ours").expect("gat workload");
@@ -39,8 +44,8 @@ fn main() {
 
     // EdgeConv sweep: k ∈ {20, 40} × batch ∈ {32, 64}; fuseGNN does not
     // implement EdgeConv (§7.1.2), so only DGL vs Ours.
-    for k in [20, 40] {
-        for batch in [32, 64] {
+    for k in smoke_scale(vec![20, 40], vec![20]) {
+        for batch in smoke_scale(vec![32, 64], vec![32]) {
             let wl = edgeconv_workload(k, batch, &EdgeConvConfig::paper()).expect("workload");
             let mut rows = Vec::new();
             for (label, opts) in figure7_systems() {
@@ -57,7 +62,7 @@ fn main() {
     }
 
     // MoNet: 2 × 16 hidden with per-dataset (K, r); DGL vs Ours.
-    for ds in datasets::figure7_datasets() {
+    for ds in figure7 {
         let wl = monet_figure7(&ds).expect("workload");
         let mut rows = Vec::new();
         for (label, opts) in figure7_systems() {
@@ -79,8 +84,9 @@ fn main() {
 /// axis the analytic model cannot show. The parallel backend is
 /// bit-identical to serial, so the sweep only measures time.
 fn real_scaling_section() {
-    // RMAT scale 16 × edge factor 16 ≈ 1.05 M edges.
-    let graph = Graph::from_edge_list(&generators::rmat(16, 16, 0.57, 0.19, 0.19, 7));
+    // RMAT scale 16 × edge factor 16 ≈ 1.05 M edges (scale 8 in smoke).
+    let scale = smoke_scale(16u32, 8);
+    let graph = Graph::from_edge_list(&generators::rmat(scale, 16, 0.57, 0.19, 0.19, 7));
     let spec = gat(&GatConfig {
         in_dim: 32,
         layers: vec![(2, 16)],
@@ -89,7 +95,7 @@ fn real_scaling_section() {
     })
     .expect("gat builds");
     println!(
-        "\n# Real CPU execution — GAT training step, RMAT-16 ({} vertices, {} edges)",
+        "\n# Real CPU execution — GAT training step, RMAT-{scale} ({} vertices, {} edges)",
         graph.num_vertices(),
         graph.num_edges()
     );
@@ -110,8 +116,8 @@ fn real_scaling_section() {
     )
     .expect("analytic record");
     let auto = available_threads();
-    let mut sweep = vec![1, 2, 4];
-    if !sweep.contains(&auto) {
+    let mut sweep = smoke_scale(vec![1, 2, 4], vec![1, 2]);
+    if !smoke() && !sweep.contains(&auto) {
         sweep.push(auto);
     }
     // Warmup: pay one-time allocation/page-in costs outside the sweep so

@@ -13,7 +13,7 @@
 
 use gnnopt_bench::{
     edgeconv_workload, gat_ablation, gib, monet_ablation, print_normalized, run_real_fused,
-    run_variant,
+    run_variant, smoke_scale,
 };
 use gnnopt_core::{CompileOptions, ExecPolicy, FusionLevel, RecomputeScope};
 use gnnopt_graph::{datasets, generators, Graph};
@@ -88,7 +88,8 @@ fn main() {
 /// (~262k edges): the same unified-fusion plan, run through the
 /// materializing reference executor vs the tiled fused interpreter.
 fn measured_fused_exec_section() {
-    let graph = Graph::from_edge_list(&generators::rmat(14, 16, 0.57, 0.19, 0.19, 7));
+    let scale = smoke_scale(14u32, 8);
+    let graph = Graph::from_edge_list(&generators::rmat(scale, 16, 0.57, 0.19, 0.19, 7));
     let spec = gat(&GatConfig {
         in_dim: 32,
         layers: vec![(4, 16)],
@@ -98,7 +99,7 @@ fn measured_fused_exec_section() {
     .expect("gat builds");
     let opts = CompileOptions::ours();
     println!(
-        "\n# Measured fused execution — GAT training step, RMAT-14 ({} vertices, {} edges)",
+        "\n# Measured fused execution — GAT training step, RMAT-{scale} ({} vertices, {} edges)",
         graph.num_vertices(),
         graph.num_edges()
     );

@@ -17,7 +17,12 @@ fn main() {
     let device = Device::rtx3090();
 
     // (1) EdgeConv redundancy: FLOPs with and without reorganization.
-    let wl = edgeconv_workload(40, 64, &EdgeConvConfig::paper()).expect("edgeconv");
+    let wl = edgeconv_workload(
+        40,
+        gnnopt_bench::smoke_scale(64, 8),
+        &EdgeConvConfig::paper(),
+    )
+    .expect("edgeconv");
     let base = CompileOptions {
         reorg: false,
         fusion: FusionLevel::None,

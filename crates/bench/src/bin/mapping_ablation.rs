@@ -38,14 +38,15 @@ fn main() {
     // EdgeConv has no softmax, so the kernel can genuinely run under
     // either mapping.
     let spec = edgeconv(&EdgeConvConfig::ablation()).expect("model builds");
+    let n = gnnopt_bench::smoke_scale(65536, 4096);
     let graphs = vec![
         (
             "regular (kNN, deg=40)",
-            GraphStats::synthesize_power_law(65536, 40.0, 0.0),
+            GraphStats::synthesize_power_law(n, 40.0, 0.0),
         ),
         (
             "skewed (power-law, deg=40)",
-            GraphStats::synthesize_power_law(65536, 40.0, 1.2),
+            GraphStats::synthesize_power_law(n, 40.0, 1.2),
         ),
     ];
 

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release -p gnnopt-bench --bin multihead_sweep`.
 
-use gnnopt_bench::{gib, run_real, run_variant, Workload};
+use gnnopt_bench::{gib, run_real, run_variant, smoke_scale, Workload};
 use gnnopt_core::CompileOptions;
 use gnnopt_graph::{datasets, generators, Graph};
 use gnnopt_models::{gat, GatConfig};
@@ -19,7 +19,14 @@ fn main() {
     // Measured serial-vs-parallel scaling runs on a scaled synthetic graph
     // (full-size Reddit edge tensors do not fit a CPU harness); the
     // per-head model is identical, only |E| shrinks.
-    let exec_graph = Graph::from_edge_list(&generators::rmat(13, 16, 0.57, 0.19, 0.19, 5));
+    let exec_graph = Graph::from_edge_list(&generators::rmat(
+        smoke_scale(13, 9),
+        16,
+        0.57,
+        0.19,
+        0.19,
+        5,
+    ));
     let par_threads = available_threads().max(2);
     println!(
         "# Multi-head sweep — GAT training on {} ({}), f=64 per head",
@@ -35,7 +42,7 @@ fn main() {
         "heads", "DGL mem (GiB)", "Ours mem (GiB)", "mem saving", "speedup", "cpu scaling"
     );
 
-    for heads in [1usize, 2, 4, 8] {
+    for heads in smoke_scale(vec![1usize, 2, 4, 8], vec![1, 2]) {
         let cfg = GatConfig {
             in_dim: 64,
             layers: vec![(heads, 64)],

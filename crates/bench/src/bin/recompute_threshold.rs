@@ -51,14 +51,15 @@ fn sweep(title: &str, wl: &Workload, device: &Device) {
 fn main() {
     let device = Device::rtx3090();
     println!("# Recomputation-threshold sweep ({})", device.name);
+    let ds = gnnopt_bench::smoke_scale(datasets::reddit(), datasets::pubmed());
     sweep(
-        "GAT h=4 f=64 / Reddit (training)",
-        &gat_ablation(&datasets::reddit(), false).expect("gat"),
+        &format!("GAT h=4 f=64 / {} (training)", ds.name),
+        &gat_ablation(&ds, false).expect("gat"),
         &device,
     );
     sweep(
-        "MoNet k=2 r=1 f=16 / Reddit (training)",
-        &monet_ablation(&datasets::reddit()).expect("monet"),
+        &format!("MoNet k=2 r=1 f=16 / {} (training)", ds.name),
+        &monet_ablation(&ds).expect("monet"),
         &device,
     );
 }

@@ -16,28 +16,16 @@
 //!
 //! Run with `cargo run --release -p gnnopt-bench --bin reorder_ablation`.
 
-use gnnopt_bench::gat_ablation;
+use gnnopt_bench::{gat_ablation, scramble_ids, smoke, smoke_scale};
 use gnnopt_core::{compile, CompileOptions};
 use gnnopt_graph::{datasets, EdgeList, GraphStats};
-use gnnopt_reorder::{locality, strategies, NeighborGrouping, Permutation};
+use gnnopt_reorder::{locality, strategies, NeighborGrouping};
 use gnnopt_sim::{Device, KernelEffects};
 
-/// Deterministic Fisher–Yates relabeling (LCG-driven): the "ingestion
-/// order" baseline that reordering papers measure against.
+/// The "ingestion order" baseline that reordering papers measure against
+/// (shared LCG-driven Fisher–Yates from the bench harness).
 fn scramble(el: &EdgeList) -> EdgeList {
-    let n = el.num_vertices();
-    let mut ids: Vec<u32> = (0..n as u32).collect();
-    let mut state = 0x9e37_79b9_u64;
-    for i in (1..n).rev() {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let j = (state >> 33) as usize % (i + 1);
-        ids.swap(i, j);
-    }
-    Permutation::from_order(&ids)
-        .expect("shuffled ids are a bijection")
-        .apply_to_edges(el)
+    scramble_ids(el, 0x9e37_79b9)
 }
 
 fn main() {
@@ -53,7 +41,15 @@ fn main() {
     // in arrival order, which carries no locality. (The synthetic
     // generator's own order is shown too — RMAT ids are already skew-
     // sorted, which is why reordering papers always scramble first.)
-    let exec_graph = ds.build_graph(17);
+    // GNNOPT_SMOKE=1 swaps the ~7M-edge scaled-Reddit build for a tiny
+    // RMAT so CI can execute the whole figure.
+    let exec_graph = if smoke() {
+        gnnopt_graph::Graph::from_edge_list(&gnnopt_graph::generators::rmat(
+            9, 16, 0.57, 0.19, 0.19, 17,
+        ))
+    } else {
+        ds.build_graph(17)
+    };
     let generator_order = {
         let pairs: Vec<(u32, u32)> = (0..exec_graph.num_edges())
             .map(|e| (exec_graph.src(e) as u32, exec_graph.dst(e) as u32))
@@ -135,7 +131,8 @@ fn main() {
     // RMAT-folded Reddit has little community structure to recover; the
     // paper's other workload does: a point-cloud kNN graph is a spatial
     // mesh, the classic reordering win.
-    let cloud = gnnopt_graph::knn::PointCloud::synthetic(4, 1024, 23);
+    let cloud =
+        gnnopt_graph::knn::PointCloud::synthetic(smoke_scale(4, 1), smoke_scale(1024, 256), 23);
     let kg = cloud.knn_graph(20);
     let knn_el = {
         let pairs: Vec<(u32, u32)> = (0..kg.num_edges())

@@ -21,14 +21,23 @@ use gnnopt_sim::Device;
 fn main() {
     let device = Device::rtx3090();
     println!("# Mapping-policy ablation, training step ({})", device.name);
+    let ds = gnnopt_bench::smoke_scale(
+        gnnopt_graph::datasets::reddit(),
+        gnnopt_graph::datasets::pubmed(),
+    );
     let workloads = vec![
         (
-            "GAT h=4 f=64 / Reddit (skewed)",
-            gat_ablation(&gnnopt_graph::datasets::reddit(), false).expect("gat"),
+            "GAT h=4 f=64 (skewed)",
+            gat_ablation(&ds, false).expect("gat"),
         ),
         (
-            "EdgeConv f=64 k=40 b=64 (regular)",
-            edgeconv_workload(40, 64, &EdgeConvConfig::ablation()).expect("edgeconv"),
+            "EdgeConv f=64 k=40 (regular)",
+            edgeconv_workload(
+                40,
+                gnnopt_bench::smoke_scale(64, 8),
+                &EdgeConvConfig::ablation(),
+            )
+            .expect("edgeconv"),
         ),
     ];
     for (title, wl) in workloads {

@@ -5,13 +5,51 @@
 //! recorded results).
 
 use gnnopt_core::ir::Result as IrResult;
-use gnnopt_core::{compile, CompileOptions, ExecPolicy, IrGraph};
+use gnnopt_core::{compile, CompileOptions, ExecPolicy, IrGraph, ReorderPolicy};
 use gnnopt_exec::{Bindings, RunStats, Session};
 use gnnopt_graph::datasets::DatasetSpec;
-use gnnopt_graph::{Graph, GraphStats};
+use gnnopt_graph::{EdgeList, Graph, GraphStats};
 use gnnopt_models::{edgeconv, gat, monet, EdgeConvConfig, GatConfig, ModelSpec, MonetConfig};
 use gnnopt_sim::{Device, ExecStats};
 use serde::Serialize;
+
+/// True when `GNNOPT_SMOKE=1`: every figure/ablation binary shrinks its
+/// workloads (smaller graphs, shorter sweeps) to a few seconds so CI can
+/// execute all of them end-to-end — figure code cannot silently rot.
+/// Any other value (or unset) keeps the paper-scale settings.
+pub fn smoke() -> bool {
+    std::env::var("GNNOPT_SMOKE").map(|v| v.trim() == "1") == Ok(true)
+}
+
+/// `full` normally, `small` under `GNNOPT_SMOKE=1` — the one-liner the
+/// figure binaries use to shrink scales, sweep lists and seeds.
+pub fn smoke_scale<T>(full: T, small: T) -> T {
+    if smoke() {
+        small
+    } else {
+        full
+    }
+}
+
+/// Deterministic Fisher–Yates vertex relabeling (LCG-driven): the
+/// "ingestion order" baseline reordering experiments measure against —
+/// real graph loaders assign ids in arrival order, which carries no
+/// locality, while synthetic generators often leak theirs.
+pub fn scramble_ids(el: &EdgeList, seed: u64) -> EdgeList {
+    let n = el.num_vertices();
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        ids.swap(i, j);
+    }
+    gnnopt_reorder::Permutation::from_order(&ids)
+        .expect("shuffled ids are a bijection")
+        .apply_to_edges(el)
+}
 
 /// A named model + graph-statistics pair, ready to compile.
 #[derive(Debug, Clone)]
@@ -110,6 +148,38 @@ pub fn run_real_fused(
     run_real_impl(spec, graph, opts, threads, training, seed, Some(fused))
 }
 
+/// Like [`run_real_fused`], but additionally pinning the session's
+/// vertex-reordering strategy: the reference-vs-reordered measurement
+/// probe behind the reorganization figure's measured section. The
+/// returned stats carry the resolved strategy and its one-time
+/// preprocessing cost (`RunStats::{reorder, reorder_seconds}`).
+///
+/// # Errors
+///
+/// Propagates IR/compile errors.
+///
+/// # Panics
+///
+/// Panics if the compiled plan fails to execute (a harness bug, not a
+/// measurement outcome).
+#[allow(clippy::too_many_arguments)]
+pub fn run_real_reordered(
+    spec: &ModelSpec,
+    graph: &Graph,
+    opts: &CompileOptions,
+    threads: usize,
+    training: bool,
+    seed: u64,
+    fused: bool,
+    reorder: ReorderPolicy,
+) -> IrResult<RunStats> {
+    let opts = CompileOptions {
+        exec: opts.exec.reordered(reorder),
+        ..*opts
+    };
+    run_real_impl(spec, graph, &opts, threads, training, seed, Some(fused))
+}
+
 /// Shared body of [`run_real`] / [`run_real_fused`]. `fused: None` keeps
 /// the plan's own fused-execution default (and the `GNNOPT_FUSED`
 /// override); `Some(f)` pins it.
@@ -123,9 +193,13 @@ fn run_real_impl(
     fused: Option<bool>,
 ) -> IrResult<RunStats> {
     // The explicit thread count is compiled into the plan, so the session
-    // adopts it as-is (no auto-detection, no GNNOPT_THREADS interference).
+    // adopts it as-is (no auto-detection, no GNNOPT_THREADS interference);
+    // the policy's other knobs (tiling, grouping, reordering) ride along.
     let opts = CompileOptions {
-        exec: ExecPolicy::with_threads(threads),
+        exec: ExecPolicy {
+            threads,
+            ..opts.exec
+        },
         ..*opts
     };
     let compiled = compile(&spec.ir, training, &opts)?;

@@ -8,6 +8,73 @@
 //! the `threads = 0` auto marker against the shared pool-size detection in
 //! `gnnopt_tensor::parallel` (which honours the `GNNOPT_THREADS`
 //! environment override).
+//!
+//! The policy also carries the *runtime preprocessing* choice of §8: a
+//! [`ReorderPolicy`] naming the vertex-reordering strategy the executor
+//! applies to the CSR graph once at session build (GNNAdvisor-style
+//! locality preprocessing, implemented in `gnnopt-reorder`). The session
+//! permutes the graph and every vertex/edge-space binding on the way in
+//! and inverse-permutes user-facing outputs on the way out, so reordering
+//! is invisible to callers except through its locality effect (and the
+//! `GNNOPT_REORDER` environment override, see `gnnopt-exec`).
+
+/// Vertex-reordering strategy the executor applies to the graph at
+/// session build time (runtime preprocessing, §8 related work).
+///
+/// Every strategy is a bijective relabeling computed by `gnnopt-reorder`;
+/// the session runs all kernels on the relabeled graph and restores the
+/// caller's vertex order on every output, so the choice never changes
+/// *what* is computed. Per-destination reduction order is preserved by
+/// the stable CSR permutation, so forward results are bit-identical to
+/// the identity ordering; backward `BySrc` reductions re-associate, so
+/// parameter gradients agree only up to floating-point reassociation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReorderPolicy {
+    /// Keep the caller's vertex ids (the default everywhere).
+    #[default]
+    None,
+    /// Descending-degree order: hub rows share cache lines.
+    DegreeSort,
+    /// Breadth-first order from vertex 0 (unreached components appended).
+    Bfs,
+    /// Reverse Cuthill–McKee: the classic bandwidth minimizer.
+    Rcm,
+    /// Label-propagation clustered order (Rabbit-inspired).
+    Cluster,
+    /// Pick the candidate (including identity) with the smallest mean
+    /// gather index gap (`gnnopt_reorder::locality::report`).
+    Auto,
+}
+
+impl ReorderPolicy {
+    /// Label-propagation sweeps the `Cluster` strategy runs — the single
+    /// source of truth shared by the executor, the figure binaries, and
+    /// the tests that reproduce a session's resolved permutation.
+    pub const CLUSTER_SWEEPS: usize = 4;
+
+    /// Parses the `GNNOPT_REORDER` spelling of a policy.
+    ///
+    /// Accepted values: `0`/`none`/`off` (identity), `degree`/
+    /// `degree-sort`, `bfs`, `rcm`, `cluster`, and `1`/`auto`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the valid spellings on
+    /// anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "0" | "none" | "off" => Ok(Self::None),
+            "degree" | "degree-sort" | "degree_sort" => Ok(Self::DegreeSort),
+            "bfs" => Ok(Self::Bfs),
+            "rcm" => Ok(Self::Rcm),
+            "cluster" => Ok(Self::Cluster),
+            "1" | "auto" => Ok(Self::Auto),
+            other => Err(format!(
+                "unknown reorder strategy '{other}' (expected 0|none|degree|bfs|rcm|cluster|auto)"
+            )),
+        }
+    }
+}
 
 /// Thread-parallelism policy for the CPU reference executor.
 ///
@@ -32,6 +99,18 @@ pub struct ExecPolicy {
     /// scratch tighter; the value never affects results, which are
     /// bit-identical to the reference path for any tiling.
     pub tile_edges: usize,
+    /// Bind fused-interpreter workers to bounded-size **edge groups**
+    /// (the destination tiles, each holding at most [`Self::tile_edges`]
+    /// edges) instead of raw tile counts: worker boundaries are cut so
+    /// every worker owns roughly the same number of *edges*, the
+    /// GNNAdvisor neighbor-grouping discipline that flattens degree skew
+    /// on power-law graphs. Purely a scheduling choice — workers still
+    /// write disjoint contiguous row chunks, so results are bit-identical
+    /// either way.
+    pub group_workers: bool,
+    /// Vertex-reordering preprocessing applied at session build (see
+    /// [`ReorderPolicy`]); overridable per process with `GNNOPT_REORDER`.
+    pub reorder: ReorderPolicy,
 }
 
 impl ExecPolicy {
@@ -50,6 +129,8 @@ impl ExecPolicy {
             threads: 0,
             parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
             tile_edges: Self::DEFAULT_TILE_EDGES,
+            group_workers: false,
+            reorder: ReorderPolicy::None,
         }
     }
 
@@ -57,8 +138,7 @@ impl ExecPolicy {
     pub fn serial() -> Self {
         Self {
             threads: 1,
-            parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
-            tile_edges: Self::DEFAULT_TILE_EDGES,
+            ..Self::auto()
         }
     }
 
@@ -66,8 +146,21 @@ impl ExecPolicy {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads,
-            parallel_threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
-            tile_edges: Self::DEFAULT_TILE_EDGES,
+            ..Self::auto()
+        }
+    }
+
+    /// The same policy with a vertex-reordering strategy.
+    pub fn reordered(self, reorder: ReorderPolicy) -> Self {
+        Self { reorder, ..self }
+    }
+
+    /// The same policy with grouped worker binding in the fused
+    /// interpreter (edge-balanced worker boundaries over the tiles).
+    pub fn grouped(self) -> Self {
+        Self {
+            group_workers: true,
+            ..self
         }
     }
 
@@ -123,5 +216,43 @@ mod tests {
         assert_eq!(ExecPolicy::serial().threads, 1);
         assert!(!ExecPolicy::serial().is_auto());
         assert!(ExecPolicy::default().is_auto());
+        assert_eq!(ExecPolicy::default().reorder, ReorderPolicy::None);
+        assert!(!ExecPolicy::default().group_workers);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = ExecPolicy::with_threads(2)
+            .reordered(ReorderPolicy::Rcm)
+            .grouped();
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.reorder, ReorderPolicy::Rcm);
+        assert!(p.group_workers);
+        // `resolved` preserves the new knobs.
+        let r = p.resolved(|| 8);
+        assert_eq!(r.reorder, ReorderPolicy::Rcm);
+        assert!(r.group_workers);
+    }
+
+    #[test]
+    fn reorder_policy_parses_every_spelling() {
+        use ReorderPolicy as R;
+        for (s, want) in [
+            ("0", R::None),
+            ("none", R::None),
+            ("off", R::None),
+            ("degree", R::DegreeSort),
+            ("degree-sort", R::DegreeSort),
+            ("bfs", R::Bfs),
+            ("RCM", R::Rcm),
+            ("cluster", R::Cluster),
+            ("auto", R::Auto),
+            ("1", R::Auto),
+            (" rcm ", R::Rcm),
+        ] {
+            assert_eq!(R::parse(s), Ok(want), "spelling '{s}'");
+        }
+        let err = R::parse("banana").unwrap_err();
+        assert!(err.contains("banana") && err.contains("rcm"));
     }
 }

@@ -46,6 +46,25 @@
 //! lowering cannot tile (see `gnnopt_core::lower` for the rules) fall
 //! back per kernel.
 //!
+//! # Runtime reordering
+//!
+//! When the policy carries a [`gnnopt_core::ReorderPolicy`] other than
+//! `None` (or `GNNOPT_REORDER=<strategy|0>` overrides it in
+//! [`Session::new`]), the session applies a `gnnopt-reorder` vertex
+//! relabeling to the CSR graph **once at build time** and runs every
+//! kernel on the relabeled graph: vertex/edge-space bindings are
+//! permuted in, user-facing outputs and gradients are inverse-permuted
+//! out, so reordering is invisible except through its locality effect.
+//! The stable permutation preserves every per-destination reduction
+//! order, making forward results *bit-identical* to the identity
+//! ordering; backward `BySrc` reductions re-associate, so parameter
+//! gradients agree up to floating-point rounding. The one-time cost is
+//! reported as [`RunStats::reorder_seconds`] alongside the resolved
+//! strategy ([`RunStats::reorder`]). The fused interpreter can
+//! additionally bind its workers to bounded edge groups
+//! (`ExecPolicy::group_workers`), flattening degree skew without
+//! changing results.
+//!
 //! ```no_run
 //! use gnnopt_core::{compile, CompileOptions};
 //! use gnnopt_exec::Session;

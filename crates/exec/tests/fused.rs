@@ -60,6 +60,7 @@ fn compare_fused_vs_reference(spec: &ModelSpec, graph: &Graph, threads: usize, t
         threads,
         parallel_threshold: 0,
         tile_edges,
+        ..ExecPolicy::serial()
     };
     let fused = step(spec, graph, &vals, policy, true);
     assert_eq!(reference.0.len(), fused.0.len());

@@ -171,6 +171,113 @@ impl Graph {
                 .collect(),
         )
     }
+
+    /// Reconstructs the canonical [`EdgeList`] of this graph (sorted
+    /// `(dst, src)` ascending). This is the interchange form the
+    /// reordering strategies and locality metrics consume; note it
+    /// re-canonicalizes, so a graph built by [`Graph::permute_vertices`]
+    /// round-trips to the same vertex labeling but not necessarily the
+    /// same within-group edge order.
+    pub fn edge_list(&self) -> EdgeList {
+        let pairs: Vec<(u32, u32)> = self
+            .src
+            .iter()
+            .copied()
+            .zip(self.dst.iter().copied())
+            .collect();
+        EdgeList::from_pairs(self.num_vertices, &pairs)
+    }
+
+    /// Relabels every vertex through the bijection `new_of_old`
+    /// (`new_of_old[old] = new`), returning the isomorphic graph plus the
+    /// induced canonical-edge-id map `new_eid_of_old` (`map[old_e]` is the
+    /// relabeled graph's id of edge `old_e`).
+    ///
+    /// The permutation is **stable**: the new graph's edges are grouped by
+    /// new destination, and inside each destination group they keep the
+    /// source graph's edge order (not re-sorted by new source id). Since a
+    /// destination group maps wholly onto one new destination group, every
+    /// per-vertex in-neighbor *sequence* is preserved under relabeling —
+    /// which is what makes `ByDst` reductions on the permuted graph
+    /// bit-identical to the original, not merely equal up to
+    /// floating-point reassociation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_of_old` is not a bijection on `0..num_vertices`.
+    pub fn permute_vertices(&self, new_of_old: &[u32]) -> (Graph, Vec<u32>) {
+        let n = self.num_vertices;
+        let m = self.num_edges;
+        assert_eq!(new_of_old.len(), n, "permutation length must match |V|");
+        let mut seen = vec![false; n];
+        for &id in new_of_old {
+            assert!((id as usize) < n, "permutation id {id} out of range");
+            assert!(!seen[id as usize], "permutation repeats id {id}");
+            seen[id as usize] = true;
+        }
+
+        // Counting sort of edges by new destination, preserving the old
+        // edge order inside each destination bucket (stability).
+        let mut in_indptr = vec![0usize; n + 1];
+        for &d in &self.dst {
+            in_indptr[new_of_old[d as usize] as usize + 1] += 1;
+        }
+        for v in 0..n {
+            in_indptr[v + 1] += in_indptr[v];
+        }
+        let mut cursor = in_indptr.clone();
+        let mut src = vec![0u32; m];
+        let mut dst = vec![0u32; m];
+        let mut new_eid_of_old = vec![0u32; m];
+        for e in 0..m {
+            let nd = new_of_old[self.dst[e] as usize];
+            let pos = cursor[nd as usize];
+            cursor[nd as usize] += 1;
+            src[pos] = new_of_old[self.src[e] as usize];
+            dst[pos] = nd;
+            new_eid_of_old[e] = pos as u32;
+        }
+        let in_adj = Adjacency {
+            indptr: in_indptr,
+            nbr: src.clone(),
+            eid: (0..m as u32).collect(),
+        };
+
+        // Out-adjacency: counting sort by new source over the new order.
+        let mut out_indptr = vec![0usize; n + 1];
+        for &s in &src {
+            out_indptr[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            out_indptr[v + 1] += out_indptr[v];
+        }
+        let mut cursor = out_indptr.clone();
+        let mut out_nbr = vec![0u32; m];
+        let mut out_eid = vec![0u32; m];
+        for e in 0..m {
+            let s = src[e] as usize;
+            out_nbr[cursor[s]] = dst[e];
+            out_eid[cursor[s]] = e as u32;
+            cursor[s] += 1;
+        }
+        let out_adj = Adjacency {
+            indptr: out_indptr,
+            nbr: out_nbr,
+            eid: out_eid,
+        };
+
+        (
+            Graph {
+                num_vertices: n,
+                num_edges: m,
+                in_adj,
+                out_adj,
+                src,
+                dst,
+            },
+            new_eid_of_old,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +332,66 @@ mod tests {
         let out_sum: usize = (0..4).map(|v| g.out_degree(v)).sum();
         assert_eq!(in_sum, g.num_edges());
         assert_eq!(out_sum, g.num_edges());
+    }
+
+    #[test]
+    fn edge_list_roundtrips_through_from_edge_list() {
+        let el = EdgeList::from_pairs(5, &[(0, 1), (3, 1), (4, 2), (1, 4)]);
+        let g = Graph::from_edge_list(&el);
+        assert_eq!(g.edge_list(), el);
+    }
+
+    #[test]
+    fn permute_vertices_identity_is_noop() {
+        let g = diamond();
+        let (p, emap) = g.permute_vertices(&[0, 1, 2, 3]);
+        assert_eq!(p, g);
+        assert_eq!(emap, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn permute_vertices_relabels_consistently() {
+        let g = diamond();
+        // Reverse labeling: 0↔3, 1↔2.
+        let (p, emap) = g.permute_vertices(&[3, 2, 1, 0]);
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.num_edges(), 4);
+        for (e, &ne) in emap.iter().enumerate() {
+            let ne = ne as usize;
+            assert_eq!(p.src(ne), 3 - g.src(e));
+            assert_eq!(p.dst(ne), 3 - g.dst(e));
+        }
+        // Degrees move with the labels.
+        assert_eq!(p.in_degree(0), g.in_degree(3));
+        assert_eq!(p.out_degree(3), g.out_degree(0));
+    }
+
+    /// The stability contract: every new destination group lists its
+    /// (relabeled) sources in the *same order* the old group listed them.
+    #[test]
+    fn permute_vertices_preserves_in_neighbor_sequences() {
+        let el = EdgeList::from_pairs(6, &[(0, 3), (5, 3), (2, 3), (1, 3), (4, 0), (3, 5)]);
+        let g = Graph::from_edge_list(&el);
+        let perm = [4u32, 2, 5, 1, 0, 3];
+        let (p, _) = g.permute_vertices(&perm);
+        for v in 0..g.num_vertices() {
+            let relabeled: Vec<u32> = g
+                .in_adj()
+                .neighbors(v)
+                .iter()
+                .map(|&u| perm[u as usize])
+                .collect();
+            assert_eq!(
+                p.in_adj().neighbors(perm[v] as usize),
+                relabeled.as_slice(),
+                "in-neighbor sequence of vertex {v} must be preserved"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats id")]
+    fn permute_vertices_rejects_non_bijection() {
+        let _ = diamond().permute_vertices(&[0, 0, 1, 2]);
     }
 }

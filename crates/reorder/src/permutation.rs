@@ -1,6 +1,7 @@
 //! Vertex permutations: the output of every reordering strategy.
 
-use gnnopt_graph::EdgeList;
+use gnnopt_graph::{EdgeList, Graph};
+use gnnopt_tensor::Tensor;
 use std::error::Error;
 use std::fmt;
 
@@ -185,6 +186,69 @@ impl Permutation {
         }
         out
     }
+
+    /// Relabels a CSR [`Graph`] through this permutation, returning the
+    /// isomorphic graph plus the induced canonical-edge-id map
+    /// (`new_eid_of_old`). Delegates to [`Graph::permute_vertices`], which
+    /// keeps per-destination in-neighbor *sequences* stable so `ByDst`
+    /// reductions on the relabeled graph are bit-identical to the
+    /// original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a different vertex count.
+    pub fn apply_to_graph(&self, g: &Graph) -> (Graph, Vec<u32>) {
+        assert_eq!(
+            g.num_vertices(),
+            self.len(),
+            "permutation length must match the vertex count"
+        );
+        g.permute_vertices(&self.new_of_old)
+    }
+
+    /// Moves per-vertex tensor rows into the new vertex order: output row
+    /// `new_id(old)` holds input row `old`. The inverse of
+    /// [`Permutation::unpermute_tensor_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's row count differs from the permutation
+    /// length.
+    pub fn permute_tensor_rows(&self, t: &Tensor) -> Tensor {
+        assert_eq!(t.rows(), self.len(), "tensor row count must match");
+        let cols = t.cols();
+        // Single output-order pass (no zero prefill): output row `new`
+        // holds input row `old_of_new[new]`. The O(rows) inverse-index
+        // build is far cheaper than an O(rows·cols) memset.
+        let mut old_of_new = vec![0u32; t.rows()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            old_of_new[new as usize] = old as u32;
+        }
+        let mut data = Vec::with_capacity(t.rows() * cols);
+        for &old in &old_of_new {
+            data.extend_from_slice(t.row(old as usize));
+        }
+        Tensor::new(&[t.rows(), cols], data).expect("row copies fill the shape exactly")
+    }
+
+    /// Restores permuted tensor rows to the original vertex order: output
+    /// row `old` holds input row `new_id(old)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's row count differs from the permutation
+    /// length.
+    pub fn unpermute_tensor_rows(&self, t: &Tensor) -> Tensor {
+        assert_eq!(t.rows(), self.len(), "tensor row count must match");
+        let cols = t.cols();
+        // Single output-order pass: output row `old` holds input row
+        // `new_of_old[old]`, which is exactly iteration order here.
+        let mut data = Vec::with_capacity(t.rows() * cols);
+        for &new in &self.new_of_old {
+            data.extend_from_slice(t.row(new as usize));
+        }
+        Tensor::new(&[t.rows(), cols], data).expect("row copies fill the shape exactly")
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +313,35 @@ mod tests {
         let p = Permutation::from_new_of_old(vec![1, 2, 0]).unwrap();
         // Vertex 0 moves to slot 1, 1 → 2, 2 → 0.
         assert_eq!(p.permute_rows(&["a", "b", "c"]), vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn tensor_rows_roundtrip() {
+        let p = Permutation::from_new_of_old(vec![2, 0, 1]).unwrap();
+        let t = Tensor::new(&[3, 2], vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1]).unwrap();
+        let moved = p.permute_tensor_rows(&t);
+        // Vertex 0's row lands at slot 2.
+        assert_eq!(moved.row(2), t.row(0));
+        assert_eq!(moved.row(0), t.row(1));
+        let back = p.unpermute_tensor_rows(&moved);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn apply_to_graph_matches_apply_to_edges() {
+        let el = EdgeList::from_pairs(5, &[(0, 1), (0, 2), (3, 2), (4, 0)]);
+        let g = Graph::from_edge_list(&el);
+        let p = Permutation::from_new_of_old(vec![4, 3, 2, 1, 0]).unwrap();
+        let (pg, emap) = p.apply_to_graph(&g);
+        // Same edge multiset as the canonical EdgeList relabeling.
+        assert_eq!(pg.edge_list(), p.apply_to_edges(&el));
+        // The edge map is a bijection tracking each relabeled endpoint.
+        let mut seen = vec![false; emap.len()];
+        for (old, &new) in emap.iter().enumerate() {
+            assert!(!std::mem::replace(&mut seen[new as usize], true));
+            assert_eq!(pg.src(new as usize) as u32, p.new_id(g.src(old) as u32));
+            assert_eq!(pg.dst(new as usize) as u32, p.new_id(g.dst(old) as u32));
+        }
     }
 
     #[test]

@@ -24,9 +24,15 @@ pub struct StepReport {
 ///
 /// Holds the parameter/input values; each [`Trainer::step`] runs a full
 /// forward + backward and applies the optimizer to the parameters.
+///
+/// The trainer builds its [`Session`] **once** and reuses it for every
+/// step and evaluation, so one-time session preprocessing — in
+/// particular the plan's vertex reordering (`ExecPolicy::reorder` /
+/// `GNNOPT_REORDER`) — amortizes over the whole run instead of being
+/// paid per step ([`RunStats::reorder_seconds`] reports the same
+/// build-time figure on every report).
 pub struct Trainer<'a, O: Optimizer> {
-    plan: &'a ExecutionPlan,
-    graph: &'a Graph,
+    sess: Session<'a>,
     values: HashMap<String, Tensor>,
     param_names: HashSet<String>,
     optimizer: O,
@@ -36,21 +42,26 @@ pub struct Trainer<'a, O: Optimizer> {
 impl<'a, O: Optimizer> Trainer<'a, O> {
     /// Creates a trainer. `values` must bind every input and parameter;
     /// `param_names` selects which of them the optimizer updates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session-construction errors (duplicate leaf names, or
+    /// an invalid `GNNOPT_THREADS`/`GNNOPT_FUSED`/`GNNOPT_REORDER`
+    /// override).
     pub fn new(
         plan: &'a ExecutionPlan,
         graph: &'a Graph,
         values: HashMap<String, Tensor>,
         param_names: impl IntoIterator<Item = String>,
         optimizer: O,
-    ) -> Self {
-        Self {
-            plan,
-            graph,
+    ) -> Result<Self> {
+        Ok(Self {
+            sess: Session::new(plan, graph)?,
             values,
             param_names: param_names.into_iter().collect(),
             optimizer,
             clip_norm: None,
-        }
+        })
     }
 
     /// Enables global-norm gradient clipping before every update.
@@ -85,13 +96,12 @@ impl<'a, O: Optimizer> Trainer<'a, O> {
         for (k, v) in &self.values {
             bindings.insert(k, v.clone());
         }
-        let mut sess = Session::new(self.plan, self.graph)?;
-        let outputs = sess.forward(&bindings)?;
+        let outputs = self.sess.forward(&bindings)?;
         let logits = &outputs[0];
         let (loss, grad) = softmax_cross_entropy_masked(logits, labels, mask);
         let acc = accuracy_masked(logits, labels, mask);
-        let mut grads = sess.backward(grad)?;
-        let run = sess.stats();
+        let mut grads = self.sess.backward(grad)?;
+        let run = self.sess.stats();
 
         if let Some(max_norm) = self.clip_norm {
             clip_grad_norm(&mut grads, max_norm);
@@ -113,18 +123,19 @@ impl<'a, O: Optimizer> Trainer<'a, O> {
     }
 
     /// Evaluates loss/accuracy on `mask` without updating parameters
-    /// (the validation half of a train/val split).
+    /// (the validation half of a train/val split). Runs a forward pass
+    /// through the shared session, so it resets any in-flight
+    /// forward/backward state but never touches the values.
     ///
     /// # Errors
     ///
     /// Propagates executor errors.
-    pub fn evaluate(&self, labels: &[usize], mask: &[bool]) -> Result<(f32, f32)> {
+    pub fn evaluate(&mut self, labels: &[usize], mask: &[bool]) -> Result<(f32, f32)> {
         let mut bindings = Bindings::new();
         for (k, v) in &self.values {
             bindings.insert(k, v.clone());
         }
-        let mut sess = Session::new(self.plan, self.graph)?;
-        let outputs = sess.forward(&bindings)?;
+        let outputs = self.sess.forward(&bindings)?;
         let (loss, _) = softmax_cross_entropy_masked(&outputs[0], labels, mask);
         Ok((loss, accuracy_masked(&outputs[0], labels, mask)))
     }
@@ -195,7 +206,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let labels: Vec<usize> = (0..24).map(|_| rng.gen_range(0..3)).collect();
         let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
-        let mut trainer = Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.5));
+        let mut trainer = Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.5)).unwrap();
         let reports = trainer.fit(&labels, 150).unwrap();
         let first = reports.first().unwrap().loss;
         let last = reports.last().unwrap().loss;
@@ -230,7 +241,7 @@ mod tests {
         let (g, spec, values, labels) = gcn_fixture();
         let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
         let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
-        let mut trainer = Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.0));
+        let mut trainer = Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.0)).unwrap();
         let train_mask: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
         let val_mask: Vec<bool> = train_mask.iter().map(|&m| !m).collect();
         let before = trainer.evaluate(&labels, &val_mask).unwrap();
@@ -255,6 +266,51 @@ mod tests {
         assert!(after1.0.is_finite() && after1.0 != before.0);
     }
 
+    /// The trainer's single shared session pays reordering once: every
+    /// step reports the identical build-time `reorder_seconds` (per-step
+    /// sessions would re-measure and re-pay it), and training still
+    /// converges on the relabeled graph.
+    #[test]
+    fn reordering_amortizes_across_steps_and_still_learns() {
+        let (g, spec, values, labels) = gcn_fixture();
+        let opts = CompileOptions {
+            exec: gnnopt_core::ExecPolicy::auto().reordered(gnnopt_core::ReorderPolicy::Cluster),
+            ..CompileOptions::ours()
+        };
+        let compiled = compile(&spec.ir, true, &opts).unwrap();
+        let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
+        let mut trainer = Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.5)).unwrap();
+        let reports = trainer.fit(&labels, 150).unwrap();
+        let first = &reports[0].run;
+        // The plan asked for Cluster; a GNNOPT_REORDER env leg may pin a
+        // different strategy or switch reordering off entirely (both are
+        // the tested contract of Session::new), so only assert the
+        // session reordered when nothing disabled it.
+        let env_off = matches!(
+            std::env::var("GNNOPT_REORDER")
+                .ok()
+                .as_deref()
+                .map(str::trim),
+            Some("0" | "none" | "off")
+        );
+        if !env_off {
+            assert_ne!(first.reorder, gnnopt_core::ReorderPolicy::None);
+            assert!(first.reorder_seconds > 0.0, "cost must be reported");
+        }
+        assert!(
+            reports
+                .iter()
+                .all(|r| r.run.reorder_seconds == first.reorder_seconds),
+            "one-time preprocessing must repeat the same figure each step"
+        );
+        let last = reports.last().unwrap().loss;
+        assert!(
+            last < reports[0].loss * 0.8,
+            "reordered training should still converge: {} → {last}",
+            reports[0].loss
+        );
+    }
+
     /// The cosine schedule reaches its floor and early stopping truncates
     /// the epoch budget.
     #[test]
@@ -262,8 +318,9 @@ mod tests {
         let (g, spec, values, labels) = gcn_fixture();
         let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
         let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
-        let mut trainer =
-            Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.0)).with_clip_norm(5.0);
+        let mut trainer = Trainer::new(&compiled.plan, &g, values, params, Sgd::new(1.0))
+            .unwrap()
+            .with_clip_norm(5.0);
         let schedule = crate::CosineAnnealing {
             base: 1.0,
             min: 0.01,

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     values.insert("h".into(), clouds.points().clone());
 
     let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
-    let mut trainer = Trainer::new(&compiled.plan, &graph, values, params, Adam::new(0.02));
+    let mut trainer = Trainer::new(&compiled.plan, &graph, values, params, Adam::new(0.02))?;
     for epoch in 0..30 {
         let report = trainer.step(&labels)?;
         if epoch % 5 == 0 || epoch == 29 {

@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let params: Vec<String> = spec.params.iter().map(|(n, _, _)| n.clone()).collect();
-    let mut trainer = Trainer::new(&compiled.plan, &graph, values, params, Adam::new(0.01));
+    let mut trainer = Trainer::new(&compiled.plan, &graph, values, params, Adam::new(0.01))?;
     for epoch in 0..40 {
         let report = trainer.step(&labels)?;
         if epoch % 5 == 0 {
