@@ -1,0 +1,122 @@
+//! Machine-readable performance snapshot: measures the compute engine
+//! (GEMM GFLOP/s per kernel), a real GAT training step per engine, and
+//! the session's peak value bytes, then writes `BENCH_PR5.json` so the
+//! perf trajectory is tracked as a diffable artifact from PR 5 onward
+//! (later PRs append `BENCH_PR<N>.json` files of the same shape).
+//!
+//! Run with `cargo run --release -p gnnopt-bench --bin perf_snapshot`;
+//! `GNNOPT_SMOKE=1` shrinks every workload to CI scale and skips the
+//! file write (the numbers are then only a schema check, not a
+//! measurement — they must not clobber the committed artifact).
+
+use gnnopt_bench::{
+    compute_engine_workloads, measure_gemm_single_thread, measure_steps_interleaved, smoke,
+    smoke_scale, GEMM_KERNELS,
+};
+use gnnopt_graph::Graph;
+use gnnopt_models::ModelSpec;
+use gnnopt_tensor::parallel::available_threads;
+use serde::Serialize;
+
+/// One GEMM measurement row.
+#[derive(Serialize)]
+struct GemmRow {
+    kernel: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    gflops: f64,
+}
+
+/// One end-to-end training-step measurement row.
+#[derive(Serialize)]
+struct StepRow {
+    model: String,
+    kernel: String,
+    forward_ms: f64,
+    backward_ms: f64,
+    step_ms: f64,
+    peak_value_bytes: u64,
+    threads: usize,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    /// Snapshot schema marker (`pr5-compute-engine`).
+    schema: String,
+    /// True when sizes were shrunk by `GNNOPT_SMOKE=1`.
+    smoke: bool,
+    /// Worker pool the step rows ran under.
+    auto_threads: usize,
+    gemm: Vec<GemmRow>,
+    /// Single-thread blocked-vs-naive GFLOP/s ratio on the square case.
+    gemm_speedup: f64,
+    steps: Vec<StepRow>,
+}
+
+/// Measures one model under both engines via the shared
+/// interleaved-minimum harness (`gnnopt_bench::measure_steps_interleaved`)
+/// and renders the two rows.
+fn measure_steps(name: &str, spec: &ModelSpec, graph: &Graph) -> Vec<StepRow> {
+    let best = measure_steps_interleaved(spec, graph, smoke_scale(4, 1));
+    GEMM_KERNELS
+        .into_iter()
+        .zip(best)
+        .map(|(kernel, run)| StepRow {
+            model: name.to_owned(),
+            kernel: format!("{kernel:?}"),
+            forward_ms: run.forward_seconds * 1e3,
+            backward_ms: run.backward_seconds * 1e3,
+            step_ms: (run.forward_seconds + run.backward_seconds) * 1e3,
+            peak_value_bytes: run.peak_value_bytes,
+            threads: run.threads,
+        })
+        .collect()
+}
+
+fn main() {
+    let d = smoke_scale(256usize, 64);
+    let reps = smoke_scale(10u32, 2);
+    let by_kernel = measure_gemm_single_thread(d, reps);
+    let gemm_rows: Vec<GemmRow> = GEMM_KERNELS
+        .into_iter()
+        .zip(by_kernel)
+        .map(|(kernel, gflops)| GemmRow {
+            kernel: format!("{kernel:?}"),
+            m: d,
+            k: d,
+            n: d,
+            gflops,
+        })
+        .collect();
+
+    let (_, graph, models) = compute_engine_workloads();
+    let mut steps = Vec::new();
+    for (name, spec) in &models {
+        steps.extend(measure_steps(name, spec, &graph));
+    }
+
+    let snapshot = Snapshot {
+        schema: "pr5-compute-engine".to_owned(),
+        smoke: smoke(),
+        auto_threads: available_threads(),
+        gemm: gemm_rows,
+        gemm_speedup: by_kernel[1] / by_kernel[0],
+        steps,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    println!("{json}");
+    // Smoke numbers are a schema check, not a measurement: never let a
+    // CI/dev smoke run clobber the committed reference-container
+    // artifact.
+    if smoke() {
+        eprintln!("smoke mode: not overwriting BENCH_PR5.json");
+    } else {
+        // Anchor at the workspace root (two levels above this crate's
+        // manifest), not the invoking cwd, so a refreshed measurement
+        // always replaces the tracked artifact.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
+        std::fs::write(&path, &json).expect("BENCH_PR5.json writes");
+        eprintln!("wrote {}", path.display());
+    }
+}

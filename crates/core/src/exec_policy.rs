@@ -17,6 +17,15 @@
 //! and inverse-permutes user-facing outputs on the way out, so reordering
 //! is invisible to callers except through its locality effect (and the
 //! `GNNOPT_REORDER` environment override, see `gnnopt-exec`).
+//!
+//! Since PR 5 the policy also selects the dense compute engine: a
+//! [`GemmKernel`] (re-exported from `gnnopt_tensor::gemm`) choosing
+//! between the register-tiled blocked GEMM and the naive reference loops
+//! for every `Linear`-family kernel the session runs. Both produce
+//! bit-identical results; the `GNNOPT_GEMM` environment variable
+//! overrides the choice per process (see `gnnopt-exec`).
+
+pub use gnnopt_tensor::gemm::GemmKernel;
 
 /// Vertex-reordering strategy the executor applies to the graph at
 /// session build time (runtime preprocessing, §8 related work).
@@ -111,6 +120,10 @@ pub struct ExecPolicy {
     /// Vertex-reordering preprocessing applied at session build (see
     /// [`ReorderPolicy`]); overridable per process with `GNNOPT_REORDER`.
     pub reorder: ReorderPolicy,
+    /// Dense GEMM engine for the `Linear`-family kernels (blocked by
+    /// default; results are bit-identical either way). Overridable per
+    /// process with `GNNOPT_GEMM=naive|blocked`.
+    pub gemm: GemmKernel,
 }
 
 impl ExecPolicy {
@@ -131,6 +144,7 @@ impl ExecPolicy {
             tile_edges: Self::DEFAULT_TILE_EDGES,
             group_workers: false,
             reorder: ReorderPolicy::None,
+            gemm: GemmKernel::default(),
         }
     }
 
@@ -162,6 +176,11 @@ impl ExecPolicy {
             group_workers: true,
             ..self
         }
+    }
+
+    /// The same policy with an explicit dense GEMM engine.
+    pub fn with_gemm(self, gemm: GemmKernel) -> Self {
+        Self { gemm, ..self }
     }
 
     /// True when this policy requests auto-detection.
@@ -224,14 +243,23 @@ mod tests {
     fn builders_compose() {
         let p = ExecPolicy::with_threads(2)
             .reordered(ReorderPolicy::Rcm)
-            .grouped();
+            .grouped()
+            .with_gemm(GemmKernel::Naive);
         assert_eq!(p.threads, 2);
         assert_eq!(p.reorder, ReorderPolicy::Rcm);
         assert!(p.group_workers);
+        assert_eq!(p.gemm, GemmKernel::Naive);
         // `resolved` preserves the new knobs.
         let r = p.resolved(|| 8);
         assert_eq!(r.reorder, ReorderPolicy::Rcm);
         assert!(r.group_workers);
+        assert_eq!(r.gemm, GemmKernel::Naive);
+    }
+
+    #[test]
+    fn default_gemm_engine_is_blocked() {
+        assert_eq!(ExecPolicy::auto().gemm, GemmKernel::Blocked);
+        assert_eq!(ExecPolicy::serial().gemm, GemmKernel::Blocked);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod recompute;
 pub mod reorg;
 pub mod tune;
 
-pub use exec_policy::{ExecPolicy, ReorderPolicy};
+pub use exec_policy::{ExecPolicy, GemmKernel, ReorderPolicy};
 pub use ir::{IrError, IrGraph, Node, Phase};
 pub use lower::{KernelProgram, ProgramStep, Storage};
 pub use op::{BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn};

@@ -21,8 +21,10 @@
 //! `[indptr[v0], indptr[v1])`, every `ByDst` group is wholly inside one
 //! tile, and per-vertex edge order is preserved. Each step executes the
 //! *same expressions in the same order* as the reference kernels in
-//! [`crate::kernels`], so fused results are **bit-identical** to the
-//! node-by-node path for any tile budget and any thread count.
+//! [`crate::kernels`] — since PR 5 both literally call the shared
+//! feature-axis loops of [`gnnopt_tensor::rowops`] — so fused results are
+//! **bit-identical** to the node-by-node path for any tile budget and any
+//! thread count.
 //!
 //! # Parallelism and scratch
 //!
@@ -38,7 +40,7 @@ use crate::{ExecError, Result};
 use gnnopt_core::lower::{KernelProgram, StepExec, Storage};
 use gnnopt_core::{Dim, ExecPolicy, IrGraph, Node, NodeId, OpKind, ReduceFn, ScatterFn, Space};
 use gnnopt_graph::Graph;
-use gnnopt_tensor::Tensor;
+use gnnopt_tensor::{rowops, Tensor};
 use std::collections::HashMap;
 
 /// Everything a fused kernel launch produced for the session's stores.
@@ -675,9 +677,7 @@ fn exec_step(
                     for e in e0..e1 {
                         let (xu, yv) = (tv.row(x, g.src(e)), tv.row(y, g.dst(e)));
                         let o = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
-                        for ((ov, &a), &b) in o.iter_mut().zip(xu).zip(yv) {
-                            *ov = bf.apply(a, b);
-                        }
+                        rowops::zip2_into(o, xu, yv, |a, b| bf.apply(a, b));
                     }
                 }
                 ScatterFn::ConcatUV => {
@@ -704,9 +704,7 @@ fn exec_step(
                         let o = &mut buf[(v - v0) * total..(v - v0 + 1) * total];
                         o.fill(0.0);
                         for &e in adj.edge_ids(v) {
-                            for (ov, &xv) in o.iter_mut().zip(tv.row(x, e as usize)) {
-                                *ov += xv;
-                            }
+                            rowops::add_assign(o, tv.row(x, e as usize));
                         }
                     }
                 }
@@ -720,9 +718,7 @@ fn exec_step(
                         }
                         let inv = 1.0 / deg as f32;
                         for &e in adj.edge_ids(v) {
-                            for (ov, &xv) in o.iter_mut().zip(tv.row(x, e as usize)) {
-                                *ov += xv * inv;
-                            }
+                            rowops::axpy(o, inv, tv.row(x, e as usize));
                         }
                     }
                 }
@@ -766,35 +762,24 @@ fn exec_step(
                         }
                         let mr = &mut maxes[(v - chunk_v0) * total..(v - chunk_v0 + 1) * total];
                         for &e in ids {
-                            for (mv, &xv) in mr.iter_mut().zip(tv.row(x, e as usize)) {
-                                *mv = mv.max(xv);
-                            }
+                            rowops::max_assign(mr, tv.row(x, e as usize));
                         }
                         let dr = &mut denom[(v - chunk_v0) * total..(v - chunk_v0 + 1) * total];
                         for &e in ids {
-                            let xr = tv.row(x, e as usize);
-                            for c in 0..total {
-                                dr[c] += (xr[c] - mr[c]).exp();
-                            }
+                            rowops::exp_sub_accum(dr, tv.row(x, e as usize), mr);
                         }
                         for &e in ids {
-                            let xr = tv.row(x, e as usize);
                             let yr =
                                 &mut buf[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
-                            for c in 0..total {
-                                yr[c] = (xr[c] - mr[c]).exp() / dr[c];
-                            }
+                            rowops::softmax_from_stats(yr, tv.row(x, e as usize), mr, dr);
                         }
                     }
                 }
                 StepAux::SoftmaxFromAux { maxes, denom } => {
                     for e in e0..e1 {
                         let v = g.dst(e);
-                        let (xr, mr, dr) = (tv.row(x, e), maxes.row(v), denom.row(v));
                         let yr = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
-                        for c in 0..total {
-                            yr[c] = (xr[c] - mr[c]).exp() / dr[c];
-                        }
+                        rowops::softmax_from_stats(yr, tv.row(x, e), maxes.row(v), denom.row(v));
                     }
                 }
                 _ => unreachable!("softmax executes with a softmax aux"),
@@ -807,17 +792,20 @@ fn exec_step(
                 let ids = adj.edge_ids(v);
                 let mut s = vec![0.0f32; total];
                 for &e in ids {
-                    let (gr, yr) = (tv.row(gr_src, e as usize), tv.row(y_src, e as usize));
-                    for c in 0..total {
-                        s[c] += gr[c] * yr[c];
-                    }
+                    rowops::mul_add_accum(
+                        &mut s,
+                        tv.row(gr_src, e as usize),
+                        tv.row(y_src, e as usize),
+                    );
                 }
                 for &e in ids {
-                    let (gr, yr) = (tv.row(gr_src, e as usize), tv.row(y_src, e as usize));
                     let or = &mut buf[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
-                    for c in 0..total {
-                        or[c] = yr[c] * (gr[c] - s[c]);
-                    }
+                    rowops::softmax_bwd_row(
+                        or,
+                        tv.row(gr_src, e as usize),
+                        tv.row(y_src, e as usize),
+                        &s,
+                    );
                 }
             }
         }
@@ -828,30 +816,24 @@ fn exec_step(
                 let v = g.dst(e);
                 let inv = 1.0 / adj.degree(v) as f32;
                 let o = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
-                for (ov, &gv) in o.iter_mut().zip(tv.row(gr_src, v)) {
-                    *ov = gv * inv;
-                }
+                rowops::scale_into(o, inv, tv.row(gr_src, v));
             }
         }
 
         OpKind::Unary(f) => {
             let x = sp.srcs[0];
             for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
-                let xr = tv.row(x, r);
                 let o = &mut buf[i * total..(i + 1) * total];
-                for (ov, &xv) in o.iter_mut().zip(xr) {
-                    *ov = f.apply(xv);
-                }
+                rowops::map_into(o, tv.row(x, r), |v| f.apply(v));
             });
         }
         OpKind::UnaryBwd(f) => {
             let (gr_src, x_src) = (sp.srcs[0], sp.srcs[1]);
             for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
-                let (gr, xr) = (tv.row(gr_src, r), tv.row(x_src, r));
                 let o = &mut buf[i * total..(i + 1) * total];
-                for ((ov, &gv), &xv) in o.iter_mut().zip(gr).zip(xr) {
-                    *ov = gv * f.derivative(xv);
-                }
+                rowops::zip2_into(o, tv.row(gr_src, r), tv.row(x_src, r), |gv, xv| {
+                    gv * f.derivative(xv)
+                });
             });
         }
 
@@ -861,11 +843,10 @@ fn exec_step(
             let heads = da.heads;
             if da.feat == db.feat {
                 for_rows(sp.space, (v0, v1, e0, e1), |r, i| {
-                    let (ar, br) = (tv.row(a_src, r), tv.row(b_src, r));
                     let o = &mut buf[i * total..(i + 1) * total];
-                    for ((ov, &av), &bv) in o.iter_mut().zip(ar).zip(br) {
-                        *ov = f.apply(av, bv);
-                    }
+                    rowops::zip2_into(o, tv.row(a_src, r), tv.row(b_src, r), |av, bv| {
+                        f.apply(av, bv)
+                    });
                 });
             } else {
                 let feat = da.feat.max(db.feat);

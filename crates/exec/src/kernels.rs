@@ -4,6 +4,15 @@
 //! `[rows, heads*feat]` row-major, head-major within a row (head `h`'s
 //! features occupy columns `h*feat .. (h+1)*feat`).
 //!
+//! # Inner loops
+//!
+//! The per-row feature-axis loops (accumulate, scale, max, softmax
+//! expressions) are the shared vectorized functions of
+//! [`gnnopt_tensor::rowops`]; the fused tiled interpreter
+//! ([`crate::fused`]) calls the *same* functions, so the two execution
+//! paths share one set of inner loops and stay bit-identical by
+//! construction rather than by parallel maintenance.
+//!
 //! # Thread parallelism
 //!
 //! Every kernel whose output rows are independent takes an
@@ -52,7 +61,7 @@
 
 use gnnopt_core::{BinaryFn, Dim, EdgeGroup, ExecPolicy, ReduceFn, ScatterFn, UnaryFn};
 use gnnopt_graph::Graph;
-use gnnopt_tensor::Tensor;
+use gnnopt_tensor::{rowops, Tensor};
 use std::ops::Range;
 
 /// Sentinel argmax entry for empty reduction groups.
@@ -72,14 +81,11 @@ fn plan_threads(policy: &ExecPolicy, rows: usize, work: usize) -> usize {
 /// Deterministic chunk boundaries over `rows`: a function of
 /// `(rows, threads)` only, so a given policy always yields the same
 /// partition (and the partition never affects results anyway — chunks are
-/// data-disjoint).
+/// data-disjoint). Delegates to the workspace-wide split in
+/// [`gnnopt_tensor::parallel::chunk_bounds`] — one definition shared with
+/// the GEMM engine's partitions.
 pub(crate) fn chunk_bounds(rows: usize, threads: usize) -> Vec<usize> {
-    let per = rows.div_ceil(threads.max(1)).max(1);
-    let mut bounds = vec![0];
-    while *bounds.last().expect("bounds is non-empty") < rows {
-        bounds.push((bounds.last().expect("non-empty") + per).min(rows));
-    }
-    bounds
+    gnnopt_tensor::parallel::chunk_bounds(rows, threads)
 }
 
 /// Splits a row-major buffer of `cols`-wide rows into the consecutive
@@ -201,9 +207,7 @@ pub fn scatter(
                     for (i, e) in range.enumerate() {
                         let (xu, yv) = (x.row(g.src(e)), y.row(g.dst(e)));
                         let o = &mut chunk[i * total..(i + 1) * total];
-                        for ((ov, &a), &b) in o.iter_mut().zip(xu).zip(yv) {
-                            *ov = bf.apply(a, b);
-                        }
+                        rowops::zip2_into(o, xu, yv, |a, b| bf.apply(a, b));
                     }
                 },
             );
@@ -269,9 +273,7 @@ pub fn gather(
                     for (i, v) in range.enumerate() {
                         let o = &mut chunk[i * total..(i + 1) * total];
                         for &e in adj.edge_ids(v) {
-                            for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
-                                *ov += xv;
-                            }
+                            rowops::add_assign(o, x.row(e as usize));
                         }
                     }
                 },
@@ -294,9 +296,7 @@ pub fn gather(
                         let inv = 1.0 / deg as f32;
                         let o = &mut chunk[i * total..(i + 1) * total];
                         for &e in adj.edge_ids(v) {
-                            for (ov, &xv) in o.iter_mut().zip(x.row(e as usize)) {
-                                *ov += xv * inv;
-                            }
+                            rowops::axpy(o, inv, x.row(e as usize));
                         }
                     }
                 },
@@ -386,9 +386,7 @@ pub fn gather_mean_bwd(policy: &ExecPolicy, g: &Graph, group: EdgeGroup, grad: &
                 };
                 let inv = 1.0 / adj.degree(v) as f32;
                 let o = &mut chunk[i * total..(i + 1) * total];
-                for (ov, &gv) in o.iter_mut().zip(grad.row(v)) {
-                    *ov = gv * inv;
-                }
+                rowops::scale_into(o, inv, grad.row(v));
             }
         },
     );
@@ -418,23 +416,15 @@ pub fn edge_softmax(policy: &ExecPolicy, g: &Graph, x: &Tensor) -> (Tensor, Tens
             }
             let mr = &mut mc[i * total..(i + 1) * total];
             for &e in ids {
-                for (mv, &xv) in mr.iter_mut().zip(x.row(e as usize)) {
-                    *mv = mv.max(xv);
-                }
+                rowops::max_assign(mr, x.row(e as usize));
             }
             let dr = &mut dc[i * total..(i + 1) * total];
             for &e in ids {
-                let xr = x.row(e as usize);
-                for c in 0..total {
-                    dr[c] += (xr[c] - mr[c]).exp();
-                }
+                rowops::exp_sub_accum(dr, x.row(e as usize), mr);
             }
             for &e in ids {
-                let xr = x.row(e as usize);
                 let yr = &mut yc[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
-                for c in 0..total {
-                    yr[c] = (xr[c] - mr[c]).exp() / dr[c];
-                }
+                rowops::softmax_from_stats(yr, x.row(e as usize), mr, dr);
             }
         }
     };
@@ -485,11 +475,8 @@ pub fn edge_softmax_from_aux(
         |range, chunk| {
             for (i, e) in range.enumerate() {
                 let v = g.dst(e);
-                let (xr, mr, dr) = (x.row(e), maxes.row(v), denom.row(v));
                 let yr = &mut chunk[i * total..(i + 1) * total];
-                for c in 0..total {
-                    yr[c] = (xr[c] - mr[c]).exp() / dr[c];
-                }
+                rowops::softmax_from_stats(yr, x.row(e), maxes.row(v), denom.row(v));
             }
         },
     );
@@ -508,17 +495,11 @@ pub fn edge_softmax_bwd(policy: &ExecPolicy, g: &Graph, grad: &Tensor, y: &Tenso
             let ids = g.in_adj().edge_ids(v);
             let mut s = vec![0.0f32; total];
             for &e in ids {
-                let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
-                for c in 0..total {
-                    s[c] += gr[c] * yr[c];
-                }
+                rowops::mul_add_accum(&mut s, grad.row(e as usize), y.row(e as usize));
             }
             for &e in ids {
-                let (gr, yr) = (grad.row(e as usize), y.row(e as usize));
                 let or = &mut chunk[(e as usize - e0) * total..(e as usize - e0 + 1) * total];
-                for c in 0..total {
-                    or[c] = yr[c] * (gr[c] - s[c]);
-                }
+                rowops::softmax_bwd_row(or, grad.row(e as usize), y.row(e as usize), &s);
             }
         }
     });
@@ -550,9 +531,7 @@ pub fn binary_broadcast(
             |range, chunk| {
                 for (i, r) in range.enumerate() {
                     let o = &mut chunk[i * cols..(i + 1) * cols];
-                    for (ov, &bv) in o.iter_mut().zip(b.row(r)) {
-                        *ov = f.apply(*ov, bv);
-                    }
+                    rowops::binary_assign(o, b.row(r), |a, b| f.apply(a, b));
                 }
             },
         );
@@ -603,9 +582,7 @@ pub fn unary(policy: &ExecPolicy, f: UnaryFn, x: &Tensor) -> Tensor {
         numel,
         out.as_mut_slice(),
         |_range, chunk| {
-            for o in chunk.iter_mut() {
-                *o = f.apply(*o);
-            }
+            rowops::map_assign(chunk, |v| f.apply(v));
         },
     );
     out
@@ -622,9 +599,7 @@ pub fn unary_bwd(policy: &ExecPolicy, f: UnaryFn, grad: &Tensor, x: &Tensor) -> 
         numel,
         out.as_mut_slice(),
         |range, chunk| {
-            for (o, &xv) in chunk.iter_mut().zip(&x.as_slice()[range]) {
-                *o *= f.derivative(xv);
-            }
+            rowops::binary_assign(chunk, &x.as_slice()[range], |g, xv| g * f.derivative(xv));
         },
     );
     out

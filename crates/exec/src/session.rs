@@ -106,6 +106,12 @@ fn reorder_env() -> std::result::Result<Option<ReorderPolicy>, String> {
     }
 }
 
+/// Reads the `GNNOPT_GEMM` override (`naive`/`blocked`): `Ok(None)` when
+/// unset, `Err` on an unknown kernel name.
+fn gemm_env() -> std::result::Result<Option<gnnopt_core::GemmKernel>, String> {
+    gnnopt_core::GemmKernel::env()
+}
+
 /// The session's one-time reordering preprocessing: the permuted graph
 /// plus the vertex/edge bijections that keep the relabeling invisible to
 /// callers.
@@ -256,8 +262,9 @@ impl<'a> Session<'a> {
     /// Returns [`ExecError::Protocol`] on duplicate leaf names, or
     /// [`ExecError::Policy`] when `GNNOPT_THREADS` is set to something
     /// other than a positive integer, `GNNOPT_FUSED` to something other
-    /// than `0`/`1`, or `GNNOPT_REORDER` to something other than a known
-    /// strategy (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`).
+    /// than `0`/`1`, `GNNOPT_REORDER` to something other than a known
+    /// strategy (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`),
+    /// or `GNNOPT_GEMM` to something other than `naive`/`blocked`.
     pub fn new(plan: &'a ExecutionPlan, graph: &'a Graph) -> Result<Self> {
         let mut policy = if plan.exec.is_auto() {
             // Surface a bad env override loudly instead of silently
@@ -274,6 +281,9 @@ impl<'a> Session<'a> {
         policy.reorder = reorder_env()
             .map_err(ExecError::Policy)?
             .unwrap_or(policy.reorder);
+        policy.gemm = gemm_env()
+            .map_err(ExecError::Policy)?
+            .unwrap_or(policy.gemm);
         Self::with_policy_fused(plan, graph, policy, fused)
     }
 
@@ -301,10 +311,11 @@ impl<'a> Session<'a> {
 
     /// Prepares a session with both the policy *and* the fused-execution
     /// choice pinned explicitly — independent of the plan's defaults and
-    /// of any `GNNOPT_FUSED`/`GNNOPT_THREADS`/`GNNOPT_REORDER` override
-    /// (the policy's own [`ExecPolicy::reorder`] field is honoured
-    /// verbatim). This is how fused-vs-reference and
-    /// reordered-vs-identity comparisons pin both sides.
+    /// of any `GNNOPT_FUSED`/`GNNOPT_THREADS`/`GNNOPT_REORDER`/
+    /// `GNNOPT_GEMM` override (the policy's own [`ExecPolicy::reorder`]
+    /// and [`ExecPolicy::gemm`] fields are honoured verbatim). This is
+    /// how fused-vs-reference, reordered-vs-identity and
+    /// naive-vs-blocked-GEMM comparisons pin both sides.
     ///
     /// # Errors
     ///
@@ -821,20 +832,24 @@ impl<'a> Session<'a> {
                     }
                 }
 
+                // GEMMs run under the session's resolved policy: its
+                // engine choice *and* its worker cap (a session pinned
+                // serial keeps its weight-gradient GEMMs serial, whatever
+                // GNNOPT_THREADS or the hardware says).
                 OpKind::Linear => {
                     let x = self.value(node.inputs[0])?;
                     let w = self.value(node.inputs[1])?;
-                    x.matmul(w)?
+                    x.matmul_with_threads(w, pol.gemm, pol.threads)?
                 }
                 OpKind::LinearBwdInput => {
                     let gr = self.value(node.inputs[0])?;
                     let w = self.value(node.inputs[1])?;
-                    gr.matmul_nt(w)?
+                    gr.matmul_nt_with_threads(w, pol.gemm, pol.threads)?
                 }
                 OpKind::LinearBwdWeight => {
                     let x = self.value(node.inputs[0])?;
                     let gr = self.value(node.inputs[1])?;
-                    x.matmul_tn(gr)?
+                    x.matmul_tn_with_threads(gr, pol.gemm, pol.threads)?
                 }
 
                 OpKind::Unary(f) => kernels::unary(&pol, *f, self.value(node.inputs[0])?),

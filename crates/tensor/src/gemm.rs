@@ -1,0 +1,901 @@
+//! Packed, register-tiled GEMM engine: one shared microkernel behind
+//! every dense matrix product in the workspace.
+//!
+//! # Why a blocked kernel
+//!
+//! The reference `ikj` loop ([`GemmKernel::Naive`]) re-streams a full
+//! output row and a full `B` row from cache for every `(i, k)` pair —
+//! three memory operations per two flops. The blocked engine
+//! ([`GemmKernel::Blocked`]) packs `A` and `B` into cache-resident panels
+//! and updates an `MR × NR` register tile of `C` per inner iteration, so
+//! the hot loop performs [`NR`] independent multiply-adds per packed
+//! element with no loads or stores of `C` at all — the classic
+//! GotoBLAS/BLIS GEBP structure, written so the fixed-width inner loop
+//! autovectorizes.
+//!
+//! # Determinism: bit-identical to the naive loop
+//!
+//! Blocking never changes *what* is accumulated, only *where operands
+//! live*. Every output element `C[i,j]` is produced by the same chain of
+//! `f32` operations as the naive kernel:
+//!
+//! ```text
+//! c = 0.0;  for k in 0..K { c += A[i,k] * B[k,j]; }   // increasing k
+//! ```
+//!
+//! The cache loops (`jc`, `kc`, `ic`) tile space, and the `kc` loop runs
+//! in increasing order with the partial sum stored back to `C` between
+//! blocks — so each element sees one rounding chain, in the same order,
+//! with the same `mul`-then-`add` rounding (no FMA contraction). The
+//! zero-skip fast path tests the *same* `A` coefficients the naive loop
+//! tests. Results are therefore **bit-identical** across kernels, thread
+//! counts and tile boundaries (property-tested in `tests/properties.rs`).
+//!
+//! # Selection
+//!
+//! [`GemmKernel::from_env`] reads the `GNNOPT_GEMM` environment variable
+//! (`naive` | `blocked`, default blocked); `gnnopt-exec` threads the
+//! choice through `ExecPolicy` so sessions pin it explicitly, and
+//! `Session::new` surfaces an invalid value as a loud policy error (same
+//! contract as `GNNOPT_FUSED`).
+
+use crate::parallel::{available_threads, chunk_bounds as split_bounds};
+
+/// Environment variable selecting the GEMM kernel (`naive` | `blocked`).
+pub const GEMM_ENV_VAR: &str = "GNNOPT_GEMM";
+
+/// Register-tile height of the portable microkernel: rows of `C` held in
+/// registers.
+pub const MR: usize = 4;
+
+/// Register-tile width of the portable microkernel: columns of `C` held
+/// in registers (two 128-bit SIMD lanes of `f32` on the x86-64 baseline).
+pub const NR: usize = 8;
+
+/// Register-tile height of the AVX2 microkernel (the BLIS `6×16` sgemm
+/// shape: 12 `ymm` accumulators + 2 `B` lanes + 1 broadcast).
+const MR_WIDE: usize = 6;
+
+/// Register-tile width of the AVX2 microkernel.
+const NR_WIDE: usize = 16;
+
+/// k-depth of one packed panel pair (`A`: `KC×MR`, `B`: `KC×NR` — both
+/// L1-resident alongside the register tile).
+const KC: usize = 256;
+
+/// Row count of one packed `A` block (a multiple of both register-tile
+/// heights, so interior blocks carry no ragged panels).
+const MC: usize = 96;
+
+/// Column count of one packed `B` block (a multiple of both register-tile
+/// widths).
+const NC: usize = 256;
+
+/// Which dense kernel executes `matmul` / `matmul_tn` / `matmul_nt`.
+///
+/// Both kernels produce **bit-identical** results (see the module docs);
+/// the choice only trades speed. `Blocked` is the default everywhere;
+/// `Naive` remains as the reference the equivalence suites pin against
+/// and as the `GNNOPT_GEMM=naive` escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmKernel {
+    /// The reference `ikj` loop (scalar row updates, no packing).
+    Naive,
+    /// Packed panels + `MR × NR` register-tiled microkernel.
+    #[default]
+    Blocked,
+}
+
+impl GemmKernel {
+    /// Parses the `GNNOPT_GEMM` spelling of a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the valid spellings on
+    /// anything other than `naive` / `blocked`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "naive" => Ok(Self::Naive),
+            "blocked" => Ok(Self::Blocked),
+            other => Err(format!(
+                "unknown GEMM kernel '{other}' (expected naive|blocked)"
+            )),
+        }
+    }
+
+    /// Reads the `GNNOPT_GEMM` override. Returns `Ok(None)` when unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`GemmKernel::parse`] error when the variable is set
+    /// to an unknown spelling. Infallible callers
+    /// ([`GemmKernel::from_env`]) fall back to the default; `gnnopt-exec`
+    /// surfaces it as a session policy error.
+    pub fn env() -> Result<Option<Self>, String> {
+        match std::env::var(GEMM_ENV_VAR) {
+            Ok(raw) => Self::parse(&raw)
+                .map(Some)
+                .map_err(|e| format!("{GEMM_ENV_VAR}: {e}")),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// The kernel `Tensor::matmul` (and friends) use when no explicit
+    /// choice is plumbed in: the `GNNOPT_GEMM` override when valid, else
+    /// [`GemmKernel::Blocked`].
+    pub fn from_env() -> Self {
+        Self::env().ok().flatten().unwrap_or_default()
+    }
+}
+
+/// Operand layout of a product `C[m,n] = A' · B'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `A = [m,k]`, `B = [k,n]`, both row-major (`Tensor::matmul`).
+    Nn,
+    /// `A = [k,m]` row-major, used transposed (`Tensor::matmul_tn`,
+    /// the `∂L/∂W = Xᵀ·G` hot path).
+    Tn,
+    /// `B = [n,k]` row-major, used transposed (`Tensor::matmul_nt`,
+    /// the `∂L/∂X = G·Wᵀ` hot path).
+    Nt,
+}
+
+impl Layout {
+    fn a_transposed(self) -> bool {
+        self == Self::Tn
+    }
+
+    fn b_transposed(self) -> bool {
+        self == Self::Nt
+    }
+}
+
+/// The `MH × NW` register-tiled microkernel body: accumulates `kc`
+/// packed steps into a local tile, loading/storing only the
+/// `rows × cols` valid region of `C`.
+///
+/// `SKIP` compiles the zero-skip branch in or out so the dense path stays
+/// branch-free. The accumulation per element is `acc += a * b` in
+/// increasing `k` — the exact rounding chain of the naive loop (separate
+/// `mul` and `add` roundings; never contracted to FMA).
+///
+/// `#[inline(always)]` so each instantiation site compiles the body under
+/// its own target features (the AVX2 wrapper widens the same code to
+/// 256-bit lanes without a second implementation).
+#[inline(always)]
+fn micro_body<const MH: usize, const NW: usize, const SKIP: bool>(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    #[inline(always)]
+    fn fmadd<const NW: usize>(acc: &mut [f32; NW], a: f32, b: &[f32; NW]) {
+        for i in 0..NW {
+            acc[i] += a * b[i];
+        }
+    }
+    let mut acc = [[0.0f32; NW]; MH];
+    for (r, accr) in acc.iter_mut().enumerate().take(rows) {
+        accr[..cols].copy_from_slice(&c[r * ldc..r * ldc + cols]);
+    }
+    let (mut oa, mut ob) = (0, 0);
+    for _ in 0..kc {
+        let av: &[f32; MH] = ap[oa..oa + MH].try_into().expect("packed A panel");
+        let bv: &[f32; NW] = bp[ob..ob + NW].try_into().expect("packed B panel");
+        for r in 0..MH {
+            if SKIP && av[r] == 0.0 {
+                continue;
+            }
+            fmadd(&mut acc[r], av[r], bv);
+        }
+        oa += MH;
+        ob += NW;
+    }
+    for (r, accr) in acc.iter().enumerate().take(rows) {
+        c[r * ldc..r * ldc + cols].copy_from_slice(&accr[..cols]);
+    }
+}
+
+/// The AVX2 instantiation of [`micro_body`] at the wide `6×16` geometry.
+/// Same Rust, compiled to 256-bit lanes; no FMA contraction (Rust keeps
+/// `mul`+`add` roundings separate), so results stay bit-identical to the
+/// portable kernel.
+///
+/// # Safety
+///
+/// The caller must have verified `avx2` support
+/// (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_avx2<const SKIP: bool>(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    micro_body::<MR_WIDE, NR_WIDE, SKIP>(kc, ap, bp, c, ldc, rows, cols);
+}
+
+/// Packs the `rows × kc` block of `A` starting at `(i0, k0)` into
+/// k-major `MH`-high panels (`buf[p][kk][r]`), zero-padding the tail
+/// panel. Padded rows contribute nothing: their products are never
+/// stored back.
+///
+/// When `flag_zeroes`, `zeroes[p]` records whether panel `p` holds any
+/// *valid* zero coefficient — the per-panel skip decision: a zero-free
+/// panel runs the branch-free microkernel even when the product asked
+/// for zero skipping, because there is nothing to skip (the tail panel's
+/// padding is flagged conservatively, which only costs it the branchy
+/// kernel). A non-skipping product passes `flag_zeroes = false` and the
+/// scan is elided (the flags are never consulted).
+#[allow(clippy::too_many_arguments)]
+fn pack_a<const MH: usize>(
+    transposed: bool,
+    a: &[f32],
+    lda: usize,
+    i0: usize,
+    rows: usize,
+    k0: usize,
+    kc: usize,
+    buf: &mut Vec<f32>,
+    flag_zeroes: bool,
+    zeroes: &mut Vec<bool>,
+) {
+    let panels = rows.div_ceil(MH);
+    buf.clear();
+    buf.resize(panels * kc * MH, 0.0);
+    zeroes.clear();
+    zeroes.resize(panels, false);
+    for p in 0..panels {
+        let dst = &mut buf[p * kc * MH..(p + 1) * kc * MH];
+        let valid = MH.min(rows - p * MH);
+        if transposed {
+            // A[i, kk] = a[kk*lda + i]: each k-row is contiguous in i.
+            for kk in 0..kc {
+                let src = &a[(k0 + kk) * lda + i0 + p * MH..][..valid];
+                dst[kk * MH..kk * MH + valid].copy_from_slice(src);
+            }
+        } else {
+            // A[i, kk] = a[i*lda + kk]: transpose row slivers into k-major.
+            for r in 0..valid {
+                let src = &a[(i0 + p * MH + r) * lda + k0..][..kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    dst[kk * MH + r] = v;
+                }
+            }
+        }
+        if flag_zeroes {
+            zeroes[p] = valid < MH || dst.contains(&0.0);
+        }
+    }
+}
+
+/// Packs the `kc × cols` block of `B` starting at `(k0, j0)` into
+/// k-major `NW`-wide panels (`buf[q][kk][c]`), zero-padding the tail
+/// panel. Padded columns produce accumulator garbage that is never
+/// stored back.
+#[allow(clippy::too_many_arguments)]
+fn pack_b<const NW: usize>(
+    transposed: bool,
+    b: &[f32],
+    ldb: usize,
+    k0: usize,
+    kc: usize,
+    j0: usize,
+    cols: usize,
+    buf: &mut Vec<f32>,
+) {
+    let panels = cols.div_ceil(NW);
+    buf.clear();
+    buf.resize(panels * kc * NW, 0.0);
+    for q in 0..panels {
+        let dst = &mut buf[q * kc * NW..(q + 1) * kc * NW];
+        let valid = NW.min(cols - q * NW);
+        if transposed {
+            // B[kk, j] = b[j*ldb + kk]: transpose column slivers.
+            for c in 0..valid {
+                let src = &b[(j0 + q * NW + c) * ldb + k0..][..kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    dst[kk * NW + c] = v;
+                }
+            }
+        } else {
+            // B[kk, j] = b[kk*ldb + j]: each k-row is contiguous in j.
+            for kk in 0..kc {
+                let src = &b[(k0 + kk) * ldb + j0 + q * NW..][..valid];
+                dst[kk * NW..kk * NW + valid].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Serial blocked GEMM over the output slab `out[m, n]` (row-major,
+/// leading dimension `ldc`), whose global origin is `(i0, j0)` of the
+/// full product, at register-tile geometry `MH × NW` with `micro` as the
+/// instantiated microkernel. The GEBP loop nest: `jc` (B column blocks)
+/// → `kc` (packed panel depth, increasing k) → `ic` (A row blocks) →
+/// `jr`/`ir` micro-tiles.
+#[allow(clippy::too_many_arguments)]
+fn blocked_slab<const MH: usize, const NW: usize>(
+    layout: Layout,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldc: usize,
+    (i0, m): (usize, usize),
+    (j0, n): (usize, usize),
+    k: usize,
+    skip_zeros: bool,
+    micro: impl Fn(bool, usize, &[f32], &[f32], &mut [f32], usize, usize, usize),
+) {
+    let mut apack = Vec::new();
+    let mut bpack = Vec::new();
+    let mut azero = Vec::new();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for kc0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - kc0);
+            pack_b::<NW>(
+                layout.b_transposed(),
+                b,
+                ldb,
+                kc0,
+                kc,
+                j0 + jc,
+                nc,
+                &mut bpack,
+            );
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a::<MH>(
+                    layout.a_transposed(),
+                    a,
+                    lda,
+                    i0 + ic,
+                    mc,
+                    kc0,
+                    kc,
+                    &mut apack,
+                    skip_zeros,
+                    &mut azero,
+                );
+                for (q, jr) in (0..nc).step_by(NW).enumerate() {
+                    let bp = &bpack[q * kc * NW..(q + 1) * kc * NW];
+                    let cols = NW.min(nc - jr);
+                    for (p, ir) in (0..mc).step_by(MH).enumerate() {
+                        let ap = &apack[p * kc * MH..(p + 1) * kc * MH];
+                        let rows = MH.min(mc - ir);
+                        let ctile = &mut out[(ic + ir) * ldc + jc + jr..];
+                        // A zero-free panel has nothing to skip: run it
+                        // branch-free (identical arithmetic either way).
+                        micro(skip_zeros && azero[p], kc, ap, bp, ctile, ldc, rows, cols);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one blocked slab at the best geometry the host supports: the
+/// wide `6×16` AVX2 microkernel when the CPU has AVX2, else the portable
+/// `4×8` kernel. Geometry never affects results — every output element
+/// keeps the same k-ordered accumulation chain — so the choice is purely
+/// a throughput one (checked by the cross-kernel bit-identity suites on
+/// whatever host runs them).
+#[allow(clippy::too_many_arguments)]
+fn blocked_dispatch(
+    layout: Layout,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldc: usize,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    k: usize,
+    skip_zeros: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        blocked_slab::<MR_WIDE, NR_WIDE>(
+            layout,
+            a,
+            lda,
+            b,
+            ldb,
+            out,
+            ldc,
+            rows,
+            cols,
+            k,
+            skip_zeros,
+            |skip, kc, ap, bp, c, ldc, r, cl| {
+                // SAFETY: avx2 support was just detected.
+                unsafe {
+                    if skip {
+                        micro_avx2::<true>(kc, ap, bp, c, ldc, r, cl);
+                    } else {
+                        micro_avx2::<false>(kc, ap, bp, c, ldc, r, cl);
+                    }
+                }
+            },
+        );
+        return;
+    }
+    blocked_slab::<MR, NR>(
+        layout,
+        a,
+        lda,
+        b,
+        ldb,
+        out,
+        ldc,
+        rows,
+        cols,
+        k,
+        skip_zeros,
+        |skip, kc, ap, bp, c, ldc, r, cl| {
+            if skip {
+                micro_body::<MR, NR, true>(kc, ap, bp, c, ldc, r, cl);
+            } else {
+                micro_body::<MR, NR, false>(kc, ap, bp, c, ldc, r, cl);
+            }
+        },
+    );
+}
+
+/// Serial naive GEMM over the same slab interface as [`blocked_slab`]:
+/// the reference loops, restricted to an output sub-rectangle.
+#[allow(clippy::too_many_arguments)]
+fn naive_slab(
+    layout: Layout,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldc: usize,
+    (i0, m): (usize, usize),
+    (j0, n): (usize, usize),
+    k: usize,
+    skip_zeros: bool,
+) {
+    match layout {
+        // ikj: stream B rows against the output row.
+        Layout::Nn => {
+            for i in 0..m {
+                let arow = &a[(i0 + i) * lda..(i0 + i) * lda + k];
+                let orow = &mut out[i * ldc..i * ldc + n];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if skip_zeros && av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * ldb + j0..kk * ldb + j0 + n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        // kij: stream A rows (columns of the logical Aᵀ) outermost.
+        Layout::Tn => {
+            for kk in 0..k {
+                let arow = &a[kk * lda + i0..kk * lda + i0 + m];
+                let brow = &b[kk * ldb + j0..kk * ldb + j0 + n];
+                for (i, &av) in arow.iter().enumerate() {
+                    if skip_zeros && av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out[i * ldc..i * ldc + n];
+                    for (ov, &bv) in orow.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
+                }
+            }
+        }
+        // ijk: per-element dot products against B rows.
+        Layout::Nt => {
+            for i in 0..m {
+                let arow = &a[(i0 + i) * lda..(i0 + i) * lda + k];
+                let orow = &mut out[i * ldc..i * ldc + n];
+                for (j, ov) in orow.iter_mut().enumerate() {
+                    let brow = &b[(j0 + j) * ldb..(j0 + j) * ldb + k];
+                    let mut acc = *ov;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        if skip_zeros && av == 0.0 {
+                            continue;
+                        }
+                        acc += av * bv;
+                    }
+                    *ov = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches one serial slab to the selected kernel.
+#[allow(clippy::too_many_arguments)]
+fn run_slab(
+    kernel: GemmKernel,
+    layout: Layout,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldc: usize,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    k: usize,
+    skip_zeros: bool,
+) {
+    match kernel {
+        GemmKernel::Naive => {
+            naive_slab(layout, a, lda, b, ldb, out, ldc, rows, cols, k, skip_zeros)
+        }
+        GemmKernel::Blocked => {
+            blocked_dispatch(layout, a, lda, b, ldb, out, ldc, rows, cols, k, skip_zeros);
+        }
+    }
+}
+
+/// Full-product entry point: computes `A'·B'` into `out[m,n]`, which the
+/// caller **must pass zero-filled** (the serial paths accumulate into it
+/// while the parallel `Tn` path assembles worker slabs, so any other
+/// starting contents give path-dependent results), under an explicit
+/// kernel and worker count.
+///
+/// Parallelism partitions **output rows** for `Nn`/`Nt` and **output
+/// column blocks** for `Tn` (the `∂L/∂W` shape is a wide reduction: `m`
+/// and `n` are feature widths while `k` is the huge vertex count, so
+/// column blocks keep every worker streaming the full `k` extent of both
+/// operands sequentially). No floating-point accumulation crosses a
+/// partition boundary, so the result is **bit-identical** for any
+/// `threads` value and either kernel.
+///
+/// Operand shapes per `layout` (all row-major):
+/// `Nn`: `a = [m,k]`, `b = [k,n]` · `Tn`: `a = [k,m]`, `b = [k,n]` ·
+/// `Nt`: `a = [m,k]`, `b = [n,k]`.
+///
+/// # Panics
+///
+/// Panics on operand slices shorter than the shapes imply.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    kernel: GemmKernel,
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    skip_zeros: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (lda, ldb) = match layout {
+        Layout::Nn => (k, n),
+        Layout::Tn => (m, n),
+        Layout::Nt => (k, k),
+    };
+    if layout == Layout::Tn {
+        // Column-block partition: each worker owns out[.., j0..j1),
+        // computed into a dense local slab and stitched back serially.
+        let workers = threads.clamp(1, n);
+        if workers < 2 {
+            run_slab(
+                kernel,
+                layout,
+                a,
+                lda,
+                b,
+                ldb,
+                out,
+                n,
+                (0, m),
+                (0, n),
+                k,
+                skip_zeros,
+            );
+            return;
+        }
+        let bounds = split_bounds(n, workers);
+        let slabs: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = bounds
+                .windows(2)
+                .map(|w| {
+                    let (j0, j1) = (w[0], w[1]);
+                    s.spawn(move || {
+                        let mut local = vec![0.0f32; m * (j1 - j0)];
+                        run_slab(
+                            kernel,
+                            layout,
+                            a,
+                            lda,
+                            b,
+                            ldb,
+                            &mut local,
+                            j1 - j0,
+                            (0, m),
+                            (j0, j1 - j0),
+                            k,
+                            skip_zeros,
+                        );
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gemm worker panicked"))
+                .collect()
+        });
+        for (w, slab) in bounds.windows(2).zip(slabs) {
+            let (j0, j1) = (w[0], w[1]);
+            let width = j1 - j0;
+            for r in 0..m {
+                out[r * n + j0..r * n + j1].copy_from_slice(&slab[r * width..(r + 1) * width]);
+            }
+        }
+    } else {
+        // Row partition: contiguous disjoint output slabs.
+        let workers = threads.clamp(1, m);
+        if workers < 2 {
+            run_slab(
+                kernel,
+                layout,
+                a,
+                lda,
+                b,
+                ldb,
+                out,
+                n,
+                (0, m),
+                (0, n),
+                k,
+                skip_zeros,
+            );
+            return;
+        }
+        let bounds = split_bounds(m, workers);
+        let mut rest = &mut out[..];
+        let mut chunks = Vec::with_capacity(bounds.len() - 1);
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut((w[1] - w[0]) * n);
+            chunks.push((w[0], head));
+            rest = tail;
+        }
+        std::thread::scope(|s| {
+            for (i0, chunk) in chunks {
+                let rows = chunk.len() / n;
+                s.spawn(move || {
+                    run_slab(
+                        kernel,
+                        layout,
+                        a,
+                        lda,
+                        b,
+                        ldb,
+                        chunk,
+                        n,
+                        (i0, rows),
+                        (0, n),
+                        k,
+                        skip_zeros,
+                    );
+                });
+            }
+        });
+    }
+}
+
+/// Below this many multiply-adds a product stays single-threaded
+/// (thread spawning would dominate).
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+/// The worker count `Tensor::matmul`-style entry points use for a
+/// product of `work = m·k·n` multiply-adds: serial below the spawn
+/// amortization threshold, else the shared pool size.
+pub fn auto_threads(work: usize) -> usize {
+    if work < PARALLEL_THRESHOLD {
+        1
+    } else {
+        available_threads()
+    }
+}
+
+/// The worker count for a product pinned to an explicit `threads` cap
+/// (how a session's resolved `ExecPolicy::threads` governs its GEMMs
+/// instead of the process-wide pool): still serial below the spawn
+/// amortization threshold, never wider than the cap. `0` falls back to
+/// [`auto_threads`].
+pub fn pinned_threads(work: usize, threads: usize) -> usize {
+    if threads == 0 {
+        auto_threads(work)
+    } else if work < PARALLEL_THRESHOLD {
+        1
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense f64-free reference: the naive Nn loop on plain indices.
+    fn reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f32 - 48.0) / 16.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_on_ragged_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 9),
+            (5, 1, 3),
+            (3, 4, 1),
+            (MR, KC, NR),
+            (MR + 1, 3, NR + 1),
+            (2 * MR + 3, KC + 5, 2 * NR + 7),
+            (MC + MR + 1, 17, NC + NR + 2),
+        ] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let want = reference(&a, &b, m, k, n);
+            for threads in [1usize, 3] {
+                let mut out = vec![0.0f32; m * n];
+                gemm(
+                    GemmKernel::Blocked,
+                    Layout::Nn,
+                    &a,
+                    &b,
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    threads,
+                    false,
+                );
+                assert_eq!(out, want, "Nn m={m} k={k} n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn layouts_agree_with_explicit_transposes() {
+        let (m, k, n) = (9usize, 13, 11);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let want = reference(&a, &b, m, k, n);
+        // Tn: store A as [k, m].
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        // Nt: store B as [n, k].
+        let mut bt = vec![0.0f32; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            for threads in [1usize, 4] {
+                let mut out = vec![0.0f32; m * n];
+                gemm(
+                    kernel,
+                    Layout::Tn,
+                    &at,
+                    &b,
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    threads,
+                    false,
+                );
+                let max = out
+                    .iter()
+                    .zip(&want)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(max < 1e-4, "Tn {kernel:?} t={threads}: {max}");
+                let mut out = vec![0.0f32; m * n];
+                gemm(
+                    kernel,
+                    Layout::Nt,
+                    &a,
+                    &bt,
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    threads,
+                    false,
+                );
+                let max = out
+                    .iter()
+                    .zip(&want)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(max < 1e-4, "Nt {kernel:?} t={threads}: {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_parse_and_env_spellings() {
+        assert_eq!(GemmKernel::parse("naive"), Ok(GemmKernel::Naive));
+        assert_eq!(GemmKernel::parse(" Blocked "), Ok(GemmKernel::Blocked));
+        let err = GemmKernel::parse("turbo").unwrap_err();
+        assert!(err.contains("turbo") && err.contains("blocked"));
+        assert_eq!(GemmKernel::default(), GemmKernel::Blocked);
+    }
+
+    #[test]
+    fn empty_extents_are_noops() {
+        let mut out = vec![0.0f32; 0];
+        gemm(
+            GemmKernel::Blocked,
+            Layout::Nn,
+            &[],
+            &[],
+            &mut out,
+            0,
+            0,
+            0,
+            4,
+            true,
+        );
+        // k = 0 with nonzero m, n leaves the zeroed output untouched.
+        let mut out = vec![0.0f32; 6];
+        gemm(
+            GemmKernel::Blocked,
+            Layout::Nn,
+            &[],
+            &[],
+            &mut out,
+            2,
+            0,
+            3,
+            1,
+            false,
+        );
+        assert_eq!(out, vec![0.0; 6]);
+    }
+}

@@ -24,13 +24,16 @@
 
 mod elementwise;
 mod error;
+pub mod gemm;
 mod init;
 mod linalg;
 pub mod parallel;
 mod reduce;
+pub mod rowops;
 mod tensor;
 
 pub use error::TensorError;
+pub use gemm::GemmKernel;
 pub use init::XavierInit;
 pub use tensor::Tensor;
 

@@ -1,52 +1,78 @@
 //! Matrix multiplication and transposition.
 //!
-//! `matmul` parallelizes over row blocks with `std::thread::scope` when the
-//! problem is large enough to amortize thread spawning (pool size from
-//! [`crate::parallel::available_threads`], shared with the `gnnopt-exec`
-//! graph kernels); the kernel itself is a cache-friendly ikj loop.
+//! All three dense products (`matmul`, `matmul_tn`, `matmul_nt`) route
+//! through the shared engine in [`crate::gemm`]: a [`GemmKernel`]
+//! selects the register-tiled blocked kernel (the default) or the naive
+//! reference loops, and the work is partitioned over `std::thread::scope`
+//! workers (pool size from [`crate::parallel::available_threads`], shared
+//! with the `gnnopt-exec` graph kernels) above a work threshold. Both
+//! kernels and every thread count produce **bit-identical** results; see
+//! the [`crate::gemm`] module docs for why.
 
-use crate::parallel::available_threads;
+use crate::gemm::{gemm, pinned_threads, GemmKernel, Layout};
 use crate::{Result, Tensor, TensorError};
 
-/// Below this many multiply-adds, `matmul` stays single-threaded.
-const PARALLEL_THRESHOLD: usize = 1 << 20;
+/// Elements of the left operand the zero probe inspects before giving
+/// up. Post-ReLU activations hit a zero within the first few elements;
+/// a dense operand pays at most this bounded scan instead of a full
+/// `m·k` sweep (disabling the skip is always sound — it only forgoes an
+/// optimization that had nothing to skip).
+const ZERO_PROBE_CAP: usize = 4096;
 
-/// Inner GEMM block. `skip_zeros` enables the sparse-row fast path that
-/// skips `a`-coefficients equal to zero; it is only sound when `b` is
-/// known to be free of non-finite values, because IEEE 754 defines
-/// `0 · ±inf` and `0 · NaN` as `NaN` — skipping would silently mask a
-/// diverging operand instead of propagating it.
-fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, skip_zeros: bool) {
-    let rows = out.len() / n;
-    for i in 0..rows {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if skip_zeros && av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-/// True when every element is finite — the precondition for the zero-skip
-/// fast path in [`matmul_block`].
-fn all_finite(xs: &[f32]) -> bool {
-    xs.iter().all(|v| v.is_finite())
+/// Decides the zero-skip fast path for a product `a · b`: skipping an
+/// `a`-coefficient equal to zero is only *useful* when `a` actually
+/// contains zeros (e.g. post-ReLU activations) and only *sound* when `b`
+/// is free of non-finite values, because IEEE 754 defines `0 · ±inf` and
+/// `0 · NaN` as `NaN` — skipping would silently mask a diverging operand
+/// instead of propagating it.
+///
+/// The zero probe early-exits on the first zero and is capped at
+/// [`ZERO_PROBE_CAP`] elements, so the dense common case pays neither
+/// the old unconditional full scan of `b` nor a full sweep of a
+/// vertex-count-sized `a`.
+fn skip_zero_rows(a: &[f32], b: &[f32]) -> bool {
+    a.iter().take(ZERO_PROBE_CAP).any(|&v| v == 0.0) && b.iter().all(|v| v.is_finite())
 }
 
 impl Tensor {
-    /// Dense matrix product `self[m,k] × other[k,n] → [m,n]`.
+    /// Dense matrix product `self[m,k] × other[k,n] → [m,n]` under the
+    /// process-default kernel ([`GemmKernel::from_env`], i.e. the
+    /// `GNNOPT_GEMM` override or the blocked engine).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless `self.cols() ==
     /// other.rows()`.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_with(other, GemmKernel::from_env())
+    }
+
+    /// [`Tensor::matmul`] under an explicit [`GemmKernel`], auto worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self.cols() ==
+    /// other.rows()`.
+    pub fn matmul_with(&self, other: &Tensor, kernel: GemmKernel) -> Result<Tensor> {
+        self.matmul_with_threads(other, kernel, 0)
+    }
+
+    /// [`Tensor::matmul`] under an explicit [`GemmKernel`] and worker cap
+    /// (how sessions pin both the engine and their resolved
+    /// `ExecPolicy::threads`; `0` = auto). The cap never changes results
+    /// — partitions are accumulation-free — only how wide the work runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self.cols() ==
+    /// other.rows()`.
+    pub fn matmul_with_threads(
+        &self,
+        other: &Tensor,
+        kernel: GemmKernel,
+        threads: usize,
+    ) -> Result<Tensor> {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         if k != k2 {
@@ -57,33 +83,19 @@ impl Tensor {
             });
         }
         let mut out = Tensor::zeros(&[m, n]);
-        let work = m * k * n;
-        let threads = available_threads();
-        // The zero-skip fast path must not mask 0 · NaN / 0 · inf
-        // contributions from a non-finite right operand.
-        let skip_zeros = all_finite(other.as_slice());
-        if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
-            matmul_block(
-                self.as_slice(),
-                other.as_slice(),
-                out.as_mut_slice(),
-                k,
-                n,
-                skip_zeros,
-            );
-            return Ok(out);
-        }
-        let rows_per = m.div_ceil(threads);
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let chunks: Vec<&mut [f32]> = out.as_mut_slice().chunks_mut(rows_per * n).collect();
-        std::thread::scope(|s| {
-            for (ci, chunk) in chunks.into_iter().enumerate() {
-                let a_off = ci * rows_per * k;
-                let a_part = &a[a_off..(a_off + (chunk.len() / n) * k)];
-                s.spawn(move || matmul_block(a_part, b, chunk, k, n, skip_zeros));
-            }
-        });
+        let skip = skip_zero_rows(self.as_slice(), other.as_slice());
+        gemm(
+            kernel,
+            Layout::Nn,
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+            pinned_threads(m * k * n, threads),
+            skip,
+        );
         Ok(out)
     }
 
@@ -91,12 +103,40 @@ impl Tensor {
     /// `selfᵀ[k,m] × other[k,n] → [m,n]` where `self` is `[k,m]`… i.e.
     /// computes `Aᵀ B` for `A = self[k,m]`, `B = other[k,n]`.
     ///
-    /// Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`).
+    /// Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`); parallelized
+    /// over output **column blocks** (the output is feature-width sized
+    /// while `k` spans the vertex count, so column blocks keep every
+    /// worker streaming both operands sequentially).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless row counts match.
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_tn_with(other, GemmKernel::from_env())
+    }
+
+    /// [`Tensor::matmul_tn`] under an explicit [`GemmKernel`], auto
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless row counts match.
+    pub fn matmul_tn_with(&self, other: &Tensor, kernel: GemmKernel) -> Result<Tensor> {
+        self.matmul_tn_with_threads(other, kernel, 0)
+    }
+
+    /// [`Tensor::matmul_tn`] under an explicit [`GemmKernel`] and worker
+    /// cap (`0` = auto; see [`Tensor::matmul_with_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless row counts match.
+    pub fn matmul_tn_with_threads(
+        &self,
+        other: &Tensor,
+        kernel: GemmKernel,
+        threads: usize,
+    ) -> Result<Tensor> {
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         if k != k2 {
@@ -107,25 +147,21 @@ impl Tensor {
             });
         }
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.as_slice();
-        let b = other.as_slice();
         // Same soundness condition as `matmul`: skipping zero coefficients
         // is only exact when the multiplied-in rows are finite.
-        let skip_zeros = all_finite(b);
-        let o = out.as_mut_slice();
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if skip_zeros && av == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
-                    *ov += av * bv;
-                }
-            }
-        }
+        let skip = skip_zero_rows(self.as_slice(), other.as_slice());
+        gemm(
+            kernel,
+            Layout::Tn,
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+            pinned_threads(m * k * n, threads),
+            skip,
+        );
         Ok(out)
     }
 
@@ -138,6 +174,31 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless inner dims match.
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_nt_with(other, GemmKernel::from_env())
+    }
+
+    /// [`Tensor::matmul_nt`] under an explicit [`GemmKernel`], auto
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless inner dims match.
+    pub fn matmul_nt_with(&self, other: &Tensor, kernel: GemmKernel) -> Result<Tensor> {
+        self.matmul_nt_with_threads(other, kernel, 0)
+    }
+
+    /// [`Tensor::matmul_nt`] under an explicit [`GemmKernel`] and worker
+    /// cap (`0` = auto; see [`Tensor::matmul_with_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless inner dims match.
+    pub fn matmul_nt_with_threads(
+        &self,
+        other: &Tensor,
+        kernel: GemmKernel,
+        threads: usize,
+    ) -> Result<Tensor> {
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
         if k != k2 {
@@ -148,21 +209,20 @@ impl Tensor {
             });
         }
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (j, ov) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *ov = acc;
-            }
-        }
+        // No zero-skip here: the historical `nt` loop never skipped, and
+        // the gradient-propagation path must stay exactly as it was.
+        gemm(
+            kernel,
+            Layout::Nt,
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+            pinned_threads(m * k * n, threads),
+            false,
+        );
         Ok(out)
     }
 
@@ -225,46 +285,63 @@ mod tests {
     }
 
     #[test]
-    fn parallel_path_matches_serial() {
-        // Force the parallel path with a matrix big enough to cross the
-        // threshold, then compare against the serial kernel on a slice.
+    fn kernels_agree_bitwise_above_the_parallel_threshold() {
+        // Big enough to cross the auto-parallel threshold: the blocked
+        // engine, the naive reference and every partition must agree to
+        // the last bit.
         let m = 256;
         let k = 64;
         let n = 128;
         let a = Tensor::from_fn(&[m, k], |i| ((i % 13) as f32) - 6.0);
         let b = Tensor::from_fn(&[k, n], |i| ((i % 7) as f32) * 0.25);
-        let par = a.matmul(&b).unwrap();
-        let mut serial = Tensor::zeros(&[m, n]);
-        matmul_block(
-            a.as_slice(),
-            b.as_slice(),
-            serial.as_mut_slice(),
-            k,
-            n,
-            true,
-        );
-        assert!(par.allclose(&serial));
+        let blocked = a.matmul_with(&b, GemmKernel::Blocked).unwrap();
+        let naive = a.matmul_with(&b, GemmKernel::Naive).unwrap();
+        assert_eq!(blocked.as_slice(), naive.as_slice());
     }
 
     #[test]
     fn zero_times_nan_propagates() {
         // A zero coefficient multiplied into a NaN/inf operand must yield
         // NaN in the product (IEEE 754), not be skipped: a silently clean
-        // output would mask divergence during training.
-        let a = Tensor::from_rows(&[&[0.0, 1.0]]).unwrap();
-        let b = Tensor::from_rows(&[&[f32::NAN, f32::INFINITY], &[2.0, 3.0]]).unwrap();
-        let c = a.matmul(&b).unwrap();
-        assert!(c.at(0, 0).is_nan(), "0·NaN must propagate, got {c:?}");
-        assert!(c.at(0, 1).is_nan(), "0·inf + finite must be NaN, got {c:?}");
+        // output would mask divergence during training. The skip decision
+        // is now gated on the left operand containing zeros at all, so
+        // this is the regression net for both halves of the predicate.
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            let a = Tensor::from_rows(&[&[0.0, 1.0]]).unwrap();
+            let b = Tensor::from_rows(&[&[f32::NAN, f32::INFINITY], &[2.0, 3.0]]).unwrap();
+            let c = a.matmul_with(&b, kernel).unwrap();
+            assert!(c.at(0, 0).is_nan(), "{kernel:?}: 0·NaN must propagate");
+            assert!(c.at(0, 1).is_nan(), "{kernel:?}: 0·inf + finite is NaN");
 
-        let via_tn = a.transpose().matmul_tn(&b).unwrap();
-        assert!(via_tn.at(0, 0).is_nan() && via_tn.at(0, 1).is_nan());
+            let via_tn = a.transpose().matmul_tn_with(&b, kernel).unwrap();
+            assert!(via_tn.at(0, 0).is_nan() && via_tn.at(0, 1).is_nan());
 
-        // With finite operands the skip stays enabled and exact: a sparse
-        // left operand still produces the plain dense product.
-        let sparse = Tensor::from_rows(&[&[0.0, 2.0]]).unwrap();
-        let dense = Tensor::from_rows(&[&[5.0, -1.0], &[0.5, 4.0]]).unwrap();
-        assert_eq!(sparse.matmul(&dense).unwrap().as_slice(), &[1.0, 8.0]);
+            // With finite operands the skip stays enabled and exact: a
+            // sparse left operand still produces the plain dense product.
+            let sparse = Tensor::from_rows(&[&[0.0, 2.0]]).unwrap();
+            let dense = Tensor::from_rows(&[&[5.0, -1.0], &[0.5, 4.0]]).unwrap();
+            assert_eq!(
+                sparse.matmul_with(&dense, kernel).unwrap().as_slice(),
+                &[1.0, 8.0]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_free_left_operand_skips_the_finiteness_scan_soundly() {
+        // A left operand with no zeros disables the skip path without
+        // reading `b` — and a non-finite `b` must still propagate through
+        // the plain dense accumulation.
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Tensor::from_rows(&[&[f32::NAN, 1.0], &[2.0, f32::INFINITY]]).unwrap();
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            let c = a.matmul_with(&b, kernel).unwrap();
+            assert!(c.at(0, 0).is_nan(), "{kernel:?}: NaN operand propagates");
+            assert!(
+                c.at(0, 1).is_infinite(),
+                "{kernel:?}: inf operand propagates"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,21 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get().min(MAX_AUTO_THREADS))
 }
 
+/// Deterministic chunk boundaries over `rows` for up to `parts` workers:
+/// the `div_ceil` split **every** parallel kernel in the workspace uses
+/// (tensor GEMM partitions and the `gnnopt-exec` graph kernels delegate
+/// here), so the "boundaries are a pure function of `(rows, parts)`"
+/// determinism contract can never diverge between crates. Returns
+/// strictly increasing bounds from `0` to `rows`.
+pub fn chunk_bounds(rows: usize, parts: usize) -> Vec<usize> {
+    let per = rows.div_ceil(parts.max(1)).max(1);
+    let mut bounds = vec![0];
+    while *bounds.last().expect("bounds is non-empty") < rows {
+        bounds.push((bounds.last().expect("non-empty") + per).min(rows));
+    }
+    bounds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
