@@ -1,5 +1,6 @@
 //! Property-based tests of the tensor substrate.
 
+use gnnopt_tensor::gemm::{gemm, GemmKernel, Layout};
 use gnnopt_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -92,5 +93,149 @@ proptest! {
             prop_assert_eq!(vals.at(i, 0), m);
             prop_assert_eq!(row[idx[i]], m);
         }
+    }
+}
+
+/// Deterministic pseudo-random operand with an optional sprinkling of
+/// exact zeros (so the zero-skip fast path genuinely fires when asked).
+fn gemm_operand(len: usize, seed: u64, with_zeros: bool) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed.wrapping_mul(97));
+            if with_zeros && h.is_multiple_of(5) {
+                0.0
+            } else {
+                ((h % 193) as f32 - 96.0) / 32.0
+            }
+        })
+        .collect()
+}
+
+/// The naive Nn loop on plain indices: the oracle every kernel, layout,
+/// thread count and skip mode must reproduce **bitwise**.
+fn nn_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, skip: bool) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if skip && av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * b[kk * n + j];
+            }
+        }
+    }
+    out
+}
+
+fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = x[r * cols + c];
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole determinism contract: the blocked register-tiled
+    /// engine is bit-identical to the naive ikj reference on ragged
+    /// shapes (nothing aligned to the MR/NR/KC tile sizes, including
+    /// degenerate 1×n and m×1 extents), across every layout, thread
+    /// count and both zero-skip modes.
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive(
+        seed in 0u64..1000,
+        m in 1usize..40, k in 1usize..40, n in 1usize..40,
+        degenerate in 0usize..4,
+        with_zeros in 0usize..2,
+        skip in 0usize..2,
+    ) {
+        let (with_zeros, skip) = (with_zeros == 1, skip == 1);
+        // Force the degenerate extents the tile tails must survive.
+        let (m, n) = match degenerate {
+            1 => (1, n),
+            2 => (m, 1),
+            3 => (1, 1),
+            _ => (m, n),
+        };
+        let a = gemm_operand(m * k, seed, with_zeros);
+        let b = gemm_operand(k * n, seed + 1, false);
+        let want = nn_reference(&a, &b, m, k, n, skip);
+        let at = transpose(&a, m, k);
+        let bt = transpose(&b, k, n);
+        for threads in [1usize, 4] {
+            for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+                let mut out = vec![0.0f32; m * n];
+                gemm(kernel, Layout::Nn, &a, &b, &mut out, m, k, n, threads, skip);
+                prop_assert_eq!(&out, &want, "Nn {:?} t={}", kernel, threads);
+
+                let mut out = vec![0.0f32; m * n];
+                gemm(kernel, Layout::Tn, &at, &b, &mut out, m, k, n, threads, skip);
+                prop_assert_eq!(&out, &want, "Tn {:?} t={}", kernel, threads);
+
+                let mut out = vec![0.0f32; m * n];
+                gemm(kernel, Layout::Nt, &a, &bt, &mut out, m, k, n, threads, skip);
+                prop_assert_eq!(&out, &want, "Nt {:?} t={}", kernel, threads);
+            }
+        }
+    }
+
+    /// `matmul_tn` is parallelized over output column blocks; the
+    /// partition must never change a bit relative to one worker (each
+    /// output element keeps its serial k-ordered accumulation chain).
+    #[test]
+    fn matmul_tn_parallel_is_bit_identical_to_serial(
+        seed in 0u64..1000,
+        m in 1usize..24, k in 1usize..64, n in 1usize..24,
+        with_zeros in 0usize..2,
+        skip in 0usize..2,
+    ) {
+        let (with_zeros, skip) = (with_zeros == 1, skip == 1);
+        let a = gemm_operand(k * m, seed, with_zeros);
+        let b = gemm_operand(k * n, seed + 3, false);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            let mut serial = vec![0.0f32; m * n];
+            gemm(kernel, Layout::Tn, &a, &b, &mut serial, m, k, n, 1, skip);
+            for threads in [2usize, 4, 7] {
+                let mut par = vec![0.0f32; m * n];
+                gemm(kernel, Layout::Tn, &a, &b, &mut par, m, k, n, threads, skip);
+                prop_assert_eq!(&par, &serial, "{:?} threads={}", kernel, threads);
+            }
+        }
+    }
+
+    /// The `Tensor`-level products agree bitwise across kernels on data
+    /// with ReLU-style zero sparsity (the shape of input the zero-gated
+    /// skip decision actually sees in a GNN step).
+    #[test]
+    fn tensor_products_agree_across_kernels(
+        seed in 0u64..1000,
+        m in 1usize..20, k in 1usize..20, n in 1usize..20,
+        with_zeros in 0usize..2,
+    ) {
+        let with_zeros = with_zeros == 1;
+        let a = Tensor::new(&[m, k], gemm_operand(m * k, seed, with_zeros)).unwrap();
+        let b = Tensor::new(&[k, n], gemm_operand(k * n, seed + 5, false)).unwrap();
+        let nn_naive = a.matmul_with(&b, GemmKernel::Naive).unwrap();
+        let nn_blocked = a.matmul_with(&b, GemmKernel::Blocked).unwrap();
+        prop_assert_eq!(nn_naive.as_slice(), nn_blocked.as_slice());
+
+        let at = a.transpose();
+        let tn_naive = at.matmul_tn_with(&b, GemmKernel::Naive).unwrap();
+        let tn_blocked = at.matmul_tn_with(&b, GemmKernel::Blocked).unwrap();
+        prop_assert_eq!(tn_naive.as_slice(), tn_blocked.as_slice());
+        prop_assert_eq!(tn_naive.as_slice(), nn_naive.as_slice());
+
+        let bt = b.transpose();
+        let nt_naive = a.matmul_nt_with(&bt, GemmKernel::Naive).unwrap();
+        let nt_blocked = a.matmul_nt_with(&bt, GemmKernel::Blocked).unwrap();
+        prop_assert_eq!(nt_naive.as_slice(), nt_blocked.as_slice());
     }
 }
