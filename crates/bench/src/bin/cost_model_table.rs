@@ -42,7 +42,6 @@ fn main() {
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
         exec: ExecPolicy::auto(),
-        fused_exec: false,
     };
     let device = gnnopt_sim::Device::rtx3090();
     // Count only the attention-score portion: everything except the

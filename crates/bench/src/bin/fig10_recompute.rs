@@ -18,8 +18,7 @@ fn variants() -> Vec<(&'static str, CompileOptions)> {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
-        exec: ExecPolicy::auto(),
-        fused_exec: true,
+        exec: ExecPolicy::auto().with_fused(true),
     };
     vec![
         // "w/o fusion" retains the standard built-in fused kernels

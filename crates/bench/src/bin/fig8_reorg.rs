@@ -31,8 +31,7 @@ fn variant(reorg: bool) -> CompileOptions {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
-        exec: ExecPolicy::auto(),
-        fused_exec: true,
+        exec: ExecPolicy::auto().with_fused(true),
     }
 }
 

@@ -5,7 +5,7 @@
 //!
 //! Plus a *measured* section: the same fused plan executed on the real
 //! CPU through the reference node-by-node path vs the tiled fused
-//! interpreter (`fused_exec`) — wall-clock and true `peak_value_bytes`,
+//! interpreter (`ExecPolicy::fused`) — wall-clock and true `peak_value_bytes`,
 //! demonstrating fusion realized on hardware rather than only in the
 //! analytical model. Both sides produce bit-identical numbers.
 //!
@@ -27,8 +27,7 @@ fn variant(fusion: FusionLevel) -> CompileOptions {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
-        exec: ExecPolicy::auto(),
-        fused_exec: true,
+        exec: ExecPolicy::auto().with_fused(true),
     }
 }
 

@@ -29,8 +29,7 @@ fn main() {
         mapping: Default::default(),
         recompute: RecomputeScope::None,
         recompute_threshold: 16.0,
-        exec: ExecPolicy::auto(),
-        fused_exec: true,
+        exec: ExecPolicy::auto().with_fused(true),
     };
     let naive = compile(&wl.ir, false, &base).expect("naive");
     let reorg = compile(

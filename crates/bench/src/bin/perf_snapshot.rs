@@ -1,8 +1,15 @@
 //! Machine-readable performance snapshot: measures the compute engine
-//! (GEMM GFLOP/s per kernel), a real GAT training step per engine, and
-//! the session's peak value bytes, then writes `BENCH_PR5.json` so the
-//! perf trajectory is tracked as a diffable artifact from PR 5 onward
-//! (later PRs append `BENCH_PR<N>.json` files of the same shape).
+//! (GEMM GFLOP/s per kernel), a real GAT training step per engine — at
+//! the auto-detected pool size and pinned to 4 workers — and the
+//! session's peak value bytes, then writes `BENCH_PR6.json` so the perf
+//! trajectory is tracked as a diffable artifact (PR 5 wrote
+//! `BENCH_PR5.json`; later PRs append `BENCH_PR<N>.json` files of the
+//! same shape).
+//!
+//! The snapshot also reads the committed `BENCH_PR5.json` (when present)
+//! and reports the backward-phase speedup of the sparse kernel engine
+//! over the PR 5 baseline, per model, on the blocked-GEMM auto-thread
+//! rows.
 //!
 //! Run with `cargo run --release -p gnnopt-bench --bin perf_snapshot`;
 //! `GNNOPT_SMOKE=1` shrinks every workload to CI scale and skips the
@@ -10,7 +17,7 @@
 //! measurement — they must not clobber the committed artifact).
 
 use gnnopt_bench::{
-    compute_engine_workloads, measure_gemm_single_thread, measure_steps_interleaved, smoke,
+    compute_engine_workloads, measure_gemm_single_thread, measure_steps_interleaved_threads, smoke,
     smoke_scale, GEMM_KERNELS,
 };
 use gnnopt_graph::Graph;
@@ -40,25 +47,41 @@ struct StepRow {
     threads: usize,
 }
 
+/// Backward-phase comparison against the committed PR 5 baseline.
+#[derive(Serialize)]
+struct BackwardSpeedupRow {
+    model: String,
+    pr5_backward_ms: f64,
+    backward_ms: f64,
+    speedup: f64,
+}
+
 #[derive(Serialize)]
 struct Snapshot {
-    /// Snapshot schema marker (`pr5-compute-engine`).
+    /// Snapshot schema marker (`pr6-sparse-kernel-engine`; extends the
+    /// PR 5 `pr5-compute-engine` shape with the pinned 4-thread step
+    /// rows and the backward-speedup section).
     schema: String,
     /// True when sizes were shrunk by `GNNOPT_SMOKE=1`.
     smoke: bool,
-    /// Worker pool the step rows ran under.
+    /// Worker pool the auto-thread step rows ran under.
     auto_threads: usize,
     gemm: Vec<GemmRow>,
     /// Single-thread blocked-vs-naive GFLOP/s ratio on the square case.
     gemm_speedup: f64,
+    /// Auto-thread rows (comparable to the PR 5 artifact) followed by
+    /// rows pinned to 4 workers; the `threads` field tells them apart.
     steps: Vec<StepRow>,
+    /// Backward-phase speedup vs the committed `BENCH_PR5.json` blocked
+    /// rows (auto threads); empty when the baseline file is absent or
+    /// unreadable.
+    backward_speedup_vs_pr5: Vec<BackwardSpeedupRow>,
 }
 
 /// Measures one model under both engines via the shared
-/// interleaved-minimum harness (`gnnopt_bench::measure_steps_interleaved`)
-/// and renders the two rows.
-fn measure_steps(name: &str, spec: &ModelSpec, graph: &Graph) -> Vec<StepRow> {
-    let best = measure_steps_interleaved(spec, graph, smoke_scale(4, 1));
+/// interleaved-minimum harness and renders the two rows.
+fn measure_steps(name: &str, spec: &ModelSpec, graph: &Graph, threads: usize) -> Vec<StepRow> {
+    let best = measure_steps_interleaved_threads(spec, graph, smoke_scale(4, 1), threads);
     GEMM_KERNELS
         .into_iter()
         .zip(best)
@@ -72,6 +95,45 @@ fn measure_steps(name: &str, spec: &ModelSpec, graph: &Graph) -> Vec<StepRow> {
             threads: run.threads,
         })
         .collect()
+}
+
+/// Field lookup on the vendored `serde::Value` object tree.
+fn field<'v>(v: &'v serde::Value, key: &str) -> Option<&'v serde::Value> {
+    v.as_object()?
+        .iter()
+        .find_map(|(k, val)| (k == key).then_some(val))
+}
+
+fn as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::Int(i) => Some(*i as f64),
+        serde::Value::UInt(u) => Some(*u as f64),
+        serde::Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// PR 5 blocked-engine backward milliseconds per model, from the
+/// committed baseline artifact. `None` when the file is missing or its
+/// shape is unexpected — the snapshot still writes, just without the
+/// comparison section.
+fn pr5_backward_ms(path: &std::path::Path) -> Option<std::collections::HashMap<String, f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde::Value = serde_json::from_str(&text).ok()?;
+    let serde::Value::Array(rows) = field(&v, "steps")? else {
+        return None;
+    };
+    let mut by_model = std::collections::HashMap::new();
+    for row in rows {
+        if field(row, "kernel")?.as_str()? != "Blocked" {
+            continue;
+        }
+        by_model.insert(
+            field(row, "model")?.as_str()?.to_owned(),
+            as_f64(field(row, "backward_ms")?)?,
+        );
+    }
+    Some(by_model)
 }
 
 fn main() {
@@ -93,16 +155,37 @@ fn main() {
     let (_, graph, models) = compute_engine_workloads();
     let mut steps = Vec::new();
     for (name, spec) in &models {
-        steps.extend(measure_steps(name, spec, &graph));
+        steps.extend(measure_steps(name, spec, &graph, 0));
+    }
+    let auto_rows = steps.len();
+    for (name, spec) in &models {
+        steps.extend(measure_steps(name, spec, &graph, 4));
     }
 
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = pr5_backward_ms(&root.join("BENCH_PR5.json")).unwrap_or_default();
+    let backward_speedup_vs_pr5: Vec<BackwardSpeedupRow> = steps[..auto_rows]
+        .iter()
+        .filter(|r| r.kernel == "Blocked")
+        .filter_map(|r| {
+            let pr5 = *baseline.get(&r.model)?;
+            Some(BackwardSpeedupRow {
+                model: r.model.clone(),
+                pr5_backward_ms: pr5,
+                backward_ms: r.backward_ms,
+                speedup: pr5 / r.backward_ms,
+            })
+        })
+        .collect();
+
     let snapshot = Snapshot {
-        schema: "pr5-compute-engine".to_owned(),
+        schema: "pr6-sparse-kernel-engine".to_owned(),
         smoke: smoke(),
         auto_threads: available_threads(),
         gemm: gemm_rows,
         gemm_speedup: by_kernel[1] / by_kernel[0],
         steps,
+        backward_speedup_vs_pr5,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     println!("{json}");
@@ -110,13 +193,13 @@ fn main() {
     // CI/dev smoke run clobber the committed reference-container
     // artifact.
     if smoke() {
-        eprintln!("smoke mode: not overwriting BENCH_PR5.json");
+        eprintln!("smoke mode: not overwriting BENCH_PR6.json");
     } else {
         // Anchor at the workspace root (two levels above this crate's
         // manifest), not the invoking cwd, so a refreshed measurement
         // always replaces the tracked artifact.
-        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
-        std::fs::write(&path, &json).expect("BENCH_PR5.json writes");
+        let path = root.join("BENCH_PR6.json");
+        std::fs::write(&path, &json).expect("BENCH_PR6.json writes");
         eprintln!("wrote {}", path.display());
     }
 }

@@ -290,13 +290,24 @@ pub fn measure_gemm_single_thread(d: usize, reps: u32) -> [f64; 2] {
 /// Panics if the model fails to compile or execute (a harness bug, not a
 /// measurement outcome).
 pub fn measure_steps_interleaved(spec: &ModelSpec, graph: &Graph, reps: usize) -> [RunStats; 2] {
+    measure_steps_interleaved_threads(spec, graph, reps, 0)
+}
+
+/// [`measure_steps_interleaved`] with the worker-pool size pinned
+/// (`threads = 0` auto-detects, like the plain variant).
+pub fn measure_steps_interleaved_threads(
+    spec: &ModelSpec,
+    graph: &Graph,
+    reps: usize,
+    threads: usize,
+) -> [RunStats; 2] {
     let kernels = GEMM_KERNELS;
     for kernel in kernels {
         run_real_gemm(
             spec,
             graph,
             &CompileOptions::ours(),
-            0,
+            threads,
             true,
             11,
             true,
@@ -311,7 +322,7 @@ pub fn measure_steps_interleaved(spec: &ModelSpec, graph: &Graph, reps: usize) -
                 spec,
                 graph,
                 &CompileOptions::ours(),
-                0,
+                threads,
                 true,
                 11,
                 true,
@@ -355,8 +366,11 @@ fn run_real_impl(
         bindings.insert(&k, v);
     }
     let mut sess = match fused {
-        None => Session::new(&compiled.plan, graph),
-        Some(f) => Session::with_policy_fused(&compiled.plan, graph, compiled.plan.exec, f),
+        None => Session::builder(&compiled.plan, graph).build(),
+        Some(f) => Session::builder(&compiled.plan, graph)
+            .fused(f)
+            .env(gnnopt_exec::EnvOverrides::Off)
+            .build(),
     }
     .expect("session builds");
     let out = sess.forward(&bindings).expect("forward runs");

@@ -124,6 +124,20 @@ pub struct ExecPolicy {
     /// default; results are bit-identical either way). Overridable per
     /// process with `GNNOPT_GEMM=naive|blocked`.
     pub gemm: GemmKernel,
+    /// Run the fused tiled interpreter instead of the node-by-node
+    /// reference executor. Compiled into the plan by the presets (`Ours`
+    /// enables it) and overridable per process with `GNNOPT_FUSED` or per
+    /// session through the `SessionBuilder` in `gnnopt-exec`. Results are
+    /// bit-identical either way.
+    pub fused: bool,
+    /// In-degree above which a destination row's reduction is split into
+    /// fixed [`Self::HEAVY_ROW_CHUNK_EDGES`]-edge chunks whose partial
+    /// rows are combined in ascending chunk order — the heavy half of the
+    /// executor's degree-binned CSR dispatch. Chunk boundaries are a pure
+    /// function of the row's edge list (never of the thread count), so
+    /// results are identical for every `threads` value; hub rows merely
+    /// become schedulable across workers instead of serializing one.
+    pub heavy_row_degree: usize,
 }
 
 impl ExecPolicy {
@@ -136,6 +150,18 @@ impl ExecPolicy {
     /// tile's scratch stays within L2-cache scale.
     pub const DEFAULT_TILE_EDGES: usize = 4096;
 
+    /// Fixed chunk length (in edges) for heavy-row reductions: rows whose
+    /// degree exceeds [`Self::heavy_row_degree`] are reduced as
+    /// per-chunk partials combined in ascending chunk order. One shared
+    /// constant so the reference kernels and the fused interpreter can
+    /// never disagree on the association pattern.
+    pub const HEAVY_ROW_CHUNK_EDGES: usize = 1024;
+
+    /// Default [`Self::heavy_row_degree`]: far above the mean degree of
+    /// every benchmark graph, so only genuine power-law hubs take the
+    /// chunked path.
+    pub const DEFAULT_HEAVY_ROW_DEGREE: usize = 1 << 12;
+
     /// Auto-detected thread count (the default for every preset).
     pub fn auto() -> Self {
         Self {
@@ -145,6 +171,8 @@ impl ExecPolicy {
             group_workers: false,
             reorder: ReorderPolicy::None,
             gemm: GemmKernel::default(),
+            fused: false,
+            heavy_row_degree: Self::DEFAULT_HEAVY_ROW_DEGREE,
         }
     }
 
@@ -181,6 +209,21 @@ impl ExecPolicy {
     /// The same policy with an explicit dense GEMM engine.
     pub fn with_gemm(self, gemm: GemmKernel) -> Self {
         Self { gemm, ..self }
+    }
+
+    /// The same policy with the fused tiled interpreter toggled.
+    pub fn with_fused(self, fused: bool) -> Self {
+        Self { fused, ..self }
+    }
+
+    /// The same policy with an explicit heavy-row degree threshold
+    /// (tests lower it to exercise the chunked hub-row path on small
+    /// graphs).
+    pub fn with_heavy_row_degree(self, heavy_row_degree: usize) -> Self {
+        Self {
+            heavy_row_degree,
+            ..self
+        }
     }
 
     /// True when this policy requests auto-detection.
@@ -244,16 +287,30 @@ mod tests {
         let p = ExecPolicy::with_threads(2)
             .reordered(ReorderPolicy::Rcm)
             .grouped()
-            .with_gemm(GemmKernel::Naive);
+            .with_gemm(GemmKernel::Naive)
+            .with_fused(true)
+            .with_heavy_row_degree(64);
         assert_eq!(p.threads, 2);
         assert_eq!(p.reorder, ReorderPolicy::Rcm);
         assert!(p.group_workers);
         assert_eq!(p.gemm, GemmKernel::Naive);
+        assert!(p.fused);
+        assert_eq!(p.heavy_row_degree, 64);
         // `resolved` preserves the new knobs.
         let r = p.resolved(|| 8);
         assert_eq!(r.reorder, ReorderPolicy::Rcm);
         assert!(r.group_workers);
         assert_eq!(r.gemm, GemmKernel::Naive);
+        assert!(r.fused);
+        assert_eq!(r.heavy_row_degree, 64);
+    }
+
+    #[test]
+    fn fused_defaults_off_with_sane_heavy_threshold() {
+        let p = ExecPolicy::auto();
+        assert!(!p.fused);
+        assert_eq!(p.heavy_row_degree, ExecPolicy::DEFAULT_HEAVY_ROW_DEGREE);
+        assert!(ExecPolicy::HEAVY_ROW_CHUNK_EDGES.is_power_of_two());
     }
 
     #[test]

@@ -472,7 +472,7 @@ mod tests {
     fn compile_populates_programs_for_fused_kernels() {
         let compiled = compile(&gat_training_ir(), true, &CompileOptions::ours()).unwrap();
         let plan = &compiled.plan;
-        assert!(plan.fused_exec, "ours preset enables fused execution");
+        assert!(plan.exec.fused, "ours preset enables fused execution");
         assert_eq!(plan.programs.len(), plan.kernels.len());
         assert!(
             plan.programs.iter().flatten().next().is_some(),

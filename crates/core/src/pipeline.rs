@@ -45,14 +45,11 @@ pub struct CompileOptions {
     pub recompute: RecomputeScope,
     /// Recompute threshold (FLOPs per rebuilt element).
     pub recompute_threshold: f64,
-    /// CPU thread-parallelism policy for the reference executor.
+    /// CPU execution policy for the compiled plan: thread width, fused
+    /// tiled interpretation (`ExecPolicy::fused` — on for
+    /// [`Preset::Ours`], overridable per run with `GNNOPT_FUSED=0|1`),
+    /// reordering, GEMM engine and the CSR dispatch thresholds.
     pub exec: ExecPolicy,
-    /// Execute fused kernels as tiled [`crate::lower::KernelProgram`]s
-    /// (per-worker scratch, no full edge intermediates) instead of
-    /// node-by-node. On for [`Preset::Ours`]; the reference presets keep
-    /// the materializing executor they model. Overridable per run with
-    /// `GNNOPT_FUSED=0|1`.
-    pub fused_exec: bool,
 }
 
 impl CompileOptions {
@@ -66,7 +63,6 @@ impl CompileOptions {
                 recompute: RecomputeScope::FusedInternalsOnly,
                 recompute_threshold: 16.0,
                 exec: ExecPolicy::auto(),
-                fused_exec: false,
             },
             Preset::FuseGnn => Self {
                 reorg: false,
@@ -75,7 +71,6 @@ impl CompileOptions {
                 recompute: RecomputeScope::FusedInternalsOnly,
                 recompute_threshold: 16.0,
                 exec: ExecPolicy::auto(),
-                fused_exec: false,
             },
             Preset::Ours => Self {
                 reorg: true,
@@ -83,8 +78,7 @@ impl CompileOptions {
                 mapping: MappingPolicy::Auto,
                 recompute: RecomputeScope::All,
                 recompute_threshold: 16.0,
-                exec: ExecPolicy::auto(),
-                fused_exec: true,
+                exec: ExecPolicy::auto().with_fused(true),
             },
         }
     }
@@ -201,12 +195,11 @@ pub fn compile(ir: &IrGraph, training: bool, opts: &CompileOptions) -> Result<Co
         param_grads,
         training,
         exec: opts.exec,
-        fused_exec: opts.fused_exec,
         programs: Vec::new(),
     };
     // Lower every fusible kernel to a tiled program. Always computed —
-    // even for `fused_exec = false` plans — so `GNNOPT_FUSED=1` can force
-    // the tiled interpreter onto any plan for A/B comparison.
+    // even for plans whose policy keeps `fused` off — so `GNNOPT_FUSED=1`
+    // can force the tiled interpreter onto any plan for A/B comparison.
     plan.programs = crate::lower::lower_plan(&plan);
     Ok(CompiledModel {
         plan,

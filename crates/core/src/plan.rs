@@ -59,17 +59,15 @@ pub struct ExecutionPlan {
     pub param_grads: Vec<(NodeId, NodeId)>,
     /// Whether the plan includes a backward pass.
     pub training: bool,
-    /// CPU thread-parallelism policy the reference executor should run
-    /// this plan under (from [`crate::pipeline::CompileOptions::exec`]).
+    /// CPU execution policy the executor should run this plan under
+    /// (from [`crate::pipeline::CompileOptions::exec`]). Its `fused`
+    /// flag selects the lowered [`KernelProgram`] interpreter by default;
+    /// the session-level `GNNOPT_FUSED` override wins either way.
     pub exec: ExecPolicy,
-    /// Whether the executor should run lowered [`KernelProgram`]s by
-    /// default (from [`crate::pipeline::CompileOptions::fused_exec`]; the
-    /// session-level `GNNOPT_FUSED` override wins either way).
-    pub fused_exec: bool,
     /// Tiled lowering of each kernel, indexed by kernel id; `None` means
     /// the kernel falls back to the reference node-by-node path (see
     /// [`crate::lower`] for the rules). Always populated so a session can
-    /// force fused execution on plans compiled with `fused_exec = false`.
+    /// force fused execution on plans whose policy keeps `fused` off.
     pub programs: Vec<Option<KernelProgram>>,
 }
 

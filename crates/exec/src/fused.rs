@@ -11,6 +11,19 @@
 //! fused plan (interior spills, see `gnnopt_core::lower`, are the
 //! remaining gap).
 //!
+//! # Streamed full steps
+//!
+//! A whole-graph `BySrc` gather (a full step) normally forces its input
+//! to spill as an interior tensor: the tiled segment writes `O(|E|·d)`
+//! rows the full step immediately re-reads. When that gather is the
+//! spill's only consumer and the producer chain is per-edge computable
+//! ([`plan_streams`]), the chain is elided from the tiled segments and
+//! compiled to per-edge micro-ops ([`StreamEval`]) evaluated inside the
+//! gather's own ascending edge scan: pure copies are aliased away,
+//! vertex-space steps are memoized per edge group, and the spill never
+//! exists. This is the dominant backward-phase cost of GAT/GCN on
+//! power-law graphs; eliding it is worth >3× on a GCN backward pass.
+//!
 //! # Tiling and determinism
 //!
 //! Destination tiles are cut greedily along `indptr` with at most
@@ -35,13 +48,18 @@
 //! for its largest tile and reuses it across its tiles; the total arena
 //! footprint is reported as `RunStats::scratch_bytes`.
 
-use crate::kernels::{chunk_bounds, split_rows, NO_ARGMAX};
+use crate::kernels::{
+    chunk_bounds, plan_threads, reduce_row_mean, reduce_row_sum, split_rows, vertex_bounds,
+    NO_ARGMAX,
+};
 use crate::{ExecError, Result};
 use gnnopt_core::lower::{KernelProgram, StepExec, Storage};
-use gnnopt_core::{Dim, ExecPolicy, IrGraph, Node, NodeId, OpKind, ReduceFn, ScatterFn, Space};
+use gnnopt_core::{
+    Dim, EdgeGroup, ExecPolicy, IrGraph, Node, NodeId, OpKind, ReduceFn, ScatterFn, Space,
+};
 use gnnopt_graph::Graph;
 use gnnopt_tensor::{rowops, Tensor};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Everything a fused kernel launch produced for the session's stores.
 pub(crate) struct ProgramResult {
@@ -88,6 +106,527 @@ struct StepPlan {
     srcs: Vec<Src>,
     /// Input dims (`ir.node(inputs[i]).dim`), for broadcast/head layout.
     dins: Vec<Dim>,
+}
+
+/// Which edge endpoint a vertex-space chain step is instantiated at
+/// during a streamed scan, inherited from the scatter that consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Anchor {
+    /// Evaluated at `src(e)` (feeds a `CopyU` / `Bin` u-operand).
+    Src,
+    /// Evaluated at `dst(e)` (feeds a `CopyV` / `Bin` v-operand).
+    Dst,
+}
+
+/// A full-step `BySrc` gather whose interior input chain is evaluated
+/// inside the ascending edge scan instead of being materialized by the
+/// tiled segment (see [`plan_streams`]).
+struct StreamChain {
+    /// Chain steps in dependency order (every `Src::Slot` operand of a
+    /// step appears before the step itself); the last entry is the
+    /// interior root the gather reads.
+    order: Vec<usize>,
+    /// Anchors for the vertex-space chain steps.
+    anchors: HashMap<usize, Anchor>,
+}
+
+/// Finds full-step `Gather(Sum|Mean, BySrc)` reductions whose whole
+/// producer chain can be evaluated per edge inside the gather's scan.
+///
+/// A source-grouped reduction cannot tile by destination, so lowering
+/// runs it as a whole-graph full step and spills its input — an
+/// `O(|E|·d)` interior tensor the tiled segment writes and the full step
+/// immediately re-reads (for a 64-wide RMAT-16 layer that is ~270 MB of
+/// traffic each way, the dominant backward cost of GAT and GCN). When
+/// that interior is consumed by nothing else and every step of its
+/// producer chain is per-edge computable from full tensors — scatter
+/// broadcasts, elementwise ops, stash-backed softmax recomputes — the
+/// chain is *elided from the tiled segment entirely* and re-evaluated
+/// inside the gather's ascending edge scan, so the edge-space
+/// intermediate never exists in memory.
+///
+/// **Determinism**: the streamed scan evaluates the *same expressions*
+/// as the tiled steps (the same [`rowops`] calls on the same rows) and
+/// accumulates each output row in ascending canonical edge order —
+/// exactly the `BySrc` order of [`crate::kernels::gather`] — so results
+/// stay bit-identical to the materializing path for any thread count.
+fn plan_streams(
+    steps: &[StepPlan],
+    program: &KernelProgram,
+    ir: &IrGraph,
+    aux_softmax: &HashMap<NodeId, (Tensor, Tensor)>,
+) -> HashMap<usize, StreamChain> {
+    // Recursive chain walk: `anchor` is the vertex endpoint this operand
+    // must be instantiated at (vertex-space operands only). Returns false
+    // as soon as anything in the chain is not per-edge evaluable.
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        si: usize,
+        anchor: Option<Anchor>,
+        steps: &[StepPlan],
+        program: &KernelProgram,
+        ir: &IrGraph,
+        aux_softmax: &HashMap<NodeId, (Tensor, Tensor)>,
+        order: &mut Vec<usize>,
+        anchors: &mut HashMap<usize, Anchor>,
+        visited: &mut HashSet<usize>,
+    ) -> bool {
+        let sp = &steps[si];
+        if sp.space == Space::Vertex {
+            // A vertex-space step needs a consistent endpoint to be
+            // instantiated at; two consumers disagreeing (or a direct
+            // edge-space read) make the chain ineligible.
+            let Some(a) = anchor else { return false };
+            match anchors.get(&si) {
+                Some(&prev) if prev != a => return false,
+                _ => {
+                    anchors.insert(si, a);
+                }
+            }
+        }
+        if !visited.insert(si) {
+            return true;
+        }
+        // Only tiled scratch/interior members can be elided: materialized
+        // steps are kernel boundaries the session must still receive, and
+        // full steps have whole-graph semantics of their own.
+        if program.steps[si].exec != StepExec::Tiled
+            || !matches!(sp.storage, Storage::Scratch | Storage::Interior)
+        {
+            return false;
+        }
+        let mut rec = |src: Src, a: Option<Anchor>| -> bool {
+            match src {
+                // Full tensors (value store, prelude views, earlier
+                // segments) are readable row-by-row during the scan.
+                Src::Global(_) | Src::Prelude(_) | Src::Mat(_) => true,
+                Src::Slot { step, .. } => visit(
+                    step,
+                    a,
+                    steps,
+                    program,
+                    ir,
+                    aux_softmax,
+                    order,
+                    anchors,
+                    visited,
+                ),
+            }
+        };
+        let ok = match &ir.node(sp.node).kind {
+            OpKind::Scatter(f) if sp.space == Space::Edge => {
+                let x = sp.srcs[0];
+                let y = *sp.srcs.last().expect("scatter has inputs");
+                match f {
+                    ScatterFn::CopyU => rec(x, Some(Anchor::Src)),
+                    ScatterFn::CopyV => rec(y, Some(Anchor::Dst)),
+                    ScatterFn::Bin(_) => rec(x, Some(Anchor::Src)) && rec(y, Some(Anchor::Dst)),
+                    ScatterFn::ConcatUV => false,
+                }
+            }
+            // Softmax is per-edge only when the forward max/denominator
+            // are stashed (the recomputation plan's O(|V|) auxiliaries).
+            OpKind::EdgeSoftmax => aux_softmax.contains_key(&sp.node) && rec(sp.srcs[0], None),
+            OpKind::Unary(_)
+            | OpKind::UnaryBwd(_)
+            | OpKind::Binary(_)
+            | OpKind::SetHeads { .. }
+            | OpKind::FeatSum => {
+                // A vertex-space elementwise step propagates its own
+                // anchor (validated above) down to its operands.
+                let a = if sp.space == Space::Vertex {
+                    anchor
+                } else {
+                    None
+                };
+                sp.srcs.iter().all(|&s| rec(s, a))
+            }
+            _ => false,
+        };
+        if ok {
+            order.push(si);
+        }
+        ok
+    }
+
+    let mut streams = HashMap::new();
+    for (si, sp) in steps.iter().enumerate() {
+        if program.steps[si].exec != StepExec::Full {
+            continue;
+        }
+        let OpKind::Gather {
+            reduce: ReduceFn::Sum | ReduceFn::Mean,
+            group: EdgeGroup::BySrc,
+        } = ir.node(sp.node).kind
+        else {
+            continue;
+        };
+        let Src::Mat(root) = sp.srcs[0] else { continue };
+        // Only an interior spill can be elided — and only when this
+        // gather is its sole consumer (checked below over all steps).
+        if steps[root].storage != Storage::Interior || steps[root].space != Space::Edge {
+            continue;
+        }
+        let mut order = Vec::new();
+        let mut anchors = HashMap::new();
+        let mut visited = HashSet::new();
+        if !visit(
+            root,
+            None,
+            steps,
+            program,
+            ir,
+            aux_softmax,
+            &mut order,
+            &mut anchors,
+            &mut visited,
+        ) {
+            continue;
+        }
+        // Every chain step must be consumed inside the chain (or, for the
+        // root, by this gather alone) — otherwise the tiled segment still
+        // has to produce it and nothing is saved.
+        let chain: HashSet<usize> = order.iter().copied().collect();
+        let sole = steps.iter().enumerate().all(|(ti, tp)| {
+            ti == si
+                || chain.contains(&ti)
+                || tp.srcs.iter().all(|s| match *s {
+                    Src::Slot { step, .. } => !chain.contains(&step),
+                    Src::Mat(mi) => !chain.contains(&mi),
+                    _ => true,
+                })
+        });
+        if !sole {
+            continue;
+        }
+        streams.insert(si, StreamChain { order, anchors });
+    }
+    streams
+}
+
+/// Which row of a full tensor a pre-resolved operand reads.
+#[derive(Clone, Copy)]
+enum RowAt {
+    /// The consumer step's own row (anchor vertex or edge id).
+    Own,
+    /// Fixed at `src(e)` / `dst(e)` / `e` — used when a pure copy step
+    /// (`CopyU`/`CopyV`/`SetHeads`) is aliased away and its read
+    /// location must survive into the consumer.
+    SrcV,
+    DstV,
+    Edge,
+}
+
+/// A pre-resolved operand of a compiled chain step: an earlier chain
+/// position's row buffer, or a full tensor read at some row.
+#[derive(Clone, Copy)]
+enum MSrc<'a> {
+    Buf(usize),
+    Base(&'a Tensor, RowAt),
+}
+
+/// One chain step compiled for the per-edge loop: op kind borrowed from
+/// the IR, operands resolved to buffers/tensors, anchor inlined — the
+/// hot loop never touches a hash map or the step table.
+struct MicroOp<'a> {
+    kind: &'a OpKind,
+    /// `Some` for vertex-space steps (memoized on their last row),
+    /// `None` for edge-space ones.
+    anchor: Option<Anchor>,
+    srcs: Vec<MSrc<'a>>,
+    dins: &'a [Dim],
+    /// Stashed (max, denominator) tables for `EdgeSoftmax` members.
+    aux: Option<(&'a Tensor, &'a Tensor)>,
+}
+
+/// Per-worker chain evaluator for a streamed gather: one single-row
+/// buffer per chain position, refilled per edge. Vertex-space steps
+/// cache the row they were last instantiated at — under the
+/// destination-major canonical edge order a `Dst`-anchored step
+/// therefore evaluates once per destination group, not once per edge.
+/// Pure copy steps (`CopyU`/`CopyV`/`SetHeads`) are aliased away at
+/// compile time: their consumers read the copy's source directly, with
+/// the read location pinned via [`RowAt`], so no per-edge copy runs.
+struct StreamEval<'a> {
+    g: &'a Graph,
+    /// Non-aliased steps as (chain position, compiled op).
+    ops: Vec<(usize, MicroOp<'a>)>,
+    /// Where the gather reads the chain's result.
+    root: MSrc<'a>,
+    /// One row buffer per chain position (empty for aliased positions).
+    bufs: Vec<Vec<f32>>,
+    /// Last vertex each position was evaluated at (vertex steps only).
+    cache: Vec<usize>,
+}
+
+impl<'a> StreamEval<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        chain: &'a StreamChain,
+        steps: &'a [StepPlan],
+        g: &'a Graph,
+        ir: &'a IrGraph,
+        mat: &'a [Option<Tensor>],
+        values: &'a HashMap<NodeId, Tensor>,
+        preludes: &'a [Tensor],
+        aux_softmax: &'a HashMap<NodeId, (Tensor, Tensor)>,
+    ) -> Self {
+        let mut pos: HashMap<usize, usize> = HashMap::new();
+        for (i, &si) in chain.order.iter().enumerate() {
+            pos.insert(si, i);
+        }
+        // `alias[i]` replaces reads of position `i` when the step is a
+        // pure copy; built in chain order so aliases of aliases resolve.
+        let mut alias: Vec<Option<MSrc<'a>>> = vec![None; chain.order.len()];
+        let resolve = |s: Src, alias: &[Option<MSrc<'a>>]| -> MSrc<'a> {
+            match s {
+                Src::Slot { step, .. } => {
+                    let j = pos[&step];
+                    alias[j].unwrap_or(MSrc::Buf(j))
+                }
+                Src::Global(id) => MSrc::Base(&values[&id], RowAt::Own),
+                Src::Prelude(i) => MSrc::Base(&preludes[i], RowAt::Own),
+                Src::Mat(mi) => MSrc::Base(
+                    mat[mi].as_ref().expect("earlier segment is complete"),
+                    RowAt::Own,
+                ),
+            }
+        };
+        // Pin a copy's read location into the aliased operand: buffers
+        // already hold the right row; `Own`-addressed tensors take the
+        // copy step's own location.
+        let pin = |s: MSrc<'a>, at: RowAt| -> MSrc<'a> {
+            match s {
+                MSrc::Base(t, RowAt::Own) => MSrc::Base(t, at),
+                other => other,
+            }
+        };
+        let mut ops: Vec<(usize, MicroOp<'a>)> = Vec::new();
+        let mut bufs: Vec<Vec<f32>> = vec![Vec::new(); chain.order.len()];
+        for (i, &si) in chain.order.iter().enumerate() {
+            let sp = &steps[si];
+            let kind = &ir.node(sp.node).kind;
+            let anchor = chain.anchors.get(&si).copied();
+            // Copies alias to their source instead of compiling to an op.
+            match kind {
+                OpKind::Scatter(ScatterFn::CopyU) => {
+                    alias[i] = Some(pin(resolve(sp.srcs[0], &alias), RowAt::SrcV));
+                    continue;
+                }
+                OpKind::Scatter(ScatterFn::CopyV) => {
+                    let y = *sp.srcs.last().expect("scatter has inputs");
+                    alias[i] = Some(pin(resolve(y, &alias), RowAt::DstV));
+                    continue;
+                }
+                OpKind::SetHeads { .. } => {
+                    let at = match anchor {
+                        Some(Anchor::Src) => RowAt::SrcV,
+                        Some(Anchor::Dst) => RowAt::DstV,
+                        None => RowAt::Edge,
+                    };
+                    alias[i] = Some(pin(resolve(sp.srcs[0], &alias), at));
+                    continue;
+                }
+                _ => {}
+            }
+            bufs[i] = vec![0.0; sp.cols];
+            ops.push((
+                i,
+                MicroOp {
+                    kind,
+                    anchor,
+                    srcs: sp.srcs.iter().map(|&s| resolve(s, &alias)).collect(),
+                    dins: &sp.dins,
+                    aux: matches!(kind, OpKind::EdgeSoftmax).then(|| {
+                        let (mx, dn) = &aux_softmax[&sp.node];
+                        (mx, dn)
+                    }),
+                },
+            ));
+        }
+        let last = chain.order.len() - 1;
+        StreamEval {
+            g,
+            root: alias[last].unwrap_or(MSrc::Buf(last)),
+            cache: vec![usize::MAX; chain.order.len()],
+            ops,
+            bufs,
+        }
+    }
+
+    /// Evaluates the whole chain at edge `e` and returns the root row.
+    /// Every arm reproduces the matching [`exec_step`] arm on one row —
+    /// same `rowops` calls, same broadcast layout — so streamed values
+    /// are bit-identical to the tiled segment's.
+    fn eval(&mut self, e: usize) -> &[f32] {
+        let (u, v) = (self.g.src(e), self.g.dst(e));
+        for &(i, ref op) in &self.ops {
+            // Vertex-space steps run at their anchor endpoint and skip
+            // when the buffer already holds that row; edge-space steps
+            // run at `e` unconditionally.
+            let r = match op.anchor {
+                Some(Anchor::Src) => {
+                    if self.cache[i] == u {
+                        continue;
+                    }
+                    self.cache[i] = u;
+                    u
+                }
+                Some(Anchor::Dst) => {
+                    if self.cache[i] == v {
+                        continue;
+                    }
+                    self.cache[i] = v;
+                    v
+                }
+                None => e,
+            };
+            // Topological order: position `i` reads only positions < i.
+            let (prev, rest) = self.bufs.split_at_mut(i);
+            let buf = &mut rest[0][..];
+            let row = |s: &MSrc<'a>, r: usize| -> &[f32] {
+                match *s {
+                    MSrc::Buf(j) => &prev[j],
+                    MSrc::Base(t, at) => t.row(match at {
+                        RowAt::Own => r,
+                        RowAt::SrcV => u,
+                        RowAt::DstV => v,
+                        RowAt::Edge => e,
+                    }),
+                }
+            };
+            match op.kind {
+                OpKind::Scatter(f) => {
+                    let x = &op.srcs[0];
+                    let y = op.srcs.last().expect("scatter has inputs");
+                    match f {
+                        ScatterFn::Bin(bf) => {
+                            rowops::zip2_into(buf, row(x, u), row(y, v), |a, b| bf.apply(a, b));
+                        }
+                        _ => unreachable!("copies are aliased, ConcatUV rejected"),
+                    }
+                }
+                OpKind::EdgeSoftmax => {
+                    let (mx, dn) = op.aux.expect("streamed softmax has stashed aux");
+                    rowops::softmax_from_stats(buf, row(&op.srcs[0], e), mx.row(v), dn.row(v));
+                }
+                OpKind::Unary(f) => {
+                    rowops::map_into(buf, row(&op.srcs[0], r), |x| f.apply(x));
+                }
+                OpKind::UnaryBwd(f) => {
+                    rowops::zip2_into(buf, row(&op.srcs[0], r), row(&op.srcs[1], r), |gv, xv| {
+                        gv * f.derivative(xv)
+                    });
+                }
+                OpKind::Binary(f) => {
+                    let (da, db) = (op.dins[0], op.dins[1]);
+                    let heads = da.heads;
+                    let (ar, br) = (row(&op.srcs[0], r), row(&op.srcs[1], r));
+                    if da.feat == db.feat {
+                        rowops::zip2_into(buf, ar, br, |a, b| f.apply(a, b));
+                    } else if db.feat == 1 {
+                        // Per-head scalar broadcast, hoisted out of the
+                        // element loop (same `f.apply(a[..], b[h])` per
+                        // element as the generic tiled arm).
+                        let feat = da.feat;
+                        for h in 0..heads {
+                            let s = br[h];
+                            rowops::map_into(
+                                &mut buf[h * feat..(h + 1) * feat],
+                                &ar[h * feat..(h + 1) * feat],
+                                |a| f.apply(a, s),
+                            );
+                        }
+                    } else {
+                        let feat = db.feat;
+                        for h in 0..heads {
+                            let s = ar[h];
+                            rowops::map_into(
+                                &mut buf[h * feat..(h + 1) * feat],
+                                &br[h * feat..(h + 1) * feat],
+                                |b| f.apply(s, b),
+                            );
+                        }
+                    }
+                }
+                OpKind::FeatSum => {
+                    let din = op.dins[0];
+                    let (heads, feat) = (din.heads, din.feat);
+                    let xr = row(&op.srcs[0], r);
+                    for h in 0..heads {
+                        buf[h] = xr[h * feat..(h + 1) * feat].iter().sum();
+                    }
+                }
+                other => unreachable!("op {other:?} rejected by plan_streams"),
+            }
+        }
+        match self.root {
+            MSrc::Buf(j) => &self.bufs[j],
+            MSrc::Base(t, at) => t.row(match at {
+                RowAt::Own | RowAt::Edge => e,
+                RowAt::SrcV => u,
+                RowAt::DstV => v,
+            }),
+        }
+    }
+}
+
+/// Runs one streamed `BySrc` gather: a single ascending pass over the
+/// canonical edge array per worker, evaluating the elided chain at each
+/// owned edge and accumulating into the owner's source rows — the exact
+/// partitioning, accumulation order, and row expressions of
+/// [`crate::kernels::gather`]'s `BySrc` scan, with the interior tensor
+/// replaced by per-edge recomputation.
+#[allow(clippy::too_many_arguments)]
+fn run_streamed_gather(
+    policy: &ExecPolicy,
+    g: &Graph,
+    ir: &IrGraph,
+    reduce: ReduceFn,
+    chain: &StreamChain,
+    steps: &[StepPlan],
+    mat: &[Option<Tensor>],
+    values: &HashMap<NodeId, Tensor>,
+    preludes: &[Tensor],
+    aux_softmax: &HashMap<NodeId, (Tensor, Tensor)>,
+    total: usize,
+) -> Tensor {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let adj = g.out_adj();
+    let src = g.src_slice();
+    let mut out = Tensor::zeros(&[n, total]);
+    let threads = plan_threads(policy, n, m * total);
+    let run = |vs: std::ops::Range<usize>, chunk: &mut [f32]| {
+        let mut ev = StreamEval::new(chain, steps, g, ir, mat, values, preludes, aux_softmax);
+        let v0 = vs.start;
+        for (e, &s) in src.iter().enumerate() {
+            let v = s as usize;
+            if !vs.contains(&v) {
+                continue;
+            }
+            let row = ev.eval(e);
+            let o = &mut chunk[(v - v0) * total..(v - v0 + 1) * total];
+            match reduce {
+                ReduceFn::Sum => rowops::add_assign(o, row),
+                ReduceFn::Mean => rowops::axpy(o, 1.0 / adj.degree(v) as f32, row),
+                ReduceFn::Max => unreachable!("streamed gathers are Sum/Mean"),
+            }
+        }
+    };
+    if threads < 2 || total == 0 {
+        run(0..n, out.as_mut_slice());
+    } else {
+        let bounds = vertex_bounds(policy, adj.indptr(), threads);
+        let chunks = split_rows(out.as_mut_slice(), total, &bounds);
+        std::thread::scope(|s| {
+            for (w, chunk) in bounds.windows(2).zip(chunks) {
+                let run = &run;
+                s.spawn(move || run(w[0]..w[1], chunk));
+            }
+        });
+    }
+    out
 }
 
 /// Cuts worker boundaries over the tile sequence so every worker owns
@@ -298,13 +837,29 @@ pub(crate) fn run_program(
         });
     }
 
+    // Streamed full-step gathers: their interior producer chains are
+    // elided from the tiled segments below and recomputed per edge
+    // inside the gather's own scan (see `plan_streams`).
+    let streams = plan_streams(&steps, program, ir, aux_softmax);
+    if std::env::var_os("GNNOPT_PROFILE").is_some() {
+        for (si, c) in &streams {
+            eprintln!("  STREAM gather step {si}: chain {:?}", c.order);
+        }
+    }
+    let elided: HashSet<usize> = streams
+        .values()
+        .flat_map(|c| c.order.iter().copied())
+        .collect();
+
     // Full-tensor storage for materialized/interior steps. Tiled ones are
     // pre-allocated (workers fill disjoint chunks); full steps produce
-    // theirs when their segment runs.
+    // theirs when their segment runs. Elided chain members never
+    // materialize at all.
     let mut mat: Vec<Option<Tensor>> = vec![None; steps.len()];
     for (si, sp) in steps.iter().enumerate() {
         if matches!(sp.storage, Storage::Materialized | Storage::Interior)
             && program.steps[si].exec == StepExec::Tiled
+            && !elided.contains(&si)
         {
             let rows = match sp.space {
                 Space::Edge => m,
@@ -383,7 +938,19 @@ pub(crate) fn run_program(
         }
         (tv, te)
     };
+    let seg_live = |seg| -> Vec<usize> {
+        (0..steps.len())
+            .filter(|&si| {
+                program.steps[si].segment == seg
+                    && program.steps[si].storage != Storage::Prelude
+                    && !elided.contains(&si)
+            })
+            .collect()
+    };
     for seg in program.segments() {
+        if seg_live(seg).is_empty() {
+            continue;
+        }
         let mut total = 0u64;
         for w in 0..workers {
             let (tv, te) = worker_max_tile(w);
@@ -397,11 +964,11 @@ pub(crate) fn run_program(
     // segments over destination ranges with per-worker scratch.
     let mut new_argmax_full: Vec<(usize, Vec<u32>)> = Vec::new();
     for seg in program.segments() {
-        let seg_steps: Vec<usize> = (0..steps.len())
-            .filter(|&si| {
-                program.steps[si].segment == seg && program.steps[si].storage != Storage::Prelude
-            })
-            .collect();
+        let seg_steps: Vec<usize> = seg_live(seg);
+        if seg_steps.is_empty() {
+            // Every member streamed into a later gather: nothing to run.
+            continue;
+        }
         if seg_steps
             .iter()
             .any(|&si| program.steps[si].exec == StepExec::Full)
@@ -419,12 +986,30 @@ pub(crate) fn run_program(
             };
             let t = match &ir.node(sp.node).kind {
                 OpKind::Gather { reduce, group } => {
-                    let (t, am) =
-                        crate::kernels::gather(policy, g, *reduce, *group, full(sp.srcs[0]));
-                    if let Some(am) = am {
-                        new_argmax_full.push((si, am));
+                    if let Some(chain) = streams.get(&si) {
+                        // Streamed path: the input chain was elided from
+                        // the tiled segments; evaluate it per edge here.
+                        run_streamed_gather(
+                            policy,
+                            g,
+                            ir,
+                            *reduce,
+                            chain,
+                            &steps,
+                            &mat,
+                            values,
+                            &preludes,
+                            aux_softmax,
+                            sp.cols,
+                        )
+                    } else {
+                        let (t, am) =
+                            crate::kernels::gather(policy, g, *reduce, *group, full(sp.srcs[0]));
+                        if let Some(am) = am {
+                            new_argmax_full.push((si, am));
+                        }
+                        t
                     }
-                    t
                 }
                 OpKind::GatherMeanBwd { group } => {
                     crate::kernels::gather_mean_bwd(policy, g, *group, full(sp.srcs[0]))
@@ -516,6 +1101,8 @@ pub(crate) fn run_program(
                     }
                 })
                 .collect();
+            // Heavy-row chunk partial, shared across steps/tiles.
+            let mut scratch: Vec<f32> = Vec::new();
             for t in tile_range {
                 let (v0, v1) = (tiles[t], tiles[t + 1]);
                 let (e0, e1) = (indptr[v0], indptr[v1]);
@@ -575,6 +1162,8 @@ pub(crate) fn run_program(
                             (v0, v1, e0, e1),
                             &mut buf,
                             aux,
+                            policy.heavy_row_degree,
+                            &mut scratch,
                         );
                     }
                     if matches!(sp.storage, Storage::Materialized | Storage::Interior) {
@@ -644,7 +1233,7 @@ pub(crate) fn run_program(
 /// Every arm reproduces the corresponding kernel in [`crate::kernels`]
 /// expression-for-expression and in the same iteration order, which is
 /// what makes fused execution bit-identical to the reference path.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn exec_step(
     node: &Node,
     sp: &StepPlan,
@@ -653,6 +1242,8 @@ fn exec_step(
     (v0, v1, e0, e1): (usize, usize, usize, usize),
     buf: &mut [f32],
     aux: StepAux<'_>,
+    heavy: usize,
+    scratch: &mut Vec<f32>,
 ) {
     let total = sp.cols;
     let adj = g.in_adj();
@@ -699,13 +1290,13 @@ fn exec_step(
         OpKind::Gather { reduce, .. } => {
             let x = sp.srcs[0];
             match reduce {
+                // Shared with the reference kernels so the heavy-row
+                // chunk association is identical on both paths.
                 ReduceFn::Sum => {
                     for v in v0..v1 {
                         let o = &mut buf[(v - v0) * total..(v - v0 + 1) * total];
                         o.fill(0.0);
-                        for &e in adj.edge_ids(v) {
-                            rowops::add_assign(o, tv.row(x, e as usize));
-                        }
+                        reduce_row_sum(o, adj.edge_ids(v), |e| tv.row(x, e), heavy, scratch);
                     }
                 }
                 ReduceFn::Mean => {
@@ -717,9 +1308,7 @@ fn exec_step(
                             continue;
                         }
                         let inv = 1.0 / deg as f32;
-                        for &e in adj.edge_ids(v) {
-                            rowops::axpy(o, inv, tv.row(x, e as usize));
-                        }
+                        reduce_row_mean(o, adj.edge_ids(v), inv, |e| tv.row(x, e), heavy, scratch);
                     }
                 }
                 ReduceFn::Max => {

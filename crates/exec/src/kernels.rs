@@ -13,12 +13,11 @@
 //! paths share one set of inner loops and stay bit-identical by
 //! construction rather than by parallel maintenance.
 //!
-//! # Thread parallelism
+//! # Thread parallelism and degree-binned dispatch
 //!
-//! Every kernel whose output rows are independent takes an
-//! [`ExecPolicy`] and partitions its work over `std::thread::scope`
-//! workers (the same pattern as `Tensor::matmul`, sharing the pool size
-//! via `gnnopt_tensor::parallel`):
+//! Every kernel takes an [`ExecPolicy`] and partitions its work over
+//! `std::thread::scope` workers (the same pattern as `Tensor::matmul`,
+//! sharing the pool size via `gnnopt_tensor::parallel`):
 //!
 //! * **row-partitioned** kernels (scatter, elementwise, head ops, MoNet
 //!   weights) split the output into contiguous row ranges;
@@ -26,18 +25,47 @@
 //!   backward) split the CSR vertex range; because canonical edge ids are
 //!   destination-major, each vertex range also owns a *contiguous* block
 //!   of edge rows, so `ByDst` edge-space outputs split without atomics.
+//!   When [`ExecPolicy::group_workers`] is set, the vertex boundaries are
+//!   cut **edge-balanced** (each worker owns roughly the same number of
+//!   edges — the fused interpreter's GNNAdvisor-style discipline,
+//!   promoted here in PR 6) instead of vertex-count-balanced; either
+//!   split is data-disjoint, so the choice never affects results.
+//! * **`BySrc` gathers** stream: a source row's edges are scattered
+//!   through the destination-major edge tensor, but `out_adj` lists them
+//!   in ascending canonical id, so one ascending scan of *all* edges
+//!   visits every source's edges in exactly the per-row order. Each
+//!   worker owns a source-vertex range and scans the full edge array,
+//!   keeping the reads sequential (prefetch-friendly) while every output
+//!   element retains the serial accumulation order.
 //!
-//! Chunk boundaries depend only on `(rows, threads)` and every output
-//! element is computed by exactly the same expression and accumulation
-//! order as the serial path — no reduction crosses a chunk boundary — so
-//! results are **bit-identical** to serial execution for any thread
-//! count (property-tested in `tests/parallel.rs`).
+//! # Determinism contract, per kernel
 //!
-//! Kernels that reduce *across* rows into a small parameter-shaped output
-//! ([`head_dot_bwd_param`], [`gaussian_bwd_mu`], [`gaussian_bwd_sigma`])
-//! and the scattered-write [`gather_max_bwd`] stay serial: partitioning
-//! them would either reorder floating-point accumulation (breaking the
-//! determinism guarantee) or race on output rows.
+//! * **Bit-identical at every thread count** (and identical to the fused
+//!   interpreter): all scatter/elementwise/head kernels, [`gather`] (all
+//!   reductions — see the heavy-row note below), [`gather_mean_bwd`],
+//!   [`gather_max_bwd`] (each output element is written by at most one
+//!   edge, so the inverted edge partition cannot race), [`edge_softmax`],
+//!   [`edge_softmax_from_aux`] and [`edge_softmax_bwd`]. Chunk
+//!   boundaries depend only on `(rows, threads)` (or `(indptr,
+//!   threads)` for the edge-balanced split) and no floating-point
+//!   reduction crosses a worker boundary.
+//! * **Fixed reassociation, thread-count invariant**: the cross-row
+//!   parameter reductions [`head_dot_bwd_param`], [`gaussian_bwd_mu`]
+//!   and [`gaussian_bwd_sigma`] accumulate fixed
+//!   [`PARAM_REDUCE_CHUNK_ROWS`]-row partials combined in ascending
+//!   chunk order — the chunk grid is a pure function of the row count,
+//!   never of the thread count, so any worker assignment yields the
+//!   same bits (proptested in `tests/backward_reduce.rs`); the
+//!   association differs from a single left-to-right sweep, which is the
+//!   documented cost of running them parallel at all.
+//! * **Heavy destination rows** (in-degree above
+//!   [`ExecPolicy::heavy_row_degree`]) in `Sum`/`Mean` [`gather`]s are
+//!   reduced as fixed [`ExecPolicy::HEAVY_ROW_CHUNK_EDGES`]-edge chunk
+//!   partials combined in ascending chunk order, *at every thread
+//!   count* — this is part of the kernel definition, so hub rows can be
+//!   split across workers without serial/parallel divergence. `Max`
+//!   rows are never chunked (first-wins argmax keeps the plain scan
+//!   bit-identical regardless of scheduling).
 //!
 //! # Empty-group (isolated-vertex) semantics
 //!
@@ -70,7 +98,7 @@ pub const NO_ARGMAX: u32 = u32::MAX;
 /// Effective worker count for a kernel of `rows` independent rows and
 /// `work` total touched elements: serial below the policy threshold, and
 /// never more workers than rows.
-fn plan_threads(policy: &ExecPolicy, rows: usize, work: usize) -> usize {
+pub(crate) fn plan_threads(policy: &ExecPolicy, rows: usize, work: usize) -> usize {
     if work < policy.parallel_threshold {
         1
     } else {
@@ -86,6 +114,148 @@ fn plan_threads(policy: &ExecPolicy, rows: usize, work: usize) -> usize {
 /// the GEMM engine's partitions.
 pub(crate) fn chunk_bounds(rows: usize, threads: usize) -> Vec<usize> {
     gnnopt_tensor::parallel::chunk_bounds(rows, threads)
+}
+
+/// Fixed row-chunk length for the cross-row parameter reductions
+/// ([`head_dot_bwd_param`], [`gaussian_bwd_mu`], [`gaussian_bwd_sigma`]):
+/// partials are accumulated per chunk and combined in ascending chunk
+/// order. The grid depends only on the row count — never on the thread
+/// count — so results are invariant across worker widths.
+pub const PARAM_REDUCE_CHUNK_ROWS: usize = 1 << 14;
+
+/// Deterministic *edge-balanced* vertex boundaries: each of up to
+/// `threads` parts owns roughly the same number of edges (`indptr` is the
+/// CSR row pointer of the grouping adjacency). The reference-kernel
+/// promotion of the fused interpreter's `group_workers` split — a pure
+/// function of `(indptr, threads)`, and purely a scheduling choice since
+/// parts stay data-disjoint.
+pub(crate) fn edge_balanced_vertex_bounds(indptr: &[usize], threads: usize) -> Vec<usize> {
+    let n = indptr.len() - 1;
+    let workers = threads.clamp(1, n.max(1));
+    let total = indptr[n];
+    if total == 0 || workers < 2 {
+        return chunk_bounds(n, workers);
+    }
+    let mut bounds = vec![0usize];
+    for w in 1..workers {
+        let target = (total as u64 * w as u64).div_ceil(workers as u64) as usize;
+        let prev = *bounds.last().expect("bounds is non-empty");
+        let mut v = prev + 1;
+        while v < n && indptr[v] < target {
+            v += 1;
+        }
+        // Leave at least one vertex for each remaining worker.
+        bounds.push(v.clamp(prev + 1, n - (workers - w)));
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Vertex-partition boundaries for a grouped kernel under `policy`:
+/// edge-balanced when [`ExecPolicy::group_workers`] is set, vertex-count
+/// `div_ceil` otherwise. Both are pure functions of their inputs and
+/// never affect results.
+pub(crate) fn vertex_bounds(policy: &ExecPolicy, indptr: &[usize], threads: usize) -> Vec<usize> {
+    if policy.group_workers {
+        edge_balanced_vertex_bounds(indptr, threads)
+    } else {
+        chunk_bounds(indptr.len() - 1, threads)
+    }
+}
+
+/// Reduces one destination row over its edge id list with `Sum`
+/// semantics: `o[c] += Σ_e row(e)[c]`, accumulated in list order. Rows
+/// longer than `heavy` edges are reduced as fixed
+/// [`ExecPolicy::HEAVY_ROW_CHUNK_EDGES`]-edge chunk partials (built in
+/// `scratch`) combined in ascending chunk order — the same association
+/// at every thread count, shared verbatim with the fused interpreter.
+pub(crate) fn reduce_row_sum<'a>(
+    o: &mut [f32],
+    ids: &[u32],
+    row: impl Fn(usize) -> &'a [f32],
+    heavy: usize,
+    scratch: &mut Vec<f32>,
+) {
+    if ids.len() <= heavy {
+        for &e in ids {
+            rowops::add_assign(o, row(e as usize));
+        }
+        return;
+    }
+    scratch.resize(o.len(), 0.0);
+    for chunk in ids.chunks(ExecPolicy::HEAVY_ROW_CHUNK_EDGES) {
+        scratch.fill(0.0);
+        for &e in chunk {
+            rowops::add_assign(scratch, row(e as usize));
+        }
+        rowops::add_assign(o, scratch);
+    }
+}
+
+/// [`reduce_row_sum`]'s `Mean` sibling: `o[c] += Σ_e inv · row(e)[c]`
+/// with the same heavy-row chunking rule.
+pub(crate) fn reduce_row_mean<'a>(
+    o: &mut [f32],
+    ids: &[u32],
+    inv: f32,
+    row: impl Fn(usize) -> &'a [f32],
+    heavy: usize,
+    scratch: &mut Vec<f32>,
+) {
+    if ids.len() <= heavy {
+        for &e in ids {
+            rowops::axpy(o, inv, row(e as usize));
+        }
+        return;
+    }
+    scratch.resize(o.len(), 0.0);
+    for chunk in ids.chunks(ExecPolicy::HEAVY_ROW_CHUNK_EDGES) {
+        scratch.fill(0.0);
+        for &e in chunk {
+            rowops::axpy(scratch, inv, row(e as usize));
+        }
+        rowops::add_assign(o, scratch);
+    }
+}
+
+/// Shared combine tree of the cross-row parameter reductions: rows are
+/// cut into the fixed [`PARAM_REDUCE_CHUNK_ROWS`] grid, `body(range,
+/// partial)` fills each chunk's partial (a zeroed `out.len()` buffer),
+/// workers own disjoint runs of chunks, and the partials are folded into
+/// `out` in ascending chunk order on the calling thread. The partial
+/// grid is independent of the worker count, so any `threads` value
+/// produces the same bits.
+fn param_reduce<F>(policy: &ExecPolicy, rows: usize, work: usize, out: &mut [f32], body: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    let cols = out.len();
+    let nchunks = rows.div_ceil(PARAM_REDUCE_CHUNK_ROWS).max(1);
+    let threads = plan_threads(policy, nchunks, work);
+    let mut partials = vec![0.0f32; nchunks * cols];
+    let chunk_range =
+        |ci: usize| ci * PARAM_REDUCE_CHUNK_ROWS..((ci + 1) * PARAM_REDUCE_CHUNK_ROWS).min(rows);
+    if threads < 2 || cols == 0 {
+        for (ci, partial) in partials.chunks_mut(cols.max(1)).enumerate() {
+            body(chunk_range(ci), partial);
+        }
+    } else {
+        let bounds = chunk_bounds(nchunks, threads);
+        let worker_parts = split_rows(&mut partials, cols, &bounds);
+        std::thread::scope(|s| {
+            for (w, part) in bounds.windows(2).zip(worker_parts) {
+                let body = &body;
+                s.spawn(move || {
+                    for (i, partial) in part.chunks_mut(cols).enumerate() {
+                        body(chunk_range(w[0] + i), partial);
+                    }
+                });
+            }
+        });
+    }
+    for partial in partials.chunks(cols.max(1)) {
+        rowops::add_assign(out, partial);
+    }
 }
 
 /// Splits a row-major buffer of `cols`-wide rows into the consecutive
@@ -143,7 +313,7 @@ where
         return;
     }
     let indptr = g.in_adj().indptr();
-    let bounds = chunk_bounds(n, threads);
+    let bounds = vertex_bounds(policy, indptr, threads);
     let ebounds: Vec<usize> = bounds.iter().map(|&v| indptr[v]).collect();
     let chunks = split_rows(out, cols, &ebounds);
     std::thread::scope(|s| {
@@ -261,103 +431,252 @@ pub fn gather(
         EdgeGroup::BySrc => g.out_adj(),
     };
     let work = g.num_edges() * total;
-    match reduce {
-        ReduceFn::Sum => {
-            par_rows(
-                policy,
-                n,
-                total,
-                work,
-                out.as_mut_slice(),
-                |range, chunk| {
-                    for (i, v) in range.enumerate() {
-                        let o = &mut chunk[i * total..(i + 1) * total];
-                        for &e in adj.edge_ids(v) {
-                            rowops::add_assign(o, x.row(e as usize));
+    let threads = plan_threads(policy, n, work);
+    let heavy = policy.heavy_row_degree;
+    if matches!(reduce, ReduceFn::Max) {
+        let argmax = gather_max(g, group, x, threads, out.as_mut_slice());
+        return (out, Some(argmax));
+    }
+    // Sum / Mean. `BySrc` streams the edge tensor in ascending canonical
+    // id (which is exactly every source row's `out_adj` order — see the
+    // module docs), `ByDst` walks each row's contiguous edge block;
+    // both reduce heavy rows through the shared chunked helpers.
+    let by_src_scan = matches!(group, EdgeGroup::BySrc);
+    let src = g.src_slice();
+    // Heavy destination rows are lifted out of the row partition and
+    // split *across* workers chunk-by-chunk (phase 2 below) — the hub
+    // half of the degree-binned dispatch. Only worth it when there are
+    // workers to split over; the serial path reduces them inline with
+    // the same chunk association.
+    let heavy_rows: Vec<usize> = if by_src_scan || threads < 2 {
+        Vec::new()
+    } else {
+        (0..n).filter(|&v| adj.degree(v) > heavy).collect()
+    };
+    let split_heavy = !heavy_rows.is_empty();
+    let run = |vs: Range<usize>, chunk: &mut [f32]| {
+        let mut scratch = Vec::new();
+        let scratch = &mut scratch;
+        if by_src_scan {
+            // One ascending pass over all edges; accumulate the rows
+            // owned by this worker's source range. `BySrc` rows skip the
+            // heavy-chunk rule (the scan has no per-row chunk state and
+            // its accumulation order is already scheduling-independent).
+            let v0 = vs.start;
+            match reduce {
+                ReduceFn::Sum => {
+                    for (e, &s) in src.iter().enumerate() {
+                        let v = s as usize;
+                        if vs.contains(&v) {
+                            let o = &mut chunk[(v - v0) * total..(v - v0 + 1) * total];
+                            rowops::add_assign(o, x.row(e));
                         }
-                    }
-                },
-            );
-            (out, None)
-        }
-        ReduceFn::Mean => {
-            par_rows(
-                policy,
-                n,
-                total,
-                work,
-                out.as_mut_slice(),
-                |range, chunk| {
-                    for (i, v) in range.enumerate() {
-                        let deg = adj.degree(v);
-                        if deg == 0 {
-                            continue;
-                        }
-                        let inv = 1.0 / deg as f32;
-                        let o = &mut chunk[i * total..(i + 1) * total];
-                        for &e in adj.edge_ids(v) {
-                            rowops::axpy(o, inv, x.row(e as usize));
-                        }
-                    }
-                },
-            );
-            (out, None)
-        }
-        ReduceFn::Max => {
-            let mut argmax = vec![NO_ARGMAX; n * total];
-            let run = |range: Range<usize>, chunk: &mut [f32], am: &mut [u32]| {
-                for (i, v) in range.enumerate() {
-                    let o = &mut chunk[i * total..(i + 1) * total];
-                    let ar = &mut am[i * total..(i + 1) * total];
-                    let mut first = true;
-                    for &e in adj.edge_ids(v) {
-                        let xr = x.row(e as usize);
-                        for c in 0..total {
-                            if first || xr[c] > o[c] {
-                                o[c] = xr[c];
-                                ar[c] = e;
-                            }
-                        }
-                        first = false;
                     }
                 }
-            };
-            let threads = plan_threads(policy, n, work);
-            if threads < 2 || total == 0 {
-                run(0..n, out.as_mut_slice(), &mut argmax);
-            } else {
-                let bounds = chunk_bounds(n, threads);
-                let out_chunks = split_rows(out.as_mut_slice(), total, &bounds);
-                let am_chunks = split_rows(&mut argmax, total, &bounds);
-                std::thread::scope(|s| {
-                    for ((w, oc), ac) in bounds.windows(2).zip(out_chunks).zip(am_chunks) {
-                        let run = &run;
-                        s.spawn(move || run(w[0]..w[1], oc, ac));
+                ReduceFn::Mean => {
+                    for (e, &s) in src.iter().enumerate() {
+                        let v = s as usize;
+                        if vs.contains(&v) {
+                            let inv = 1.0 / adj.degree(v) as f32;
+                            let o = &mut chunk[(v - v0) * total..(v - v0 + 1) * total];
+                            rowops::axpy(o, inv, x.row(e));
+                        }
+                    }
+                }
+                ReduceFn::Max => unreachable!("handled above"),
+            }
+            return;
+        }
+        for (i, v) in vs.enumerate() {
+            let deg = adj.degree(v);
+            if deg == 0 || (split_heavy && deg > heavy) {
+                continue;
+            }
+            let o = &mut chunk[i * total..(i + 1) * total];
+            match reduce {
+                ReduceFn::Sum => {
+                    reduce_row_sum(o, adj.edge_ids(v), |e| x.row(e), heavy, scratch);
+                }
+                ReduceFn::Mean => {
+                    let inv = 1.0 / deg as f32;
+                    reduce_row_mean(o, adj.edge_ids(v), inv, |e| x.row(e), heavy, scratch);
+                }
+                ReduceFn::Max => unreachable!("handled above"),
+            }
+        }
+    };
+    if threads < 2 || total == 0 {
+        run(0..n, out.as_mut_slice());
+    } else {
+        let bounds = vertex_bounds(policy, adj.indptr(), threads);
+        let chunks = split_rows(out.as_mut_slice(), total, &bounds);
+        std::thread::scope(|s| {
+            for (w, chunk) in bounds.windows(2).zip(chunks) {
+                let run = &run;
+                s.spawn(move || run(w[0]..w[1], chunk));
+            }
+        });
+    }
+    if split_heavy {
+        // Phase 2: every heavy row's fixed-length chunks, flattened into
+        // one task list and divided over the workers; partials are folded
+        // into the output in ascending (vertex, chunk) order — exactly
+        // the association of `reduce_row_sum`/`reduce_row_mean`'s serial
+        // chunked path, so the split changes scheduling only.
+        let chunk_edges = ExecPolicy::HEAVY_ROW_CHUNK_EDGES;
+        let tasks: Vec<(usize, usize)> = heavy_rows
+            .iter()
+            .flat_map(|&v| (0..adj.degree(v).div_ceil(chunk_edges)).map(move |ci| (v, ci)))
+            .collect();
+        let mut partials = vec![0.0f32; tasks.len() * total];
+        let bounds = chunk_bounds(tasks.len(), threads);
+        let parts = split_rows(&mut partials, total, &bounds);
+        std::thread::scope(|s| {
+            for (w, part) in bounds.windows(2).zip(parts) {
+                let tasks = &tasks;
+                s.spawn(move || {
+                    for (i, &(v, ci)) in tasks[w[0]..w[1]].iter().enumerate() {
+                        let deg = adj.degree(v);
+                        let ids =
+                            &adj.edge_ids(v)[ci * chunk_edges..((ci + 1) * chunk_edges).min(deg)];
+                        let partial = &mut part[i * total..(i + 1) * total];
+                        match reduce {
+                            ReduceFn::Sum => {
+                                for &e in ids {
+                                    rowops::add_assign(partial, x.row(e as usize));
+                                }
+                            }
+                            ReduceFn::Mean => {
+                                let inv = 1.0 / deg as f32;
+                                for &e in ids {
+                                    rowops::axpy(partial, inv, x.row(e as usize));
+                                }
+                            }
+                            ReduceFn::Max => unreachable!("handled above"),
+                        }
                     }
                 });
             }
-            (out, Some(argmax))
+        });
+        for (i, &(v, _)) in tasks.iter().enumerate() {
+            rowops::add_assign(out.row_mut(v), &partials[i * total..(i + 1) * total]);
         }
     }
+    (out, None)
+}
+
+/// `Gather(Max)` body: per-row first-wins scan (bit-identical under any
+/// partition — see the module contract). `BySrc` streams edges with the
+/// `NO_ARGMAX` sentinel standing in for the per-row "first edge" flag,
+/// which is equivalent because a row's first edge writes every element.
+fn gather_max(
+    g: &Graph,
+    group: EdgeGroup,
+    x: &Tensor,
+    threads: usize,
+    out: &mut [f32],
+) -> Vec<u32> {
+    let n = g.num_vertices();
+    let total = x.cols();
+    let mut argmax = vec![NO_ARGMAX; n * total];
+    let adj = match group {
+        EdgeGroup::ByDst => g.in_adj(),
+        EdgeGroup::BySrc => g.out_adj(),
+    };
+    let src = g.src_slice();
+    let run = |vs: Range<usize>, chunk: &mut [f32], am: &mut [u32]| {
+        if matches!(group, EdgeGroup::BySrc) {
+            let v0 = vs.start;
+            for (e, &s) in src.iter().enumerate() {
+                let v = s as usize;
+                if !vs.contains(&v) {
+                    continue;
+                }
+                let o = &mut chunk[(v - v0) * total..(v - v0 + 1) * total];
+                let ar = &mut am[(v - v0) * total..(v - v0 + 1) * total];
+                let xr = x.row(e);
+                for c in 0..total {
+                    if ar[c] == NO_ARGMAX || xr[c] > o[c] {
+                        o[c] = xr[c];
+                        ar[c] = e as u32;
+                    }
+                }
+            }
+            return;
+        }
+        for (i, v) in vs.enumerate() {
+            let o = &mut chunk[i * total..(i + 1) * total];
+            let ar = &mut am[i * total..(i + 1) * total];
+            let mut first = true;
+            for &e in adj.edge_ids(v) {
+                let xr = x.row(e as usize);
+                for c in 0..total {
+                    if first || xr[c] > o[c] {
+                        o[c] = xr[c];
+                        ar[c] = e;
+                    }
+                }
+                first = false;
+            }
+        }
+    };
+    if threads < 2 || total == 0 {
+        run(0..n, out, &mut argmax);
+    } else {
+        let bounds = chunk_bounds(n, threads);
+        let out_chunks = split_rows(out, total, &bounds);
+        let am_chunks = split_rows(&mut argmax, total, &bounds);
+        std::thread::scope(|s| {
+            for ((w, oc), ac) in bounds.windows(2).zip(out_chunks).zip(am_chunks) {
+                let run = &run;
+                s.spawn(move || run(w[0]..w[1], oc, ac));
+            }
+        });
+    }
+    argmax
 }
 
 /// Backward of `Gather(Max)`: routes the vertex gradient to the recorded
-/// argmax edges. Stays serial: the argmax table scatters writes to
-/// arbitrary edge rows, so a row partition would race.
+/// argmax edges, inverted to an **edge-row partition**: `argmax[v][c] ==
+/// e` is only possible for the one vertex `e` groups under (`dst(e)` for
+/// `ByDst`, `src(e)` for `BySrc`), so each output element is written at
+/// most once — no scatter races, and results are bit-identical at every
+/// thread count.
 ///
 /// `NO_ARGMAX` entries (empty groups) route no gradient.
-pub fn gather_max_bwd(g: &Graph, grad: &Tensor, argmax: &[u32]) -> Tensor {
+pub fn gather_max_bwd(
+    policy: &ExecPolicy,
+    g: &Graph,
+    group: EdgeGroup,
+    grad: &Tensor,
+    argmax: &[u32],
+) -> Tensor {
     let total = grad.cols();
-    let mut out = Tensor::zeros(&[g.num_edges(), total]);
-    for v in 0..g.num_vertices() {
-        let gr = grad.row(v);
-        for c in 0..total {
-            let e = argmax[v * total + c];
-            if e != NO_ARGMAX {
-                out.row_mut(e as usize)[c] += gr[c];
+    let m = g.num_edges();
+    let mut out = Tensor::zeros(&[m, total]);
+    par_rows(
+        policy,
+        m,
+        total,
+        m * total,
+        out.as_mut_slice(),
+        |range, chunk| {
+            for (i, e) in range.enumerate() {
+                let v = match group {
+                    EdgeGroup::ByDst => g.dst(e),
+                    EdgeGroup::BySrc => g.src(e),
+                };
+                let ar = &argmax[v * total..(v + 1) * total];
+                let gr = grad.row(v);
+                let o = &mut chunk[i * total..(i + 1) * total];
+                for c in 0..total {
+                    if ar[c] == e as u32 {
+                        o[c] = gr[c];
+                    }
+                }
             }
-        }
-    }
+        },
+    );
     out
 }
 
@@ -437,7 +756,7 @@ pub fn edge_softmax(policy: &ExecPolicy, g: &Graph, x: &Tensor) -> (Tensor, Tens
             y.as_mut_slice(),
         );
     } else {
-        let bounds = chunk_bounds(n, threads);
+        let bounds = vertex_bounds(policy, indptr, threads);
         let ebounds: Vec<usize> = bounds.iter().map(|&v| indptr[v]).collect();
         let m_chunks = split_rows(maxes.as_mut_slice(), total, &bounds);
         let d_chunks = split_rows(denom.as_mut_slice(), total, &bounds);
@@ -671,19 +990,34 @@ pub fn head_dot_bwd_input(
 /// Backward of [`head_dot`] w.r.t. the parameter:
 /// `out[h, c] = Σ_r g[r,h]·x[r, h·f+c]`.
 ///
-/// Serial by design: the output is a row-reduction over all `r`, and a
-/// row partition would reorder the floating-point accumulation.
-pub fn head_dot_bwd_param(x: &Tensor, grad: &Tensor, heads: usize, feat: usize) -> Tensor {
+/// Parallelized through [`param_reduce`]: the row axis is cut on the
+/// fixed [`PARAM_REDUCE_CHUNK_ROWS`] grid and chunk partials fold in
+/// ascending order, so results are invariant in the thread count.
+pub fn head_dot_bwd_param(
+    policy: &ExecPolicy,
+    x: &Tensor,
+    grad: &Tensor,
+    heads: usize,
+    feat: usize,
+) -> Tensor {
     let mut out = Tensor::zeros(&[heads, feat]);
-    for r in 0..x.rows() {
-        let (xr, gr) = (x.row(r), grad.row(r));
-        for h in 0..heads {
-            let or = out.row_mut(h);
-            for c in 0..feat {
-                or[c] += gr[h] * xr[h * feat + c];
+    param_reduce(
+        policy,
+        x.rows(),
+        x.rows() * heads * feat,
+        out.as_mut_slice(),
+        |range, partial| {
+            for r in range {
+                let (xr, gr) = (x.row(r), grad.row(r));
+                for h in 0..heads {
+                    let or = &mut partial[h * feat..(h + 1) * feat];
+                    for c in 0..feat {
+                        or[c] += gr[h] * xr[h * feat + c];
+                    }
+                }
             }
-        }
-    }
+        },
+    );
     out
 }
 
@@ -725,8 +1059,10 @@ pub fn gaussian_weight(
 
 /// `∂L/∂μ[k,j] = Σ_e g[e,k]·w[e,k]·σ⁻²[k,j]·(p[e,j]−μ[k,j])`.
 ///
-/// Serial by design (edge-reduction into a parameter-shaped output).
+/// Parallelized through [`param_reduce`] (edge-axis chunks on the fixed
+/// grid, ascending fold — thread-count-invariant results).
 pub fn gaussian_bwd_mu(
+    policy: &ExecPolicy,
     pseudo: &Tensor,
     w: &Tensor,
     grad: &Tensor,
@@ -736,27 +1072,37 @@ pub fn gaussian_bwd_mu(
     let (e, r) = (pseudo.rows(), pseudo.cols());
     let k = mu.rows();
     let mut out = Tensor::zeros(&[k, r]);
-    for ei in 0..e {
-        let (pr, wr, gr) = (pseudo.row(ei), w.row(ei), grad.row(ei));
-        for ki in 0..k {
-            let coeff = gr[ki] * wr[ki];
-            if coeff == 0.0 {
-                continue;
+    param_reduce(
+        policy,
+        e,
+        e * k * r,
+        out.as_mut_slice(),
+        |range, partial| {
+            for ei in range {
+                let (pr, wr, gr) = (pseudo.row(ei), w.row(ei), grad.row(ei));
+                for ki in 0..k {
+                    let coeff = gr[ki] * wr[ki];
+                    if coeff == 0.0 {
+                        continue;
+                    }
+                    let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
+                    let or = &mut partial[ki * r..(ki + 1) * r];
+                    for j in 0..r {
+                        or[j] += coeff * sr[j] * sr[j] * (pr[j] - mr[j]);
+                    }
+                }
             }
-            let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
-            let or = out.row_mut(ki);
-            for j in 0..r {
-                or[j] += coeff * sr[j] * sr[j] * (pr[j] - mr[j]);
-            }
-        }
-    }
+        },
+    );
     out
 }
 
 /// `∂L/∂σ⁻¹[k,j] = −Σ_e g[e,k]·w[e,k]·σ⁻¹[k,j]·(p[e,j]−μ[k,j])²`.
 ///
-/// Serial by design (edge-reduction into a parameter-shaped output).
+/// Parallelized through [`param_reduce`] (edge-axis chunks on the fixed
+/// grid, ascending fold — thread-count-invariant results).
 pub fn gaussian_bwd_sigma(
+    policy: &ExecPolicy,
     pseudo: &Tensor,
     w: &Tensor,
     grad: &Tensor,
@@ -766,21 +1112,29 @@ pub fn gaussian_bwd_sigma(
     let (e, r) = (pseudo.rows(), pseudo.cols());
     let k = mu.rows();
     let mut out = Tensor::zeros(&[k, r]);
-    for ei in 0..e {
-        let (pr, wr, gr) = (pseudo.row(ei), w.row(ei), grad.row(ei));
-        for ki in 0..k {
-            let coeff = gr[ki] * wr[ki];
-            if coeff == 0.0 {
-                continue;
+    param_reduce(
+        policy,
+        e,
+        e * k * r,
+        out.as_mut_slice(),
+        |range, partial| {
+            for ei in range {
+                let (pr, wr, gr) = (pseudo.row(ei), w.row(ei), grad.row(ei));
+                for ki in 0..k {
+                    let coeff = gr[ki] * wr[ki];
+                    if coeff == 0.0 {
+                        continue;
+                    }
+                    let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
+                    let or = &mut partial[ki * r..(ki + 1) * r];
+                    for j in 0..r {
+                        let d = pr[j] - mr[j];
+                        or[j] -= coeff * sr[j] * d * d;
+                    }
+                }
             }
-            let (mr, sr) = (mu.row(ki), inv_sigma.row(ki));
-            let or = out.row_mut(ki);
-            for j in 0..r {
-                let d = pr[j] - mr[j];
-                or[j] -= coeff * sr[j] * d * d;
-            }
-        }
-    }
+        },
+    );
     out
 }
 
@@ -1029,7 +1383,7 @@ mod tests {
         assert_eq!(mx.as_slice(), &[0.0, 5.0, 7.0]);
         assert_eq!(am, vec![NO_ARGMAX, 0, 2]);
         let grad = Tensor::from_rows(&[&[1.0], &[3.0], &[9.0]]).unwrap();
-        let eg = gather_max_bwd(&g, &grad, &am);
+        let eg = gather_max_bwd(&serial(), &g, EdgeGroup::ByDst, &grad, &am);
         assert_eq!(eg.as_slice(), &[3.0, 0.0, 9.0]);
     }
 
@@ -1054,7 +1408,7 @@ mod tests {
         assert_eq!(&am[6..8], &[NO_ARGMAX, NO_ARGMAX], "isolated vertex");
         assert_eq!(&am[0..2], &[NO_ARGMAX, NO_ARGMAX], "in-degree-0 vertex 0");
         let grad = Tensor::from_fn(&[4, 2], |i| i as f32 + 1.0);
-        let eg = gather_max_bwd(&g, &grad, &am);
+        let eg = gather_max_bwd(&serial(), &g, EdgeGroup::ByDst, &grad, &am);
         // Gradient mass routed = grads of vertices with non-empty groups.
         let routed: f32 = eg.as_slice().iter().sum();
         let expected: f32 = grad.row(1).iter().sum::<f32>() + grad.row(2).iter().sum::<f32>();
@@ -1135,7 +1489,7 @@ mod tests {
         assert_eq!(y.row(0), &[1.0 * 0.5 - 2.0, 3.0 * 2.0]);
         let gi = head_dot_bwd_input(&serial(), &y, &a, 2, 2);
         assert_eq!(gi.shape(), &[2, 4]);
-        let gp = head_dot_bwd_param(&x, &y, 2, 2);
+        let gp = head_dot_bwd_param(&serial(), &x, &y, 2, 2);
         assert_eq!(gp.shape(), &[2, 2]);
     }
 
@@ -1156,8 +1510,8 @@ mod tests {
         let sig = Tensor::from_rows(&[&[1.2, 0.8], &[0.5, 1.5]]).unwrap();
         let grad = Tensor::from_rows(&[&[1.0, -0.5], &[0.3, 0.7], &[-0.2, 0.4]]).unwrap();
         let w = gaussian_weight(&serial(), &p, &mu, &sig);
-        let gmu = gaussian_bwd_mu(&p, &w, &grad, &mu, &sig);
-        let gsig = gaussian_bwd_sigma(&p, &w, &grad, &mu, &sig);
+        let gmu = gaussian_bwd_mu(&serial(), &p, &w, &grad, &mu, &sig);
+        let gsig = gaussian_bwd_sigma(&serial(), &p, &w, &grad, &mu, &sig);
         let h = 1e-3f32;
         let loss = |mu: &Tensor, sig: &Tensor| -> f32 {
             let w = gaussian_weight(&serial(), &p, mu, sig);

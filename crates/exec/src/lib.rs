@@ -13,28 +13,44 @@
 //! rebuild from its stashed max/denominator) — so the recomputation pass
 //! is exercised end-to-end, not just accounted for.
 //!
-//! # Thread-parallel backend
+//! # Constructing sessions
+//!
+//! [`Session::builder`] is the documented construction path: it makes
+//! the execution policy, the fused-execution choice and the treatment of
+//! the `GNNOPT_*` environment overrides ([`EnvOverrides`]) explicit. The
+//! pre-builder constructors ([`Session::new`], [`Session::with_policy`],
+//! [`Session::with_policy_fused`]) remain as thin shims; see the
+//! [`session`](Session) module docs for the migration table.
+//!
+//! # Thread-parallel backend and the sparse kernel engine
 //!
 //! Kernels run under an [`gnnopt_core::ExecPolicy`] carried by the
-//! compiled plan (`CompileOptions::exec`) or pinned per session via
-//! [`Session::with_policy`]. Gather-style kernels partition the CSR
-//! vertex range and scatter/elementwise/head kernels partition output
+//! compiled plan (`CompileOptions::exec`) or pinned per session via the
+//! builder. Gather-style kernels partition the CSR vertex range
+//! (edge-balanced under `ExecPolicy::group_workers`, plain vertex counts
+//! otherwise) and scatter/elementwise/head kernels partition output
 //! rows across `std::thread::scope` workers — the same pattern (and the
 //! same pool size, via `gnnopt_tensor::parallel`) as `Tensor::matmul`.
+//! Row-wise inner loops dispatch to AVX2-widened bodies at runtime when
+//! the host supports them (`GNNOPT_ROWOPS=scalar` pins the scalar path;
+//! both produce the same bits — see `gnnopt_tensor::rowops`).
 //!
-//! **Determinism guarantee:** chunk boundaries are a pure function of
-//! `(rows, threads)` and no floating-point reduction ever crosses a
-//! chunk, so every kernel is *bit-identical* to its serial reference for
-//! any thread count. Set `GNNOPT_THREADS=<n>` to override the
-//! auto-detected pool size (`GNNOPT_THREADS=1` forces the serial path);
-//! see the [`kernels`] module docs for the partitioning scheme per kernel
-//! and the tensor layout convention the chunks slice along.
+//! **Determinism contract:** reductions either keep their serial
+//! accumulation order exactly (bit-identical at any thread count) or
+//! re-associate on a *fixed grid* that is a pure function of the problem
+//! size — never of the thread count — so every kernel's results are
+//! invariant in `GNNOPT_THREADS`. Set `GNNOPT_THREADS=<n>` to override
+//! the auto-detected pool size (`GNNOPT_THREADS=1` forces the serial
+//! path); see the [`kernels`] module docs for the per-kernel contract,
+//! the degree-binned heavy-row dispatch, and the tensor layout
+//! convention the chunks slice along.
 //!
 //! # Fused tiled execution
 //!
-//! When the plan enables `fused_exec` (the `Ours` preset; override per
-//! process with `GNNOPT_FUSED=0|1`, or pin per session via
-//! [`Session::with_policy_fused`]), kernels lowered to
+//! When the plan's policy enables fused execution
+//! (`ExecPolicy::fused`, on in the `Ours` preset; override per process
+//! with `GNNOPT_FUSED=0|1`, or pin per session via
+//! `Session::builder(..).fused(..)`), kernels lowered to
 //! `gnnopt_core::KernelProgram`s execute through the tiled interpreter
 //! in `fused.rs` instead of node-by-node: kernel-internal values live in
 //! per-worker scratch arenas covering one destination-vertex tile at a
@@ -73,7 +89,7 @@
 //! # let graph = gnnopt_graph::Graph::from_edge_list(&gnnopt_graph::EdgeList::from_pairs(2, &[(0,1)]));
 //! # let bindings = gnnopt_exec::Bindings::new();
 //! let compiled = compile(&ir, false, &CompileOptions::ours())?;
-//! let mut sess = Session::new(&compiled.plan, &graph)?;
+//! let mut sess = Session::builder(&compiled.plan, &graph).build()?;
 //! let outputs = sess.forward(&bindings)?;
 //! # Ok(())
 //! # }
@@ -85,7 +101,7 @@ pub mod kernels;
 mod session;
 
 pub use error::ExecError;
-pub use session::{Bindings, RunStats, Session};
+pub use session::{Bindings, EnvOverrides, RunStats, Session, SessionBuilder};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ExecError>;

@@ -1,4 +1,39 @@
 //! The execution session: drives a compiled plan over real data.
+//!
+//! # Constructing sessions
+//!
+//! [`SessionBuilder`] (via [`Session::builder`]) is the one documented
+//! construction path. It makes every choice the old constructors took
+//! implicitly an explicit knob:
+//!
+//! ```ignore
+//! let mut sess = Session::builder(&plan, &graph)
+//!     .policy(policy)            // default: the plan's own ExecPolicy
+//!     .fused(true)               // default: policy.fused, or the env
+//!     .env(EnvOverrides::Ignore) // default: Loud
+//!     .build()?;
+//! ```
+//!
+//! The `GNNOPT_*` environment overrides (`THREADS`, `FUSED`, `REORDER`,
+//! `GEMM`) are consulted according to the builder's [`EnvOverrides`]
+//! mode: `Loud` errors on an invalid value, `Ignore` skips invalid
+//! values silently, `Off` consults none of them.
+//!
+//! ## Migrating from the old constructors
+//!
+//! The pre-builder constructors remain as thin shims and delegate to the
+//! builder; new code should call the builder directly:
+//!
+//! | old call | builder equivalent |
+//! |---|---|
+//! | `Session::new(p, g)` | `Session::builder(p, g).build()` |
+//! | `Session::with_policy(p, g, pol)` | `.policy(pol).fused(env or plan).env(Off).build()` |
+//! | `Session::with_policy_fused(p, g, pol, f)` | `.policy(pol).fused(f).env(Off).build()` |
+//!
+//! (`with_policy` historically consulted *only* the `GNNOPT_FUSED`
+//! override, leniently — its shim reproduces exactly that, nothing
+//! more.) The free-floating `fused: bool` of the old API now lives in
+//! [`ExecPolicy::fused`]; `CompileOptions::fused_exec` is gone.
 
 use crate::{fused, kernels};
 use crate::{ExecError, Result};
@@ -250,12 +285,131 @@ pub struct Session<'a> {
     stats: RunStats,
 }
 
+/// How a [`SessionBuilder`] treats the `GNNOPT_*` environment overrides
+/// (`GNNOPT_THREADS`, `GNNOPT_FUSED`, `GNNOPT_REORDER`, `GNNOPT_GEMM`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnvOverrides {
+    /// Apply the overrides; an invalid value is a build error
+    /// ([`ExecError::Policy`]). The [`Session::new`] behaviour.
+    #[default]
+    Loud,
+    /// Apply the overrides; an invalid value is skipped silently and the
+    /// builder's own setting stands.
+    Ignore,
+    /// Consult no overrides: the builder's policy and fused choice run
+    /// verbatim. (Thread *auto-detection* still honours `GNNOPT_THREADS`
+    /// leniently, as it always has — pin `threads` to escape that too.)
+    Off,
+}
+
+/// Builds a [`Session`] with every implicit choice of the old
+/// constructors made explicit: the [`ExecPolicy`], the fused-execution
+/// flag, and how the `GNNOPT_*` environment overrides apply. See the
+/// [module docs](self) for the migration table.
+#[derive(Debug)]
+pub struct SessionBuilder<'a> {
+    plan: &'a ExecutionPlan,
+    graph: &'a Graph,
+    policy: Option<ExecPolicy>,
+    fused: Option<bool>,
+    env: EnvOverrides,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Overrides the plan's own [`ExecPolicy`].
+    #[must_use]
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Pins fused execution on or off. An explicit pin outranks both the
+    /// `GNNOPT_FUSED` override and the policy's [`ExecPolicy::fused`].
+    #[must_use]
+    pub fn fused(mut self, fused: bool) -> Self {
+        self.fused = Some(fused);
+        self
+    }
+
+    /// Chooses how the `GNNOPT_*` environment overrides apply
+    /// (default: [`EnvOverrides::Loud`]).
+    #[must_use]
+    pub fn env(mut self, env: EnvOverrides) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Resolves the environment overrides per the chosen mode and builds
+    /// the session.
+    ///
+    /// Fused execution resolves by precedence: an explicit
+    /// [`SessionBuilder::fused`] pin, then a valid `GNNOPT_FUSED`
+    /// override (unless [`EnvOverrides::Off`]), then the policy's
+    /// [`ExecPolicy::fused`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Protocol`] on duplicate leaf names, and —
+    /// under [`EnvOverrides::Loud`] only — [`ExecError::Policy`] when
+    /// `GNNOPT_THREADS` is set to something other than a positive
+    /// integer, `GNNOPT_FUSED` to something other than `0`/`1`,
+    /// `GNNOPT_REORDER` to something other than a known strategy
+    /// (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`), or
+    /// `GNNOPT_GEMM` to something other than `naive`/`blocked`.
+    pub fn build(self) -> Result<Session<'a>> {
+        let mut policy = self.policy.unwrap_or(self.plan.exec);
+        let mut env_fused = None;
+        match self.env {
+            EnvOverrides::Off => {}
+            EnvOverrides::Loud => {
+                if policy.is_auto() {
+                    // Surface a bad env override loudly instead of
+                    // silently falling back like the infallible
+                    // tensor-side detection.
+                    gnnopt_tensor::parallel::env_threads().map_err(ExecError::Policy)?;
+                }
+                env_fused = fused_env().map_err(ExecError::Policy)?;
+                policy.reorder = reorder_env()
+                    .map_err(ExecError::Policy)?
+                    .unwrap_or(policy.reorder);
+                policy.gemm = gemm_env()
+                    .map_err(ExecError::Policy)?
+                    .unwrap_or(policy.gemm);
+            }
+            EnvOverrides::Ignore => {
+                env_fused = fused_env().ok().flatten();
+                policy.reorder = reorder_env().ok().flatten().unwrap_or(policy.reorder);
+                policy.gemm = gemm_env().ok().flatten().unwrap_or(policy.gemm);
+            }
+        }
+        let fused = self.fused.or(env_fused).unwrap_or(policy.fused);
+        policy.fused = fused;
+        Session::assemble(self.plan, self.graph, policy, fused)
+    }
+}
+
 impl<'a> Session<'a> {
+    /// Starts a [`SessionBuilder`] — the documented construction path.
+    /// Defaults: the plan's own policy, fused per `GNNOPT_FUSED` else
+    /// [`ExecPolicy::fused`], and [`EnvOverrides::Loud`].
+    pub fn builder(plan: &'a ExecutionPlan, graph: &'a Graph) -> SessionBuilder<'a> {
+        SessionBuilder {
+            plan,
+            graph,
+            policy: None,
+            fused: None,
+            env: EnvOverrides::default(),
+        }
+    }
+
     /// Prepares a session running under the plan's own [`ExecPolicy`]
     /// (from `CompileOptions::exec`), validating that leaf names are
     /// unique. An `auto` policy resolves against the shared pool-size
     /// detection in `gnnopt_tensor::parallel`, which honours the
     /// `GNNOPT_THREADS` environment override.
+    ///
+    /// Shim for `Session::builder(plan, graph).build()` — prefer the
+    /// builder in new code.
     ///
     /// # Errors
     ///
@@ -266,25 +420,7 @@ impl<'a> Session<'a> {
     /// strategy (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`),
     /// or `GNNOPT_GEMM` to something other than `naive`/`blocked`.
     pub fn new(plan: &'a ExecutionPlan, graph: &'a Graph) -> Result<Self> {
-        let mut policy = if plan.exec.is_auto() {
-            // Surface a bad env override loudly instead of silently
-            // falling back like the infallible tensor-side detection.
-            gnnopt_tensor::parallel::env_threads().map_err(ExecError::Policy)?;
-            plan.exec
-                .resolved(gnnopt_tensor::parallel::available_threads)
-        } else {
-            plan.exec
-        };
-        let fused = fused_env()
-            .map_err(ExecError::Policy)?
-            .unwrap_or(plan.fused_exec);
-        policy.reorder = reorder_env()
-            .map_err(ExecError::Policy)?
-            .unwrap_or(policy.reorder);
-        policy.gemm = gemm_env()
-            .map_err(ExecError::Policy)?
-            .unwrap_or(policy.gemm);
-        Self::with_policy_fused(plan, graph, policy, fused)
+        Self::builder(plan, graph).build()
     }
 
     /// Prepares a session under an explicit policy instead of the plan's
@@ -294,6 +430,12 @@ impl<'a> Session<'a> {
     /// (and auto-detection honours `GNNOPT_THREADS`, falling back to
     /// hardware parallelism on an invalid value; use [`Session::new`]
     /// for the loud-error behaviour).
+    ///
+    /// Shim preserved for compatibility — prefer the builder in new
+    /// code. Historically this consulted *only* the `GNNOPT_FUSED`
+    /// override (leniently, defaulting to the plan's fused choice), so
+    /// the shim pins exactly that:
+    /// `.policy(policy).fused(env or plan).env(Off)`.
     ///
     /// # Errors
     ///
@@ -305,8 +447,12 @@ impl<'a> Session<'a> {
     ) -> Result<Self> {
         // Lenient env handling (mirrors the thread auto-detection):
         // an invalid GNNOPT_FUSED falls back to the plan's default.
-        let fused = fused_env().ok().flatten().unwrap_or(plan.fused_exec);
-        Self::with_policy_fused(plan, graph, policy, fused)
+        let fused = fused_env().ok().flatten().unwrap_or(plan.exec.fused);
+        Self::builder(plan, graph)
+            .policy(policy)
+            .fused(fused)
+            .env(EnvOverrides::Off)
+            .build()
     }
 
     /// Prepares a session with both the policy *and* the fused-execution
@@ -317,10 +463,30 @@ impl<'a> Session<'a> {
     /// how fused-vs-reference, reordered-vs-identity and
     /// naive-vs-blocked-GEMM comparisons pin both sides.
     ///
+    /// Shim for
+    /// `Session::builder(..).policy(policy).fused(fused).env(Off).build()`
+    /// — prefer the builder in new code.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError::Protocol`] on duplicate leaf names.
     pub fn with_policy_fused(
+        plan: &'a ExecutionPlan,
+        graph: &'a Graph,
+        policy: ExecPolicy,
+        fused: bool,
+    ) -> Result<Self> {
+        Self::builder(plan, graph)
+            .policy(policy)
+            .fused(fused)
+            .env(EnvOverrides::Off)
+            .build()
+    }
+
+    /// The shared construction tail: leaf-name validation, liveness
+    /// precomputation, reorder preprocessing. `policy` arrives with the
+    /// env overrides already folded in by the builder.
+    fn assemble(
         plan: &'a ExecutionPlan,
         graph: &'a Graph,
         policy: ExecPolicy,
@@ -693,6 +859,25 @@ impl<'a> Session<'a> {
     }
 
     fn exec_kernel(&mut self, kid: usize, backward: bool) -> Result<()> {
+        let t = Instant::now();
+        let r = self.exec_kernel_inner(kid, backward);
+        if std::env::var_os("GNNOPT_PROFILE").is_some() {
+            let names: Vec<&str> = self.plan.kernels[kid]
+                .nodes
+                .iter()
+                .map(|&n| self.plan.ir.node(n).name.as_str())
+                .collect();
+            eprintln!(
+                "PROF {} kid={kid} {:.1}ms [{}]",
+                if backward { "bwd" } else { "fwd" },
+                t.elapsed().as_secs_f64() * 1e3,
+                names.join("+")
+            );
+        }
+        r
+    }
+
+    fn exec_kernel_inner(&mut self, kid: usize, backward: bool) -> Result<()> {
         // Fused tiled path: kernel-internal values stay in per-worker
         // scratch and never enter the value store (incl. recomputed
         // values, which rebuild per tile instead of per kernel).
@@ -878,7 +1063,7 @@ impl<'a> Session<'a> {
                 OpKind::HeadDotBwdParam => {
                     let x = self.value(node.inputs[0])?;
                     let gr = self.value(node.inputs[1])?;
-                    kernels::head_dot_bwd_param(x, gr, node.dim.heads, node.dim.feat)
+                    kernels::head_dot_bwd_param(&pol, x, gr, node.dim.heads, node.dim.feat)
                 }
 
                 OpKind::GaussianWeight => {
@@ -894,9 +1079,9 @@ impl<'a> Session<'a> {
                     let mu = self.value(node.inputs[3])?;
                     let sg = self.value(node.inputs[4])?;
                     if node.kind == OpKind::GaussianBwdMu {
-                        kernels::gaussian_bwd_mu(p, w, gr, mu, sg)
+                        kernels::gaussian_bwd_mu(&pol, p, w, gr, mu, sg)
                     } else {
-                        kernels::gaussian_bwd_sigma(p, w, gr, mu, sg)
+                        kernels::gaussian_bwd_sigma(&pol, p, w, gr, mu, sg)
                     }
                 }
 
@@ -907,7 +1092,12 @@ impl<'a> Session<'a> {
                         }
                     })?;
                     let gr = self.value(node.inputs[0])?;
-                    kernels::gather_max_bwd(g, gr, &argmax)
+                    let OpKind::Gather { group, .. } = ir.node(*fwd).kind else {
+                        return Err(ExecError::Protocol(format!(
+                            "GatherMaxBwd references non-Gather node {fwd}"
+                        )));
+                    };
+                    kernels::gather_max_bwd(&pol, g, group, gr, &argmax)
                 }
                 OpKind::GatherMeanBwd { group } => {
                     let gr = self.value(node.inputs[0])?;

@@ -1,0 +1,238 @@
+//! Thread-count invariance of the parallelized backward reductions and
+//! the degree-binned heavy-row dispatch.
+//!
+//! The engine's determinism contract (see `gnnopt_exec::kernels`) has
+//! two tiers: most kernels keep the serial accumulation order exactly,
+//! while the cross-row parameter reductions (`head_dot_bwd_param`,
+//! `gaussian_bwd_mu`, `gaussian_bwd_sigma`) re-associate on a fixed
+//! chunk grid. Both tiers promise the *same bits at every thread
+//! count*, which is what these tests pin — across threads {1, 2, 4},
+//! both execution paths (reference and fused), graphs with isolated
+//! vertices, and an extreme-hub graph whose heavy destination row takes
+//! the chunked split path.
+
+use gnnopt_core::{compile, CompileOptions, EdgeGroup, ExecPolicy, ReduceFn};
+use gnnopt_exec::{kernels, Bindings, Session};
+use gnnopt_graph::{EdgeList, Graph};
+use gnnopt_models::{gat, GatConfig};
+use gnnopt_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Forces the partitioning on arbitrarily small reductions.
+fn pol(threads: usize) -> ExecPolicy {
+    ExecPolicy {
+        threads,
+        parallel_threshold: 0,
+        ..ExecPolicy::auto()
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_bit_identical(name: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "{name}: shapes differ");
+    assert_eq!(bits(a), bits(b), "{name}: bits differ");
+}
+
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::from_fn(&[rows, cols], |i| {
+        (((i as u64 + seed) * 2654435761 % 103) as f32 - 51.0) / 17.0
+    })
+}
+
+/// Random multigraphs with guaranteed trailing isolated vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24, 1usize..4).prop_flat_map(|(n, iso)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..96)
+            .prop_map(move |pairs| Graph::from_edge_list(&EdgeList::from_pairs(n + iso, &pairs)))
+    })
+}
+
+/// An extreme hub: vertex 0 receives `hub_deg` edges (well past the
+/// pinned heavy threshold), the rest of the graph is sparse, and the
+/// last vertex is isolated.
+fn hub_graph(hub_deg: usize) -> Graph {
+    let n = 12u32;
+    let mut pairs: Vec<(u32, u32)> = (0..hub_deg)
+        .map(|i| ((i % (n as usize - 2)) as u32 + 1, 0))
+        .collect();
+    pairs.extend((1..n - 2).map(|v| (v, v + 1)));
+    Graph::from_edge_list(&EdgeList::from_pairs(n as usize + 1, &pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fixed-grid parameter reductions: same bits for 1, 2, and 4
+    /// worker threads (the chunk grid depends on the row count only).
+    #[test]
+    fn param_reductions_are_thread_count_invariant(
+        rows in 1usize..300,
+        heads in 1usize..4,
+        feat in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let x = pseudo(rows, heads * feat, seed);
+        let gr = pseudo(rows, heads, seed + 1);
+        let base = kernels::head_dot_bwd_param(&pol(1), &x, &gr, heads, feat);
+        for t in [2usize, 4] {
+            assert_bit_identical(
+                "head_dot_bwd_param",
+                &base,
+                &kernels::head_dot_bwd_param(&pol(t), &x, &gr, heads, feat),
+            );
+        }
+
+        let p = pseudo(rows, feat, seed + 2);
+        let mu = pseudo(heads, feat, seed + 3);
+        let sig = pseudo(heads, feat, seed + 4);
+        let w = kernels::gaussian_weight(&pol(1), &p, &mu, &sig);
+        let g2 = pseudo(rows, heads, seed + 5);
+        let bmu = kernels::gaussian_bwd_mu(&pol(1), &p, &w, &g2, &mu, &sig);
+        let bsig = kernels::gaussian_bwd_sigma(&pol(1), &p, &w, &g2, &mu, &sig);
+        for t in [2usize, 4] {
+            assert_bit_identical(
+                "gaussian_bwd_mu",
+                &bmu,
+                &kernels::gaussian_bwd_mu(&pol(t), &p, &w, &g2, &mu, &sig),
+            );
+            assert_bit_identical(
+                "gaussian_bwd_sigma",
+                &bsig,
+                &kernels::gaussian_bwd_sigma(&pol(t), &p, &w, &g2, &mu, &sig),
+            );
+        }
+    }
+
+    /// The edge-inverted `gather_max_bwd`: each output element has at
+    /// most one writer, so any row partition produces the same bits —
+    /// over graphs with isolated vertices (`NO_ARGMAX` rows) and both
+    /// edge groupings.
+    #[test]
+    fn gather_max_bwd_is_bit_identical_across_threads(
+        g in arb_graph(),
+        seed in 0u64..1000,
+        d in 1usize..4,
+    ) {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        for group in [EdgeGroup::ByDst, EdgeGroup::BySrc] {
+            let e = pseudo(m, d, seed);
+            let (_, am) = kernels::gather(&pol(1), &g, ReduceFn::Max, group, &e);
+            let am = am.unwrap();
+            let grad = pseudo(n, d, seed + 1);
+            let base = kernels::gather_max_bwd(&pol(1), &g, group, &grad, &am);
+            for t in [2usize, 4] {
+                assert_bit_identical(
+                    "gather_max_bwd",
+                    &base,
+                    &kernels::gather_max_bwd(&pol(t), &g, group, &grad, &am),
+                );
+            }
+        }
+    }
+}
+
+/// The heavy-row split: a destination row whose degree crosses the
+/// policy threshold reduces as fixed 1024-edge chunk partials at every
+/// thread count — serial (inline chunking), 2 and 4 workers (phase-2
+/// hub split) all produce the same bits, and they agree with the plain
+/// unchunked reduction up to reassociation.
+#[test]
+fn heavy_row_split_is_thread_count_invariant() {
+    // Degree 2500 > 1024: the hub row spans three chunks, so the
+    // phase-2 task list really distributes one row over several workers.
+    let g = hub_graph(2500);
+    let e = pseudo(g.num_edges(), 6, 3);
+    for reduce in [ReduceFn::Sum, ReduceFn::Mean] {
+        let heavy = |threads: usize| {
+            let p = pol(threads).with_heavy_row_degree(16);
+            kernels::gather(&p, &g, reduce, EdgeGroup::ByDst, &e).0
+        };
+        let base = heavy(1);
+        for t in [2usize, 4] {
+            assert_bit_identical("heavy-row gather", &base, &heavy(t));
+        }
+        // Sanity: chunking only reassociates, it doesn't change the sum.
+        let plain = kernels::gather(
+            &pol(1).with_heavy_row_degree(usize::MAX),
+            &g,
+            reduce,
+            EdgeGroup::ByDst,
+            &e,
+        )
+        .0;
+        assert!(base.allclose(&plain), "{reduce:?}: chunked vs plain");
+    }
+    // Max rows are never chunked: first-wins argmax is already
+    // scheduling-independent, so the threshold must not change bits.
+    let (mx_small, am_small) = kernels::gather(
+        &pol(4).with_heavy_row_degree(16),
+        &g,
+        ReduceFn::Max,
+        EdgeGroup::ByDst,
+        &e,
+    );
+    let (mx_plain, am_plain) = kernels::gather(&pol(1), &g, ReduceFn::Max, EdgeGroup::ByDst, &e);
+    assert_bit_identical("heavy-row gather max", &mx_small, &mx_plain);
+    assert_eq!(am_small, am_plain, "argmax tables differ");
+}
+
+/// End-to-end on the extreme-hub graph: a full GAT training step is
+/// bit-identical across threads {1, 2, 4} × fused {off, on} with the
+/// heavy-row split engaged (tiny pinned threshold).
+#[test]
+fn session_invariant_across_threads_and_fused_on_hub_graph() {
+    let g = hub_graph(600);
+    let spec = gat(&GatConfig {
+        in_dim: 5,
+        layers: vec![(2, 4)],
+        negative_slope: 0.2,
+        reorganized: true,
+    })
+    .expect("gat builds");
+    let vals = spec.init_values(&g, 11);
+    let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
+
+    let run = |threads: usize, fused: bool| {
+        let policy = pol(threads).with_heavy_row_degree(8);
+        let mut sess = Session::builder(&compiled.plan, &g)
+            .policy(policy)
+            .fused(fused)
+            .env(gnnopt_exec::EnvOverrides::Off)
+            .build()
+            .expect("session");
+        let mut b = Bindings::new();
+        for (k, v) in &vals {
+            b.insert(k, v.clone());
+        }
+        let out = sess.forward(&b).expect("forward");
+        let grads = sess
+            .backward(Tensor::ones(out[0].shape()))
+            .expect("backward");
+        (out, grads)
+    };
+
+    let (out_base, grads_base) = run(1, false);
+    for fused in [false, true] {
+        for threads in [1usize, 2, 4] {
+            if threads == 1 && !fused {
+                continue;
+            }
+            let (out, grads) = run(threads, fused);
+            assert_eq!(out_base.len(), out.len());
+            for (a, b) in out_base.iter().zip(&out) {
+                assert_bit_identical(&format!("output (t={threads}, fused={fused})"), a, b);
+            }
+            assert_eq!(grads_base.len(), grads.len());
+            for (k, gb) in &grads_base {
+                assert_bit_identical(
+                    &format!("grad '{k}' (t={threads}, fused={fused})"),
+                    gb,
+                    &grads[k],
+                );
+            }
+        }
+    }
+}

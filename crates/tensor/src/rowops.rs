@@ -8,112 +8,292 @@
 //! fused tiled interpreter each had a copy, and staying bit-identical
 //! between the two was a discipline, not a construction. Now both paths
 //! call these functions, so they share one set of inner loops by
-//! definition, and the loops themselves are written over exact-length
-//! paired slices (`zip` over equal-length splits) so LLVM autovectorizes
-//! them without bounds checks.
+//! definition.
+//!
+//! # SIMD dispatch
+//!
+//! Each primitive has exactly one loop body, defined in [`scalar`]. On
+//! x86-64 the same body is additionally monomorphized inside a
+//! `#[target_feature(enable = "avx2")]` wrapper, so LLVM revectorizes it
+//! at 8 lanes; a process-wide [`is_x86_feature_detected!`] check (cached
+//! once) picks the wide build at runtime, mirroring the geometry-selection
+//! pattern of the [`crate::gemm`] module. Because both monomorphizations
+//! compile the *same* Rust body — IEEE element operations, no
+//! fused-multiply-add contraction (only `avx2` is enabled, and Rust never
+//! contracts) — the two paths are bit-identical by construction. The CI
+//! gate pins this by re-running the suite under
+//! [`ROWOPS_ENV_VAR`]`=scalar`, which forces the scalar build.
 //!
 //! Accumulation order within a row is element-independent (no horizontal
 //! reductions), so vectorization never reorders floating-point math:
 //! each output element keeps the exact rounding chain of the scalar
-//! loop.
+//! loop. The `exp`-based softmax rows call `libm` per element and do not
+//! vectorize on either path; they are dispatched anyway so the module
+//! has one uniform rule.
 
-/// `o[i] += x[i]` (the `Gather(Sum)` inner loop).
+/// Environment variable selecting the rowops build: set to `scalar` to
+/// force the portable path even when AVX2 is available (the CI
+/// bit-identity leg). Any other value (or unset) keeps runtime detection.
+pub const ROWOPS_ENV_VAR: &str = "GNNOPT_ROWOPS";
+
+/// True when the AVX2 monomorphizations should be used: AVX2 detected at
+/// runtime and not overridden by [`ROWOPS_ENV_VAR`]`=scalar`. Resolved
+/// once per process (the primitives run on rows as narrow as two
+/// elements, so the check must not touch the environment per call).
+#[cfg(target_arch = "x86_64")]
 #[inline]
-pub fn add_assign(o: &mut [f32], x: &[f32]) {
-    for (ov, &xv) in o.iter_mut().zip(x) {
-        *ov += xv;
+fn use_avx2() -> bool {
+    use std::sync::OnceLock;
+    static USE_AVX2: OnceLock<bool> = OnceLock::new();
+    *USE_AVX2.get_or_init(|| {
+        let forced_scalar =
+            std::env::var(ROWOPS_ENV_VAR).is_ok_and(|v| v.trim().eq_ignore_ascii_case("scalar"));
+        !forced_scalar && std::arch::is_x86_feature_detected!("avx2")
+    })
+}
+
+/// The portable loop bodies — the *definition* of every primitive. The
+/// AVX2 path re-monomorphizes these exact functions with wider codegen;
+/// tests and the CI scalar leg call them directly to pin bit-identity
+/// against the dispatched entry points.
+pub mod scalar {
+    /// `o[i] += x[i]` (the `Gather(Sum)` inner loop).
+    #[inline(always)]
+    pub fn add_assign(o: &mut [f32], x: &[f32]) {
+        for (ov, &xv) in o.iter_mut().zip(x) {
+            *ov += xv;
+        }
+    }
+
+    /// `o[i] += alpha · x[i]` (the `Gather(Mean)` inner loop).
+    #[inline(always)]
+    pub fn axpy(o: &mut [f32], alpha: f32, x: &[f32]) {
+        for (ov, &xv) in o.iter_mut().zip(x) {
+            *ov += alpha * xv;
+        }
+    }
+
+    /// `o[i] = alpha · x[i]` (the `GatherMeanBwd` row expression).
+    #[inline(always)]
+    pub fn scale_into(o: &mut [f32], alpha: f32, x: &[f32]) {
+        for (ov, &xv) in o.iter_mut().zip(x) {
+            *ov = alpha * xv;
+        }
+    }
+
+    /// `o[i] = max(o[i], x[i])` (the edge-softmax max sweep).
+    #[inline(always)]
+    pub fn max_assign(o: &mut [f32], x: &[f32]) {
+        for (ov, &xv) in o.iter_mut().zip(x) {
+            *ov = ov.max(xv);
+        }
+    }
+
+    /// `o[i] += a[i] · b[i]` (the edge-softmax backward `Σ g·y` sweep).
+    #[inline(always)]
+    pub fn mul_add_accum(o: &mut [f32], a: &[f32], b: &[f32]) {
+        for ((ov, &av), &bv) in o.iter_mut().zip(a).zip(b) {
+            *ov += av * bv;
+        }
+    }
+
+    /// `o[i] = f(o[i], b[i])` (the equal-width `Binary` kernel, whose
+    /// output starts as a copy of the left operand).
+    #[inline(always)]
+    pub fn binary_assign(o: &mut [f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
+        for (ov, &bv) in o.iter_mut().zip(b) {
+            *ov = f(*ov, bv);
+        }
+    }
+
+    /// `o[i] = f(a[i], b[i])` (the per-edge `Scatter(Bin)` expression).
+    #[inline(always)]
+    pub fn zip2_into(o: &mut [f32], a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
+        for ((ov, &av), &bv) in o.iter_mut().zip(a).zip(b) {
+            *ov = f(av, bv);
+        }
+    }
+
+    /// `o[i] = f(o[i])` (the `Unary` kernel over a pre-copied buffer).
+    #[inline(always)]
+    pub fn map_assign(o: &mut [f32], f: impl Fn(f32) -> f32) {
+        for ov in o.iter_mut() {
+            *ov = f(*ov);
+        }
+    }
+
+    /// `o[i] = f(x[i])` (the `Unary` step of the fused interpreter: one
+    /// pass, no intermediate copy).
+    #[inline(always)]
+    pub fn map_into(o: &mut [f32], x: &[f32], f: impl Fn(f32) -> f32) {
+        for (ov, &xv) in o.iter_mut().zip(x) {
+            *ov = f(xv);
+        }
+    }
+
+    /// `d[i] += exp(x[i] − m[i])` (the edge-softmax denominator sweep).
+    #[inline(always)]
+    pub fn exp_sub_accum(d: &mut [f32], x: &[f32], m: &[f32]) {
+        for ((dv, &xv), &mv) in d.iter_mut().zip(x).zip(m) {
+            *dv += (xv - mv).exp();
+        }
+    }
+
+    /// `y[i] = exp(x[i] − m[i]) / d[i]` (the edge-softmax output row,
+    /// both the fresh and the recompute-from-aux paths).
+    #[inline(always)]
+    pub fn softmax_from_stats(y: &mut [f32], x: &[f32], m: &[f32], d: &[f32]) {
+        for (((yv, &xv), &mv), &dv) in y.iter_mut().zip(x).zip(m).zip(d) {
+            *yv = (xv - mv).exp() / dv;
+        }
+    }
+
+    /// `o[i] = y[i] · (g[i] − s[i])` (the edge-softmax backward output
+    /// row).
+    #[inline(always)]
+    pub fn softmax_bwd_row(o: &mut [f32], g: &[f32], y: &[f32], s: &[f32]) {
+        for (((ov, &gv), &yv), &sv) in o.iter_mut().zip(g).zip(y).zip(s) {
+            *ov = yv * (gv - sv);
+        }
     }
 }
 
-/// `o[i] += alpha · x[i]` (the `Gather(Mean)` inner loop).
-#[inline]
-pub fn axpy(o: &mut [f32], alpha: f32, x: &[f32]) {
-    for (ov, &xv) in o.iter_mut().zip(x) {
-        *ov += alpha * xv;
-    }
+/// Generates, for one primitive, the AVX2 monomorphization of its
+/// [`scalar`] body plus the public runtime-dispatched entry point. The
+/// macro forwards arguments verbatim, so the two paths can never diverge
+/// in semantics — only in codegen width.
+macro_rules! avx2_dispatched {
+    ($(#[$doc:meta])* $name:ident, $avx2:ident,
+     ($($arg:ident: $ty:ty),*)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2($($arg: $ty),*) {
+            scalar::$name($($arg),*)
+        }
+
+        $(#[$doc])*
+        #[inline]
+        pub fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2() {
+                // SAFETY: `use_avx2()` verified AVX2 support at runtime.
+                return unsafe { $avx2($($arg),*) };
+            }
+            scalar::$name($($arg),*)
+        }
+    };
 }
 
-/// `o[i] = alpha · x[i]` (the `GatherMeanBwd` row expression).
-#[inline]
-pub fn scale_into(o: &mut [f32], alpha: f32, x: &[f32]) {
-    for (ov, &xv) in o.iter_mut().zip(x) {
-        *ov = alpha * xv;
-    }
-}
+avx2_dispatched!(
+    /// `o[i] += x[i]` (the `Gather(Sum)` inner loop).
+    add_assign, add_assign_avx2, (o: &mut [f32], x: &[f32])
+);
+avx2_dispatched!(
+    /// `o[i] += alpha · x[i]` (the `Gather(Mean)` inner loop).
+    axpy, axpy_avx2, (o: &mut [f32], alpha: f32, x: &[f32])
+);
+avx2_dispatched!(
+    /// `o[i] = alpha · x[i]` (the `GatherMeanBwd` row expression).
+    scale_into, scale_into_avx2, (o: &mut [f32], alpha: f32, x: &[f32])
+);
+avx2_dispatched!(
+    /// `o[i] = max(o[i], x[i])` (the edge-softmax max sweep).
+    max_assign, max_assign_avx2, (o: &mut [f32], x: &[f32])
+);
+avx2_dispatched!(
+    /// `o[i] += a[i] · b[i]` (the edge-softmax backward `Σ g·y` sweep).
+    mul_add_accum, mul_add_accum_avx2, (o: &mut [f32], a: &[f32], b: &[f32])
+);
+avx2_dispatched!(
+    /// `d[i] += exp(x[i] − m[i])` (the edge-softmax denominator sweep).
+    exp_sub_accum, exp_sub_accum_avx2, (d: &mut [f32], x: &[f32], m: &[f32])
+);
+avx2_dispatched!(
+    /// `y[i] = exp(x[i] − m[i]) / d[i]` (the edge-softmax output row,
+    /// both the fresh and the recompute-from-aux paths).
+    softmax_from_stats, softmax_from_stats_avx2,
+    (y: &mut [f32], x: &[f32], m: &[f32], d: &[f32])
+);
+avx2_dispatched!(
+    /// `o[i] = y[i] · (g[i] − s[i])` (the edge-softmax backward output
+    /// row).
+    softmax_bwd_row, softmax_bwd_row_avx2,
+    (o: &mut [f32], g: &[f32], y: &[f32], s: &[f32])
+);
 
-/// `o[i] = max(o[i], x[i])` (the edge-softmax max sweep).
-#[inline]
-pub fn max_assign(o: &mut [f32], x: &[f32]) {
-    for (ov, &xv) in o.iter_mut().zip(x) {
-        *ov = ov.max(xv);
-    }
-}
+// The closure-parameterized primitives are dispatched by hand: each AVX2
+// wrapper is generic over the closure, so the caller's element expression
+// is inlined *inside* the `target_feature` context and vectorized at the
+// same width as the fixed-form primitives above.
 
-/// `o[i] += a[i] · b[i]` (the edge-softmax backward `Σ g·y` sweep).
-#[inline]
-pub fn mul_add_accum(o: &mut [f32], a: &[f32], b: &[f32]) {
-    for ((ov, &av), &bv) in o.iter_mut().zip(a).zip(b) {
-        *ov += av * bv;
-    }
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn binary_assign_avx2<F: Fn(f32, f32) -> f32>(o: &mut [f32], b: &[f32], f: F) {
+    scalar::binary_assign(o, b, f)
 }
 
 /// `o[i] = f(o[i], b[i])` (the equal-width `Binary` kernel, whose output
 /// starts as a copy of the left operand).
 #[inline]
 pub fn binary_assign(o: &mut [f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
-    for (ov, &bv) in o.iter_mut().zip(b) {
-        *ov = f(*ov, bv);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` verified AVX2 support at runtime.
+        return unsafe { binary_assign_avx2(o, b, f) };
     }
+    scalar::binary_assign(o, b, f)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn zip2_into_avx2<F: Fn(f32, f32) -> f32>(o: &mut [f32], a: &[f32], b: &[f32], f: F) {
+    scalar::zip2_into(o, a, b, f)
 }
 
 /// `o[i] = f(a[i], b[i])` (the per-edge `Scatter(Bin)` expression).
 #[inline]
 pub fn zip2_into(o: &mut [f32], a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
-    for ((ov, &av), &bv) in o.iter_mut().zip(a).zip(b) {
-        *ov = f(av, bv);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` verified AVX2 support at runtime.
+        return unsafe { zip2_into_avx2(o, a, b, f) };
     }
+    scalar::zip2_into(o, a, b, f)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn map_assign_avx2<F: Fn(f32) -> f32>(o: &mut [f32], f: F) {
+    scalar::map_assign(o, f)
 }
 
 /// `o[i] = f(o[i])` (the `Unary` kernel over a pre-copied buffer).
 #[inline]
 pub fn map_assign(o: &mut [f32], f: impl Fn(f32) -> f32) {
-    for ov in o.iter_mut() {
-        *ov = f(*ov);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` verified AVX2 support at runtime.
+        return unsafe { map_assign_avx2(o, f) };
     }
+    scalar::map_assign(o, f)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn map_into_avx2<F: Fn(f32) -> f32>(o: &mut [f32], x: &[f32], f: F) {
+    scalar::map_into(o, x, f)
 }
 
 /// `o[i] = f(x[i])` (the `Unary` step of the fused interpreter: one pass,
 /// no intermediate copy).
 #[inline]
 pub fn map_into(o: &mut [f32], x: &[f32], f: impl Fn(f32) -> f32) {
-    for (ov, &xv) in o.iter_mut().zip(x) {
-        *ov = f(xv);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` verified AVX2 support at runtime.
+        return unsafe { map_into_avx2(o, x, f) };
     }
-}
-
-/// `d[i] += exp(x[i] − m[i])` (the edge-softmax denominator sweep).
-#[inline]
-pub fn exp_sub_accum(d: &mut [f32], x: &[f32], m: &[f32]) {
-    for ((dv, &xv), &mv) in d.iter_mut().zip(x).zip(m) {
-        *dv += (xv - mv).exp();
-    }
-}
-
-/// `y[i] = exp(x[i] − m[i]) / d[i]` (the edge-softmax output row, both
-/// the fresh and the recompute-from-aux paths).
-#[inline]
-pub fn softmax_from_stats(y: &mut [f32], x: &[f32], m: &[f32], d: &[f32]) {
-    for (((yv, &xv), &mv), &dv) in y.iter_mut().zip(x).zip(m).zip(d) {
-        *yv = (xv - mv).exp() / dv;
-    }
-}
-
-/// `o[i] = y[i] · (g[i] − s[i])` (the edge-softmax backward output row).
-#[inline]
-pub fn softmax_bwd_row(o: &mut [f32], g: &[f32], y: &[f32], s: &[f32]) {
-    for (((ov, &gv), &yv), &sv) in o.iter_mut().zip(g).zip(y).zip(s) {
-        *ov = yv * (gv - sv);
-    }
+    scalar::map_into(o, x, f)
 }
 
 #[cfg(test)]
@@ -162,5 +342,62 @@ mod tests {
         let mut o = [0.0f32; 2];
         softmax_bwd_row(&mut o, &[2.0, 3.0], &y, &[0.5, 0.5]);
         assert_eq!(o, [1.5, 2.5]);
+    }
+
+    /// The dispatched entry points must be bit-identical to the scalar
+    /// bodies for every row length (SIMD width 8 makes remainders of
+    /// every residue class interesting) — the same contract the CI
+    /// `GNNOPT_ROWOPS=scalar` leg pins at suite scale.
+    #[test]
+    fn dispatched_paths_are_bit_identical_to_scalar() {
+        for len in 0..40usize {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 - 7.5) * 0.811).collect();
+            let y: Vec<f32> = (0..len)
+                .map(|i| (i as f32 * 1.37 - 3.0).sin() * 8.0)
+                .collect();
+            let base: Vec<f32> = (0..len).map(|i| (i as f32).cos() * 2.0).collect();
+
+            let run = |disp: &dyn Fn(&mut [f32]), scal: &dyn Fn(&mut [f32])| {
+                let mut a = base.clone();
+                let mut b = base.clone();
+                disp(&mut a);
+                scal(&mut b);
+                assert!(
+                    a.iter().zip(&b).all(|(l, r)| l.to_bits() == r.to_bits()),
+                    "dispatched path diverged from scalar at len {len}"
+                );
+            };
+
+            run(&|o| add_assign(o, &x), &|o| scalar::add_assign(o, &x));
+            run(&|o| axpy(o, 1.75, &x), &|o| scalar::axpy(o, 1.75, &x));
+            run(&|o| scale_into(o, -0.3, &x), &|o| {
+                scalar::scale_into(o, -0.3, &x)
+            });
+            run(&|o| max_assign(o, &x), &|o| scalar::max_assign(o, &x));
+            run(&|o| mul_add_accum(o, &x, &y), &|o| {
+                scalar::mul_add_accum(o, &x, &y)
+            });
+            run(&|o| exp_sub_accum(o, &x, &y), &|o| {
+                scalar::exp_sub_accum(o, &x, &y)
+            });
+            run(&|o| softmax_from_stats(o, &x, &y, &base), &|o| {
+                scalar::softmax_from_stats(o, &x, &y, &base)
+            });
+            run(&|o| softmax_bwd_row(o, &x, &y, &base), &|o| {
+                scalar::softmax_bwd_row(o, &x, &y, &base)
+            });
+            run(&|o| binary_assign(o, &x, |a, b| a * b + 0.5), &|o| {
+                scalar::binary_assign(o, &x, |a, b| a * b + 0.5)
+            });
+            run(&|o| zip2_into(o, &x, &y, |a, b| a - b), &|o| {
+                scalar::zip2_into(o, &x, &y, |a, b| a - b)
+            });
+            run(&|o| map_assign(o, |v| v * v), &|o| {
+                scalar::map_assign(o, |v| v * v)
+            });
+            run(&|o| map_into(o, &x, |v| v + 1.0), &|o| {
+                scalar::map_into(o, &x, |v| v + 1.0)
+            });
+        }
     }
 }

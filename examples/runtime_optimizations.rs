@@ -72,14 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     {
         use gnnopt::core::{ExecPolicy, ReorderPolicy};
-        use gnnopt::exec::{Bindings, Session};
+        use gnnopt::exec::{Bindings, EnvOverrides, Session};
         let compiled = compile(&spec.ir, true, &CompileOptions::ours())?;
-        let mut sess = Session::with_policy_fused(
-            &compiled.plan,
-            &graph,
-            ExecPolicy::auto().reordered(ReorderPolicy::Auto),
-            true,
-        )?;
+        let mut sess = Session::builder(&compiled.plan, &graph)
+            .policy(ExecPolicy::auto().reordered(ReorderPolicy::Auto))
+            .fused(true)
+            .env(EnvOverrides::Off)
+            .build()?;
         let (strategy, seconds) = sess.reorder();
         let mut bindings = Bindings::new();
         for (k, v) in spec.init_values(&graph, 7) {

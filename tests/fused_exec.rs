@@ -174,7 +174,7 @@ fn lowered_programs_classify_the_gat_plan_as_expected() {
     let (graph, spec) = workload();
     let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
     let plan = &compiled.plan;
-    assert!(plan.fused_exec, "ours preset turns fused execution on");
+    assert!(plan.exec.fused, "ours preset turns fused execution on");
 
     // Every multi-node graph kernel of the GAT plan lowers; singleton
     // dense kernels fall back by design.
