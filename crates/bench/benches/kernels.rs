@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gnnopt_core::{compile, CompileOptions, ExecPolicy, GemmKernel, Preset};
-use gnnopt_exec::{Bindings, Session};
+use gnnopt_exec::{Bindings, EnvOverrides, Session};
 use gnnopt_graph::{generators, Graph};
 use gnnopt_models::{edgeconv, gat, monet, EdgeConvConfig, GatConfig, MonetConfig};
 use gnnopt_tensor::Tensor;
@@ -37,7 +37,9 @@ fn bench_presets(c: &mut Criterion) {
             &compiled,
             |b, compiled| {
                 b.iter(|| {
-                    let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+                    let mut sess = Session::builder(&compiled.plan, &graph)
+                        .build()
+                        .expect("session");
                     let out = sess.forward(&bindings).expect("forward");
                     sess.backward(Tensor::ones(out[0].shape()))
                         .expect("backward")
@@ -69,7 +71,9 @@ fn bench_reorg(c: &mut Criterion) {
             &compiled,
             |b, compiled| {
                 b.iter(|| {
-                    let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+                    let mut sess = Session::builder(&compiled.plan, &graph)
+                        .build()
+                        .expect("session");
                     sess.forward(&bindings).expect("forward")
                 });
             },
@@ -97,7 +101,9 @@ fn bench_monet(c: &mut Criterion) {
             &compiled,
             |b, compiled| {
                 b.iter(|| {
-                    let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+                    let mut sess = Session::builder(&compiled.plan, &graph)
+                        .build()
+                        .expect("session");
                     let out = sess.forward(&bindings).expect("forward");
                     sess.backward(Tensor::ones(out[0].shape()))
                         .expect("backward")
@@ -131,12 +137,11 @@ fn bench_thread_scaling(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let mut sess = Session::with_policy(
-                        &compiled.plan,
-                        &graph,
-                        ExecPolicy::with_threads(threads),
-                    )
-                    .expect("session");
+                    let mut sess = Session::builder(&compiled.plan, &graph)
+                        .policy(ExecPolicy::with_threads(threads))
+                        .env(EnvOverrides::Ignore)
+                        .build()
+                        .expect("session");
                     let out = sess.forward(&bindings).expect("forward");
                     sess.backward(Tensor::ones(out[0].shape()))
                         .expect("backward")
@@ -167,9 +172,12 @@ fn bench_fused_exec(c: &mut Criterion) {
     for (label, fused) in [("reference", false), ("fused", true)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &fused, |b, &fused| {
             b.iter(|| {
-                let mut sess =
-                    Session::with_policy_fused(&compiled.plan, &graph, ExecPolicy::auto(), fused)
-                        .expect("session");
+                let mut sess = Session::builder(&compiled.plan, &graph)
+                    .policy(ExecPolicy::auto())
+                    .fused(fused)
+                    .env(EnvOverrides::Off)
+                    .build()
+                    .expect("session");
                 let out = sess.forward(&bindings).expect("forward");
                 sess.backward(Tensor::ones(out[0].shape()))
                     .expect("backward")
@@ -203,13 +211,12 @@ fn bench_reordered_exec(c: &mut Criterion) {
         ("rcm", gnnopt_core::ReorderPolicy::Rcm),
         ("cluster", gnnopt_core::ReorderPolicy::Cluster),
     ] {
-        let mut sess = Session::with_policy_fused(
-            &compiled.plan,
-            &graph,
-            ExecPolicy::auto().reordered(reorder),
-            true,
-        )
-        .expect("session");
+        let mut sess = Session::builder(&compiled.plan, &graph)
+            .policy(ExecPolicy::auto().reordered(reorder))
+            .fused(true)
+            .env(EnvOverrides::Off)
+            .build()
+            .expect("session");
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
             b.iter(|| {
                 let out = sess.forward(&bindings).expect("forward");
@@ -278,8 +285,12 @@ fn bench_gat_step_blocked(c: &mut Criterion) {
         // Session prebuilt outside the timed loop (the build cost is
         // engine-independent and would only compress the ratio).
         let policy = ExecPolicy::auto().with_gemm(kernel);
-        let mut sess =
-            Session::with_policy_fused(&compiled.plan, &graph, policy, true).expect("session");
+        let mut sess = Session::builder(&compiled.plan, &graph)
+            .policy(policy)
+            .fused(true)
+            .env(EnvOverrides::Off)
+            .build()
+            .expect("session");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kernel:?}")),
             &(),

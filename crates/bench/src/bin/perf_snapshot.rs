@@ -1,15 +1,15 @@
 //! Machine-readable performance snapshot: measures the compute engine
 //! (GEMM GFLOP/s per kernel), a real GAT training step per engine — at
 //! the auto-detected pool size and pinned to 4 workers — and the
-//! session's peak value bytes, then writes `BENCH_PR6.json` so the perf
+//! session's peak value bytes, then writes `BENCH_PR7.json` so the perf
 //! trajectory is tracked as a diffable artifact (PR 5 wrote
-//! `BENCH_PR5.json`; later PRs append `BENCH_PR<N>.json` files of the
-//! same shape).
+//! `BENCH_PR5.json`, PR 6 `BENCH_PR6.json`; later PRs append
+//! `BENCH_PR<N>.json` files of the same shape).
 //!
-//! The snapshot also reads the committed `BENCH_PR5.json` (when present)
-//! and reports the backward-phase speedup of the sparse kernel engine
-//! over the PR 5 baseline, per model, on the blocked-GEMM auto-thread
-//! rows.
+//! The snapshot also reads the committed `BENCH_PR6.json` (when present)
+//! and reports the backward-phase speedup of the total-lowering engine
+//! over the PR 6 baseline, per model, on the blocked-GEMM auto-thread
+//! rows — the regression guard for retiring the fusion fallbacks.
 //!
 //! Run with `cargo run --release -p gnnopt-bench --bin perf_snapshot`;
 //! `GNNOPT_SMOKE=1` shrinks every workload to CI scale and skips the
@@ -47,20 +47,20 @@ struct StepRow {
     threads: usize,
 }
 
-/// Backward-phase comparison against the committed PR 5 baseline.
+/// Backward-phase comparison against the committed PR 6 baseline.
 #[derive(Serialize)]
 struct BackwardSpeedupRow {
     model: String,
-    pr5_backward_ms: f64,
+    pr6_backward_ms: f64,
     backward_ms: f64,
     speedup: f64,
 }
 
 #[derive(Serialize)]
 struct Snapshot {
-    /// Snapshot schema marker (`pr6-sparse-kernel-engine`; extends the
-    /// PR 5 `pr5-compute-engine` shape with the pinned 4-thread step
-    /// rows and the backward-speedup section).
+    /// Snapshot schema marker (`pr7-total-lowering`; same shape as the
+    /// PR 6 `pr6-sparse-kernel-engine` snapshot, with the speedup
+    /// section re-baselined on `BENCH_PR6.json`).
     schema: String,
     /// True when sizes were shrunk by `GNNOPT_SMOKE=1`.
     smoke: bool,
@@ -72,10 +72,10 @@ struct Snapshot {
     /// Auto-thread rows (comparable to the PR 5 artifact) followed by
     /// rows pinned to 4 workers; the `threads` field tells them apart.
     steps: Vec<StepRow>,
-    /// Backward-phase speedup vs the committed `BENCH_PR5.json` blocked
-    /// rows (auto threads); empty when the baseline file is absent or
-    /// unreadable.
-    backward_speedup_vs_pr5: Vec<BackwardSpeedupRow>,
+    /// Backward-phase speedup vs the committed `BENCH_PR6.json` blocked
+    /// rows (auto threads — the *first* blocked row per model); empty
+    /// when the baseline file is absent or unreadable.
+    backward_speedup_vs_pr6: Vec<BackwardSpeedupRow>,
 }
 
 /// Measures one model under both engines via the shared
@@ -113,11 +113,13 @@ fn as_f64(v: &serde::Value) -> Option<f64> {
     }
 }
 
-/// PR 5 blocked-engine backward milliseconds per model, from the
-/// committed baseline artifact. `None` when the file is missing or its
-/// shape is unexpected — the snapshot still writes, just without the
-/// comparison section.
-fn pr5_backward_ms(path: &std::path::Path) -> Option<std::collections::HashMap<String, f64>> {
+/// PR 6 blocked-engine backward milliseconds per model, from the
+/// committed baseline artifact — the first blocked row per model, i.e.
+/// the auto-thread measurement (the pinned 4-thread rows repeat the
+/// model names later in the array). `None` when the file is missing or
+/// its shape is unexpected — the snapshot still writes, just without
+/// the comparison section.
+fn pr6_backward_ms(path: &std::path::Path) -> Option<std::collections::HashMap<String, f64>> {
     let text = std::fs::read_to_string(path).ok()?;
     let v: serde::Value = serde_json::from_str(&text).ok()?;
     let serde::Value::Array(rows) = field(&v, "steps")? else {
@@ -128,10 +130,9 @@ fn pr5_backward_ms(path: &std::path::Path) -> Option<std::collections::HashMap<S
         if field(row, "kernel")?.as_str()? != "Blocked" {
             continue;
         }
-        by_model.insert(
-            field(row, "model")?.as_str()?.to_owned(),
-            as_f64(field(row, "backward_ms")?)?,
-        );
+        let model = field(row, "model")?.as_str()?.to_owned();
+        let ms = as_f64(field(row, "backward_ms")?)?;
+        by_model.entry(model).or_insert(ms);
     }
     Some(by_model)
 }
@@ -163,29 +164,29 @@ fn main() {
     }
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let baseline = pr5_backward_ms(&root.join("BENCH_PR5.json")).unwrap_or_default();
-    let backward_speedup_vs_pr5: Vec<BackwardSpeedupRow> = steps[..auto_rows]
+    let baseline = pr6_backward_ms(&root.join("BENCH_PR6.json")).unwrap_or_default();
+    let backward_speedup_vs_pr6: Vec<BackwardSpeedupRow> = steps[..auto_rows]
         .iter()
         .filter(|r| r.kernel == "Blocked")
         .filter_map(|r| {
-            let pr5 = *baseline.get(&r.model)?;
+            let pr6 = *baseline.get(&r.model)?;
             Some(BackwardSpeedupRow {
                 model: r.model.clone(),
-                pr5_backward_ms: pr5,
+                pr6_backward_ms: pr6,
                 backward_ms: r.backward_ms,
-                speedup: pr5 / r.backward_ms,
+                speedup: pr6 / r.backward_ms,
             })
         })
         .collect();
 
     let snapshot = Snapshot {
-        schema: "pr6-sparse-kernel-engine".to_owned(),
+        schema: "pr7-total-lowering".to_owned(),
         smoke: smoke(),
         auto_threads: available_threads(),
         gemm: gemm_rows,
         gemm_speedup: by_kernel[1] / by_kernel[0],
         steps,
-        backward_speedup_vs_pr5,
+        backward_speedup_vs_pr6,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     println!("{json}");
@@ -193,13 +194,13 @@ fn main() {
     // CI/dev smoke run clobber the committed reference-container
     // artifact.
     if smoke() {
-        eprintln!("smoke mode: not overwriting BENCH_PR6.json");
+        eprintln!("smoke mode: not overwriting BENCH_PR7.json");
     } else {
         // Anchor at the workspace root (two levels above this crate's
         // manifest), not the invoking cwd, so a refreshed measurement
         // always replaces the tracked artifact.
-        let path = root.join("BENCH_PR6.json");
-        std::fs::write(&path, &json).expect("BENCH_PR6.json writes");
+        let path = root.join("BENCH_PR7.json");
+        std::fs::write(&path, &json).expect("BENCH_PR7.json writes");
         eprintln!("wrote {}", path.display());
     }
 }

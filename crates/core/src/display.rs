@@ -2,8 +2,10 @@
 //! plans — the debugging surface for every pass.
 
 use crate::ir::{IrGraph, Phase};
-use crate::op::{OpKind, Space};
+use crate::lower::StepExec;
+use crate::op::{EdgeGroup, OpKind, Space};
 use crate::plan::ExecutionPlan;
+use crate::view::{edge_view, View};
 use std::fmt::Write as _;
 
 /// One line per node: `id name space dim phase ← inputs`.
@@ -123,6 +125,101 @@ pub fn dump_plan(plan: &ExecutionPlan) -> String {
     out
 }
 
+fn view_label(v: View) -> &'static str {
+    match v {
+        View::Aligned => "aligned",
+        View::BySrc => "by-src",
+        View::ByDst => "by-dst",
+        View::Reduce(EdgeGroup::ByDst) => "reduce:by-dst",
+        View::Reduce(EdgeGroup::BySrc) => "reduce:by-src",
+        View::Broadcast => "bcast",
+        View::Stash => "stash",
+        View::Unused => "unused",
+    }
+}
+
+/// Lowered cluster structure: one block per kernel program showing the
+/// kernel boundary (materialization class of every step), the streamed
+/// segment chains, and the per-edge view each step reads its inputs
+/// through.
+///
+/// Sample line — step `%14` of segment 0, tiled, spilled to an interior
+/// tensor, reading input `%12` through the destination endpoint:
+///
+/// ```text
+///   seg 0 (tiled stream):
+///     %14 gather_sum   V[1,4] interior  ← %12:reduce:by-dst
+/// ```
+pub fn dump_programs(plan: &ExecutionPlan) -> String {
+    let ir = &plan.ir;
+    let mut out = String::new();
+    for (k, prog) in plan.kernels.iter().zip(&plan.programs) {
+        // Count populated segments: full steps claim a fresh segment id
+        // even when the preceding tiled segment ended up empty, so the
+        // last id can overshoot the number of segments that exist.
+        let segments = prog
+            .steps
+            .iter()
+            .map(|s| s.segment)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let _ = writeln!(
+            out,
+            "k{:<3} {:?} {} steps, {} segment{}",
+            k.id,
+            k.mapping,
+            prog.steps.len(),
+            segments,
+            if segments == 1 { "" } else { "s" }
+        );
+        let mut seg = usize::MAX;
+        for s in &prog.steps {
+            if s.segment != seg {
+                seg = s.segment;
+                let flavor = match s.exec {
+                    StepExec::Tiled => "tiled stream",
+                    StepExec::Full => "full",
+                };
+                let _ = writeln!(out, "  seg {seg} ({flavor}):");
+            }
+            let node = ir.node(s.node);
+            let space = match s.space {
+                Space::Vertex => "V",
+                Space::Edge => "E",
+                Space::Param => "P",
+            };
+            let storage = match s.storage {
+                crate::lower::Storage::Materialized => "materialized",
+                crate::lower::Storage::Interior => "interior",
+                crate::lower::Storage::Scratch => "scratch",
+                crate::lower::Storage::Prelude => "prelude",
+            };
+            let reads: Vec<String> = node
+                .inputs
+                .iter()
+                .enumerate()
+                .filter(|&(pos, _)| edge_view(ir, s.node, pos) != View::Unused)
+                .map(|(pos, &i)| format!("%{i}:{}", view_label(edge_view(ir, s.node, pos))))
+                .collect();
+            let _ = writeln!(
+                out,
+                "    %{:<3} {:<24} {space}[{}] {:<12}{}{}",
+                s.node,
+                node.name,
+                s.cols,
+                storage,
+                if s.recompute { " recompute" } else { "" },
+                if reads.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ← {}", reads.join(" "))
+                }
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +269,34 @@ mod tests {
         let s = dump_plan(&compiled.plan);
         assert!(s.contains("kernels"));
         assert!(s.contains("recompute"), "plan summary: {s}");
+    }
+
+    #[test]
+    fn program_dump_renders_clusters_views_and_storage() {
+        let g = toy();
+        let compiled = compile(&g, true, &CompileOptions::ours()).unwrap();
+        let s = dump_programs(&compiled.plan);
+        // Every kernel appears with its segment structure …
+        for k in &compiled.plan.kernels {
+            assert!(s.contains(&format!("k{:<3}", k.id)), "kernel {}: {s}", k.id);
+        }
+        // … every step appears with a storage class …
+        for prog in &compiled.plan.programs {
+            for st in &prog.steps {
+                assert!(
+                    s.contains(&format!("%{:<3}", st.node)),
+                    "step {}: {s}",
+                    st.node
+                );
+            }
+        }
+        assert!(s.contains("materialized"), "boundary class: {s}");
+        assert!(s.contains("scratch"), "internal class: {s}");
+        // … and endpoint views annotate the cross-space reads (the
+        // scatter reads its vertex operand by-src, the gather reduces
+        // by-dst).
+        assert!(s.contains("by-src"), "endpoint views: {s}");
+        assert!(s.contains("reduce:by-dst"), "reduction views: {s}");
+        assert!(s.contains("tiled stream"), "streamed chains: {s}");
     }
 }

@@ -7,6 +7,19 @@
 //! mapping from operator type lets *all* graph-related operators share one
 //! mapping and fuse into a single kernel ([`FusionLevel::Unified`]).
 //!
+//! The unified clustering is *view-driven*, not template-driven: every
+//! dataflow edge is classified by [`crate::view::edge_view`] (aligned /
+//! endpoint / reduction / broadcast), and regions grow greedily along
+//! fusible edges with each merge admitted only if the induced kernel DAG
+//! stays acyclic ([`assignment_is_acyclic`]) and every endpoint read of an
+//! in-kernel value matches its producer's reduction grouping
+//! ([`assignment_is_legal`]). Because each merge is individually guarded,
+//! the unified partition always yields a schedulable kernel DAG — there is
+//! no fallback path. Kernel boundaries, materialization classes and
+//! streaming eligibility all follow from the same views (see
+//! [`crate::lower`]), which is what makes lowering total over the operator
+//! algebra.
+//!
 //! Baselines:
 //! * [`FusionLevel::None`] — one kernel per operator (ablation baseline);
 //! * [`FusionLevel::DglBuiltin`] — DGL: fused edge-softmax plus the gSpMM
@@ -59,14 +72,16 @@ pub fn partition(ir: &IrGraph, level: FusionLevel, policy: MappingPolicy) -> Vec
     if let Some(kernels) = try_build_kernels(ir, &region, policy) {
         return kernels;
     }
-    // Greedy regions produced a cyclic kernel DAG (a fusible↔expensive
-    // interleaving); fall back to provably convex regions.
-    let region = match level {
-        FusionLevel::Unified => regions_unified_by_depth(ir),
-        _ => regions_unfused(ir),
-    };
-    try_build_kernels(ir, &region, policy)
-        .expect("depth-stratified regions always form an acyclic kernel DAG")
+    // Unified regions are acyclic by construction (every merge is guarded
+    // by `assignment_is_acyclic`), and unfused regions trivially so; only
+    // the baseline templates (DGL / fuseGNN) can produce a non-convex
+    // pattern claim on exotic graphs. Degrade those to one-kernel-per-op.
+    assert!(
+        matches!(level, FusionLevel::DglBuiltin | FusionLevel::EdgeOnly),
+        "merge-guarded {level:?} regions always form an acyclic kernel DAG"
+    );
+    try_build_kernels(ir, &regions_unfused(ir), policy)
+        .expect("one kernel per op is trivially acyclic")
 }
 
 /// Gives every consumer of a shared `Scatter(CopyU/CopyV)` its own private
@@ -105,7 +120,7 @@ pub fn duplicate_copy_scatters(ir: &IrGraph) -> (IrGraph, HashMap<NodeId, NodeId
             }
         }
         let id = out.push_raw(
-            node.kind.clone(),
+            remap_kind(&node.kind, &map),
             inputs,
             node.space,
             node.dim,
@@ -118,6 +133,17 @@ pub fn duplicate_copy_scatters(ir: &IrGraph) -> (IrGraph, HashMap<NodeId, NodeId
     }
     out.set_phase(crate::ir::Phase::Forward);
     dce_with_map(&out, map)
+}
+
+/// Clones an op kind for a rewritten graph, remapping any node ids
+/// *embedded in the kind itself* (the `fwd` pointer of
+/// [`OpKind::GatherMaxBwd`]) through the old→new map. The forward gather
+/// always precedes its backward node, so its new id is already in `map`.
+fn remap_kind(kind: &OpKind, map: &HashMap<NodeId, NodeId>) -> OpKind {
+    match kind {
+        OpKind::GatherMaxBwd { fwd } => OpKind::GatherMaxBwd { fwd: map[fwd] },
+        other => other.clone(),
+    }
 }
 
 /// Dead-code elimination that threads an existing old→new map through.
@@ -174,7 +200,7 @@ fn dce_with_map(
         out.set_phase(node.phase);
         let inputs = node.inputs.iter().map(|i| map[i]).collect();
         let id = out.push_raw(
-            node.kind.clone(),
+            remap_kind(&node.kind, &map),
             inputs,
             node.space,
             node.dim,
@@ -268,41 +294,6 @@ fn regions_unfused(ir: &IrGraph) -> Vec<Option<usize>> {
     region
 }
 
-/// "Barrier depth": the number of kernel barriers on the longest path from
-/// any leaf. A barrier is an expensive (non-fusible) producer, or a
-/// dataflow edge from an in-graph vertex producer into a source-reading
-/// scatter (the cross-group legality boundary — see
-/// [`assignment_is_legal`]). Merging only equal-depth endpoints keeps
-/// regions convex: any escaping path crosses a barrier and can never
-/// return to the same depth.
-fn expensive_depth(ir: &IrGraph) -> Vec<usize> {
-    let mut depth = vec![0usize; ir.len()];
-    for n in ir.nodes() {
-        // Endpoint-blind conservative version of the legality rule: any
-        // scatter-like vertex read of an in-graph-produced value is a
-        // barrier, so same-depth regions are legal by construction (the
-        // producer can never share the consumer's depth).
-        let scatter_inputs: Vec<usize> = vertex_read_endpoints(ir, n)
-            .into_iter()
-            .map(|(idx, _)| idx)
-            .collect();
-        let mut d = 0;
-        let last_input = n.inputs.len().saturating_sub(1);
-        for (pos, &i) in n.inputs.iter().enumerate() {
-            let expensive = ir.node(i).kind.fusion_class() == FusionClass::Expensive;
-            let base = resolve_view(ir, i);
-            let bn = ir.node(base);
-            let remote_read = scatter_inputs.iter().any(|&si| si.min(last_input) == pos)
-                && bn.space == Space::Vertex
-                && bn.kind.fusion_class() != FusionClass::Leaf;
-            let bump = usize::from(expensive || remote_read);
-            d = d.max(depth[i] + bump);
-        }
-        depth[n.id] = d;
-    }
-    depth
-}
-
 /// The paper's unified fusion: grow regions greedily along fusible
 /// same-phase dataflow edges, admitting each merge only if the kernel DAG
 /// stays acyclic (i.e. the region stays convex). This recovers the paper's
@@ -394,27 +385,11 @@ fn regions_unified(ir: &IrGraph) -> Vec<Option<usize>> {
 }
 
 /// The per-edge vertex-row reads of scatter-like ops, as `(input index,
-/// endpoint)` pairs: `Scatter(CopyU)` reads its first operand at the
-/// source endpoint, `Scatter(CopyV)` its second at the destination,
-/// binary/concat scatters read both, and the gather-backward duals read
-/// the vertex gradient at the forward gather's grouping endpoint.
+/// endpoint)` pairs — derived from the per-edge view classification
+/// ([`crate::view::edge_view`]) rather than an op template table, so new
+/// ops are covered by construction.
 fn vertex_read_endpoints(ir: &IrGraph, n: &crate::ir::Node) -> Vec<(usize, EdgeGroup)> {
-    match &n.kind {
-        OpKind::Scatter(ScatterFn::CopyU) => vec![(0, EdgeGroup::BySrc)],
-        OpKind::Scatter(ScatterFn::CopyV) => vec![(1, EdgeGroup::ByDst)],
-        OpKind::Scatter(ScatterFn::Bin(_)) | OpKind::Scatter(ScatterFn::ConcatUV) => {
-            vec![(0, EdgeGroup::BySrc), (1, EdgeGroup::ByDst)]
-        }
-        OpKind::GatherMeanBwd { group } => vec![(0, *group)],
-        OpKind::GatherMaxBwd { fwd } => vec![(
-            0,
-            ir.node(*fwd)
-                .kind
-                .reduction_group()
-                .unwrap_or(EdgeGroup::ByDst),
-        )],
-        _ => Vec::new(),
-    }
+    crate::view::endpoint_reads(ir, n.id)
 }
 
 /// Follows zero-cost view chains (`SetHeads`) to the value-producing node.
@@ -558,52 +533,6 @@ fn assignment_is_acyclic(ir: &IrGraph, region: &[Option<usize>], upto: NodeId) -
         }
     }
     visited == m
-}
-
-/// Convex-by-construction variant: fusible nodes merge only along edges
-/// whose endpoints share an expensive-depth. Any path between same-depth
-/// nodes through an expensive node would increase depth, so regions are
-/// convex and the kernel DAG acyclic.
-fn regions_unified_by_depth(ir: &IrGraph) -> Vec<Option<usize>> {
-    let depth = expensive_depth(ir);
-    let mut uf = UnionFind::new(ir.len());
-    for n in ir.nodes() {
-        if !is_fusible(ir, n.id) {
-            continue;
-        }
-        for &i in &n.inputs {
-            if is_fusible(ir, i) && depth[i] == depth[n.id] && ir.node(i).phase == n.phase {
-                uf.union(i, n.id);
-            }
-        }
-    }
-    finalize_regions(ir, &mut uf)
-}
-
-/// Converts union-find roots into dense region ids (expensive nodes get
-/// singleton regions).
-fn finalize_regions(ir: &IrGraph, uf: &mut UnionFind) -> Vec<Option<usize>> {
-    let mut region = vec![None; ir.len()];
-    let mut ids: HashMap<usize, usize> = HashMap::new();
-    let mut next = 0;
-    for n in ir.nodes() {
-        if !is_compute(ir, n.id) {
-            continue;
-        }
-        if is_fusible(ir, n.id) {
-            let root = uf.find(n.id);
-            let r = *ids.entry(root).or_insert_with(|| {
-                let r = next;
-                next += 1;
-                r
-            });
-            region[n.id] = Some(r);
-        } else {
-            region[n.id] = Some(next);
-            next += 1;
-        }
-    }
-    region
 }
 
 /// True if `id` is a `Scatter(CopyU)`/`Scatter(CopyV)` whose only consumer
@@ -1026,6 +955,50 @@ mod tests {
         let (g, _) = gat_like();
         let kernels = partition(&g, FusionLevel::Unified, MappingPolicy::Auto);
         assert_eq!(kernels.len(), 1);
+    }
+
+    /// A shared `CopyU` forces duplication (inserting nodes and shifting
+    /// every later id) and DCE then compacts ids again; the `fwd` pointer
+    /// embedded in `GatherMaxBwd` must track its forward gather through
+    /// both rewrites.
+    #[test]
+    fn duplication_remaps_gather_max_bwd_fwd_pointer() {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(4));
+        let hu = g.scatter(ScatterFn::CopyU, h, h).unwrap();
+        let g1 = g.gather(ReduceFn::Sum, EdgeGroup::ByDst, hu).unwrap();
+        let mx = g.gather(ReduceFn::Max, EdgeGroup::ByDst, hu).unwrap();
+        let a = g.binary(BinaryFn::Add, g1, mx).unwrap();
+        g.mark_output(a);
+        g.set_phase(crate::ir::Phase::Backward);
+        let seed = g.push_raw(
+            OpKind::GradSeed,
+            vec![],
+            Space::Vertex,
+            Dim::flat(4),
+            "seed",
+        );
+        let bwd = g.push_raw(
+            OpKind::GatherMaxBwd { fwd: mx },
+            vec![seed],
+            Space::Edge,
+            Dim::flat(4),
+            "gmb",
+        );
+        g.mark_output(bwd);
+        let (out, map) = duplicate_copy_scatters(&g);
+        assert_ne!(map[&mx], mx, "duplication must shift the forward id");
+        let OpKind::GatherMaxBwd { fwd } = out.node(map[&bwd]).kind else {
+            panic!("rewrite changed the node kind");
+        };
+        assert_eq!(fwd, map[&mx], "fwd must track the remapped forward node");
+        assert!(matches!(
+            out.node(fwd).kind,
+            OpKind::Gather {
+                reduce: ReduceFn::Max,
+                ..
+            }
+        ));
     }
 
     #[test]

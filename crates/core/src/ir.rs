@@ -1,5 +1,13 @@
 //! The computational-graph IR: a DAG of [`Node`]s over the operator
 //! algebra, with a validating builder API.
+//!
+//! Every node carries its iteration space ([`crate::op::Space`]: vertex,
+//! edge, or parameter rows) and shape ([`crate::op::Dim`]), and every
+//! dataflow edge has a well-defined per-edge [`crate::view::View`]
+//! derivable from the endpoint kinds alone — the generalized op-graph
+//! contract the clustering ([`crate::fusion`]) and lowering
+//! ([`crate::lower`]) passes schedule from, with no per-op templates and
+//! no unlowerable nodes.
 
 use crate::op::{BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn};
 

@@ -7,6 +7,8 @@
 //! * [`ir`] / [`op`] — the `Scatter` / `Gather` / `ApplyEdge` /
 //!   `ApplyVertex` operator algebra and the computational-graph IR (§2.1,
 //!   Appendix A);
+//! * [`view`] — the per-edge `View` classification (how each op reads each
+//!   input) that the fusion and lowering passes schedule from;
 //! * [`autodiff`] — derives backward graphs inside the same algebra
 //!   (Appendix B);
 //! * [`cost`] — symbolic FLOP/IO/memory model per operator;
@@ -46,6 +48,7 @@ pub mod plan;
 pub mod recompute;
 pub mod reorg;
 pub mod tune;
+pub mod view;
 
 pub use exec_policy::{ExecPolicy, GemmKernel, ReorderPolicy};
 pub use ir::{IrError, IrGraph, Node, Phase};
@@ -55,3 +58,4 @@ pub use pipeline::{compile, CompileOptions, FusionLevel, Preset};
 pub use plan::{ExecutionPlan, Kernel};
 pub use recompute::RecomputeScope;
 pub use tune::{autotune_mappings, TuneReport};
+pub use view::View;

@@ -40,22 +40,34 @@
 //! its softmax-backward chain in scratch while its two vertex-gradient
 //! gathers (`ByDst` and `BySrc`) both still execute.
 //!
-//! # Fallback rules
+//! # Totality
 //!
-//! [`lower_kernel`] returns `None` (the executor falls back to the
-//! reference node-by-node path) when:
+//! Lowering is *total*: [`lower_kernel`] produces a [`KernelProgram`] for
+//! every kernel the fusion pass emits — there is no per-kernel fallback to
+//! the reference path. Each member's schedule follows from its per-edge
+//! views ([`crate::view`]):
 //!
-//! * a member reduces across rows into a parameter-shaped output
-//!   (`GaussianBwdMu`/`GaussianBwdSigma`, `HeadDotBwdParam`,
-//!   `LinearBwdWeight`) — the reduction spans all tiles;
-//! * a member is the scattered-write `GatherMaxBwd` — its argmax table
-//!   routes writes to arbitrary edge rows across tiles;
-//! * a member scatter reads a same-segment in-kernel value at the
-//!   **source** endpoint — a tile only owns its own destinations;
-//! * a member is a dense/expensive operator (`Linear`, `HeadDot`, …) or a
-//!   non-view parameter-space node — those stay in dedicated kernels;
-//! * nothing would be saved (every member ends up materialized, interior,
-//!   or prelude), in which case the reference path is already optimal.
+//! * per-edge / destination-endpoint members run [`StepExec::Tiled`]
+//!   inside the destination-tile loop — including the argmax-routed
+//!   `GatherMaxBwd` when its forward gather grouped `ByDst` (the argmax
+//!   rows of a tile's destinations select only that tile's edges);
+//! * source-grouped reductions, the `BySrc`-grouped `GatherMaxBwd`, dense
+//!   projections (`Linear`, `HeadDot`, and their backward duals) and the
+//!   cross-row parameter reductions (`GaussianBwdMu`/`GaussianBwdSigma`)
+//!   run as [`StepExec::Full`] whole-graph steps with edge-inverted or
+//!   dense schedules — their own segments inside the program;
+//! * parameter-space *views* (weight slices / reshapes of out-of-kernel
+//!   values) are [`Storage::Prelude`] steps evaluated once per launch;
+//! * a tiled step reading a same-segment member at the **source**
+//!   endpoint starts a fresh segment (a tile only owns its destinations),
+//!   which spills the producer to [`Storage::Interior`] via the ordinary
+//!   cross-segment rule;
+//! * singleton kernels lower to one-step programs, so fused execution is
+//!   uniform: every kernel runs through the same program interpreter. The
+//!   lone step executes [`StepExec::Full`] (direct reference dispatch —
+//!   tiling a single materialized output would round-trip rows through
+//!   scratch for no memory win), except `EdgeSoftmax`, which stays tiled
+//!   to record its fresh max/denominator auxiliaries.
 
 use crate::op::{EdgeGroup, NodeId, OpKind, Space};
 use crate::plan::{ExecutionPlan, Kernel};
@@ -209,17 +221,17 @@ impl KernelProgram {
     }
 }
 
-/// Lowers every kernel of a plan; `None` entries fall back to the
-/// reference node-by-node path (see the module docs for the rules).
-pub fn lower_plan(plan: &ExecutionPlan) -> Vec<Option<KernelProgram>> {
+/// Lowers every kernel of a plan. Lowering is total: the result has one
+/// program per kernel, in kernel order.
+pub fn lower_plan(plan: &ExecutionPlan) -> Vec<KernelProgram> {
     plan.kernels.iter().map(|k| lower_kernel(plan, k)).collect()
 }
 
-/// How an edge/vertex-space member executes, or `None` when it disables
-/// lowering entirely (parameter-space members are handled by the prelude
-/// classification).
-fn op_exec(kind: &OpKind) -> Option<StepExec> {
-    match kind {
+/// How a (non-prelude) member executes — total over every op the fusion
+/// pass can put in a kernel. Leaves are never kernel members (every region
+/// builder gates on `FusionClass::Leaf`), so they are unreachable here.
+fn op_exec(ir: &crate::ir::IrGraph, node: &crate::ir::Node) -> StepExec {
+    match &node.kind {
         OpKind::Scatter(_)
         | OpKind::EdgeSoftmax
         | OpKind::EdgeSoftmaxBwd
@@ -233,20 +245,30 @@ fn op_exec(kind: &OpKind) -> Option<StepExec> {
         | OpKind::HeadReduce(_)
         | OpKind::HeadBroadcast { .. }
         | OpKind::FeatSum
-        | OpKind::FeatBroadcast { .. } => Some(StepExec::Tiled),
+        | OpKind::FeatBroadcast { .. } => StepExec::Tiled,
         // Source-grouped reductions run as whole-graph full steps: their
         // groups are not contiguous in the destination-major edge order.
         OpKind::Gather { group, .. } | OpKind::GatherMeanBwd { group } => {
-            Some(if *group == EdgeGroup::ByDst {
+            if *group == EdgeGroup::ByDst {
                 StepExec::Tiled
             } else {
                 StepExec::Full
-            })
+            }
         }
-        // Cross-row parameter reductions, the scattered-write gather-max
-        // backward, dense projections, and leaves fail the whole kernel.
-        OpKind::GatherMaxBwd { .. }
-        | OpKind::Linear
+        // The argmax-routed gather-max backward tiles iff its forward
+        // gather grouped by destination: the argmax rows of a tile's
+        // destinations name only that tile's edges. A BySrc forward
+        // scatters writes across tiles, so it runs full (edge-inverted).
+        OpKind::GatherMaxBwd { fwd } => {
+            if crate::view::gather_max_bwd_group(ir, *fwd) == EdgeGroup::ByDst {
+                StepExec::Tiled
+            } else {
+                StepExec::Full
+            }
+        }
+        // Dense projections and cross-row parameter reductions span all
+        // tiles: whole-graph full steps through the reference kernels.
+        OpKind::Linear
         | OpKind::LinearBwdInput
         | OpKind::LinearBwdWeight
         | OpKind::HeadDot
@@ -255,29 +277,16 @@ fn op_exec(kind: &OpKind) -> Option<StepExec> {
         | OpKind::GaussianBwdMu
         | OpKind::GaussianBwdSigma
         | OpKind::SliceRows { .. }
-        | OpKind::EmbedRows { .. }
-        | OpKind::InputVertex
-        | OpKind::InputEdge
-        | OpKind::Param
-        | OpKind::GradSeed => None,
+        | OpKind::EmbedRows { .. } => StepExec::Full,
+        OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed => {
+            unreachable!("leaves are never kernel members")
+        }
     }
 }
 
-/// The member-input positions a scatter-like member reads at the *source*
-/// endpoint. A tile owns destination rows only, so these operands must
-/// come from global memory (non-members).
-fn src_side_inputs(kind: &OpKind) -> &'static [usize] {
-    match kind {
-        OpKind::Scatter(crate::op::ScatterFn::CopyU)
-        | OpKind::Scatter(crate::op::ScatterFn::Bin(_))
-        | OpKind::Scatter(crate::op::ScatterFn::ConcatUV) => &[0],
-        _ => &[],
-    }
-}
-
-/// Lowers one kernel, or `None` when it must fall back (module docs list
-/// the rules).
-pub fn lower_kernel(plan: &ExecutionPlan, kernel: &Kernel) -> Option<KernelProgram> {
+/// Lowers one kernel. Total: every kernel yields a program (module docs
+/// describe the schedule classes).
+pub fn lower_kernel(plan: &ExecutionPlan, kernel: &Kernel) -> KernelProgram {
     let ir = &plan.ir;
     // Members in ascending node-id order (== topological order).
     let recompute: HashSet<NodeId> = kernel.recompute.iter().copied().collect();
@@ -289,15 +298,13 @@ pub fn lower_kernel(plan: &ExecutionPlan, kernel: &Kernel) -> Option<KernelProgr
         .collect();
     member_ids.sort_unstable();
     member_ids.dedup();
-    if member_ids.len() < 2 {
-        // A singleton kernel has nothing internal to keep on-chip.
-        return None;
-    }
     let members: HashSet<NodeId> = member_ids.iter().copied().collect();
     let materialized: HashSet<NodeId> = plan.materialized_nodes(kernel).into_iter().collect();
 
     // Pass 1: execution and storage classes, plus segment assignment
-    // (full steps break the tiled run they interrupt).
+    // (full steps break the tiled run they interrupt, and a tiled
+    // source-endpoint read of a same-segment member starts a fresh
+    // segment so the producer completes — and spills — first).
     let mut storage: HashMap<NodeId, Storage> = HashMap::new();
     let mut exec: HashMap<NodeId, StepExec> = HashMap::new();
     let mut segment: HashMap<NodeId, usize> = HashMap::new();
@@ -306,32 +313,53 @@ pub fn lower_kernel(plan: &ExecutionPlan, kernel: &Kernel) -> Option<KernelProgr
     for &id in &member_ids {
         let node = ir.node(id);
         if node.space == Space::Param {
-            // Parameter-space members must be zero-cost views of
-            // out-of-kernel values (weight slices introduced by the
-            // reorganization pass); anything heavier stays unfused. A
-            // view consumed by *another* kernel would need a boundary
-            // write the tiled interpreter does not model.
+            // Parameter-space *views* of out-of-kernel values (weight
+            // slices / reshapes introduced by the reorganization pass)
+            // are prelude steps: evaluated once per launch, `O(params)`.
             let viewish = matches!(
                 node.kind,
                 OpKind::SliceCols { .. } | OpKind::SliceRows { .. } | OpKind::SetHeads { .. }
             );
-            let inputs_ok = node
+            let inputs_prelude = node
                 .inputs
                 .iter()
                 .all(|i| !members.contains(i) || storage.get(i) == Some(&Storage::Prelude));
-            if !(viewish && inputs_ok) || materialized.contains(&id) {
-                return None;
+            if viewish && inputs_prelude && !materialized.contains(&id) {
+                storage.insert(id, Storage::Prelude);
+                continue;
             }
-            storage.insert(id, Storage::Prelude);
-            continue;
+            // Parameter-space *compute* members (the Gaussian param
+            // reductions, fused weight gradients) reduce across all rows:
+            // whole-graph full steps, below.
         }
-        let e = op_exec(&node.kind)?;
+        // Non-prelude param members always run full — `O(params)` work
+        // with no tile structure (and the tiled interpreter has no
+        // parameter-space scratch rows).
+        let e = if node.space == Space::Param {
+            StepExec::Full
+        } else {
+            op_exec(ir, node)
+        };
         if e == StepExec::Full {
             seg += 1; // a full step is its own segment …
             prev_full = true;
-        } else if prev_full {
-            seg += 1; // … and the next tiled run starts a fresh one.
-            prev_full = false;
+        } else {
+            if prev_full {
+                seg += 1; // … and the next tiled run starts a fresh one.
+                prev_full = false;
+            }
+            // A tile owns destination rows only: a source-endpoint read
+            // of a member still being produced in the current segment
+            // forces a segment break (the producer spills in pass 2).
+            let src_break = crate::view::src_side_reads(ir, id).into_iter().any(|pos| {
+                let i = node.inputs[pos];
+                members.contains(&i)
+                    && segment.get(&i) == Some(&seg)
+                    && exec.get(&i) == Some(&StepExec::Tiled)
+            });
+            if src_break {
+                seg += 1;
+            }
         }
         exec.insert(id, e);
         segment.insert(id, seg);
@@ -351,30 +379,25 @@ pub fn lower_kernel(plan: &ExecutionPlan, kernel: &Kernel) -> Option<KernelProgr
         storage.insert(id, st);
     }
 
-    // Pass 2: spills and source-read legality. A scratch value read by a
-    // full step, or by a tiled step in a *different* segment, must become
-    // a real tensor; a scatter may never read a same-segment member at
-    // the source endpoint (a tile only owns its destinations).
+    // Pass 2: spills. A scratch value read by a full step, or by a tiled
+    // step in a *different* segment, must become a real tensor.
     for &id in &member_ids {
         let node = ir.node(id);
         if storage.get(&id) == Some(&Storage::Prelude) {
             continue;
         }
-        for (pos, i) in node.inputs.iter().enumerate() {
+        for i in &node.inputs {
             if !members.contains(i) || storage.get(i) == Some(&Storage::Prelude) {
                 continue;
             }
             let cross_segment = exec[&id] == StepExec::Full || segment[i] != segment[&id];
-            if src_side_inputs(&node.kind).contains(&pos) && !cross_segment {
-                return None;
-            }
             if cross_segment && storage[i] == Storage::Scratch {
                 storage.insert(*i, Storage::Interior);
             }
         }
     }
 
-    let steps: Vec<ProgramStep> = member_ids
+    let mut steps: Vec<ProgramStep> = member_ids
         .iter()
         .map(|&id| {
             let node = ir.node(id);
@@ -390,14 +413,24 @@ pub fn lower_kernel(plan: &ExecutionPlan, kernel: &Kernel) -> Option<KernelProgr
         })
         .collect();
 
-    // Lowering only pays when something stays on-chip.
-    if !steps.iter().any(|s| s.storage == Storage::Scratch) {
-        return None;
+    // A singleton program has nothing to keep on-chip: its only step's
+    // output is the kernel boundary, so tiling it would round-trip every
+    // row through scratch for zero memory win (measurably slower on
+    // GEMM-heavy models). Run it as one direct full step through the
+    // shared reference dispatch instead — except `EdgeSoftmax`, whose
+    // fresh max/denominator auxiliaries only the tiled path records.
+    if steps.len() == 1
+        && steps[0].exec == StepExec::Tiled
+        && steps[0].storage == Storage::Materialized
+        && !matches!(ir.node(steps[0].node).kind, OpKind::EdgeSoftmax)
+    {
+        steps[0].exec = StepExec::Full;
     }
-    Some(KernelProgram {
+
+    KernelProgram {
         kernel: kernel.id,
         steps,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -429,7 +462,7 @@ mod tests {
             .unwrap()
             .plan;
         assert_eq!(plan.kernels.len(), 1);
-        let prog = lower_kernel(&plan, &plan.kernels[0]).expect("GAT kernel must lower");
+        let prog = lower_kernel(&plan, &plan.kernels[0]);
         // Only the gather output crosses the kernel boundary.
         let mat: Vec<NodeId> = prog.materialized().collect();
         assert_eq!(mat.len(), 1);
@@ -474,13 +507,8 @@ mod tests {
         let plan = &compiled.plan;
         assert!(plan.exec.fused, "ours preset enables fused execution");
         assert_eq!(plan.programs.len(), plan.kernels.len());
-        assert!(
-            plan.programs.iter().flatten().next().is_some(),
-            "a GAT training plan must lower at least one fused kernel"
-        );
         // Programs agree with the plan's own materialization analysis.
         for (k, prog) in plan.kernels.iter().zip(&plan.programs) {
-            let Some(prog) = prog else { continue };
             let predicted: HashSet<NodeId> = plan.materialized_nodes(k).into_iter().collect();
             let got: HashSet<NodeId> = prog.materialized().collect();
             assert_eq!(got, predicted, "kernel {} materialization", k.id);
@@ -488,7 +516,7 @@ mod tests {
     }
 
     #[test]
-    fn gather_max_backward_kernels_fall_back() {
+    fn gather_max_backward_lowers_as_tiled_step() {
         let mut g = IrGraph::new();
         let h = g.input_vertex("h", Dim::flat(4));
         let w = g.param("w", 4, 4);
@@ -498,15 +526,15 @@ mod tests {
         g.mark_output(v);
         let compiled = compile(&g, true, &CompileOptions::ours()).unwrap();
         let plan = &compiled.plan;
-        for (k, prog) in plan.kernels.iter().zip(&plan.programs) {
-            let has_max_bwd = k
-                .nodes
-                .iter()
-                .any(|&n| matches!(plan.ir.node(n).kind, OpKind::GatherMaxBwd { .. }));
-            if has_max_bwd {
-                assert!(prog.is_none(), "GatherMaxBwd kernels must fall back");
-            }
-        }
+        assert_eq!(plan.programs.len(), plan.kernels.len());
+        let step = plan
+            .programs
+            .iter()
+            .flat_map(|p| &p.steps)
+            .find(|s| matches!(plan.ir.node(s.node).kind, OpKind::GatherMaxBwd { .. }))
+            .expect("the backward plan contains a GatherMaxBwd step");
+        // ByDst forward ⇒ the argmax routing tiles by destination.
+        assert_eq!(step.exec, StepExec::Tiled);
     }
 
     #[test]
@@ -524,7 +552,7 @@ mod tests {
         g.mark_output(v);
         let plan = compile(&g, false, &CompileOptions::ours()).unwrap().plan;
         assert_eq!(plan.kernels.len(), 1);
-        let prog = plan.programs[0].as_ref().expect("kernel lowers");
+        let prog = &plan.programs[0];
         let step = |id: NodeId| prog.steps.iter().find(|s| s.node == id).unwrap();
         assert_eq!(step(v).exec, StepExec::Full);
         assert_eq!(step(v).storage, Storage::Materialized);
@@ -538,12 +566,15 @@ mod tests {
     }
 
     #[test]
-    fn singleton_kernels_are_not_lowered() {
+    fn singleton_kernels_lower_to_one_step_programs() {
         let mut g = IrGraph::new();
         let h = g.input_vertex("h", Dim::flat(4));
         let e = g.scatter(ScatterFn::Bin(BinaryFn::Sub), h, h).unwrap();
         g.mark_output(e);
         let plan = compile(&g, false, &CompileOptions::ours()).unwrap().plan;
-        assert!(plan.programs.iter().all(Option::is_none));
+        assert_eq!(plan.programs.len(), plan.kernels.len());
+        let prog = &plan.programs[0];
+        assert_eq!(prog.steps.len(), 1);
+        assert_eq!(prog.steps[0].storage, Storage::Materialized);
     }
 }

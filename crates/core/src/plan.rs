@@ -64,11 +64,12 @@ pub struct ExecutionPlan {
     /// flag selects the lowered [`KernelProgram`] interpreter by default;
     /// the session-level `GNNOPT_FUSED` override wins either way.
     pub exec: ExecPolicy,
-    /// Tiled lowering of each kernel, indexed by kernel id; `None` means
-    /// the kernel falls back to the reference node-by-node path (see
-    /// [`crate::lower`] for the rules). Always populated so a session can
-    /// force fused execution on plans whose policy keeps `fused` off.
-    pub programs: Vec<Option<KernelProgram>>,
+    /// Tiled lowering of each kernel, indexed by kernel id. Lowering is
+    /// total (see [`crate::lower`]): every kernel has a program, so fused
+    /// execution never falls back per kernel. Always populated so a
+    /// session can force fused execution on plans whose policy keeps
+    /// `fused` off.
+    pub programs: Vec<KernelProgram>,
 }
 
 impl ExecutionPlan {

@@ -738,6 +738,11 @@ enum StepAux<'a> {
         table: &'a mut [u32],
         chunk_v0: usize,
     },
+    /// Gather(Max) backward: the forward gather's complete argmax table
+    /// (global rows), routing each vertex gradient to its winning edge.
+    ArgMaxRead {
+        table: &'a [u32],
+    },
 }
 
 /// Executes one lowered kernel over the graph, tile by tile.
@@ -755,6 +760,7 @@ pub(crate) fn run_program(
     program: &KernelProgram,
     values: &HashMap<NodeId, Tensor>,
     aux_softmax: &HashMap<NodeId, (Tensor, Tensor)>,
+    aux_argmax: &HashMap<NodeId, Vec<u32>>,
 ) -> Result<ProgramResult> {
     let n = g.num_vertices();
     let m = g.num_edges();
@@ -864,7 +870,7 @@ pub(crate) fn run_program(
             let rows = match sp.space {
                 Space::Edge => m,
                 Space::Vertex => n,
-                Space::Param => unreachable!("param steps are prelude-class"),
+                Space::Param => unreachable!("param steps are never tiled"),
             };
             mat[si] = Some(Tensor::zeros(&[rows, sp.cols]));
         }
@@ -895,6 +901,22 @@ pub(crate) fn run_program(
                 argmax_tables.push((si, vec![NO_ARGMAX; n * sp.cols]));
             }
             _ => {}
+        }
+    }
+
+    // Tiled gather-max backward steps read the forward gather's stashed
+    // argmax table; resolve them before the workers spawn so a missing
+    // stash surfaces as a session error, not a worker panic.
+    let mut argmax_read: HashMap<usize, &[u32]> = HashMap::new();
+    for (si, sp) in steps.iter().enumerate() {
+        if program.steps[si].exec != StepExec::Tiled {
+            continue;
+        }
+        if let OpKind::GatherMaxBwd { fwd } = &ir.node(sp.node).kind {
+            let table = aux_argmax.get(fwd).ok_or_else(|| ExecError::ValueNotLive {
+                node: format!("argmax aux of node {fwd}"),
+            })?;
+            argmax_read.insert(si, table.as_slice());
         }
     }
 
@@ -1011,10 +1033,34 @@ pub(crate) fn run_program(
                         t
                     }
                 }
-                OpKind::GatherMeanBwd { group } => {
-                    crate::kernels::gather_mean_bwd(policy, g, *group, full(sp.srcs[0]))
+                // Every other full step — whole-graph backward
+                // reductions, GEMMs, parameter reductions, row
+                // views — runs through the shared reference dispatch.
+                // This is what makes lowering total: no op needs a
+                // per-kernel fallback to the node-by-node path.
+                kind => {
+                    let inputs: Vec<&Tensor> = sp.srcs.iter().map(|&s| full(s)).collect();
+                    let aux_in = match kind {
+                        OpKind::GatherMaxBwd { fwd } => {
+                            let table =
+                                aux_argmax.get(fwd).ok_or_else(|| ExecError::ValueNotLive {
+                                    node: format!("argmax aux of node {fwd}"),
+                                })?;
+                            crate::refexec::AuxIn::Argmax(table)
+                        }
+                        _ => crate::refexec::AuxIn::None,
+                    };
+                    let (t, aux_out) =
+                        crate::refexec::exec_op(policy, g, ir, ir.node(sp.node), &inputs, aux_in)?;
+                    match aux_out {
+                        crate::refexec::AuxOut::Argmax(a) => new_argmax_full.push((si, a)),
+                        crate::refexec::AuxOut::None => {}
+                        crate::refexec::AuxOut::Softmax(..) => {
+                            unreachable!("EdgeSoftmax is never a full step")
+                        }
+                    }
+                    t
                 }
-                other => unreachable!("op {other:?} is not a full step"),
             };
             mat[si] = Some(t);
             continue;
@@ -1152,6 +1198,9 @@ pub(crate) fn run_program(
                                     chunk_v0: wv0,
                                 }
                             }
+                            OpKind::GatherMaxBwd { .. } => StepAux::ArgMaxRead {
+                                table: argmax_read[&si],
+                            },
                             _ => StepAux::None,
                         };
                         exec_step(
@@ -1406,6 +1455,26 @@ fn exec_step(
                 let inv = 1.0 / adj.degree(v) as f32;
                 let o = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
                 rowops::scale_into(o, inv, tv.row(gr_src, v));
+            }
+        }
+
+        // Tiled only when the forward gather grouped ByDst (the tile owns
+        // its destination groups whole); same expressions as
+        // `kernels::gather_max_bwd`, with an explicit zero write because
+        // scratch buffers are reused across tiles, not pre-zeroed.
+        OpKind::GatherMaxBwd { .. } => {
+            let gr_src = sp.srcs[0];
+            let StepAux::ArgMaxRead { table } = aux else {
+                unreachable!("gather-max backward executes with its forward argmax table")
+            };
+            for e in e0..e1 {
+                let v = g.dst(e);
+                let ar = &table[v * total..(v + 1) * total];
+                let grv = tv.row(gr_src, v);
+                let o = &mut buf[(e - e0) * total..(e - e0 + 1) * total];
+                for c in 0..total {
+                    o[c] = if ar[c] == e as u32 { grv[c] } else { 0.0 };
+                }
             }
         }
 

@@ -19,8 +19,9 @@
 //! the execution policy, the fused-execution choice and the treatment of
 //! the `GNNOPT_*` environment overrides ([`EnvOverrides`]) explicit. The
 //! pre-builder constructors ([`Session::new`], [`Session::with_policy`],
-//! [`Session::with_policy_fused`]) remain as thin shims; see the
-//! [`session`](Session) module docs for the migration table.
+//! [`Session::with_policy_fused`]) are **deprecated** thin shims kept
+//! with their historical semantics; see the [`session`](Session) module
+//! docs for the migration table.
 //!
 //! # Thread-parallel backend and the sparse kernel engine
 //!
@@ -58,9 +59,11 @@
 //! [`RunStats::peak_value_bytes`] genuinely drops, and
 //! [`RunStats::scratch_bytes`] / [`RunStats::fused_kernels`] report the
 //! realized substitution. Fused results remain bit-identical to the
-//! reference path for any tile budget and thread count; kernels the
-//! lowering cannot tile (see `gnnopt_core::lower` for the rules) fall
-//! back per kernel.
+//! reference path for any tile budget and thread count. Lowering is
+//! **total** (see `gnnopt_core::lower`): every kernel of every plan has a
+//! program, ops that cannot tile run as whole-graph *full steps* through
+//! the same reference dispatch (`refexec`) the node-by-node path uses,
+//! and there is no per-kernel fallback.
 //!
 //! # Runtime reordering
 //!
@@ -98,6 +101,7 @@
 mod error;
 mod fused;
 pub mod kernels;
+mod refexec;
 mod session;
 
 pub use error::ExecError;

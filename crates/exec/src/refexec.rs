@@ -1,0 +1,187 @@
+//! The reference op dispatch: one IR node → one full tensor.
+//!
+//! This is the single place that maps an [`OpKind`] onto the kernels in
+//! [`crate::kernels`]. Both execution paths consume it:
+//!
+//! * the node-by-node reference path ([`crate::session`]) calls it for
+//!   every node of an unfused kernel, and
+//! * the fused interpreter ([`crate::fused`]) calls it for every **full
+//!   step** of a lowered [`gnnopt_core::KernelProgram`] — whole-graph
+//!   reductions, GEMMs, parameter reductions — so lowering totality never
+//!   needs a per-kernel fallback: any op the IR expresses either tiles or
+//!   lands here.
+//!
+//! Auxiliary tables (softmax max/denominator stashes, gather-max argmax
+//! tables) flow through [`AuxIn`]/[`AuxOut`] instead of session state, so
+//! the dispatch itself stays a pure function of its operands.
+
+use crate::kernels;
+use crate::{ExecError, Result};
+use gnnopt_core::{ExecPolicy, IrGraph, Node, OpKind, ReduceFn, Space};
+use gnnopt_graph::Graph;
+use gnnopt_tensor::Tensor;
+
+/// Auxiliary state an op consumes (borrowed from the caller's stores).
+pub(crate) enum AuxIn<'a> {
+    /// No auxiliary input.
+    None,
+    /// Stashed `(max, denominator)` of a forward [`OpKind::EdgeSoftmax`]:
+    /// the op recomputes from the stash instead of re-reducing.
+    Softmax(&'a Tensor, &'a Tensor),
+    /// The argmax table of the forward `Gather(Max)` a
+    /// [`OpKind::GatherMaxBwd`] inverts.
+    Argmax(&'a [u32]),
+}
+
+/// Auxiliary state an op produces (owned, for the caller's stores).
+pub(crate) enum AuxOut {
+    /// No auxiliary output.
+    None,
+    /// Fresh `(max, denominator)` from an [`OpKind::EdgeSoftmax`] that ran
+    /// without a stash.
+    Softmax(Tensor, Tensor),
+    /// Fresh argmax table from a `Gather(Max)`.
+    Argmax(Vec<u32>),
+}
+
+/// Executes one op over full tensors with the reference kernels.
+///
+/// `inputs` are the node's operands in IR input order.
+///
+/// # Errors
+///
+/// Returns [`ExecError::ValueNotLive`] for leaves (they are bound, never
+/// executed) and for a [`OpKind::GatherMaxBwd`] called without its
+/// forward argmax table; tensor-shape violations surface as
+/// [`ExecError::Tensor`].
+#[allow(clippy::too_many_lines)]
+pub(crate) fn exec_op(
+    pol: &ExecPolicy,
+    g: &Graph,
+    ir: &IrGraph,
+    node: &Node,
+    inputs: &[&Tensor],
+    aux: AuxIn<'_>,
+) -> Result<(Tensor, AuxOut)> {
+    let din = |i: usize| ir.node(node.inputs[i]).dim;
+    let out = match &node.kind {
+        OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed => {
+            return Err(ExecError::ValueNotLive {
+                node: node.name.clone(),
+            })
+        }
+
+        OpKind::Scatter(f) => {
+            let x = inputs[0];
+            let y = *inputs.last().expect("scatter has inputs");
+            kernels::scatter(pol, g, *f, x, y, node.dim)
+        }
+
+        OpKind::Gather { reduce, group } => {
+            let (t, argmax) = kernels::gather(pol, g, *reduce, *group, inputs[0]);
+            let aux = argmax.map_or(AuxOut::None, AuxOut::Argmax);
+            return Ok((t, aux));
+        }
+
+        OpKind::EdgeSoftmax => {
+            if let AuxIn::Softmax(m, d) = aux {
+                // Recompute path: O(1) per edge from stashed stats.
+                kernels::edge_softmax_from_aux(pol, g, inputs[0], m, d)
+            } else {
+                let (y, m, d) = kernels::edge_softmax(pol, g, inputs[0]);
+                return Ok((y, AuxOut::Softmax(m, d)));
+            }
+        }
+
+        // GEMMs run under the caller's resolved policy: its engine choice
+        // *and* its worker cap (a session pinned serial keeps its
+        // weight-gradient GEMMs serial, whatever GNNOPT_THREADS or the
+        // hardware says).
+        OpKind::Linear => inputs[0].matmul_with_threads(inputs[1], pol.gemm, pol.threads)?,
+        OpKind::LinearBwdInput => {
+            inputs[0].matmul_nt_with_threads(inputs[1], pol.gemm, pol.threads)?
+        }
+        OpKind::LinearBwdWeight => {
+            inputs[0].matmul_tn_with_threads(inputs[1], pol.gemm, pol.threads)?
+        }
+
+        OpKind::Unary(f) => kernels::unary(pol, *f, inputs[0]),
+        OpKind::UnaryBwd(f) => kernels::unary_bwd(pol, *f, inputs[0], inputs[1]),
+
+        OpKind::Binary(f) => {
+            kernels::binary_broadcast(pol, *f, inputs[0], din(0), inputs[1], din(1))
+        }
+
+        OpKind::HeadDot => kernels::head_dot(pol, inputs[0], inputs[1], din(0).heads, din(0).feat),
+        OpKind::HeadDotBwdInput => {
+            kernels::head_dot_bwd_input(pol, inputs[0], inputs[1], node.dim.heads, node.dim.feat)
+        }
+        OpKind::HeadDotBwdParam => {
+            kernels::head_dot_bwd_param(pol, inputs[0], inputs[1], node.dim.heads, node.dim.feat)
+        }
+
+        OpKind::GaussianWeight => kernels::gaussian_weight(pol, inputs[0], inputs[1], inputs[2]),
+        OpKind::GaussianBwdMu => {
+            kernels::gaussian_bwd_mu(pol, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4])
+        }
+        OpKind::GaussianBwdSigma => {
+            kernels::gaussian_bwd_sigma(pol, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4])
+        }
+
+        OpKind::GatherMaxBwd { fwd } => {
+            let AuxIn::Argmax(argmax) = aux else {
+                return Err(ExecError::ValueNotLive {
+                    node: format!("argmax aux of node {fwd}"),
+                });
+            };
+            let group = gnnopt_core::view::gather_max_bwd_group(ir, *fwd);
+            kernels::gather_max_bwd(pol, g, group, inputs[0], argmax)
+        }
+        OpKind::GatherMeanBwd { group } => kernels::gather_mean_bwd(pol, g, *group, inputs[0]),
+        OpKind::EdgeSoftmaxBwd => kernels::edge_softmax_bwd(pol, g, inputs[0], inputs[1]),
+
+        OpKind::SliceCols { start, end } => {
+            // Parameters store heads as rows ([heads, feat]), so the
+            // per-head slice degenerates to a per-row column slice.
+            if ir.node(node.inputs[0]).space == Space::Param {
+                kernels::slice_cols(pol, inputs[0], 1, din(0).feat, *start, *end)
+            } else {
+                kernels::slice_cols(pol, inputs[0], din(0).heads, din(0).feat, *start, *end)
+            }
+        }
+        OpKind::EmbedCols { start, end, total } => {
+            if node.space == Space::Param {
+                kernels::embed_cols(pol, inputs[0], 1, *total, *start, *end)
+            } else {
+                kernels::embed_cols(pol, inputs[0], node.dim.heads, *total, *start, *end)
+            }
+        }
+        OpKind::SliceRows { start, end } => {
+            let rows: Vec<usize> = (*start..*end).collect();
+            inputs[0].select_rows(&rows)?
+        }
+        OpKind::EmbedRows { start, end, total } => {
+            let gr = inputs[0];
+            let mut out = Tensor::zeros(&[*total, node.dim.feat]);
+            for (i, r) in (*start..*end).enumerate() {
+                out.row_mut(r).copy_from_slice(gr.row(i));
+            }
+            out
+        }
+
+        OpKind::SetHeads { .. } => inputs[0].clone(),
+        OpKind::HeadReduce(f) => kernels::head_reduce(
+            pol,
+            inputs[0],
+            din(0).heads,
+            din(0).feat,
+            *f == ReduceFn::Mean,
+        ),
+        OpKind::HeadBroadcast { heads } => kernels::head_broadcast(pol, inputs[0], *heads),
+        OpKind::FeatSum => kernels::feat_sum(pol, inputs[0], din(0).heads, din(0).feat),
+        OpKind::FeatBroadcast { feat } => {
+            kernels::feat_broadcast(pol, inputs[0], node.dim.heads, *feat)
+        }
+    };
+    Ok((out, AuxOut::None))
+}

@@ -21,8 +21,8 @@
 //!
 //! ## Migrating from the old constructors
 //!
-//! The pre-builder constructors remain as thin shims and delegate to the
-//! builder; new code should call the builder directly:
+//! The pre-builder constructors are **deprecated** thin shims that
+//! delegate to the builder; new code must call the builder directly:
 //!
 //! | old call | builder equivalent |
 //! |---|---|
@@ -35,11 +35,9 @@
 //! more.) The free-floating `fused: bool` of the old API now lives in
 //! [`ExecPolicy::fused`]; `CompileOptions::fused_exec` is gone.
 
-use crate::{fused, kernels};
+use crate::{fused, refexec};
 use crate::{ExecError, Result};
-use gnnopt_core::{
-    ExecPolicy, ExecutionPlan, Node, NodeId, OpKind, Phase, ReduceFn, ReorderPolicy, Space,
-};
+use gnnopt_core::{ExecPolicy, ExecutionPlan, Node, NodeId, OpKind, Phase, ReorderPolicy, Space};
 use gnnopt_graph::{EdgeList, Graph};
 use gnnopt_reorder::{locality, strategies, Permutation};
 use gnnopt_tensor::Tensor;
@@ -359,28 +357,29 @@ impl<'a> SessionBuilder<'a> {
     pub fn build(self) -> Result<Session<'a>> {
         let mut policy = self.policy.unwrap_or(self.plan.exec);
         let mut env_fused = None;
-        match self.env {
-            EnvOverrides::Off => {}
-            EnvOverrides::Loud => {
-                if policy.is_auto() {
-                    // Surface a bad env override loudly instead of
-                    // silently falling back like the infallible
-                    // tensor-side detection.
-                    gnnopt_tensor::parallel::env_threads().map_err(ExecError::Policy)?;
+        if self.env != EnvOverrides::Off {
+            // One resolution path for both modes: `Loud` surfaces an
+            // invalid override as a build error, `Ignore` lets the
+            // builder's own setting stand.
+            let loud = self.env == EnvOverrides::Loud;
+            fn apply<T>(
+                r: std::result::Result<Option<T>, String>,
+                loud: bool,
+            ) -> Result<Option<T>> {
+                match r {
+                    Ok(v) => Ok(v),
+                    Err(e) if loud => Err(ExecError::Policy(e)),
+                    Err(_) => Ok(None),
                 }
-                env_fused = fused_env().map_err(ExecError::Policy)?;
-                policy.reorder = reorder_env()
-                    .map_err(ExecError::Policy)?
-                    .unwrap_or(policy.reorder);
-                policy.gemm = gemm_env()
-                    .map_err(ExecError::Policy)?
-                    .unwrap_or(policy.gemm);
             }
-            EnvOverrides::Ignore => {
-                env_fused = fused_env().ok().flatten();
-                policy.reorder = reorder_env().ok().flatten().unwrap_or(policy.reorder);
-                policy.gemm = gemm_env().ok().flatten().unwrap_or(policy.gemm);
+            if loud && policy.is_auto() {
+                // Surface a bad env override loudly instead of silently
+                // falling back like the infallible tensor-side detection.
+                gnnopt_tensor::parallel::env_threads().map_err(ExecError::Policy)?;
             }
+            env_fused = apply(fused_env(), loud)?;
+            policy.reorder = apply(reorder_env(), loud)?.unwrap_or(policy.reorder);
+            policy.gemm = apply(gemm_env(), loud)?.unwrap_or(policy.gemm);
         }
         let fused = self.fused.or(env_fused).unwrap_or(policy.fused);
         policy.fused = fused;
@@ -419,6 +418,7 @@ impl<'a> Session<'a> {
     /// than `0`/`1`, `GNNOPT_REORDER` to something other than a known
     /// strategy (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`),
     /// or `GNNOPT_GEMM` to something other than `naive`/`blocked`.
+    #[deprecated(note = "use `Session::builder(plan, graph).build()`")]
     pub fn new(plan: &'a ExecutionPlan, graph: &'a Graph) -> Result<Self> {
         Self::builder(plan, graph).build()
     }
@@ -440,6 +440,10 @@ impl<'a> Session<'a> {
     /// # Errors
     ///
     /// Returns [`ExecError::Protocol`] on duplicate leaf names.
+    #[deprecated(
+        note = "use `Session::builder(..).policy(..).env(EnvOverrides::Off).build()`; \
+                pin `.fused(..)` explicitly if the lenient GNNOPT_FUSED read matters"
+    )]
     pub fn with_policy(
         plan: &'a ExecutionPlan,
         graph: &'a Graph,
@@ -470,6 +474,9 @@ impl<'a> Session<'a> {
     /// # Errors
     ///
     /// Returns [`ExecError::Protocol`] on duplicate leaf names.
+    #[deprecated(
+        note = "use `Session::builder(..).policy(..).fused(..).env(EnvOverrides::Off).build()`"
+    )]
     pub fn with_policy_fused(
         plan: &'a ExecutionPlan,
         graph: &'a Graph,
@@ -882,7 +889,7 @@ impl<'a> Session<'a> {
         // scratch and never enter the value store (incl. recomputed
         // values, which rebuild per tile instead of per kernel).
         if self.fused {
-            if let Some(program) = self.plan.programs.get(kid).and_then(Option::as_ref) {
+            if let Some(program) = self.plan.programs.get(kid) {
                 let res = fused::run_program(
                     &self.policy,
                     self.active_graph(),
@@ -890,6 +897,7 @@ impl<'a> Session<'a> {
                     program,
                     &self.values,
                     &self.aux_softmax,
+                    &self.aux_argmax,
                 )?;
                 for (n, aux) in res.new_aux_softmax {
                     self.aux_softmax.insert(n, aux);
@@ -975,191 +983,53 @@ impl<'a> Session<'a> {
         })
     }
 
-    #[allow(clippy::too_many_lines)]
+    /// Executes one node on the reference path: operands come out of the
+    /// value store, auxiliaries out of the session stashes, and the op
+    /// itself runs through the shared dispatch in [`crate::refexec`] —
+    /// the same dispatch the fused interpreter uses for full steps.
     fn exec_node(&mut self, id: NodeId) -> Result<Tensor> {
-        let ir = &self.plan.ir;
-        let node = ir.node(id);
-        let g = self.active_graph();
-        let pol = self.policy;
-        let din = |i: usize| ir.node(node.inputs[i]).dim;
-        let out =
-            match &node.kind {
-                OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed => {
-                    return Err(ExecError::ValueNotLive {
-                        node: node.name.clone(),
-                    })
-                }
-
-                OpKind::Scatter(f) => {
-                    let x = self.value(node.inputs[0])?;
-                    let y = self.value(*node.inputs.last().expect("scatter has inputs"))?;
-                    kernels::scatter(&pol, g, *f, x, y, node.dim)
-                }
-
-                OpKind::Gather { reduce, group } => {
-                    let x = self.value(node.inputs[0])?;
-                    let (t, argmax) = kernels::gather(&pol, g, *reduce, *group, x);
-                    if let Some(a) = argmax {
-                        self.aux_argmax.insert(id, a);
-                    }
-                    t
-                }
-
-                OpKind::EdgeSoftmax => {
-                    let x = self.value(node.inputs[0])?;
-                    if let Some((m, d)) = self.aux_softmax.get(&id) {
-                        // Recompute path: O(1) per edge from stashed stats.
-                        kernels::edge_softmax_from_aux(&pol, g, x, m, d)
-                    } else {
-                        let (y, m, d) = kernels::edge_softmax(&pol, g, x);
-                        self.aux_softmax.insert(id, (m, d));
-                        y
-                    }
-                }
-
-                // GEMMs run under the session's resolved policy: its
-                // engine choice *and* its worker cap (a session pinned
-                // serial keeps its weight-gradient GEMMs serial, whatever
-                // GNNOPT_THREADS or the hardware says).
-                OpKind::Linear => {
-                    let x = self.value(node.inputs[0])?;
-                    let w = self.value(node.inputs[1])?;
-                    x.matmul_with_threads(w, pol.gemm, pol.threads)?
-                }
-                OpKind::LinearBwdInput => {
-                    let gr = self.value(node.inputs[0])?;
-                    let w = self.value(node.inputs[1])?;
-                    gr.matmul_nt_with_threads(w, pol.gemm, pol.threads)?
-                }
-                OpKind::LinearBwdWeight => {
-                    let x = self.value(node.inputs[0])?;
-                    let gr = self.value(node.inputs[1])?;
-                    x.matmul_tn_with_threads(gr, pol.gemm, pol.threads)?
-                }
-
-                OpKind::Unary(f) => kernels::unary(&pol, *f, self.value(node.inputs[0])?),
-                OpKind::UnaryBwd(f) => {
-                    let gr = self.value(node.inputs[0])?;
-                    let x = self.value(node.inputs[1])?;
-                    kernels::unary_bwd(&pol, *f, gr, x)
-                }
-
-                OpKind::Binary(f) => {
-                    let a = self.value(node.inputs[0])?;
-                    let b = self.value(node.inputs[1])?;
-                    kernels::binary_broadcast(&pol, *f, a, din(0), b, din(1))
-                }
-
-                OpKind::HeadDot => {
-                    let x = self.value(node.inputs[0])?;
-                    let a = self.value(node.inputs[1])?;
-                    kernels::head_dot(&pol, x, a, din(0).heads, din(0).feat)
-                }
-                OpKind::HeadDotBwdInput => {
-                    let gr = self.value(node.inputs[0])?;
-                    let a = self.value(node.inputs[1])?;
-                    kernels::head_dot_bwd_input(&pol, gr, a, node.dim.heads, node.dim.feat)
-                }
-                OpKind::HeadDotBwdParam => {
-                    let x = self.value(node.inputs[0])?;
-                    let gr = self.value(node.inputs[1])?;
-                    kernels::head_dot_bwd_param(&pol, x, gr, node.dim.heads, node.dim.feat)
-                }
-
-                OpKind::GaussianWeight => {
-                    let p = self.value(node.inputs[0])?;
-                    let mu = self.value(node.inputs[1])?;
-                    let sg = self.value(node.inputs[2])?;
-                    kernels::gaussian_weight(&pol, p, mu, sg)
-                }
-                OpKind::GaussianBwdMu | OpKind::GaussianBwdSigma => {
-                    let p = self.value(node.inputs[0])?;
-                    let w = self.value(node.inputs[1])?;
-                    let gr = self.value(node.inputs[2])?;
-                    let mu = self.value(node.inputs[3])?;
-                    let sg = self.value(node.inputs[4])?;
-                    if node.kind == OpKind::GaussianBwdMu {
-                        kernels::gaussian_bwd_mu(&pol, p, w, gr, mu, sg)
-                    } else {
-                        kernels::gaussian_bwd_sigma(&pol, p, w, gr, mu, sg)
-                    }
-                }
-
+        let node = self.plan.ir.node(id);
+        let (t, aux_out) = {
+            let inputs = node
+                .inputs
+                .iter()
+                .map(|&i| self.value(i))
+                .collect::<Result<Vec<&Tensor>>>()?;
+            let aux_in = match &node.kind {
+                OpKind::EdgeSoftmax => self
+                    .aux_softmax
+                    .get(&id)
+                    .map_or(refexec::AuxIn::None, |(m, d)| refexec::AuxIn::Softmax(m, d)),
                 OpKind::GatherMaxBwd { fwd } => {
-                    let argmax = self.aux_argmax.get(fwd).cloned().ok_or_else(|| {
-                        ExecError::ValueNotLive {
-                            node: format!("argmax aux of node {fwd}"),
-                        }
-                    })?;
-                    let gr = self.value(node.inputs[0])?;
-                    let OpKind::Gather { group, .. } = ir.node(*fwd).kind else {
-                        return Err(ExecError::Protocol(format!(
-                            "GatherMaxBwd references non-Gather node {fwd}"
-                        )));
-                    };
-                    kernels::gather_max_bwd(&pol, g, group, gr, &argmax)
+                    let table =
+                        self.aux_argmax
+                            .get(fwd)
+                            .ok_or_else(|| ExecError::ValueNotLive {
+                                node: format!("argmax aux of node {fwd}"),
+                            })?;
+                    refexec::AuxIn::Argmax(table)
                 }
-                OpKind::GatherMeanBwd { group } => {
-                    let gr = self.value(node.inputs[0])?;
-                    kernels::gather_mean_bwd(&pol, g, *group, gr)
-                }
-                OpKind::EdgeSoftmaxBwd => {
-                    let gr = self.value(node.inputs[0])?;
-                    let y = self.value(node.inputs[1])?;
-                    kernels::edge_softmax_bwd(&pol, g, gr, y)
-                }
-
-                OpKind::SliceCols { start, end } => {
-                    let x = self.value(node.inputs[0])?;
-                    // Parameters store heads as rows ([heads, feat]), so the
-                    // per-head slice degenerates to a per-row column slice.
-                    if ir.node(node.inputs[0]).space == Space::Param {
-                        kernels::slice_cols(&pol, x, 1, din(0).feat, *start, *end)
-                    } else {
-                        kernels::slice_cols(&pol, x, din(0).heads, din(0).feat, *start, *end)
-                    }
-                }
-                OpKind::EmbedCols { start, end, total } => {
-                    let gr = self.value(node.inputs[0])?;
-                    if node.space == Space::Param {
-                        kernels::embed_cols(&pol, gr, 1, *total, *start, *end)
-                    } else {
-                        kernels::embed_cols(&pol, gr, node.dim.heads, *total, *start, *end)
-                    }
-                }
-                OpKind::SliceRows { start, end } => {
-                    let x = self.value(node.inputs[0])?;
-                    let rows: Vec<usize> = (*start..*end).collect();
-                    x.select_rows(&rows)?
-                }
-                OpKind::EmbedRows { start, end, total } => {
-                    let gr = self.value(node.inputs[0])?;
-                    let mut out = Tensor::zeros(&[*total, node.dim.feat]);
-                    for (i, r) in (*start..*end).enumerate() {
-                        out.row_mut(r).copy_from_slice(gr.row(i));
-                    }
-                    out
-                }
-
-                OpKind::SetHeads { .. } => self.value(node.inputs[0])?.clone(),
-                OpKind::HeadReduce(f) => {
-                    let x = self.value(node.inputs[0])?;
-                    kernels::head_reduce(&pol, x, din(0).heads, din(0).feat, *f == ReduceFn::Mean)
-                }
-                OpKind::HeadBroadcast { heads } => {
-                    let x = self.value(node.inputs[0])?;
-                    kernels::head_broadcast(&pol, x, *heads)
-                }
-                OpKind::FeatSum => {
-                    let x = self.value(node.inputs[0])?;
-                    kernels::feat_sum(&pol, x, din(0).heads, din(0).feat)
-                }
-                OpKind::FeatBroadcast { feat } => {
-                    let x = self.value(node.inputs[0])?;
-                    kernels::feat_broadcast(&pol, x, node.dim.heads, *feat)
-                }
+                _ => refexec::AuxIn::None,
             };
-        Ok(out)
+            refexec::exec_op(
+                &self.policy,
+                self.active_graph(),
+                &self.plan.ir,
+                node,
+                &inputs,
+                aux_in,
+            )?
+        };
+        match aux_out {
+            refexec::AuxOut::Softmax(m, d) => {
+                self.aux_softmax.insert(id, (m, d));
+            }
+            refexec::AuxOut::Argmax(a) => {
+                self.aux_argmax.insert(id, a);
+            }
+            refexec::AuxOut::None => {}
+        }
+        Ok(t)
     }
 }
 
@@ -1187,8 +1057,12 @@ mod tests {
     fn overwrite_does_not_inflate_peak_bytes() {
         let graph = Graph::from_edge_list(&EdgeList::from_pairs(3, &[(0, 1), (1, 2)]));
         let plan = tiny_plan();
-        let mut sess =
-            Session::with_policy_fused(&plan, &graph, ExecPolicy::serial(), false).unwrap();
+        let mut sess = Session::builder(&plan, &graph)
+            .policy(ExecPolicy::serial())
+            .fused(false)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
         let t = Tensor::zeros(&[8, 4]); // 128 bytes
         sess.insert_value(1, t.clone());
         assert_eq!(sess.peak_bytes, 128);
@@ -1214,7 +1088,12 @@ mod tests {
         let graph = Graph::from_edge_list(&EdgeList::from_pairs(16, &pairs));
         let plan = tiny_plan();
         let policy = ExecPolicy::serial().reordered(gnnopt_core::ReorderPolicy::Rcm);
-        let mut sess = Session::with_policy_fused(&plan, &graph, policy, false).unwrap();
+        let mut sess = Session::builder(&plan, &graph)
+            .policy(policy)
+            .fused(false)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
         let (strategy, seconds) = sess.reorder();
         assert_eq!(strategy, gnnopt_core::ReorderPolicy::Rcm);
         assert!(seconds > 0.0, "preprocessing cost must be measured");
@@ -1234,8 +1113,12 @@ mod tests {
         );
 
         // An identity session reports no preprocessing at all.
-        let mut sess =
-            Session::with_policy_fused(&plan, &graph, ExecPolicy::serial(), false).unwrap();
+        let mut sess = Session::builder(&plan, &graph)
+            .policy(ExecPolicy::serial())
+            .fused(false)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
         sess.forward(&bindings).unwrap();
         assert_eq!(sess.stats().reorder, gnnopt_core::ReorderPolicy::None);
         assert_eq!(sess.stats().reorder_seconds, 0.0);
@@ -1248,7 +1131,12 @@ mod tests {
     fn death_lists_partition_transient_nodes() {
         let graph = Graph::from_edge_list(&EdgeList::from_pairs(3, &[(0, 1), (1, 2)]));
         let plan = tiny_plan();
-        let sess = Session::with_policy_fused(&plan, &graph, ExecPolicy::serial(), false).unwrap();
+        let sess = Session::builder(&plan, &graph)
+            .policy(ExecPolicy::serial())
+            .fused(false)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
         let mut seen = HashSet::new();
         for deaths in &sess.kernel_deaths {
             for &n in deaths {

@@ -6,7 +6,7 @@
 //! store can only shrink.
 
 use gnnopt_core::{compile, CompileOptions, ExecPolicy};
-use gnnopt_exec::{Bindings, Session};
+use gnnopt_exec::{Bindings, EnvOverrides, Session};
 use gnnopt_graph::{EdgeList, Graph};
 use gnnopt_models::{edgeconv, gat, gcn, EdgeConvConfig, GatConfig, GcnConfig, ModelSpec};
 use gnnopt_tensor::Tensor;
@@ -40,8 +40,12 @@ fn step(
     fused: bool,
 ) -> (Vec<Tensor>, HashMap<String, Tensor>, gnnopt_exec::RunStats) {
     let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
-    let mut sess =
-        Session::with_policy_fused(&compiled.plan, graph, policy, fused).expect("session");
+    let mut sess = Session::builder(&compiled.plan, graph)
+        .policy(policy)
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("session");
     let mut b = Bindings::new();
     for (k, v) in vals {
         b.insert(k, v.clone());
@@ -147,7 +151,7 @@ fn invalid_gnnopt_fused_is_a_policy_error() {
     let compiled = compile(&spec.ir, false, &CompileOptions::ours()).expect("compiles");
     let saved = std::env::var("GNNOPT_FUSED").ok();
     std::env::set_var("GNNOPT_FUSED", "banana");
-    let res = Session::new(&compiled.plan, &graph);
+    let res = Session::builder(&compiled.plan, &graph).build();
     match saved {
         Some(v) => std::env::set_var("GNNOPT_FUSED", v),
         None => std::env::remove_var("GNNOPT_FUSED"),

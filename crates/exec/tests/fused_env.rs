@@ -31,7 +31,10 @@ fn gnnopt_fused_env_contract() {
     let saved = std::env::var("GNNOPT_FUSED").ok();
 
     std::env::set_var("GNNOPT_FUSED", "maybe");
-    let loud = Session::new(plan, &graph).map(|s| s.fused());
+    let loud = Session::builder(plan, &graph).build().map(|s| s.fused());
+    // Deliberately exercises the deprecated shim: this test pins its
+    // lenient env contract until the shim is removed.
+    #[allow(deprecated)]
     let lenient = Session::with_policy(plan, &graph, ExecPolicy::serial()).map(|s| s.fused());
     let ignore = Session::builder(plan, &graph)
         .env(EnvOverrides::Ignore)
@@ -39,7 +42,7 @@ fn gnnopt_fused_env_contract() {
         .map(|s| s.fused());
 
     std::env::set_var("GNNOPT_FUSED", "0");
-    let loud_off = Session::new(plan, &graph).map(|s| s.fused());
+    let loud_off = Session::builder(plan, &graph).build().map(|s| s.fused());
     let ignore_off = Session::builder(plan, &graph)
         .env(EnvOverrides::Ignore)
         .build()

@@ -8,7 +8,7 @@
 //! fused equivalence contract).
 
 use gnnopt_core::{compile, CompileOptions, ExecPolicy, GemmKernel};
-use gnnopt_exec::{Bindings, Session};
+use gnnopt_exec::{Bindings, EnvOverrides, Session};
 use gnnopt_graph::{EdgeList, Graph};
 use gnnopt_models::{gat, gcn, GatConfig, GcnConfig, ModelSpec};
 use gnnopt_tensor::Tensor;
@@ -41,8 +41,12 @@ fn step(
     fused: bool,
 ) -> (Vec<Tensor>, HashMap<String, Tensor>) {
     let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
-    let mut sess =
-        Session::with_policy_fused(&compiled.plan, graph, policy, fused).expect("session");
+    let mut sess = Session::builder(&compiled.plan, graph)
+        .policy(policy)
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("session");
     let mut b = Bindings::new();
     for (k, v) in vals {
         b.insert(k, v.clone());

@@ -24,13 +24,17 @@ fn gnnopt_gemm_env_contract() {
     let saved = std::env::var("GNNOPT_GEMM").ok();
 
     std::env::set_var("GNNOPT_GEMM", "turbo");
-    let garbage = Session::new(&compiled.plan, &graph);
+    let garbage = Session::builder(&compiled.plan, &graph).build();
 
     std::env::set_var("GNNOPT_GEMM", "naive");
-    let naive = Session::new(&compiled.plan, &graph).map(|s| s.policy().gemm);
+    let naive = Session::builder(&compiled.plan, &graph)
+        .build()
+        .map(|s| s.policy().gemm);
 
     std::env::set_var("GNNOPT_GEMM", "blocked");
-    let blocked = Session::new(&compiled.plan, &graph).map(|s| s.policy().gemm);
+    let blocked = Session::builder(&compiled.plan, &graph)
+        .build()
+        .map(|s| s.policy().gemm);
 
     match saved {
         Some(v) => std::env::set_var("GNNOPT_GEMM", v),

@@ -9,7 +9,7 @@
 use gnnopt_core::{
     compile, BinaryFn, CompileOptions, Dim, EdgeGroup, ExecPolicy, ReduceFn, ScatterFn, UnaryFn,
 };
-use gnnopt_exec::{kernels, Bindings, Session};
+use gnnopt_exec::{kernels, Bindings, EnvOverrides, Session};
 use gnnopt_graph::{EdgeList, Graph};
 use gnnopt_models::{gat, GatConfig};
 use gnnopt_tensor::Tensor;
@@ -217,7 +217,11 @@ fn session_parallel_matches_serial_bitwise_including_peak_memory() {
     let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
 
     let run = |policy: ExecPolicy| {
-        let mut sess = Session::with_policy(&compiled.plan, &g, policy).expect("session");
+        let mut sess = Session::builder(&compiled.plan, &g)
+            .policy(policy)
+            .env(EnvOverrides::Ignore)
+            .build()
+            .expect("session");
         let mut b = Bindings::new();
         for (k, v) in &vals {
             b.insert(k, v.clone());

@@ -127,14 +127,14 @@ fn session_protocol_errors() {
 
     // Inference plan: backward() must be a protocol error.
     let inf = compile(&ir, false, &CompileOptions::ours()).unwrap();
-    let mut sess = Session::new(&inf.plan, &g).unwrap();
+    let mut sess = Session::builder(&inf.plan, &g).build().unwrap();
     assert!(matches!(
         sess.backward(Tensor::zeros(&[3, 2])),
         Err(ExecError::Protocol(_))
     ));
 
     // Missing binding.
-    let mut sess = Session::new(&inf.plan, &g).unwrap();
+    let mut sess = Session::builder(&inf.plan, &g).build().unwrap();
     let err = sess.forward(&gnnopt_exec::Bindings::new()).unwrap_err();
     assert!(matches!(err, ExecError::MissingBinding(_)));
 
@@ -142,7 +142,7 @@ fn session_protocol_errors() {
     let b = gnnopt_exec::Bindings::new()
         .with("h", Tensor::zeros(&[3, 5]))
         .with("w", Tensor::zeros(&[2, 2]));
-    let mut sess = Session::new(&inf.plan, &g).unwrap();
+    let mut sess = Session::builder(&inf.plan, &g).build().unwrap();
     assert!(matches!(
         sess.forward(&b).unwrap_err(),
         ExecError::BindingShape { .. }
@@ -150,7 +150,7 @@ fn session_protocol_errors() {
 
     // Training plan: backward before forward is a protocol error.
     let tr = compile(&ir, true, &CompileOptions::ours()).unwrap();
-    let mut sess = Session::new(&tr.plan, &g).unwrap();
+    let mut sess = Session::builder(&tr.plan, &g).build().unwrap();
     assert!(matches!(
         sess.backward(Tensor::zeros(&[3, 2])),
         Err(ExecError::Protocol(_))

@@ -25,13 +25,17 @@ fn gnnopt_reorder_env_contract() {
     let saved = std::env::var("GNNOPT_REORDER").ok();
 
     std::env::set_var("GNNOPT_REORDER", "sideways");
-    let garbage = Session::new(&compiled.plan, &graph);
+    let garbage = Session::builder(&compiled.plan, &graph).build();
 
     std::env::set_var("GNNOPT_REORDER", "rcm");
-    let on = Session::new(&compiled.plan, &graph).map(|s| s.reorder());
+    let on = Session::builder(&compiled.plan, &graph)
+        .build()
+        .map(|s| s.reorder());
 
     std::env::set_var("GNNOPT_REORDER", "0");
-    let off = Session::new(&compiled.plan, &graph).map(|s| s.reorder());
+    let off = Session::builder(&compiled.plan, &graph)
+        .build()
+        .map(|s| s.reorder());
 
     match saved {
         Some(v) => std::env::set_var("GNNOPT_REORDER", v),

@@ -8,7 +8,7 @@
 //! cross-row sums run in the relabeled row order).
 
 use gnnopt_core::{compile, CompileOptions, ExecPolicy, ReorderPolicy};
-use gnnopt_exec::{Bindings, RunStats, Session};
+use gnnopt_exec::{Bindings, EnvOverrides, RunStats, Session};
 use gnnopt_graph::{EdgeList, Graph};
 use gnnopt_models::{edgeconv, gat, gcn, EdgeConvConfig, GatConfig, GcnConfig, ModelSpec};
 use gnnopt_tensor::Tensor;
@@ -50,8 +50,12 @@ fn step(
     fused: bool,
 ) -> (Vec<Tensor>, HashMap<String, Tensor>, RunStats) {
     let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
-    let mut sess =
-        Session::with_policy_fused(&compiled.plan, graph, policy, fused).expect("session");
+    let mut sess = Session::builder(&compiled.plan, graph)
+        .policy(policy)
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("session");
     let mut b = Bindings::new();
     for (k, v) in vals {
         b.insert(k, v.clone());

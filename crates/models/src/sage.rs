@@ -1,9 +1,31 @@
-//! GraphSAGE (Hamilton et al., 2017) with a mean aggregator:
-//! `h'_v = relu( W_self·h_v + W_neigh·mean_{u∈N(v)} h_u )`.
+//! GraphSAGE (Hamilton et al., 2017), composed purely from the operator
+//! IR — no bespoke kernels, both aggregators lower through the same
+//! scatter/gather/GEMM vocabulary as every other zoo model:
+//!
+//! * **Mean**: `h'_v = relu( W_self·h_v + W_neigh·mean_{u∈N(v)} h_u )`.
+//! * **Max-pool** (Eq. 3 of the paper, bias-free): each neighbour is
+//!   pushed through a pooling MLP before an elementwise max,
+//!   `h'_v = relu( W_self·h_v + W_neigh·max_{u∈N(v)} relu(W_pool·h_u) )`.
+//!   The `Max` gather records per-destination argmax auxiliaries, so the
+//!   backward pass routes gradients through `GatherMaxBwd` — the op the
+//!   generalized lowering schedules first-class (edge-inverted, tiled)
+//!   rather than via a fallback.
+//!
+//! Vertices without in-edges aggregate to zero under both reductions.
 
 use crate::ModelSpec;
 use gnnopt_core::ir::Result;
 use gnnopt_core::{BinaryFn, Dim, EdgeGroup, IrGraph, ReduceFn, ScatterFn, Space, UnaryFn};
+
+/// Neighbour aggregation variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SageAggregator {
+    /// Unweighted mean over in-neighbours.
+    Mean,
+    /// Elementwise max over per-neighbour pooling projections
+    /// (`relu(W_pool·h_u)`, with `W_pool : in_dim × in_dim`).
+    MaxPool,
+}
 
 /// GraphSAGE configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,9 +34,33 @@ pub struct SageConfig {
     pub in_dim: usize,
     /// Output width of each layer.
     pub layer_dims: Vec<usize>,
+    /// Neighbour aggregation variant.
+    pub aggregator: SageAggregator,
 }
 
-/// Builds a mean-aggregator GraphSAGE model.
+impl SageConfig {
+    /// Mean-aggregator configuration.
+    #[must_use]
+    pub fn mean(in_dim: usize, layer_dims: Vec<usize>) -> Self {
+        Self {
+            in_dim,
+            layer_dims,
+            aggregator: SageAggregator::Mean,
+        }
+    }
+
+    /// Max-pool-aggregator configuration.
+    #[must_use]
+    pub fn max_pool(in_dim: usize, layer_dims: Vec<usize>) -> Self {
+        Self {
+            in_dim,
+            layer_dims,
+            aggregator: SageAggregator::MaxPool,
+        }
+    }
+}
+
+/// Builds a GraphSAGE model with the configured aggregator.
 ///
 /// # Errors
 ///
@@ -35,10 +81,22 @@ pub fn sage(cfg: &SageConfig) -> Result<ModelSpec> {
         params.push((format!("w{l}_self"), in_dim, out_dim));
         params.push((format!("w{l}_neigh"), in_dim, out_dim));
 
-        let hu = ir.scatter(ScatterFn::CopyU, h, h)?;
-        let mean = ir.gather(ReduceFn::Mean, EdgeGroup::ByDst, hu)?;
+        let pooled = match cfg.aggregator {
+            SageAggregator::Mean => {
+                let hu = ir.scatter(ScatterFn::CopyU, h, h)?;
+                ir.gather(ReduceFn::Mean, EdgeGroup::ByDst, hu)?
+            }
+            SageAggregator::MaxPool => {
+                let wp = ir.param(&format!("w{l}_pool"), in_dim, in_dim);
+                params.push((format!("w{l}_pool"), in_dim, in_dim));
+                let proj = ir.linear(h, wp)?;
+                let act = ir.unary(UnaryFn::Relu, proj)?;
+                let hu = ir.scatter(ScatterFn::CopyU, act, act)?;
+                ir.gather(ReduceFn::Max, EdgeGroup::ByDst, hu)?
+            }
+        };
         let self_proj = ir.linear(h, ws)?;
-        let neigh_proj = ir.linear(mean, wn)?;
+        let neigh_proj = ir.linear(pooled, wn)?;
         let sum = ir.binary(BinaryFn::Add, self_proj, neigh_proj)?;
         h = ir.unary(UnaryFn::Relu, sum)?;
         in_dim = out_dim;
@@ -54,26 +112,37 @@ mod tests {
 
     #[test]
     fn builds_and_dims() {
-        let spec = sage(&SageConfig {
-            in_dim: 8,
-            layer_dims: vec![16, 4],
-        })
-        .unwrap();
+        let spec = sage(&SageConfig::mean(8, vec![16, 4])).unwrap();
         assert_eq!(spec.output_dim(), 4);
         assert_eq!(spec.params.len(), 4);
     }
 
     #[test]
     fn mean_gather_present() {
-        let spec = sage(&SageConfig {
-            in_dim: 8,
-            layer_dims: vec![4],
-        })
-        .unwrap();
+        let spec = sage(&SageConfig::mean(8, vec![4])).unwrap();
         assert!(spec.ir.nodes().iter().any(|n| matches!(
             n.kind,
             OpKind::Gather {
                 reduce: ReduceFn::Mean,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn max_pool_builds_with_pooling_params() {
+        let spec = sage(&SageConfig::max_pool(8, vec![16, 4])).unwrap();
+        assert_eq!(spec.output_dim(), 4);
+        // self + neigh + pool per layer.
+        assert_eq!(spec.params.len(), 6);
+        assert!(spec
+            .params
+            .iter()
+            .any(|(n, r, c)| n == "w0_pool" && *r == 8 && *c == 8));
+        assert!(spec.ir.nodes().iter().any(|n| matches!(
+            n.kind,
+            OpKind::Gather {
+                reduce: ReduceFn::Max,
                 ..
             }
         )));

@@ -56,7 +56,7 @@ impl<'a, O: Optimizer> Trainer<'a, O> {
         optimizer: O,
     ) -> Result<Self> {
         Ok(Self {
-            sess: Session::new(plan, graph)?,
+            sess: Session::builder(plan, graph).build()?,
             values,
             param_names: param_names.into_iter().collect(),
             optimizer,

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for preset in [Preset::Dgl, Preset::Ours] {
         let compiled = compile(&spec.ir, true, &CompileOptions::preset(preset))?;
-        let mut session = Session::new(&compiled.plan, &graph)?;
+        let mut session = Session::builder(&compiled.plan, &graph).build()?;
         let outputs = session.forward(&bindings)?;
         let grads = session.backward(Tensor::ones(outputs[0].shape()))?;
         let sim = compiled.plan.exec_stats(&device, &stats);

@@ -2,9 +2,11 @@
 //!
 //! Builds a named model, compiles it under a named preset, and dumps any
 //! of: the (rewritten) IR, the kernel plan with stash/recompute decisions,
-//! a Graphviz rendering, the analytical per-kernel timeline on a device,
-//! or a JSON trace. The tool a downstream user reaches for first when a
-//! plan does something unexpected.
+//! the lowered cluster programs (segments, tiled/full steps, storage
+//! classes, per-operand views), a Graphviz rendering, the analytical
+//! per-kernel timeline on a device, or a JSON trace. The tool a
+//! downstream user reaches for first when a plan does something
+//! unexpected.
 //!
 //! ```text
 //! cargo run --release --bin gnnopt-inspect -- gat ours plan
@@ -22,7 +24,7 @@ const USAGE: &str =
     "usage: gnnopt-inspect <model> <preset> <view> [--device 3090|2080] [--inference]
   model:  gat | gatv2 | edgeconv | monet | gcn | sage | gin | appnp
   preset: dgl | fusegnn | ours
-  view:   ir | plan | dot | timeline | json";
+  view:   ir | plan | programs | dot | timeline | json";
 
 fn model_ir(name: &str) -> Option<ModelSpec> {
     let spec = match name {
@@ -36,10 +38,8 @@ fn model_ir(name: &str) -> Option<ModelSpec> {
             pseudo_dim: 1,
         }),
         "gcn" => gcn(&GcnConfig::two_layer(64, 32, 7)),
-        "sage" => sage(&SageConfig {
-            in_dim: 64,
-            layer_dims: vec![32, 7],
-        }),
+        "sage" => sage(&SageConfig::mean(64, vec![32, 7])),
+        "sage-pool" => sage(&SageConfig::max_pool(64, vec![32, 7])),
         "gin" => gin(&GinConfig {
             in_dim: 64,
             layer_dims: vec![32, 7],
@@ -102,6 +102,7 @@ fn main() -> ExitCode {
                 compiled.plan.aux_stash.len()
             );
         }
+        "programs" => print!("{}", display::dump_programs(&compiled.plan)),
         "dot" => print!(
             "{}",
             display::to_dot(&compiled.plan.ir, Some(&compiled.plan))

@@ -27,7 +27,9 @@ fn run(
     preset: Preset,
 ) -> (Tensor, HashMap<String, Tensor>, usize) {
     let compiled = compile(ir, true, &CompileOptions::preset(preset)).expect("compiles");
-    let mut sess = Session::new(&compiled.plan, g).expect("session");
+    let mut sess = Session::builder(&compiled.plan, g)
+        .build()
+        .expect("session");
     let out = sess.forward(&bindings_from(vals)).expect("forward");
     let grads = sess
         .backward(Tensor::ones(out[0].shape()))
@@ -95,10 +97,14 @@ fn assert_grad_matches_fd(name: &str, ir: &IrGraph, vals: &HashMap<String, Tenso
     let vals = &nudge_off_kinks(vals);
     let compiled = compile(ir, true, &CompileOptions::ours()).expect("compiles");
     let loss = |vals: &HashMap<String, Tensor>| -> f32 {
-        let mut sess = Session::new(&compiled.plan, g).expect("session");
+        let mut sess = Session::builder(&compiled.plan, g)
+            .build()
+            .expect("session");
         sess.forward(&bindings_from(vals)).expect("forward")[0].sum_all()
     };
-    let mut sess = Session::new(&compiled.plan, g).expect("session");
+    let mut sess = Session::builder(&compiled.plan, g)
+        .build()
+        .expect("session");
     let out = sess.forward(&bindings_from(vals)).expect("forward");
     let grads = sess
         .backward(Tensor::ones(out[0].shape()))
@@ -211,14 +217,19 @@ fn gin_presets_equivalent() {
 #[test]
 fn sage_presets_equivalent() {
     let g = test_graph();
-    let spec = sage(&SageConfig {
-        in_dim: 4,
-        layer_dims: vec![8, 3],
-    })
-    .unwrap();
+    let spec = sage(&SageConfig::mean(4, vec![8, 3])).unwrap();
     let vals = spec.init_values(&g, 7);
     assert_presets_agree("SAGE", &spec.ir, &vals, &g);
     assert_grad_matches_fd("SAGE", &spec.ir, &vals, &g);
+}
+
+#[test]
+fn sage_max_pool_presets_equivalent() {
+    let g = test_graph();
+    let spec = sage(&SageConfig::max_pool(4, vec![8, 3])).unwrap();
+    let vals = spec.init_values(&g, 7);
+    assert_presets_agree("SAGE-pool", &spec.ir, &vals, &g);
+    assert_grad_matches_fd("SAGE-pool", &spec.ir, &vals, &g);
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! lowered programs' byte arithmetic.
 
 use gnnopt::core::{compile, CompileOptions, ExecPolicy, Storage};
-use gnnopt::exec::{Bindings, RunStats, Session};
+use gnnopt::exec::{Bindings, EnvOverrides, RunStats, Session};
 use gnnopt::graph::{generators, Graph};
 use gnnopt::models::{gat, GatConfig, ModelSpec};
 use gnnopt::tensor::Tensor;
@@ -35,16 +35,15 @@ fn train_step(
     std::collections::HashMap<String, Tensor>,
     RunStats,
 ) {
-    let mut sess = Session::with_policy_fused(
-        plan,
-        graph,
-        ExecPolicy {
+    let mut sess = Session::builder(plan, graph)
+        .policy(ExecPolicy {
             threads,
             ..ExecPolicy::auto()
-        },
-        fused,
-    )
-    .expect("session");
+        })
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("session");
     let mut b = Bindings::new();
     for (k, v) in spec.init_values(graph, 3) {
         b.insert(&k, v);
@@ -109,7 +108,6 @@ fn gat_training_fused_realizes_the_predicted_memory_savings() {
     let internal_total: u64 = plan
         .programs
         .iter()
-        .flatten()
         .map(|p| p.internal_full_bytes(n, m))
         .sum();
     assert!(fused.scratch_bytes > 0);
@@ -133,7 +131,6 @@ fn gat_training_fused_realizes_the_predicted_memory_savings() {
     let interior_max: u64 = plan
         .programs
         .iter()
-        .flatten()
         .map(|p| p.interior_full_bytes(n, m))
         .max()
         .unwrap_or(0);
@@ -156,7 +153,6 @@ fn gat_training_fused_realizes_the_predicted_memory_savings() {
     let internal_max: u64 = plan
         .programs
         .iter()
-        .flatten()
         .map(|p| p.internal_full_bytes(n, m))
         .max()
         .unwrap_or(0);
@@ -176,13 +172,13 @@ fn lowered_programs_classify_the_gat_plan_as_expected() {
     let plan = &compiled.plan;
     assert!(plan.exec.fused, "ours preset turns fused execution on");
 
-    // Every multi-node graph kernel of the GAT plan lowers; singleton
-    // dense kernels fall back by design.
+    // Lowering is total: every kernel — including singleton dense
+    // kernels, which lower to one-step programs — has a program.
+    assert_eq!(plan.programs.len(), plan.kernels.len());
     for (k, prog) in plan.kernels.iter().zip(&plan.programs) {
-        if k.nodes.len() > 1 {
-            assert!(prog.is_some(), "kernel {} should lower", k.id);
-        } else {
-            assert!(prog.is_none(), "singleton kernel {} should not lower", k.id);
+        assert!(!prog.steps.is_empty(), "kernel {} lowers", k.id);
+        if k.nodes.len() == 1 && k.recompute.is_empty() {
+            assert_eq!(prog.steps.len(), 1, "singleton kernel {} is one step", k.id);
         }
     }
 
@@ -191,7 +187,6 @@ fn lowered_programs_classify_the_gat_plan_as_expected() {
     // leave the kernel — nothing more (no hidden full tensors besides
     // declared interior spills), nothing less (no missing boundaries).
     for (k, prog) in plan.kernels.iter().zip(&plan.programs) {
-        let Some(prog) = prog else { continue };
         let mut predicted = plan.materialized_nodes(k);
         predicted.sort_unstable();
         let mut got: Vec<_> = prog.materialized().collect();
@@ -214,13 +209,11 @@ fn lowered_programs_classify_the_gat_plan_as_expected() {
     let internal: u64 = plan
         .programs
         .iter()
-        .flatten()
         .map(|p| p.internal_full_bytes(n, m))
         .sum();
     let edge_internal: u64 = plan
         .programs
         .iter()
-        .flatten()
         .flat_map(|p| p.steps.iter())
         .filter(|s| s.storage == Storage::Scratch && s.space == gnnopt::core::Space::Edge)
         .map(|s| 4 * m as u64 * s.cols as u64)

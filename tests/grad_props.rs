@@ -64,10 +64,10 @@ proptest! {
         let compiled = compile(&ir, true, &CompileOptions::ours()).expect("compiles");
 
         let forward_sum = |vals: &HashMap<String, Tensor>| -> f32 {
-            let mut sess = Session::new(&compiled.plan, &g).expect("session");
+            let mut sess = Session::builder(&compiled.plan, &g).build().expect("session");
             sess.forward(&bindings_from(vals)).expect("forward")[0].sum_all()
         };
-        let mut sess = Session::new(&compiled.plan, &g).expect("session");
+        let mut sess = Session::builder(&compiled.plan, &g).build().expect("session");
         let out = sess.forward(&bindings_from(&vals)).expect("forward");
         let grads = sess
             .backward(Tensor::ones(out[0].shape()))
@@ -106,7 +106,7 @@ proptest! {
         for preset in [Preset::Dgl, Preset::FuseGnn, Preset::Ours] {
             let compiled =
                 compile(&ir, true, &CompileOptions::preset(preset)).expect("compiles");
-            let mut sess = Session::new(&compiled.plan, &g).expect("session");
+            let mut sess = Session::builder(&compiled.plan, &g).build().expect("session");
             let out = sess.forward(&bindings_from(&vals)).expect("forward");
             let grads = sess
                 .backward(Tensor::ones(out[0].shape()))

@@ -1,0 +1,249 @@
+//! Lowering totality: every kernel of every plan lowers to a
+//! [`gnnopt_core::KernelProgram`] — no per-kernel fallback exists, so a
+//! fused session executes *all* kernels through the tiled interpreter —
+//! and cluster-scheduled execution is bit-identical to node-by-node
+//! reference execution on adversarial graphs (isolated vertices, extreme
+//! hubs) across the threads × fused matrix.
+
+mod common;
+
+use common::{arb_steps, build_ir};
+use gnnopt::core::{compile, CompileOptions, ExecPolicy, Preset};
+use gnnopt::exec::{Bindings, EnvOverrides, Session};
+use gnnopt::graph::{generators, EdgeList, Graph};
+use gnnopt::models::*;
+use gnnopt::tensor::{Tensor, XavierInit};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn zoo() -> Vec<(&'static str, ModelSpec)> {
+    vec![
+        (
+            "gat",
+            gat(&GatConfig {
+                in_dim: 8,
+                layers: vec![(2, 6)],
+                negative_slope: 0.2,
+                reorganized: false,
+            })
+            .unwrap(),
+        ),
+        (
+            "gat-reorg",
+            gat(&GatConfig {
+                in_dim: 8,
+                layers: vec![(2, 6)],
+                negative_slope: 0.2,
+                reorganized: true,
+            })
+            .unwrap(),
+        ),
+        (
+            "gatv2",
+            gatv2(&Gatv2Config {
+                in_dim: 5,
+                layers: vec![(2, 4)],
+                negative_slope: 0.2,
+            })
+            .unwrap(),
+        ),
+        (
+            "edgeconv",
+            edgeconv(&EdgeConvConfig {
+                in_dim: 4,
+                layer_dims: vec![8],
+            })
+            .unwrap(),
+        ),
+        (
+            "monet",
+            monet(&MonetConfig {
+                in_dim: 6,
+                layer_dims: vec![4],
+                kernels: 2,
+                pseudo_dim: 2,
+            })
+            .unwrap(),
+        ),
+        ("gcn", gcn(&GcnConfig::two_layer(4, 6, 3)).unwrap()),
+        ("sage", sage(&SageConfig::mean(4, vec![6])).unwrap()),
+        (
+            "sage-pool",
+            sage(&SageConfig::max_pool(4, vec![6])).unwrap(),
+        ),
+        (
+            "gin",
+            gin(&GinConfig {
+                in_dim: 4,
+                layer_dims: vec![6],
+                epsilon: 0.1,
+            })
+            .unwrap(),
+        ),
+        ("appnp", appnp(&AppnpConfig::standard(6, 4, 3)).unwrap()),
+    ]
+}
+
+/// Every kernel of every zoo model × preset × phase has a lowered
+/// program — the invariant the CI fallback gate enforces.
+#[test]
+fn every_zoo_kernel_lowers() {
+    for (name, spec) in zoo() {
+        for preset in [Preset::Dgl, Preset::FuseGnn, Preset::Ours] {
+            for training in [false, true] {
+                let compiled =
+                    compile(&spec.ir, training, &CompileOptions::preset(preset)).unwrap();
+                let plan = &compiled.plan;
+                assert_eq!(
+                    plan.programs.len(),
+                    plan.kernels.len(),
+                    "{name}/{preset:?}/training={training}: lowering must be total"
+                );
+                for (k, prog) in plan.kernels.iter().zip(&plan.programs) {
+                    assert!(
+                        !prog.steps.is_empty(),
+                        "{name}/{preset:?}/training={training}: kernel {} lowered empty",
+                        k.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// With total lowering, a fused session runs *every* kernel through the
+/// tiled interpreter — `fused_kernels` equals the plan's kernel count,
+/// with no silent reference-path drop-through.
+#[test]
+fn fused_sessions_run_every_kernel_fused() {
+    let g = Graph::from_edge_list(&generators::erdos_renyi(32, 160, 9));
+    for (name, spec) in zoo() {
+        let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
+        let plan = &compiled.plan;
+        let mut b = Bindings::new();
+        for (k, v) in spec.init_values(&g, 4) {
+            b.insert(&k, v);
+        }
+        let mut sess = Session::builder(plan, &g)
+            .fused(true)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let out = sess.forward(&b).unwrap();
+        sess.backward(Tensor::ones(out[0].shape())).unwrap();
+        assert_eq!(
+            sess.stats().fused_kernels,
+            plan.kernels.len() as u64,
+            "{name}: every kernel must execute through the fused path"
+        );
+    }
+}
+
+fn leaf_values(ir: &gnnopt::core::IrGraph, g: &Graph, seed: u64) -> HashMap<String, Tensor> {
+    let mut init = XavierInit::new(seed);
+    let mut vals = HashMap::new();
+    for n in ir.nodes() {
+        match n.kind {
+            gnnopt::core::OpKind::InputVertex => {
+                vals.insert(
+                    n.name.clone(),
+                    init.uniform(&[g.num_vertices(), n.dim.total()], 0.1, 1.0),
+                );
+            }
+            gnnopt::core::OpKind::InputEdge => {
+                vals.insert(
+                    n.name.clone(),
+                    init.uniform(&[g.num_edges(), n.dim.total()], 0.1, 1.0),
+                );
+            }
+            gnnopt::core::OpKind::Param => {
+                vals.insert(n.name.clone(), init.matrix(n.dim.heads, n.dim.feat));
+            }
+            _ => {}
+        }
+    }
+    vals
+}
+
+fn run(
+    ir: &gnnopt::core::IrGraph,
+    vals: &HashMap<String, Tensor>,
+    g: &Graph,
+    threads: usize,
+    fused: bool,
+) -> (Tensor, HashMap<String, Tensor>) {
+    let compiled = compile(ir, true, &CompileOptions::ours()).expect("compiles");
+    let mut b = Bindings::new();
+    for (k, v) in vals {
+        b.insert(k, v.clone());
+    }
+    let mut sess = Session::builder(&compiled.plan, g)
+        .policy(ExecPolicy {
+            threads,
+            parallel_threshold: 0,
+            ..ExecPolicy::serial()
+        })
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("session");
+    let out = sess.forward(&b).expect("forward");
+    let grads = sess
+        .backward(Tensor::ones(out[0].shape()))
+        .expect("backward");
+    (out[0].clone(), grads)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Random edges plus a guaranteed extreme hub (every vertex feeds vertex
+/// 0) plus trailing isolated vertices.
+fn hub_graph(n: usize, extra: &[(u32, u32)], iso: usize) -> Graph {
+    let mut pairs: Vec<(u32, u32)> = (1..n as u32).map(|u| (u, 0)).collect();
+    pairs.extend_from_slice(extra);
+    pairs.sort_unstable();
+    pairs.dedup();
+    Graph::from_edge_list(&EdgeList::from_pairs(n + iso, &pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cluster-scheduled fused execution of *random* model IRs is
+    /// bit-identical to node-by-node reference execution — outputs and
+    /// every gradient — on hub-heavy graphs with isolated vertices, at
+    /// one and four threads.
+    #[test]
+    fn cluster_programs_match_reference_bit_for_bit(
+        steps in arb_steps(),
+        extra in proptest::collection::vec((0u32..12, 0u32..12), 0..40),
+        seed in 0u64..1000,
+        iso in 0usize..4,
+    ) {
+        let ir = build_ir(&steps, 3);
+        let g = hub_graph(12, &extra, iso);
+        let vals = leaf_values(&ir, &g, seed);
+        let (ref_out, ref_grads) = run(&ir, &vals, &g, 1, false);
+        for threads in [1usize, 4] {
+            for fused in [false, true] {
+                let (out, grads) = run(&ir, &vals, &g, threads, fused);
+                prop_assert_eq!(
+                    bits(&ref_out),
+                    bits(&out),
+                    "t{}/fused={}: output must be bit-identical",
+                    threads, fused
+                );
+                for (k, gr) in &ref_grads {
+                    prop_assert_eq!(
+                        bits(gr),
+                        bits(&grads[k]),
+                        "t{}/fused={}: grad '{}' must be bit-identical",
+                        threads, fused, k
+                    );
+                }
+            }
+        }
+    }
+}

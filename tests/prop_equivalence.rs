@@ -30,7 +30,9 @@ fn run(
     for (k, v) in vals {
         b.insert(k, v.clone());
     }
-    let mut sess = Session::new(&compiled.plan, g).expect("session");
+    let mut sess = Session::builder(&compiled.plan, g)
+        .build()
+        .expect("session");
     let out = sess.forward(&b).expect("forward");
     let grads = sess
         .backward(Tensor::ones(out[0].shape()))

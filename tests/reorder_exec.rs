@@ -10,7 +10,7 @@ mod common;
 
 use common::{arb_steps, build_ir};
 use gnnopt::core::{compile, CompileOptions, ExecPolicy, ReorderPolicy};
-use gnnopt::exec::{Bindings, Session};
+use gnnopt::exec::{Bindings, EnvOverrides, Session};
 use gnnopt::graph::{generators, EdgeList, Graph};
 use gnnopt::tensor::{Tensor, XavierInit};
 use proptest::prelude::*;
@@ -54,7 +54,12 @@ fn run(
     for (k, v) in vals {
         b.insert(k, v.clone());
     }
-    let mut sess = Session::with_policy_fused(&compiled.plan, g, policy, fused).expect("session");
+    let mut sess = Session::builder(&compiled.plan, g)
+        .policy(policy)
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("session");
     let out = sess.forward(&b).expect("forward");
     let grads = sess
         .backward(Tensor::ones(out[0].shape()))
@@ -145,13 +150,12 @@ fn auto_never_hurts_and_reorders_a_scrambled_grid() {
     })
     .unwrap();
     let compiled = compile(&spec.ir, false, &CompileOptions::ours()).unwrap();
-    let sess = Session::with_policy_fused(
-        &compiled.plan,
-        &g,
-        ExecPolicy::serial().reordered(ReorderPolicy::Auto),
-        false,
-    )
-    .unwrap();
+    let sess = Session::builder(&compiled.plan, &g)
+        .policy(ExecPolicy::serial().reordered(ReorderPolicy::Auto))
+        .fused(false)
+        .env(EnvOverrides::Off)
+        .build()
+        .unwrap();
     let (strategy, seconds) = sess.reorder();
     assert_ne!(
         strategy,

@@ -46,7 +46,9 @@ fn tuned_plans_execute_identically() {
         let vals = spec.init_values(&g, 31);
         let compiled = compile(&spec.ir, true, &CompileOptions::ours()).expect("compiles");
 
-        let mut sess = Session::new(&compiled.plan, &g).expect("session");
+        let mut sess = Session::builder(&compiled.plan, &g)
+            .build()
+            .expect("session");
         let out_before = sess.forward(&bindings_from(&vals)).expect("forward");
         let grads_before = sess
             .backward(Tensor::ones(out_before[0].shape()))
@@ -59,7 +61,7 @@ fn tuned_plans_execute_identically() {
             "{name}: tuning may not slow the plan"
         );
 
-        let mut sess = Session::new(&tuned, &g).expect("tuned session");
+        let mut sess = Session::builder(&tuned, &g).build().expect("tuned session");
         let out_after = sess.forward(&bindings_from(&vals)).expect("tuned forward");
         let grads_after = sess
             .backward(Tensor::ones(out_after[0].shape()))

@@ -58,7 +58,9 @@ fn gcn_layer_runs_end_to_end_under_every_preset() {
     for preset in [Preset::Dgl, Preset::FuseGnn, Preset::Ours] {
         let compiled = compile(&ir, true, &CompileOptions::preset(preset))
             .unwrap_or_else(|e| panic!("{preset:?} failed to compile: {e}"));
-        let mut sess = Session::new(&compiled.plan, &graph).expect("session");
+        let mut sess = Session::builder(&compiled.plan, &graph)
+            .build()
+            .expect("session");
         let out = sess.forward(&bindings).expect("forward");
         assert_eq!(out.len(), 1, "{preset:?}: one model output expected");
         assert_eq!(
