@@ -103,20 +103,29 @@ fn measured_fused_exec_section() {
         graph.num_edges()
     );
     println!(
-        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>9}",
-        "executor", "fwd (s)", "bwd (s)", "peak (GiB)", "scratch(MiB)", "kernels"
+        "{:<10} {:>10} {:>10} {:>12} {:>13} {:>12} {:>9}",
+        "executor", "fwd (s)", "bwd (s)", "peak (GiB)", "planned(GiB)", "scratch(MiB)", "kernels"
     );
     // Warmup pays one-time allocation/page-in costs outside the timings.
     run_real_fused(&spec, &graph, &opts, 0, true, 11, false).expect("warmup");
     let mut peaks = (0u64, 0u64);
     for (label, fused) in [("reference", false), ("fused", true)] {
         let s = run_real_fused(&spec, &graph, &opts, 0, true, 11, fused).expect("step runs");
+        // The static memory planner's promise next to reality: measured
+        // peak must sit at or below the planned arena on every row.
+        assert!(
+            s.planned_peak_bytes == 0 || s.peak_value_bytes <= s.planned_peak_bytes,
+            "{label}: measured peak {} exceeds planned {}",
+            s.peak_value_bytes,
+            s.planned_peak_bytes
+        );
         println!(
-            "{:<10} {:>10.4} {:>10.4} {:>12.4} {:>12.2} {:>9}",
+            "{:<10} {:>10.4} {:>10.4} {:>12.4} {:>13.4} {:>12.2} {:>9}",
             label,
             s.forward_seconds,
             s.backward_seconds,
             gib(s.peak_value_bytes),
+            gib(s.planned_peak_bytes),
             s.scratch_bytes as f64 / (1u64 << 20) as f64,
             s.fused_kernels,
         );

@@ -1,15 +1,18 @@
 //! Machine-readable performance snapshot: measures the compute engine
-//! (GEMM GFLOP/s per kernel), a real GAT training step per engine — at
-//! the auto-detected pool size and pinned to 4 workers — and the
-//! session's peak value bytes, then writes `BENCH_PR7.json` so the perf
-//! trajectory is tracked as a diffable artifact (PR 5 wrote
-//! `BENCH_PR5.json`, PR 6 `BENCH_PR6.json`; later PRs append
-//! `BENCH_PR<N>.json` files of the same shape).
+//! (GEMM GFLOP/s per kernel), a real GAT/GCN training step per engine —
+//! at the auto-detected pool size and pinned to 4 workers, with the
+//! static memory arena on, plus an arena-off control set — and the
+//! session's measured and planned peak bytes, then writes
+//! `BENCH_PR8.json` so the perf trajectory is tracked as a diffable
+//! artifact (PR 5 wrote `BENCH_PR5.json`, PR 6 `BENCH_PR6.json`, PR 7
+//! `BENCH_PR7.json`; later PRs append `BENCH_PR<N>.json` files of the
+//! same shape).
 //!
-//! The snapshot also reads the committed `BENCH_PR6.json` (when present)
-//! and reports the backward-phase speedup of the total-lowering engine
-//! over the PR 6 baseline, per model, on the blocked-GEMM auto-thread
-//! rows — the regression guard for retiring the fusion fallbacks.
+//! The snapshot also reads the committed `BENCH_PR7.json` (when present)
+//! and reports, per model, the measured-peak reduction of the
+//! memory-planned executor over the PR 7 baseline on the blocked-GEMM
+//! auto-thread rows — the regression guard for the static memory
+//! planner's node-granular eviction and fused mid-launch release.
 //!
 //! Run with `cargo run --release -p gnnopt-bench --bin perf_snapshot`;
 //! `GNNOPT_SMOKE=1` shrinks every workload to CI scale and skips the
@@ -17,7 +20,7 @@
 //! measurement — they must not clobber the committed artifact).
 
 use gnnopt_bench::{
-    compute_engine_workloads, measure_gemm_single_thread, measure_steps_interleaved_threads, smoke,
+    compute_engine_workloads, measure_gemm_single_thread, measure_steps_interleaved_arena, smoke,
     smoke_scale, GEMM_KERNELS,
 };
 use gnnopt_graph::Graph;
@@ -44,23 +47,31 @@ struct StepRow {
     backward_ms: f64,
     step_ms: f64,
     peak_value_bytes: u64,
+    /// The static planner's arena promise at session build (`0` with the
+    /// arena off); `peak_value_bytes` must never exceed it.
+    planned_peak_bytes: u64,
+    /// Whether tensor storage was served from the planned arena.
+    arena: bool,
     threads: usize,
 }
 
-/// Backward-phase comparison against the committed PR 6 baseline.
+/// Measured-peak comparison against the committed PR 7 baseline.
 #[derive(Serialize)]
-struct BackwardSpeedupRow {
+struct PeakReductionRow {
     model: String,
-    pr6_backward_ms: f64,
-    backward_ms: f64,
-    speedup: f64,
+    pr7_peak_bytes: u64,
+    peak_value_bytes: u64,
+    /// `pr7 / now` — above 1.0 means the planned executor peaks lower
+    /// than the PR 7 heap executor on the same workload.
+    reduction: f64,
 }
 
 #[derive(Serialize)]
 struct Snapshot {
-    /// Snapshot schema marker (`pr7-total-lowering`; same shape as the
-    /// PR 6 `pr6-sparse-kernel-engine` snapshot, with the speedup
-    /// section re-baselined on `BENCH_PR6.json`).
+    /// Snapshot schema marker (`pr8-memory-planner`; same shape as the
+    /// PR 7 `pr7-total-lowering` snapshot, with per-row arena/planned
+    /// fields and the comparison section re-baselined on measured peaks
+    /// from `BENCH_PR7.json`).
     schema: String,
     /// True when sizes were shrunk by `GNNOPT_SMOKE=1`.
     smoke: bool,
@@ -69,19 +80,28 @@ struct Snapshot {
     gemm: Vec<GemmRow>,
     /// Single-thread blocked-vs-naive GFLOP/s ratio on the square case.
     gemm_speedup: f64,
-    /// Auto-thread rows (comparable to the PR 5 artifact) followed by
-    /// rows pinned to 4 workers; the `threads` field tells them apart.
+    /// Arena-on rows at auto threads (comparable to the PR 7 artifact,
+    /// which predates the arena), then arena-on pinned to 4 workers,
+    /// then an arena-off control set at auto threads; the `arena` and
+    /// `threads` fields tell them apart.
     steps: Vec<StepRow>,
-    /// Backward-phase speedup vs the committed `BENCH_PR6.json` blocked
+    /// Measured-peak reduction vs the committed `BENCH_PR7.json` blocked
     /// rows (auto threads — the *first* blocked row per model); empty
     /// when the baseline file is absent or unreadable.
-    backward_speedup_vs_pr6: Vec<BackwardSpeedupRow>,
+    peak_reduction_vs_pr7: Vec<PeakReductionRow>,
 }
 
 /// Measures one model under both engines via the shared
 /// interleaved-minimum harness and renders the two rows.
-fn measure_steps(name: &str, spec: &ModelSpec, graph: &Graph, threads: usize) -> Vec<StepRow> {
-    let best = measure_steps_interleaved_threads(spec, graph, smoke_scale(4, 1), threads);
+fn measure_steps(
+    name: &str,
+    spec: &ModelSpec,
+    graph: &Graph,
+    threads: usize,
+    arena: bool,
+) -> Vec<StepRow> {
+    let best =
+        measure_steps_interleaved_arena(spec, graph, smoke_scale(4, 1), threads, Some(arena));
     GEMM_KERNELS
         .into_iter()
         .zip(best)
@@ -92,6 +112,8 @@ fn measure_steps(name: &str, spec: &ModelSpec, graph: &Graph, threads: usize) ->
             backward_ms: run.backward_seconds * 1e3,
             step_ms: (run.forward_seconds + run.backward_seconds) * 1e3,
             peak_value_bytes: run.peak_value_bytes,
+            planned_peak_bytes: run.planned_peak_bytes,
+            arena: run.arena,
             threads: run.threads,
         })
         .collect()
@@ -104,22 +126,21 @@ fn field<'v>(v: &'v serde::Value, key: &str) -> Option<&'v serde::Value> {
         .find_map(|(k, val)| (k == key).then_some(val))
 }
 
-fn as_f64(v: &serde::Value) -> Option<f64> {
+fn as_u64(v: &serde::Value) -> Option<u64> {
     match v {
-        serde::Value::Int(i) => Some(*i as f64),
-        serde::Value::UInt(u) => Some(*u as f64),
-        serde::Value::Float(f) => Some(*f),
+        serde::Value::Int(i) => u64::try_from(*i).ok(),
+        serde::Value::UInt(u) => Some(*u),
         _ => None,
     }
 }
 
-/// PR 6 blocked-engine backward milliseconds per model, from the
-/// committed baseline artifact — the first blocked row per model, i.e.
-/// the auto-thread measurement (the pinned 4-thread rows repeat the
-/// model names later in the array). `None` when the file is missing or
-/// its shape is unexpected — the snapshot still writes, just without
-/// the comparison section.
-fn pr6_backward_ms(path: &std::path::Path) -> Option<std::collections::HashMap<String, f64>> {
+/// PR 7 blocked-engine measured peak bytes per model, from the committed
+/// baseline artifact — the first blocked row per model, i.e. the
+/// auto-thread measurement (the pinned 4-thread rows repeat the model
+/// names later in the array). `None` when the file is missing or its
+/// shape is unexpected — the snapshot still writes, just without the
+/// comparison section.
+fn pr7_peak_bytes(path: &std::path::Path) -> Option<std::collections::HashMap<String, u64>> {
     let text = std::fs::read_to_string(path).ok()?;
     let v: serde::Value = serde_json::from_str(&text).ok()?;
     let serde::Value::Array(rows) = field(&v, "steps")? else {
@@ -131,8 +152,8 @@ fn pr6_backward_ms(path: &std::path::Path) -> Option<std::collections::HashMap<S
             continue;
         }
         let model = field(row, "model")?.as_str()?.to_owned();
-        let ms = as_f64(field(row, "backward_ms")?)?;
-        by_model.entry(model).or_insert(ms);
+        let bytes = as_u64(field(row, "peak_value_bytes")?)?;
+        by_model.entry(model).or_insert(bytes);
     }
     Some(by_model)
 }
@@ -156,37 +177,41 @@ fn main() {
     let (_, graph, models) = compute_engine_workloads();
     let mut steps = Vec::new();
     for (name, spec) in &models {
-        steps.extend(measure_steps(name, spec, &graph, 0));
+        steps.extend(measure_steps(name, spec, &graph, 0, true));
     }
     let auto_rows = steps.len();
     for (name, spec) in &models {
-        steps.extend(measure_steps(name, spec, &graph, 4));
+        steps.extend(measure_steps(name, spec, &graph, 4, true));
+    }
+    // Arena-off control: same workloads, plain heap, auto threads.
+    for (name, spec) in &models {
+        steps.extend(measure_steps(name, spec, &graph, 0, false));
     }
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let baseline = pr6_backward_ms(&root.join("BENCH_PR6.json")).unwrap_or_default();
-    let backward_speedup_vs_pr6: Vec<BackwardSpeedupRow> = steps[..auto_rows]
+    let baseline = pr7_peak_bytes(&root.join("BENCH_PR7.json")).unwrap_or_default();
+    let peak_reduction_vs_pr7: Vec<PeakReductionRow> = steps[..auto_rows]
         .iter()
         .filter(|r| r.kernel == "Blocked")
         .filter_map(|r| {
-            let pr6 = *baseline.get(&r.model)?;
-            Some(BackwardSpeedupRow {
+            let pr7 = *baseline.get(&r.model)?;
+            Some(PeakReductionRow {
                 model: r.model.clone(),
-                pr6_backward_ms: pr6,
-                backward_ms: r.backward_ms,
-                speedup: pr6 / r.backward_ms,
+                pr7_peak_bytes: pr7,
+                peak_value_bytes: r.peak_value_bytes,
+                reduction: pr7 as f64 / r.peak_value_bytes as f64,
             })
         })
         .collect();
 
     let snapshot = Snapshot {
-        schema: "pr7-total-lowering".to_owned(),
+        schema: "pr8-memory-planner".to_owned(),
         smoke: smoke(),
         auto_threads: available_threads(),
         gemm: gemm_rows,
         gemm_speedup: by_kernel[1] / by_kernel[0],
         steps,
-        backward_speedup_vs_pr6,
+        peak_reduction_vs_pr7,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     println!("{json}");
@@ -194,13 +219,13 @@ fn main() {
     // CI/dev smoke run clobber the committed reference-container
     // artifact.
     if smoke() {
-        eprintln!("smoke mode: not overwriting BENCH_PR7.json");
+        eprintln!("smoke mode: not overwriting BENCH_PR8.json");
     } else {
         // Anchor at the workspace root (two levels above this crate's
         // manifest), not the invoking cwd, so a refreshed measurement
         // always replaces the tracked artifact.
-        let path = root.join("BENCH_PR7.json");
-        std::fs::write(&path, &json).expect("BENCH_PR7.json writes");
+        let path = root.join("BENCH_PR8.json");
+        std::fs::write(&path, &json).expect("BENCH_PR8.json writes");
         eprintln!("wrote {}", path.display());
     }
 }

@@ -206,11 +206,49 @@ pub fn run_real_gemm(
     fused: bool,
     gemm: GemmKernel,
 ) -> IrResult<RunStats> {
+    run_real_gemm_arena(
+        spec, graph, opts, threads, training, seed, fused, gemm, None,
+    )
+}
+
+/// Like [`run_real_gemm`], but additionally pinning the session's static
+/// arena allocator (`None` keeps the default: on): the arena-on vs
+/// arena-off measurement probe behind the memory-planner snapshot.
+///
+/// # Errors
+///
+/// Propagates IR/compile errors.
+///
+/// # Panics
+///
+/// Panics if the compiled plan fails to execute (a harness bug, not a
+/// measurement outcome).
+#[allow(clippy::too_many_arguments)]
+pub fn run_real_gemm_arena(
+    spec: &ModelSpec,
+    graph: &Graph,
+    opts: &CompileOptions,
+    threads: usize,
+    training: bool,
+    seed: u64,
+    fused: bool,
+    gemm: GemmKernel,
+    arena: Option<bool>,
+) -> IrResult<RunStats> {
     let opts = CompileOptions {
         exec: opts.exec.with_gemm(gemm),
         ..*opts
     };
-    run_real_impl(spec, graph, &opts, threads, training, seed, Some(fused))
+    run_real_impl2(
+        spec,
+        graph,
+        &opts,
+        threads,
+        training,
+        seed,
+        Some(fused),
+        arena,
+    )
 }
 
 /// The `[Naive, Blocked]` measurement order every compute-engine harness
@@ -301,9 +339,27 @@ pub fn measure_steps_interleaved_threads(
     reps: usize,
     threads: usize,
 ) -> [RunStats; 2] {
+    measure_steps_interleaved_arena(spec, graph, reps, threads, None)
+}
+
+/// [`measure_steps_interleaved_threads`] with the session's static arena
+/// additionally pinned (`None` = session default: on) — the probe behind
+/// the memory-planner snapshot's arena-on vs arena-off step rows.
+///
+/// # Panics
+///
+/// Panics if the model fails to compile or execute (a harness bug, not a
+/// measurement outcome).
+pub fn measure_steps_interleaved_arena(
+    spec: &ModelSpec,
+    graph: &Graph,
+    reps: usize,
+    threads: usize,
+    arena: Option<bool>,
+) -> [RunStats; 2] {
     let kernels = GEMM_KERNELS;
     for kernel in kernels {
-        run_real_gemm(
+        run_real_gemm_arena(
             spec,
             graph,
             &CompileOptions::ours(),
@@ -312,13 +368,14 @@ pub fn measure_steps_interleaved_threads(
             11,
             true,
             kernel,
+            arena,
         )
         .expect("warmup runs");
     }
     let mut best: [Option<RunStats>; 2] = [None, None];
     for _ in 0..reps {
         for (slot, kernel) in kernels.into_iter().enumerate() {
-            let run = run_real_gemm(
+            let run = run_real_gemm_arena(
                 spec,
                 graph,
                 &CompileOptions::ours(),
@@ -327,6 +384,7 @@ pub fn measure_steps_interleaved_threads(
                 11,
                 true,
                 kernel,
+                arena,
             )
             .expect("measured run");
             let wall = run.forward_seconds + run.backward_seconds;
@@ -350,6 +408,22 @@ fn run_real_impl(
     seed: u64,
     fused: Option<bool>,
 ) -> IrResult<RunStats> {
+    run_real_impl2(spec, graph, opts, threads, training, seed, fused, None)
+}
+
+/// [`run_real_impl`] plus an optional arena pin (`None` = session
+/// default: arena on).
+#[allow(clippy::too_many_arguments)]
+fn run_real_impl2(
+    spec: &ModelSpec,
+    graph: &Graph,
+    opts: &CompileOptions,
+    threads: usize,
+    training: bool,
+    seed: u64,
+    fused: Option<bool>,
+    arena: Option<bool>,
+) -> IrResult<RunStats> {
     // The explicit thread count is compiled into the plan, so the session
     // adopts it as-is (no auto-detection, no GNNOPT_THREADS interference);
     // the policy's other knobs (tiling, grouping, reordering) ride along.
@@ -365,14 +439,14 @@ fn run_real_impl(
     for (k, v) in spec.init_values(graph, seed) {
         bindings.insert(&k, v);
     }
-    let mut sess = match fused {
-        None => Session::builder(&compiled.plan, graph).build(),
-        Some(f) => Session::builder(&compiled.plan, graph)
-            .fused(f)
-            .env(gnnopt_exec::EnvOverrides::Off)
-            .build(),
+    let mut builder = Session::builder(&compiled.plan, graph);
+    if let Some(f) = fused {
+        builder = builder.fused(f).env(gnnopt_exec::EnvOverrides::Off);
     }
-    .expect("session builds");
+    if let Some(a) = arena {
+        builder = builder.arena(a);
+    }
+    let mut sess = builder.build().expect("session builds");
     let out = sess.forward(&bindings).expect("forward runs");
     if training {
         sess.backward(gnnopt_tensor::Tensor::ones(out[0].shape()))

@@ -220,9 +220,54 @@ pub fn dump_programs(plan: &ExecutionPlan) -> String {
     out
 }
 
+/// Offset map of a [`MemoryPlan`](crate::memplan::MemoryPlan): one line
+/// per planned region — tensor, arena offset, granted/requested size,
+/// lifetime interval in kernel positions — plus the arena summary.
+///
+/// Sample line — node `%14`, 2 KiB at offset 4096, live from position 3
+/// until position 5:
+///
+/// ```text
+///   %14  gather_sum              @4096     2048 B  [3, 5]
+/// ```
+pub fn dump_memory(plan: &ExecutionPlan, mem: &crate::memplan::MemoryPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "memory plan ({}): arena {} B across {} regions, {} positions, aux {} B",
+        if mem.fused { "fused" } else { "reference" },
+        mem.arena_bytes,
+        mem.buffers().len(),
+        mem.positions,
+        mem.aux_bytes
+    );
+    for r in &mem.regions {
+        let life = if r.death == crate::memplan::PERSISTENT {
+            format!("[{}, ∞]", r.birth)
+        } else {
+            format!("[{}, {}]", r.birth, r.death)
+        };
+        let granted = if r.bytes == r.request {
+            String::new()
+        } else {
+            format!(" (in {} B region)", r.bytes)
+        };
+        let _ = writeln!(
+            out,
+            "  %{:<3} {:<24} @{:<10} {:>10} B  {life}{granted}",
+            r.node,
+            plan.ir.node(r.node).name,
+            r.offset,
+            r.request
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memplan::plan_memory;
     use crate::op::{BinaryFn, Dim, EdgeGroup, ReduceFn, ScatterFn};
     use crate::pipeline::{compile, CompileOptions};
 
@@ -298,5 +343,22 @@ mod tests {
         assert!(s.contains("by-src"), "endpoint views: {s}");
         assert!(s.contains("reduce:by-dst"), "reduction views: {s}");
         assert!(s.contains("tiled stream"), "streamed chains: {s}");
+    }
+
+    #[test]
+    fn memory_dump_renders_every_region() {
+        let g = toy();
+        let compiled = compile(&g, true, &CompileOptions::ours()).unwrap();
+        let mem = plan_memory(&compiled.plan, 16, 48, true);
+        let s = dump_memory(&compiled.plan, &mem);
+        assert!(s.contains("arena"), "summary: {s}");
+        for r in &mem.regions {
+            assert!(
+                s.contains(&format!("%{:<3}", r.node)),
+                "region {}: {s}",
+                r.node
+            );
+        }
+        assert!(s.contains('∞'), "persistent lifetimes: {s}");
     }
 }

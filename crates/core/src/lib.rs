@@ -42,6 +42,7 @@ pub mod exec_policy;
 pub mod fusion;
 pub mod ir;
 pub mod lower;
+pub mod memplan;
 pub mod op;
 pub mod pipeline;
 pub mod plan;
@@ -53,6 +54,7 @@ pub mod view;
 pub use exec_policy::{ExecPolicy, GemmKernel, ReorderPolicy};
 pub use ir::{IrError, IrGraph, Node, Phase};
 pub use lower::{KernelProgram, ProgramStep, Storage};
+pub use memplan::{kernel_phase, liveness, plan_memory, Liveness, MemRegion, MemoryPlan};
 pub use op::{BinaryFn, Dim, EdgeGroup, NodeId, OpKind, ReduceFn, ScatterFn, Space, UnaryFn};
 pub use pipeline::{compile, CompileOptions, FusionLevel, Preset};
 pub use plan::{ExecutionPlan, Kernel};

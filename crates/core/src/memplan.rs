@@ -1,0 +1,517 @@
+//! Static memory planning: liveness-driven arena layout for an
+//! [`ExecutionPlan`] (ROADMAP item 2).
+//!
+//! The paper's thesis is that computation, IO and **memory** must be
+//! coordinated; this pass closes the memory leg. Fusion (§5) and
+//! recomputation (§6) decide *which* intermediates exist — the lowered
+//! programs (total since PR 7) enumerate every tensor a step will ever
+//! hold together with its storage class. This module walks those
+//! programs in execution order, derives each tensor's
+//! `[birth, death]` interval in *kernel positions* from the same
+//! external-reader analysis the executor evicts by, and lays the
+//! intervals out in one arena with a first-fit free-list allocator
+//! (exact-size match first, then smallest fitting region, then extend —
+//! a granted region is never split, so every region maps 1:1 onto a
+//! reusable runtime buffer in `gnnopt_tensor::pool`).
+//!
+//! Storage classes partition the problem exactly as lowering defined
+//! them:
+//!
+//! * [`Storage::Materialized`] values cross kernel boundaries and live
+//!   in the session store — they get arena regions spanning birth to
+//!   last external reader (model outputs, stashes, leaves and parameter
+//!   gradients are *persistent*: their regions never free).
+//! * [`Storage::Interior`] values exist only inside one fused launch —
+//!   single-position regions.
+//! * [`Storage::Scratch`] stays in the per-worker tile slabs the fused
+//!   interpreter already sizes ([`KernelProgram::scratch_tile_bytes`])
+//!   and [`Storage::Prelude`] tensors are launch-transient statistics;
+//!   neither enters the store, so neither is offset-planned.
+//!
+//! The unfused reference executor materializes *every* kernel member
+//! into the store, so `fused = false` plans one region per member node
+//! instead of consulting storage classes. Recomputed values
+//! re-materialize at each backward kernel that rebuilds them —
+//! single-position regions at those kernels.
+//!
+//! Softmax max/denominator stashes and argmax tables are accounted in
+//! [`MemoryPlan::aux_bytes`] but not offset-planned: they are a
+//! different element type and orders of magnitude smaller than the
+//! feature tensors.
+
+use crate::ir::Phase;
+use crate::lower::{StepExec, Storage};
+use crate::op::{NodeId, OpKind, Space};
+use crate::plan::ExecutionPlan;
+use std::collections::{HashMap, HashSet};
+
+/// Death marker for values that live until session reset.
+pub const PERSISTENT: usize = usize::MAX;
+
+/// The executor's liveness analysis, shared verbatim between
+/// `gnnopt-exec`'s session (which evicts by it) and the memory planner
+/// (which lays buffers out by it). One source of truth: a divergence
+/// would let the planner alias a buffer the executor still reads.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Last kernel that reads each node from *outside* the kernel that
+    /// computes it (recompute members count as internal readers).
+    pub last_reader: HashMap<NodeId, usize>,
+    /// Values that survive to session reset: model outputs, stashed
+    /// tensors, leaves, parameter gradients.
+    pub persistent: HashSet<NodeId>,
+    /// Eviction lists: `kernel_deaths[k]` are the kernel-owned,
+    /// non-persistent nodes whose last external reader is kernel `k`
+    /// (or that nothing reads at all).
+    pub kernel_deaths: Vec<Vec<NodeId>>,
+}
+
+/// Computes [`Liveness`] for a plan.
+#[must_use]
+pub fn liveness(plan: &ExecutionPlan) -> Liveness {
+    let mut last_reader: HashMap<NodeId, usize> = HashMap::new();
+    for k in &plan.kernels {
+        let members: HashSet<NodeId> = k.nodes.iter().chain(&k.recompute).copied().collect();
+        for &nid in k.nodes.iter().chain(&k.recompute) {
+            for &i in &plan.ir.node(nid).inputs {
+                if !members.contains(&i) {
+                    let e = last_reader.entry(i).or_insert(k.id);
+                    *e = (*e).max(k.id);
+                }
+            }
+        }
+    }
+
+    let mut persistent: HashSet<NodeId> = plan.ir.outputs().iter().copied().collect();
+    persistent.extend(plan.stash.iter().copied());
+    for n in plan.ir.nodes() {
+        if matches!(
+            n.kind,
+            OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
+        ) {
+            persistent.insert(n.id);
+        }
+    }
+    for &(_, g) in &plan.param_grads {
+        persistent.insert(g);
+    }
+
+    let node_kernel = plan.node_kernel();
+    let mut kernel_deaths: Vec<Vec<NodeId>> = vec![Vec::new(); plan.kernels.len()];
+    for n in plan.ir.nodes() {
+        if persistent.contains(&n.id) {
+            continue;
+        }
+        let Some(&birth) = node_kernel.get(&n.id) else {
+            continue;
+        };
+        let death = last_reader.get(&n.id).copied().unwrap_or(birth).max(birth);
+        kernel_deaths[death].push(n.id);
+    }
+
+    Liveness {
+        last_reader,
+        persistent,
+        kernel_deaths,
+    }
+}
+
+/// The phase a kernel executes in: backward iff any member node is a
+/// backward op (kernels never mix phases).
+#[must_use]
+pub fn kernel_phase(plan: &ExecutionPlan, kid: usize) -> Phase {
+    if plan.kernels[kid]
+        .nodes
+        .iter()
+        .any(|&n| plan.ir.node(n).phase == Phase::Backward)
+    {
+        Phase::Backward
+    } else {
+        Phase::Forward
+    }
+}
+
+/// One planned arena region: a tensor's offset assignment plus the
+/// lifetime interval that justified it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRegion {
+    /// The IR node whose value occupies the region.
+    pub node: NodeId,
+    /// Byte offset of the region in the arena.
+    pub offset: u64,
+    /// Size of the granted region in bytes (≥ `request`; regions are
+    /// never split, so a reused region keeps its original size).
+    pub bytes: u64,
+    /// Bytes the tensor actually needs.
+    pub request: u64,
+    /// First execution position (kernel index in forward-then-backward
+    /// order) at which the value exists. Leaves are born at position 0
+    /// (the gradient seed at the first backward position).
+    pub birth: usize,
+    /// Last position at which the value is read ([`PERSISTENT`] for
+    /// values that survive to reset). Inclusive.
+    pub death: usize,
+}
+
+/// The planner's product: one arena, every store-resident tensor at a
+/// fixed offset.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPlan {
+    /// Total arena size: the allocator's high-water mark.
+    pub arena_bytes: u64,
+    /// `(node, offset, bytes)` per planned tensor, in planning order.
+    /// A node recomputed at several backward kernels appears once per
+    /// re-materialization.
+    pub offsets: Vec<(NodeId, u64, u64)>,
+    /// Full per-region detail (lifetimes, granted sizes) for display
+    /// and the invariant suites.
+    pub regions: Vec<MemRegion>,
+    /// Auxiliary-table bytes (softmax max/denominator stashes, argmax
+    /// tables): accounted, not offset-planned.
+    pub aux_bytes: u64,
+    /// Number of execution positions the intervals index into.
+    pub positions: usize,
+    /// Whether the plan modeled the fused interpreter's storage classes
+    /// or the reference executor's materialize-everything store.
+    pub fused: bool,
+}
+
+impl MemoryPlan {
+    /// The distinct physical buffers behind the regions, as element
+    /// counts (`f32`s), one per unique offset. Sessions seed the buffer
+    /// pool with exactly these so the first step already finds every
+    /// store buffer.
+    #[must_use]
+    pub fn buffers(&self) -> Vec<usize> {
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        for r in &self.regions {
+            seen.entry(r.offset).or_insert(r.bytes);
+        }
+        let mut out: Vec<usize> = seen
+            .values()
+            .map(|&b| usize::try_from(b / 4).expect("region fits usize"))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The maximum over positions of the sum of live `request` bytes —
+    /// the tightest arena any allocator could achieve. `arena_bytes` is
+    /// always ≥ this (checked by the plan-invariant suite).
+    #[must_use]
+    pub fn peak_live_bytes(&self) -> u64 {
+        (0..self.positions)
+            .map(|p| {
+                self.regions
+                    .iter()
+                    .filter(|r| r.birth <= p && (r.death == PERSISTENT || p <= r.death))
+                    .map(|r| r.request)
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Bytes of a node's full value on a graph with `nv` vertices and `ne`
+/// edges.
+fn node_bytes(plan: &ExecutionPlan, nid: NodeId, nv: usize, ne: usize) -> u64 {
+    let n = plan.ir.node(nid);
+    let rows = match n.space {
+        Space::Vertex => nv,
+        Space::Edge => ne,
+        Space::Param => 1,
+    };
+    4 * rows as u64 * n.dim.total() as u64
+}
+
+/// Plans the arena for `plan` executed on a graph of `nv` vertices and
+/// `ne` edges, under the fused or reference storage discipline.
+///
+/// The result is advisory for correctness (the runtime pool degrades to
+/// plain allocation on any miss) but exact for capacity: the planned
+/// regions are precisely the buffers a steady-state step cycles
+/// through, so `arena_bytes` bounds the store's working set and
+/// [`MemoryPlan::buffers`] pre-seeds the pool.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn plan_memory(plan: &ExecutionPlan, nv: usize, ne: usize, fused: bool) -> MemoryPlan {
+    let lv = liveness(plan);
+
+    // Execution order: forward kernels in plan order, then backward.
+    let mut order: Vec<usize> = Vec::new();
+    for k in &plan.kernels {
+        if kernel_phase(plan, k.id) == Phase::Forward {
+            order.push(k.id);
+        }
+    }
+    let fwd_count = order.len();
+    for k in &plan.kernels {
+        if kernel_phase(plan, k.id) == Phase::Backward {
+            order.push(k.id);
+        }
+    }
+    let positions = order.len().max(1);
+    let pos_of: HashMap<usize, usize> = order.iter().enumerate().map(|(p, &k)| (k, p)).collect();
+    let last_fwd_pos = fwd_count.saturating_sub(1);
+
+    // The store-resident intervals: (node, request bytes, birth, death).
+    let mut intervals: Vec<(NodeId, u64, usize, usize)> = Vec::new();
+
+    // Leaves are bound before the first kernel; the gradient seed
+    // arrives at the start of the backward phase.
+    for n in plan.ir.nodes() {
+        match n.kind {
+            OpKind::InputVertex | OpKind::InputEdge | OpKind::Param => {
+                intervals.push((n.id, node_bytes(plan, n.id, nv, ne), 0, PERSISTENT));
+            }
+            OpKind::GradSeed if plan.training => {
+                let birth = fwd_count.min(positions - 1);
+                intervals.push((n.id, node_bytes(plan, n.id, nv, ne), birth, PERSISTENT));
+            }
+            _ => {}
+        }
+    }
+
+    // The death position of a kernel-owned node born at position `p`.
+    let death_pos = |nid: NodeId, kid: usize, p: usize| -> usize {
+        if lv.persistent.contains(&nid) {
+            return PERSISTENT;
+        }
+        let death_kid = lv.last_reader.get(&nid).copied().unwrap_or(kid).max(kid);
+        let mut d = pos_of.get(&death_kid).copied().unwrap_or(p).max(p);
+        // Training drops every non-persistent forward value at the
+        // forward→backward boundary (recomputation rebuilds what the
+        // backward phase needs), so no forward interval outlives it.
+        if plan.training && plan.ir.node(nid).phase == Phase::Forward {
+            d = d.min(last_fwd_pos.max(p));
+        }
+        d
+    };
+
+    for (p, &kid) in order.iter().enumerate() {
+        let k = &plan.kernels[kid];
+        if fused {
+            for s in &plan.programs[kid].steps {
+                match s.storage {
+                    // Launch-transient statistics never enter the store;
+                    // neither do tiled scratch steps (per-worker slabs).
+                    // A *full-exec* scratch step does materialize for
+                    // the duration of its launch: the interpreter runs
+                    // it whole-graph and hands the result back to the
+                    // store until the kernel's eviction pass.
+                    Storage::Prelude => {}
+                    Storage::Scratch if s.exec == StepExec::Tiled => {}
+                    Storage::Scratch => {
+                        let d = death_pos(s.node, kid, p);
+                        intervals.push((s.node, node_bytes(plan, s.node, nv, ne), p, d));
+                    }
+                    _ if s.recompute => {
+                        if !lv.persistent.contains(&s.node) {
+                            intervals.push((s.node, node_bytes(plan, s.node, nv, ne), p, p));
+                        }
+                    }
+                    Storage::Materialized => {
+                        let d = death_pos(s.node, kid, p);
+                        intervals.push((s.node, node_bytes(plan, s.node, nv, ne), p, d));
+                    }
+                    Storage::Interior => {
+                        intervals.push((s.node, node_bytes(plan, s.node, nv, ne), p, p));
+                    }
+                }
+            }
+        } else {
+            for &nid in &k.nodes {
+                let d = death_pos(nid, kid, p);
+                intervals.push((nid, node_bytes(plan, nid, nv, ne), p, d));
+            }
+            for &r in &k.recompute {
+                if !lv.persistent.contains(&r) {
+                    intervals.push((r, node_bytes(plan, r, nv, ne), p, p));
+                }
+            }
+        }
+    }
+
+    // Auxiliary tables: per stashed node, two f32 stats tensors for a
+    // softmax (per destination vertex × head), one u32 argmax entry per
+    // gathered element for a max-gather.
+    let mut aux_bytes = 0u64;
+    for &a in &plan.aux_stash {
+        let n = plan.ir.node(a);
+        aux_bytes += match n.kind {
+            OpKind::EdgeSoftmax => 2 * 4 * nv as u64 * n.dim.heads as u64,
+            OpKind::Gather { .. } => 4 * nv as u64 * n.dim.total() as u64,
+            _ => 0,
+        };
+    }
+
+    // First-fit with exact-size preference over a free list of whole
+    // regions, processed in execution order. Determinism: intervals are
+    // visited in the order built above, and the free list is scanned
+    // front to back.
+    #[derive(Clone, Copy)]
+    struct Free {
+        offset: u64,
+        bytes: u64,
+    }
+    let mut free: Vec<Free> = Vec::new();
+    let mut active: Vec<(usize, Free)> = Vec::new(); // (death, region)
+    let mut high = 0u64;
+    let mut regions = Vec::with_capacity(intervals.len());
+
+    // Group births by position (intervals are already birth-sorted per
+    // construction except leaves first — sort stably to be safe).
+    let mut idx: Vec<usize> = (0..intervals.len()).collect();
+    idx.sort_by_key(|&i| intervals[i].2);
+
+    let mut cursor = 0usize;
+    for p in 0..positions {
+        // Release regions whose last live position has passed.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].0 != PERSISTENT && active[i].0 < p {
+                free.push(active.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        while cursor < idx.len() && intervals[idx[cursor]].2 == p {
+            let (nid, request, birth, death) = intervals[idx[cursor]];
+            cursor += 1;
+            if request == 0 {
+                continue;
+            }
+            let grant = if let Some(i) = free.iter().position(|r| r.bytes == request) {
+                free.swap_remove(i)
+            } else {
+                let mut best: Option<usize> = None;
+                for (i, r) in free.iter().enumerate() {
+                    if r.bytes > request && best.is_none_or(|b: usize| free[b].bytes > r.bytes) {
+                        best = Some(i);
+                    }
+                }
+                if let Some(i) = best {
+                    free.swap_remove(i)
+                } else {
+                    let g = Free {
+                        offset: high,
+                        bytes: request,
+                    };
+                    high += request;
+                    g
+                }
+            };
+            active.push((death, grant));
+            regions.push(MemRegion {
+                node: nid,
+                offset: grant.offset,
+                bytes: grant.bytes,
+                request,
+                birth,
+                death,
+            });
+        }
+    }
+
+    MemoryPlan {
+        arena_bytes: high,
+        offsets: regions
+            .iter()
+            .map(|r| (r.node, r.offset, r.request))
+            .collect(),
+        regions,
+        aux_bytes,
+        positions,
+        fused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrGraph;
+    use crate::op::{BinaryFn, Dim, EdgeGroup, ReduceFn, ScatterFn};
+    use crate::pipeline::{compile, CompileOptions};
+
+    fn toy_plan(training: bool) -> ExecutionPlan {
+        let mut g = IrGraph::new();
+        let h = g.input_vertex("h", Dim::flat(4));
+        let w = g.param("w", 4, 4);
+        let p = g.linear(h, w).unwrap();
+        let e = g.scatter(ScatterFn::Bin(BinaryFn::Sub), p, p).unwrap();
+        let sm = g.edge_softmax(e).unwrap();
+        let v = g.gather(ReduceFn::Sum, EdgeGroup::ByDst, sm).unwrap();
+        g.mark_output(v);
+        compile(&g, training, &CompileOptions::ours()).unwrap().plan
+    }
+
+    fn overlap(a: &MemRegion, b: &MemRegion) -> bool {
+        let live =
+            |r: &MemRegion, p: usize| r.birth <= p && (r.death == PERSISTENT || p <= r.death);
+        (0..usize::MAX).take(64).any(|p| live(a, p) && live(b, p))
+            && a.offset < b.offset + b.bytes
+            && b.offset < a.offset + a.bytes
+    }
+
+    #[test]
+    fn liveness_matches_kernel_count() {
+        let plan = toy_plan(true);
+        let lv = liveness(&plan);
+        assert_eq!(lv.kernel_deaths.len(), plan.kernels.len());
+        for deaths in &lv.kernel_deaths {
+            for n in deaths {
+                assert!(!lv.persistent.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    fn regions_never_alias_while_both_live() {
+        for training in [false, true] {
+            for fused in [false, true] {
+                let plan = toy_plan(training);
+                let mp = plan_memory(&plan, 16, 48, fused);
+                assert!(mp.arena_bytes > 0);
+                assert!(mp.arena_bytes >= mp.peak_live_bytes());
+                for (i, a) in mp.regions.iter().enumerate() {
+                    for b in &mp.regions[i + 1..] {
+                        assert!(
+                            !overlap(a, b),
+                            "alias: {a:?} vs {b:?} (training={training} fused={fused})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_values_keep_dedicated_regions() {
+        let plan = toy_plan(true);
+        let mp = plan_memory(&plan, 16, 48, true);
+        let out = plan.ir.outputs()[0];
+        let r = mp
+            .regions
+            .iter()
+            .find(|r| r.node == out)
+            .expect("output planned");
+        assert_eq!(r.death, PERSISTENT);
+        // Nothing else may share bytes with a persistent region.
+        for other in mp.regions.iter().filter(|o| o.offset == r.offset) {
+            assert_eq!(other.node, r.node);
+        }
+    }
+
+    #[test]
+    fn buffers_cover_every_offset() {
+        let plan = toy_plan(true);
+        let mp = plan_memory(&plan, 16, 48, false);
+        let bufs = mp.buffers();
+        let distinct: std::collections::HashSet<u64> =
+            mp.regions.iter().map(|r| r.offset).collect();
+        assert_eq!(bufs.len(), distinct.len());
+        let total: usize = bufs.iter().sum();
+        assert_eq!(4 * total as u64, mp.arena_bytes);
+    }
+}

@@ -58,7 +58,7 @@ use gnnopt_core::{
     Dim, EdgeGroup, ExecPolicy, IrGraph, Node, NodeId, OpKind, ReduceFn, ScatterFn, Space,
 };
 use gnnopt_graph::Graph;
-use gnnopt_tensor::{rowops, Tensor};
+use gnnopt_tensor::{pool, rowops, Tensor};
 use std::collections::{HashMap, HashSet};
 
 /// Everything a fused kernel launch produced for the session's stores.
@@ -76,6 +76,10 @@ pub(crate) struct ProgramResult {
     /// High-water mark of scratch-arena bytes across workers (max over
     /// the program's tiled segments).
     pub scratch_bytes: u64,
+    /// Bytes of dying inputs the launch freed mid-flight (arena mode):
+    /// already removed from the store the caller lent us, so the session
+    /// subtracts them from its live accounting.
+    pub evicted_bytes: u64,
 }
 
 /// Where a step operand's rows come from at tile-execution time.
@@ -747,20 +751,28 @@ enum StepAux<'a> {
 
 /// Executes one lowered kernel over the graph, tile by tile.
 ///
+/// `evict` (arena mode) names the values whose last external reader is
+/// this kernel: the interpreter removes each from `values` as soon as
+/// its last reading segment completes, so the pool can recycle its
+/// buffer into the launch's own materializations. Results are
+/// unaffected — only already-dead inputs are freed, and the session's
+/// post-kernel eviction no-ops on whatever was freed here.
+///
 /// # Errors
 ///
 /// Returns [`ExecError::ValueNotLive`] when an out-of-kernel operand is
 /// not in the value store (a plan inconsistency, same contract as the
 /// reference path).
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub(crate) fn run_program(
     policy: &ExecPolicy,
     g: &Graph,
     ir: &IrGraph,
     program: &KernelProgram,
-    values: &HashMap<NodeId, Tensor>,
+    values: &mut HashMap<NodeId, Tensor>,
     aux_softmax: &HashMap<NodeId, (Tensor, Tensor)>,
     aux_argmax: &HashMap<NodeId, Vec<u32>>,
+    evict: Option<&[NodeId]>,
 ) -> Result<ProgramResult> {
     let n = g.num_vertices();
     let m = g.num_edges();
@@ -857,6 +869,62 @@ pub(crate) fn run_program(
         .flat_map(|c| c.order.iter().copied())
         .collect();
 
+    // Mid-launch eviction schedule (arena mode): each dying global's
+    // last reading stage — stage 0 is the prelude pass above, stage
+    // 1 + ordinal each segment. Elided chain members read their operands
+    // inside their gather's segment, so their reads attribute there.
+    let mut evicted_bytes = 0u64;
+    let mut last_stage: HashMap<NodeId, usize> = HashMap::new();
+    if let Some(dying) = evict {
+        for s in &program.steps {
+            if s.storage == Storage::Prelude {
+                for &i in &ir.node(s.node).inputs {
+                    if dying.contains(&i) && values.contains_key(&i) {
+                        last_stage.insert(i, 0);
+                    }
+                }
+            }
+        }
+        let mut track = |si: usize, stage: usize| {
+            for &src in &steps[si].srcs {
+                if let Src::Global(id) = src {
+                    if dying.contains(&id) {
+                        last_stage.insert(id, stage);
+                    }
+                }
+            }
+        };
+        for (ord, seg) in program.segments().into_iter().enumerate() {
+            for si in 0..steps.len() {
+                if program.steps[si].segment != seg
+                    || program.steps[si].storage == Storage::Prelude
+                    || elided.contains(&si)
+                {
+                    continue;
+                }
+                track(si, ord + 1);
+                if let Some(chain) = streams.get(&si) {
+                    for &mi in &chain.order {
+                        track(mi, ord + 1);
+                    }
+                }
+            }
+        }
+    }
+    let release = |stage: usize, values: &mut HashMap<NodeId, Tensor>, evicted: &mut u64| {
+        let Some(dying) = evict else { return };
+        for &id in dying {
+            if last_stage.get(&id) == Some(&stage) {
+                if let Some(t) = values.remove(&id) {
+                    *evicted += t.byte_size() as u64;
+                }
+            }
+        }
+    };
+    // The prelude pass already ran: inputs it exhausted free before the
+    // launch materializes anything.
+    release(0, values, &mut evicted_bytes);
+
     // Full-tensor storage for materialized/interior steps. Tiled ones are
     // pre-allocated (workers fill disjoint chunks); full steps produce
     // theirs when their segment runs. Elided chain members never
@@ -898,7 +966,10 @@ pub(crate) fn run_program(
                 reduce: ReduceFn::Max,
                 ..
             } if program.steps[si].exec == StepExec::Tiled => {
-                argmax_tables.push((si, vec![NO_ARGMAX; n * sp.cols]));
+                // Pool-recycled like the session's aux store drains them.
+                let mut table = pool::take_u32(n * sp.cols);
+                table.resize(n * sp.cols, NO_ARGMAX);
+                argmax_tables.push((si, table));
             }
             _ => {}
         }
@@ -985,272 +1056,309 @@ pub(crate) fn run_program(
     // the (deterministic, thread-parallel) reference kernels; tiled
     // segments over destination ranges with per-worker scratch.
     let mut new_argmax_full: Vec<(usize, Vec<u32>)> = Vec::new();
-    for seg in program.segments() {
+    for (ord, seg) in program.segments().into_iter().enumerate() {
         let seg_steps: Vec<usize> = seg_live(seg);
         if seg_steps.is_empty() {
             // Every member streamed into a later gather: nothing to run.
+            release(ord + 1, values, &mut evicted_bytes);
             continue;
         }
         if seg_steps
             .iter()
             .any(|&si| program.steps[si].exec == StepExec::Full)
         {
-            // A full segment holds exactly one step.
+            // A full segment holds exactly one step. (The block scopes
+            // the shared reborrow of `values` so the stage release below
+            // can take it mutably.)
             let si = seg_steps[0];
-            let sp = &steps[si];
-            let full = |src: Src| -> &Tensor {
-                match src {
-                    Src::Global(id) => &values[&id],
-                    Src::Prelude(i) => &preludes[i],
-                    Src::Mat(mi) => mat[mi].as_ref().expect("earlier segment is complete"),
-                    Src::Slot { .. } => unreachable!("full steps never read scratch"),
-                }
-            };
-            let t = match &ir.node(sp.node).kind {
-                OpKind::Gather { reduce, group } => {
-                    if let Some(chain) = streams.get(&si) {
-                        // Streamed path: the input chain was elided from
-                        // the tiled segments; evaluate it per edge here.
-                        run_streamed_gather(
+            let t = {
+                let values = &*values;
+                let sp = &steps[si];
+                let full = |src: Src| -> &Tensor {
+                    match src {
+                        Src::Global(id) => &values[&id],
+                        Src::Prelude(i) => &preludes[i],
+                        Src::Mat(mi) => mat[mi].as_ref().expect("earlier segment is complete"),
+                        Src::Slot { .. } => unreachable!("full steps never read scratch"),
+                    }
+                };
+                match &ir.node(sp.node).kind {
+                    OpKind::Gather { reduce, group } => {
+                        if let Some(chain) = streams.get(&si) {
+                            // Streamed path: the input chain was elided from
+                            // the tiled segments; evaluate it per edge here.
+                            run_streamed_gather(
+                                policy,
+                                g,
+                                ir,
+                                *reduce,
+                                chain,
+                                &steps,
+                                &mat,
+                                values,
+                                &preludes,
+                                aux_softmax,
+                                sp.cols,
+                            )
+                        } else {
+                            let (t, am) = crate::kernels::gather(
+                                policy,
+                                g,
+                                *reduce,
+                                *group,
+                                full(sp.srcs[0]),
+                            );
+                            if let Some(am) = am {
+                                new_argmax_full.push((si, am));
+                            }
+                            t
+                        }
+                    }
+                    // Every other full step — whole-graph backward
+                    // reductions, GEMMs, parameter reductions, row
+                    // views — runs through the shared reference dispatch.
+                    // This is what makes lowering total: no op needs a
+                    // per-kernel fallback to the node-by-node path.
+                    kind => {
+                        let inputs: Vec<&Tensor> = sp.srcs.iter().map(|&s| full(s)).collect();
+                        let aux_in = match kind {
+                            OpKind::GatherMaxBwd { fwd } => {
+                                let table =
+                                    aux_argmax.get(fwd).ok_or_else(|| ExecError::ValueNotLive {
+                                        node: format!("argmax aux of node {fwd}"),
+                                    })?;
+                                crate::refexec::AuxIn::Argmax(table)
+                            }
+                            _ => crate::refexec::AuxIn::None,
+                        };
+                        let (t, aux_out) = crate::refexec::exec_op(
                             policy,
                             g,
                             ir,
-                            *reduce,
-                            chain,
-                            &steps,
-                            &mat,
-                            values,
-                            &preludes,
-                            aux_softmax,
-                            sp.cols,
-                        )
-                    } else {
-                        let (t, am) =
-                            crate::kernels::gather(policy, g, *reduce, *group, full(sp.srcs[0]));
-                        if let Some(am) = am {
-                            new_argmax_full.push((si, am));
+                            ir.node(sp.node),
+                            &inputs,
+                            aux_in,
+                        )?;
+                        match aux_out {
+                            crate::refexec::AuxOut::Argmax(a) => new_argmax_full.push((si, a)),
+                            crate::refexec::AuxOut::None => {}
+                            crate::refexec::AuxOut::Softmax(..) => {
+                                unreachable!("EdgeSoftmax is never a full step")
+                            }
                         }
                         t
                     }
                 }
-                // Every other full step — whole-graph backward
-                // reductions, GEMMs, parameter reductions, row
-                // views — runs through the shared reference dispatch.
-                // This is what makes lowering total: no op needs a
-                // per-kernel fallback to the node-by-node path.
-                kind => {
-                    let inputs: Vec<&Tensor> = sp.srcs.iter().map(|&s| full(s)).collect();
-                    let aux_in = match kind {
-                        OpKind::GatherMaxBwd { fwd } => {
-                            let table =
-                                aux_argmax.get(fwd).ok_or_else(|| ExecError::ValueNotLive {
-                                    node: format!("argmax aux of node {fwd}"),
-                                })?;
-                            crate::refexec::AuxIn::Argmax(table)
-                        }
-                        _ => crate::refexec::AuxIn::None,
-                    };
-                    let (t, aux_out) =
-                        crate::refexec::exec_op(policy, g, ir, ir.node(sp.node), &inputs, aux_in)?;
-                    match aux_out {
-                        crate::refexec::AuxOut::Argmax(a) => new_argmax_full.push((si, a)),
-                        crate::refexec::AuxOut::None => {}
-                        crate::refexec::AuxOut::Softmax(..) => {
-                            unreachable!("EdgeSoftmax is never a full step")
-                        }
-                    }
-                    t
-                }
             };
             mat[si] = Some(t);
+            release(ord + 1, values, &mut evicted_bytes);
             continue;
         }
 
         // Tiled segment: take the segment's full tensors out for chunked
         // writing (same-segment reads go through scratch, never `mat`).
-        struct SegOut {
-            si: usize,
-            tensor: Tensor,
-        }
-        let mut seg_out: Vec<SegOut> = Vec::new();
-        for &si in &seg_steps {
-            if matches!(steps[si].storage, Storage::Materialized | Storage::Interior) {
-                seg_out.push(SegOut {
-                    si,
-                    tensor: mat[si].take().expect("tiled output pre-allocated"),
-                });
+        // The block scopes the workers' shared reborrow of `values`.
+        {
+            let values = &*values;
+            struct SegOut {
+                si: usize,
+                tensor: Tensor,
             }
-        }
+            let mut seg_out: Vec<SegOut> = Vec::new();
+            for &si in &seg_steps {
+                if matches!(steps[si].storage, Storage::Materialized | Storage::Interior) {
+                    seg_out.push(SegOut {
+                        si,
+                        tensor: mat[si].take().expect("tiled output pre-allocated"),
+                    });
+                }
+            }
 
-        struct WorkerSinks<'w> {
-            out: Vec<(usize, &'w mut [f32])>,
-            sm: Vec<(usize, &'w mut [f32], &'w mut [f32])>,
-            am: Vec<(usize, &'w mut [u32])>,
-        }
-        let mut sinks: Vec<WorkerSinks<'_>> = (0..workers)
-            .map(|_| WorkerSinks {
-                out: Vec::new(),
-                sm: Vec::new(),
-                am: Vec::new(),
-            })
-            .collect();
-        for so in &mut seg_out {
-            let sp = &steps[so.si];
-            let bounds = if sp.space == Space::Edge { &we } else { &wv };
-            for (w, chunk) in split_rows(so.tensor.as_mut_slice(), sp.cols, bounds)
-                .into_iter()
-                .enumerate()
-            {
-                sinks[w].out.push((so.si, chunk));
+            struct WorkerSinks<'w> {
+                out: Vec<(usize, &'w mut [f32])>,
+                sm: Vec<(usize, &'w mut [f32], &'w mut [f32])>,
+                am: Vec<(usize, &'w mut [u32])>,
             }
-        }
-        for (si, mx, dn) in &mut fresh_softmax {
-            if !seg_steps.contains(si) {
-                continue;
-            }
-            let cols = steps[*si].cols;
-            let mx_chunks = split_rows(mx.as_mut_slice(), cols, &wv);
-            let dn_chunks = split_rows(dn.as_mut_slice(), cols, &wv);
-            for (w, (mc, dc)) in mx_chunks.into_iter().zip(dn_chunks).enumerate() {
-                sinks[w].sm.push((*si, mc, dc));
-            }
-        }
-        for (si, table) in &mut argmax_tables {
-            if !seg_steps.contains(si) {
-                continue;
-            }
-            let cols = steps[*si].cols;
-            for (w, chunk) in split_rows(table, cols, &wv).into_iter().enumerate() {
-                sinks[w].am.push((*si, chunk));
-            }
-        }
-
-        // Run the segment. Each worker walks its tiles sequentially,
-        // reusing one arena.
-        let mat_ref = &mat;
-        let run_worker = |tile_range: std::ops::Range<usize>, mut sinks: WorkerSinks<'_>| {
-            let (wv0, we0) = (tiles[tile_range.start], indptr[tiles[tile_range.start]]);
-            let (mut max_tv, mut max_te) = (0usize, 0usize);
-            for t in tile_range.clone() {
-                max_tv = max_tv.max(tiles[t + 1] - tiles[t]);
-                max_te = max_te.max(indptr[tiles[t + 1]] - indptr[tiles[t]]);
-            }
-            let mut slots: Vec<Vec<f32>> = (0..steps.len())
-                .map(|si| {
-                    if !seg_steps.contains(&si) {
-                        return Vec::new();
-                    }
-                    match steps[si].space {
-                        Space::Edge => vec![0.0; max_te * steps[si].cols],
-                        Space::Vertex => vec![0.0; max_tv * steps[si].cols],
-                        Space::Param => Vec::new(),
-                    }
+            let mut sinks: Vec<WorkerSinks<'_>> = (0..workers)
+                .map(|_| WorkerSinks {
+                    out: Vec::new(),
+                    sm: Vec::new(),
+                    am: Vec::new(),
                 })
                 .collect();
-            // Heavy-row chunk partial, shared across steps/tiles.
-            let mut scratch: Vec<f32> = Vec::new();
-            for t in tile_range {
-                let (v0, v1) = (tiles[t], tiles[t + 1]);
-                let (e0, e1) = (indptr[v0], indptr[v1]);
-                for &si in &seg_steps {
-                    let sp = &steps[si];
-                    let mut buf = std::mem::take(&mut slots[si]);
-                    {
-                        let view = TileView {
-                            v0,
-                            e0,
-                            slots: &slots,
-                            mat: mat_ref,
-                            values,
-                            preludes: &preludes,
-                        };
-                        let aux = match &ir.node(sp.node).kind {
-                            OpKind::EdgeSoftmax => {
-                                if let Some(&(mx, dn)) = from_aux.get(&si) {
-                                    StepAux::SoftmaxFromAux {
-                                        maxes: mx,
-                                        denom: dn,
+            for so in &mut seg_out {
+                let sp = &steps[so.si];
+                let bounds = if sp.space == Space::Edge { &we } else { &wv };
+                for (w, chunk) in split_rows(so.tensor.as_mut_slice(), sp.cols, bounds)
+                    .into_iter()
+                    .enumerate()
+                {
+                    sinks[w].out.push((so.si, chunk));
+                }
+            }
+            for (si, mx, dn) in &mut fresh_softmax {
+                if !seg_steps.contains(si) {
+                    continue;
+                }
+                let cols = steps[*si].cols;
+                let mx_chunks = split_rows(mx.as_mut_slice(), cols, &wv);
+                let dn_chunks = split_rows(dn.as_mut_slice(), cols, &wv);
+                for (w, (mc, dc)) in mx_chunks.into_iter().zip(dn_chunks).enumerate() {
+                    sinks[w].sm.push((*si, mc, dc));
+                }
+            }
+            for (si, table) in &mut argmax_tables {
+                if !seg_steps.contains(si) {
+                    continue;
+                }
+                let cols = steps[*si].cols;
+                for (w, chunk) in split_rows(table, cols, &wv).into_iter().enumerate() {
+                    sinks[w].am.push((*si, chunk));
+                }
+            }
+
+            // Run the segment. Each worker walks its tiles sequentially,
+            // reusing one arena.
+            let mat_ref = &mat;
+            let run_worker = |tile_range: std::ops::Range<usize>, mut sinks: WorkerSinks<'_>| {
+                let (wv0, we0) = (tiles[tile_range.start], indptr[tiles[tile_range.start]]);
+                let (mut max_tv, mut max_te) = (0usize, 0usize);
+                for t in tile_range.clone() {
+                    max_tv = max_tv.max(tiles[t + 1] - tiles[t]);
+                    max_te = max_te.max(indptr[tiles[t + 1]] - indptr[tiles[t]]);
+                }
+                // Slots come off the pool when it is active on this thread
+                // (serial segments run on the session thread); workers see
+                // an inactive pool and allocate as before.
+                let zeroed = |len: usize| {
+                    let mut v = pool::take_f32(len);
+                    v.resize(len, 0.0);
+                    v
+                };
+                let mut slots: Vec<Vec<f32>> = (0..steps.len())
+                    .map(|si| {
+                        if !seg_steps.contains(&si) {
+                            return Vec::new();
+                        }
+                        match steps[si].space {
+                            Space::Edge => zeroed(max_te * steps[si].cols),
+                            Space::Vertex => zeroed(max_tv * steps[si].cols),
+                            Space::Param => Vec::new(),
+                        }
+                    })
+                    .collect();
+                // Heavy-row chunk partial, shared across steps/tiles.
+                let mut scratch: Vec<f32> = Vec::new();
+                for t in tile_range {
+                    let (v0, v1) = (tiles[t], tiles[t + 1]);
+                    let (e0, e1) = (indptr[v0], indptr[v1]);
+                    for &si in &seg_steps {
+                        let sp = &steps[si];
+                        let mut buf = std::mem::take(&mut slots[si]);
+                        {
+                            let view = TileView {
+                                v0,
+                                e0,
+                                slots: &slots,
+                                mat: mat_ref,
+                                values,
+                                preludes: &preludes,
+                            };
+                            let aux = match &ir.node(sp.node).kind {
+                                OpKind::EdgeSoftmax => {
+                                    if let Some(&(mx, dn)) = from_aux.get(&si) {
+                                        StepAux::SoftmaxFromAux {
+                                            maxes: mx,
+                                            denom: dn,
+                                        }
+                                    } else {
+                                        let (_, mc, dc) = sinks
+                                            .sm
+                                            .iter_mut()
+                                            .find(|(i, _, _)| *i == si)
+                                            .expect("fresh softmax has an aux sink");
+                                        StepAux::SoftmaxFresh {
+                                            maxes: mc,
+                                            denom: dc,
+                                            chunk_v0: wv0,
+                                        }
                                     }
-                                } else {
-                                    let (_, mc, dc) = sinks
-                                        .sm
+                                }
+                                OpKind::Gather {
+                                    reduce: ReduceFn::Max,
+                                    ..
+                                } => {
+                                    let (_, table) = sinks
+                                        .am
                                         .iter_mut()
-                                        .find(|(i, _, _)| *i == si)
-                                        .expect("fresh softmax has an aux sink");
-                                    StepAux::SoftmaxFresh {
-                                        maxes: mc,
-                                        denom: dc,
+                                        .find(|(i, _)| *i == si)
+                                        .expect("gather-max has an argmax sink");
+                                    StepAux::ArgMax {
+                                        table,
                                         chunk_v0: wv0,
                                     }
                                 }
-                            }
-                            OpKind::Gather {
-                                reduce: ReduceFn::Max,
-                                ..
-                            } => {
-                                let (_, table) = sinks
-                                    .am
-                                    .iter_mut()
-                                    .find(|(i, _)| *i == si)
-                                    .expect("gather-max has an argmax sink");
-                                StepAux::ArgMax {
-                                    table,
-                                    chunk_v0: wv0,
-                                }
-                            }
-                            OpKind::GatherMaxBwd { .. } => StepAux::ArgMaxRead {
-                                table: argmax_read[&si],
-                            },
-                            _ => StepAux::None,
-                        };
-                        exec_step(
-                            ir.node(sp.node),
-                            sp,
-                            g,
-                            &view,
-                            (v0, v1, e0, e1),
-                            &mut buf,
-                            aux,
-                            policy.heavy_row_degree,
-                            &mut scratch,
-                        );
+                                OpKind::GatherMaxBwd { .. } => StepAux::ArgMaxRead {
+                                    table: argmax_read[&si],
+                                },
+                                _ => StepAux::None,
+                            };
+                            exec_step(
+                                ir.node(sp.node),
+                                sp,
+                                g,
+                                &view,
+                                (v0, v1, e0, e1),
+                                &mut buf,
+                                aux,
+                                policy.heavy_row_degree,
+                                &mut scratch,
+                            );
+                        }
+                        if matches!(sp.storage, Storage::Materialized | Storage::Interior) {
+                            let (rows, r0, wbase) = match sp.space {
+                                Space::Edge => (e1 - e0, e0, we0),
+                                _ => (v1 - v0, v0, wv0),
+                            };
+                            let (_, chunk) = sinks
+                                .out
+                                .iter_mut()
+                                .find(|(i, _)| *i == si)
+                                .expect("materialized step has an output sink");
+                            let dst = (r0 - wbase) * sp.cols;
+                            chunk[dst..dst + rows * sp.cols]
+                                .copy_from_slice(&buf[..rows * sp.cols]);
+                        }
+                        slots[si] = buf;
                     }
-                    if matches!(sp.storage, Storage::Materialized | Storage::Interior) {
-                        let (rows, r0, wbase) = match sp.space {
-                            Space::Edge => (e1 - e0, e0, we0),
-                            _ => (v1 - v0, v0, wv0),
-                        };
-                        let (_, chunk) = sinks
-                            .out
-                            .iter_mut()
-                            .find(|(i, _)| *i == si)
-                            .expect("materialized step has an output sink");
-                        let dst = (r0 - wbase) * sp.cols;
-                        chunk[dst..dst + rows * sp.cols].copy_from_slice(&buf[..rows * sp.cols]);
+                }
+                // Recycle the per-worker buffers (no-op off the pool thread).
+                for s in slots {
+                    pool::put_f32(s);
+                }
+                pool::put_f32(scratch);
+            };
+
+            if workers < 2 {
+                if let Some(s) = sinks.pop() {
+                    run_worker(0..num_tiles, s);
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for (w, s) in sinks.into_iter().enumerate() {
+                        let run_worker = &run_worker;
+                        let range = wt[w]..wt[w + 1];
+                        scope.spawn(move || run_worker(range, s));
                     }
-                    slots[si] = buf;
-                }
+                });
             }
-        };
 
-        if workers < 2 {
-            if let Some(s) = sinks.pop() {
-                run_worker(0..num_tiles, s);
+            // Restore the segment's tensors for later segments to read.
+            for so in seg_out {
+                mat[so.si] = Some(so.tensor);
             }
-        } else {
-            std::thread::scope(|scope| {
-                for (w, s) in sinks.into_iter().enumerate() {
-                    let run_worker = &run_worker;
-                    let range = wt[w]..wt[w + 1];
-                    scope.spawn(move || run_worker(range, s));
-                }
-            });
         }
-
-        // Restore the segment's tensors for later segments to read.
-        for so in seg_out {
-            mat[so.si] = Some(so.tensor);
-        }
+        release(ord + 1, values, &mut evicted_bytes);
     }
 
     let mut new_aux_argmax: Vec<(NodeId, Vec<u32>)> = argmax_tables
@@ -1274,6 +1382,7 @@ pub(crate) fn run_program(
             .collect(),
         scratch_bytes,
         new_aux_argmax,
+        evicted_bytes,
     })
 }
 

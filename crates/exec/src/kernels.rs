@@ -89,7 +89,7 @@
 
 use gnnopt_core::{BinaryFn, Dim, EdgeGroup, ExecPolicy, ReduceFn, ScatterFn, UnaryFn};
 use gnnopt_graph::Graph;
-use gnnopt_tensor::{rowops, Tensor};
+use gnnopt_tensor::{pool, rowops, Tensor};
 use std::ops::Range;
 
 /// Sentinel argmax entry for empty reduction groups.
@@ -232,7 +232,8 @@ where
     let cols = out.len();
     let nchunks = rows.div_ceil(PARAM_REDUCE_CHUNK_ROWS).max(1);
     let threads = plan_threads(policy, nchunks, work);
-    let mut partials = vec![0.0f32; nchunks * cols];
+    let mut partials = pool::take_f32(nchunks * cols);
+    partials.resize(nchunks * cols, 0.0);
     let chunk_range =
         |ci: usize| ci * PARAM_REDUCE_CHUNK_ROWS..((ci + 1) * PARAM_REDUCE_CHUNK_ROWS).min(rows);
     if threads < 2 || cols == 0 {
@@ -256,6 +257,7 @@ where
     for partial in partials.chunks(cols.max(1)) {
         rowops::add_assign(out, partial);
     }
+    pool::put_f32(partials);
 }
 
 /// Splits a row-major buffer of `cols`-wide rows into the consecutive
@@ -455,8 +457,6 @@ pub fn gather(
     };
     let split_heavy = !heavy_rows.is_empty();
     let run = |vs: Range<usize>, chunk: &mut [f32]| {
-        let mut scratch = Vec::new();
-        let scratch = &mut scratch;
         if by_src_scan {
             // One ascending pass over all edges; accumulate the rows
             // owned by this worker's source range. `BySrc` rows skip the
@@ -487,6 +487,9 @@ pub fn gather(
             }
             return;
         }
+        // The heavy-row chunk scratch is pooled so the serial path's hub
+        // reductions stay allocation-free in steady state.
+        let mut scratch = pool::take_f32(total);
         for (i, v) in vs.enumerate() {
             let deg = adj.degree(v);
             if deg == 0 || (split_heavy && deg > heavy) {
@@ -495,15 +498,16 @@ pub fn gather(
             let o = &mut chunk[i * total..(i + 1) * total];
             match reduce {
                 ReduceFn::Sum => {
-                    reduce_row_sum(o, adj.edge_ids(v), |e| x.row(e), heavy, scratch);
+                    reduce_row_sum(o, adj.edge_ids(v), |e| x.row(e), heavy, &mut scratch);
                 }
                 ReduceFn::Mean => {
                     let inv = 1.0 / deg as f32;
-                    reduce_row_mean(o, adj.edge_ids(v), inv, |e| x.row(e), heavy, scratch);
+                    reduce_row_mean(o, adj.edge_ids(v), inv, |e| x.row(e), heavy, &mut scratch);
                 }
                 ReduceFn::Max => unreachable!("handled above"),
             }
         }
+        pool::put_f32(scratch);
     };
     if threads < 2 || total == 0 {
         run(0..n, out.as_mut_slice());
@@ -578,7 +582,8 @@ fn gather_max(
 ) -> Vec<u32> {
     let n = g.num_vertices();
     let total = x.cols();
-    let mut argmax = vec![NO_ARGMAX; n * total];
+    let mut argmax = pool::take_u32(n * total);
+    argmax.resize(n * total, NO_ARGMAX);
     let adj = match group {
         EdgeGroup::ByDst => g.in_adj(),
         EdgeGroup::BySrc => g.out_adj(),
@@ -810,9 +815,14 @@ pub fn edge_softmax_bwd(policy: &ExecPolicy, g: &Graph, grad: &Tensor, y: &Tenso
     let indptr = g.in_adj().indptr();
     par_dst_groups(policy, g, total, out.as_mut_slice(), |vs, chunk| {
         let e0 = indptr[vs.start];
+        // One group-sum buffer per worker range, zeroed per vertex — the
+        // per-vertex allocation would otherwise dominate the backward's
+        // steady-state heap traffic.
+        let mut s = pool::take_f32(total);
+        s.resize(total, 0.0);
         for v in vs {
             let ids = g.in_adj().edge_ids(v);
-            let mut s = vec![0.0f32; total];
+            s.fill(0.0);
             for &e in ids {
                 rowops::mul_add_accum(&mut s, grad.row(e as usize), y.row(e as usize));
             }
@@ -821,6 +831,7 @@ pub fn edge_softmax_bwd(policy: &ExecPolicy, g: &Graph, grad: &Tensor, y: &Tenso
                 rowops::softmax_bwd_row(or, grad.row(e as usize), y.row(e as usize), &s);
             }
         }
+        pool::put_f32(s);
     });
     out
 }
@@ -905,6 +916,25 @@ pub fn unary(policy: &ExecPolicy, f: UnaryFn, x: &Tensor) -> Tensor {
         },
     );
     out
+}
+
+/// In-place `Unary`: identical partitioning and elementwise application
+/// to [`unary`], minus the output clone. The arena's in-place fast path
+/// (a node whose single input dies at that node) reuses the input buffer
+/// through this entry point; because the map is position-independent, the
+/// bits match [`unary`] exactly.
+pub fn unary_inplace(policy: &ExecPolicy, f: UnaryFn, x: &mut Tensor) {
+    let numel = x.numel();
+    par_rows(
+        policy,
+        numel,
+        1,
+        numel,
+        x.as_mut_slice(),
+        |_range, chunk| {
+            rowops::map_assign(chunk, |v| f.apply(v));
+        },
+    );
 }
 
 /// `UnaryBwd`: `grad · f'(x)` (partitioned over the flat buffer).

@@ -35,12 +35,13 @@
 //! more.) The free-floating `fused: bool` of the old API now lives in
 //! [`ExecPolicy::fused`]; `CompileOptions::fused_exec` is gone.
 
-use crate::{fused, refexec};
+use crate::{fused, kernels, refexec};
 use crate::{ExecError, Result};
+use gnnopt_core::memplan::{self, MemoryPlan};
 use gnnopt_core::{ExecPolicy, ExecutionPlan, Node, NodeId, OpKind, Phase, ReorderPolicy, Space};
 use gnnopt_graph::{EdgeList, Graph};
 use gnnopt_reorder::{locality, strategies, Permutation};
-use gnnopt_tensor::Tensor;
+use gnnopt_tensor::{pool, Tensor};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -105,6 +106,15 @@ pub struct RunStats {
     /// kept the caller's order (`reorder == None`): selection work is
     /// real and is reported either way.
     pub reorder_seconds: f64,
+    /// Arena bytes the static memory planner laid out for the value
+    /// store at session build (`0` when the arena is off). The measured
+    /// [`RunStats::peak_value_bytes`] never exceeds it: the planner
+    /// models every store-resident tensor (checked by the arena
+    /// invariant suite).
+    pub planned_peak_bytes: u64,
+    /// Whether the session served tensor storage from the planned arena
+    /// (pool-recycled buffers) instead of the global heap.
+    pub arena: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +133,20 @@ fn fused_env() -> std::result::Result<Option<bool>, String> {
             "0" | "false" | "off" => Ok(Some(false)),
             "1" | "true" | "on" => Ok(Some(true)),
             other => Err(format!("GNNOPT_FUSED must be 0 or 1, got '{other}'")),
+        },
+    }
+}
+
+/// Parses the `GNNOPT_ARENA` override: `Ok(None)` when unset,
+/// `Ok(Some(_))` on `0`/`1` (and the usual boolean spellings), `Err` on
+/// anything else.
+fn arena_env() -> std::result::Result<Option<bool>, String> {
+    match std::env::var("GNNOPT_ARENA") {
+        Err(_) => Ok(None),
+        Ok(s) => match s.trim() {
+            "0" | "false" | "off" => Ok(Some(false)),
+            "1" | "true" | "on" => Ok(Some(true)),
+            other => Err(format!("GNNOPT_ARENA must be 0 or 1, got '{other}'")),
         },
     }
 }
@@ -262,7 +286,6 @@ pub struct Session<'a> {
     values: HashMap<NodeId, Tensor>,
     aux_softmax: HashMap<NodeId, (Tensor, Tensor)>,
     aux_argmax: HashMap<NodeId, Vec<u32>>,
-    leaf_names: HashMap<String, NodeId>,
     /// Last kernel that reads each node externally. After construction it
     /// only backs the debug-build assertion that the precomputed death
     /// lists reproduce the liveness sweep, hence unread in release.
@@ -274,6 +297,31 @@ pub struct Session<'a> {
     /// non-persistent nodes whose last external reader is that kernel
     /// (replacing an `O(live values)` sweep after every kernel).
     kernel_deaths: Vec<Vec<NodeId>>,
+    /// Serve tensor storage from the planned arena: buffers recycle
+    /// through `gnnopt_tensor::pool` instead of the global heap, and the
+    /// session evicts at node granularity rather than kernel
+    /// granularity. Results are bit-identical either way.
+    arena: bool,
+    /// The static memory plan backing the arena (empty when it is off).
+    memplan: MemoryPlan,
+    /// Forward / backward kernel ids in execution order, precomputed so
+    /// a steady-state step builds no per-run worklists.
+    fwd_kernels: Vec<usize>,
+    bwd_kernels: Vec<usize>,
+    /// Leaf nodes in IR order (the gradient seed excluded), for
+    /// allocation-free binding.
+    leaf_ids: Vec<NodeId>,
+    /// The training plan's gradient-seed node.
+    seed_node: Option<NodeId>,
+    /// Node-granular eviction (arena mode, reference path): values keyed
+    /// by their last reading node *within* their death kernel, dropped
+    /// right after that node executes instead of at the kernel boundary
+    /// — the store's high-water mark shrinks, results don't change.
+    early_drops: HashMap<NodeId, Vec<NodeId>>,
+    /// Forward-owned transients whose death kernel is backward: exactly
+    /// the values the forward→backward boundary drops, precomputed so
+    /// the boundary needs no store sweep.
+    boundary_dead: Vec<NodeId>,
     /// Run fused kernels through the tiled interpreter (plan default or
     /// `GNNOPT_FUSED` override).
     fused: bool,
@@ -310,6 +358,7 @@ pub struct SessionBuilder<'a> {
     graph: &'a Graph,
     policy: Option<ExecPolicy>,
     fused: Option<bool>,
+    arena: Option<bool>,
     env: EnvOverrides,
 }
 
@@ -326,6 +375,16 @@ impl<'a> SessionBuilder<'a> {
     #[must_use]
     pub fn fused(mut self, fused: bool) -> Self {
         self.fused = Some(fused);
+        self
+    }
+
+    /// Pins the static-arena allocator on or off (default: **on**). An
+    /// explicit pin outranks the `GNNOPT_ARENA` override. Off reproduces
+    /// the plain-heap executor byte for byte — same results, same peak
+    /// accounting — at the cost of steady-state allocations.
+    #[must_use]
+    pub fn arena(mut self, arena: bool) -> Self {
+        self.arena = Some(arena);
         self
     }
 
@@ -350,13 +409,14 @@ impl<'a> SessionBuilder<'a> {
     /// Returns [`ExecError::Protocol`] on duplicate leaf names, and —
     /// under [`EnvOverrides::Loud`] only — [`ExecError::Policy`] when
     /// `GNNOPT_THREADS` is set to something other than a positive
-    /// integer, `GNNOPT_FUSED` to something other than `0`/`1`,
-    /// `GNNOPT_REORDER` to something other than a known strategy
-    /// (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`), or
-    /// `GNNOPT_GEMM` to something other than `naive`/`blocked`.
+    /// integer, `GNNOPT_FUSED` or `GNNOPT_ARENA` to something other than
+    /// `0`/`1`, `GNNOPT_REORDER` to something other than a known
+    /// strategy (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`),
+    /// or `GNNOPT_GEMM` to something other than `naive`/`blocked`.
     pub fn build(self) -> Result<Session<'a>> {
         let mut policy = self.policy.unwrap_or(self.plan.exec);
         let mut env_fused = None;
+        let mut env_arena = None;
         if self.env != EnvOverrides::Off {
             // One resolution path for both modes: `Loud` surfaces an
             // invalid override as a build error, `Ignore` lets the
@@ -378,12 +438,14 @@ impl<'a> SessionBuilder<'a> {
                 gnnopt_tensor::parallel::env_threads().map_err(ExecError::Policy)?;
             }
             env_fused = apply(fused_env(), loud)?;
+            env_arena = apply(arena_env(), loud)?;
             policy.reorder = apply(reorder_env(), loud)?.unwrap_or(policy.reorder);
             policy.gemm = apply(gemm_env(), loud)?.unwrap_or(policy.gemm);
         }
         let fused = self.fused.or(env_fused).unwrap_or(policy.fused);
         policy.fused = fused;
-        Session::assemble(self.plan, self.graph, policy, fused)
+        let arena = self.arena.or(env_arena).unwrap_or(true);
+        Session::assemble(self.plan, self.graph, policy, fused, arena)
     }
 }
 
@@ -397,6 +459,7 @@ impl<'a> Session<'a> {
             graph,
             policy: None,
             fused: None,
+            arena: None,
             env: EnvOverrides::default(),
         }
     }
@@ -491,74 +554,116 @@ impl<'a> Session<'a> {
     }
 
     /// The shared construction tail: leaf-name validation, liveness
-    /// precomputation, reorder preprocessing. `policy` arrives with the
-    /// env overrides already folded in by the builder.
+    /// precomputation (shared with the memory planner via
+    /// [`gnnopt_core::memplan::liveness`] — one source of truth), memory
+    /// planning and pool pre-seeding, reorder preprocessing. `policy`
+    /// arrives with the env overrides already folded in by the builder.
     fn assemble(
         plan: &'a ExecutionPlan,
         graph: &'a Graph,
         policy: ExecPolicy,
         fused: bool,
+        arena: bool,
     ) -> Result<Self> {
         let policy = policy.resolved(gnnopt_tensor::parallel::available_threads);
         let mut leaf_names = HashMap::new();
-        for n in plan.ir.nodes() {
-            if matches!(
-                n.kind,
-                OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
-            ) && leaf_names.insert(n.name.clone(), n.id).is_some()
-            {
-                return Err(ExecError::Protocol(format!(
-                    "duplicate leaf name '{}'",
-                    n.name
-                )));
-            }
-        }
-
-        // External readers per node (recompute members count as internal).
-        let mut last_reader: HashMap<NodeId, usize> = HashMap::new();
-        for k in &plan.kernels {
-            let members: HashSet<NodeId> = k.nodes.iter().chain(&k.recompute).copied().collect();
-            for &nid in k.nodes.iter().chain(&k.recompute) {
-                for &i in &plan.ir.node(nid).inputs {
-                    if !members.contains(&i) {
-                        let e = last_reader.entry(i).or_insert(k.id);
-                        *e = (*e).max(k.id);
-                    }
-                }
-            }
-        }
-
-        let mut persistent: HashSet<NodeId> = plan.ir.outputs().iter().copied().collect();
-        persistent.extend(plan.stash.iter().copied());
+        let mut leaf_ids: Vec<NodeId> = Vec::new();
+        let mut seed_node = None;
         for n in plan.ir.nodes() {
             if matches!(
                 n.kind,
                 OpKind::InputVertex | OpKind::InputEdge | OpKind::Param | OpKind::GradSeed
             ) {
-                persistent.insert(n.id);
+                if leaf_names.insert(n.name.clone(), n.id).is_some() {
+                    return Err(ExecError::Protocol(format!(
+                        "duplicate leaf name '{}'",
+                        n.name
+                    )));
+                }
+                if n.kind == OpKind::GradSeed {
+                    seed_node = Some(n.id); // bound by backward()
+                } else {
+                    leaf_ids.push(n.id);
+                }
             }
-        }
-        for &(_, g) in &plan.param_grads {
-            persistent.insert(g);
         }
 
-        // Precompute eviction lists: a kernel-owned, non-persistent node
-        // dies after its last external reader (or after its own kernel if
-        // nothing reads it). Recomputed values are dropped explicitly by
-        // `exec_kernel` and never re-enter the store afterwards, so these
-        // lists reproduce the old per-kernel liveness sweep exactly
-        // (debug-asserted there).
-        let node_kernel = plan.node_kernel();
-        let mut kernel_deaths: Vec<Vec<NodeId>> = vec![Vec::new(); plan.kernels.len()];
-        for n in plan.ir.nodes() {
-            if persistent.contains(&n.id) {
-                continue;
+        // The executor's eviction discipline and the memory planner's
+        // interval analysis are the same computation — sharing it is what
+        // lets the planned arena provably cover the store.
+        let lv = memplan::liveness(plan);
+
+        let fwd_kernels: Vec<usize> = (0..plan.kernels.len())
+            .filter(|&k| memplan::kernel_phase(plan, k) == Phase::Forward)
+            .collect();
+        let bwd_kernels: Vec<usize> = (0..plan.kernels.len())
+            .filter(|&k| memplan::kernel_phase(plan, k) == Phase::Backward)
+            .collect();
+
+        // The forward→backward boundary drops every live transient. At
+        // that point the live transients are exactly the forward-phase
+        // nodes whose death kernel is backward (everything else was
+        // evicted by its own death list), so the boundary needs no sweep.
+        let mut boundary_dead: Vec<NodeId> = Vec::new();
+        if plan.training {
+            for &kid in &bwd_kernels {
+                for &n in &lv.kernel_deaths[kid] {
+                    if plan.ir.node(n).phase == Phase::Forward {
+                        boundary_dead.push(n);
+                    }
+                }
             }
-            let Some(&birth) = node_kernel.get(&n.id) else {
-                continue;
-            };
-            let death = last_reader.get(&n.id).copied().unwrap_or(birth).max(birth);
-            kernel_deaths[death].push(n.id);
+        }
+
+        // Node-granular eviction for the arena's reference path: a dying
+        // external input frees right after its last reading node inside
+        // its death kernel, so its buffer recycles into the kernel's own
+        // outputs. (Recompute rebuilds run *before* the member nodes, so
+        // dropping after any member read is safe; recompute spills have
+        // their own drop.)
+        let mut early_drops: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        if arena && !fused {
+            for k in &plan.kernels {
+                let members: HashSet<NodeId> =
+                    k.nodes.iter().chain(&k.recompute).copied().collect();
+                let mut last_in_kernel: HashMap<NodeId, NodeId> = HashMap::new();
+                for &nid in &k.nodes {
+                    for &i in &plan.ir.node(nid).inputs {
+                        if !members.contains(&i)
+                            && !lv.persistent.contains(&i)
+                            && lv.last_reader.get(&i) == Some(&k.id)
+                        {
+                            last_in_kernel.insert(i, nid);
+                        }
+                    }
+                }
+                for (i, reader) in last_in_kernel {
+                    early_drops.entry(reader).or_default().push(i);
+                }
+            }
+            for drops in early_drops.values_mut() {
+                drops.sort_unstable();
+            }
+        }
+
+        let memplan = if arena {
+            memplan::plan_memory(plan, graph.num_vertices(), graph.num_edges(), fused)
+        } else {
+            MemoryPlan::default()
+        };
+        // Pre-seed the pool with the planned buffers so the very first
+        // step already finds every store buffer recycled (steady state
+        // from step one on the serial reference path).
+        for elems in memplan.buffers() {
+            pool::seed_f32(elems);
+        }
+        // Shape vectors recycle too; seed enough that the shape bucket
+        // never misses (one per region upper-bounds the concurrent live
+        // tensors; aux stats tensors and in-flight transients get slack).
+        if arena {
+            for _ in 0..memplan.regions.len() + 2 * plan.aux_stash.len() + 4 {
+                pool::seed_shape(4);
+            }
         }
 
         let (reorder_seconds, reorder) = ReorderState::build(graph, policy.reorder);
@@ -571,10 +676,17 @@ impl<'a> Session<'a> {
             values: HashMap::new(),
             aux_softmax: HashMap::new(),
             aux_argmax: HashMap::new(),
-            leaf_names,
-            last_reader,
-            persistent,
-            kernel_deaths,
+            last_reader: lv.last_reader,
+            persistent: lv.persistent,
+            kernel_deaths: lv.kernel_deaths,
+            arena,
+            memplan,
+            fwd_kernels,
+            bwd_kernels,
+            leaf_ids,
+            seed_node,
+            early_drops,
+            boundary_dead,
             fused,
             state: State::Fresh,
             live_bytes: 0,
@@ -596,6 +708,19 @@ impl<'a> Session<'a> {
     /// True when fused kernels run through the tiled interpreter.
     pub fn fused(&self) -> bool {
         self.fused
+    }
+
+    /// True when the session serves tensor storage from the planned
+    /// arena.
+    pub fn arena(&self) -> bool {
+        self.arena
+    }
+
+    /// The static memory plan this session's storage follows (empty when
+    /// the arena is off): planned offsets, lifetimes and the arena's
+    /// total size.
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.memplan
     }
 
     /// The resolved reordering strategy and the one-time preprocessing
@@ -658,56 +783,8 @@ impl<'a> Session<'a> {
     /// Returns binding errors, or [`ExecError::ValueNotLive`] if the plan's
     /// memory discipline is inconsistent.
     pub fn forward(&mut self, bindings: &Bindings) -> Result<Vec<Tensor>> {
-        self.reset();
-        self.bind_leaves(bindings)?;
-        self.stats.threads = self.policy.threads;
-        // The preprocessing happened once at session build; every run
-        // reports the same one-time figure (amortized, not recurring).
-        let (reorder, reorder_seconds) = self.reorder();
-        self.stats.reorder = reorder;
-        self.stats.reorder_seconds = reorder_seconds;
-        let t0 = Instant::now();
-        let kernel_ids: Vec<usize> = self
-            .plan
-            .kernels
-            .iter()
-            .filter(|k| self.kernel_phase(k.id) == Phase::Forward)
-            .map(|k| k.id)
-            .collect();
-        for kid in kernel_ids {
-            self.exec_kernel(kid, false)?;
-        }
-        self.stats.forward_seconds = t0.elapsed().as_secs_f64();
-        // Inference runs stop here; report the high-water mark either way
-        // (backward refreshes it with the final value).
-        self.stats.peak_value_bytes = self.peak_bytes;
-
-        // Forward→backward boundary: everything non-persistent drops here,
-        // exercising the recomputation plan for real.
-        if self.plan.training {
-            let dead: Vec<NodeId> = self
-                .values
-                .keys()
-                .copied()
-                .filter(|n| !self.persistent.contains(n))
-                .collect();
-            for n in dead {
-                self.drop_value(n);
-            }
-            self.stats.boundary_bytes = self.live_bytes
-                + self
-                    .aux_softmax
-                    .values()
-                    .map(|(m, d)| (m.byte_size() + d.byte_size()) as u64)
-                    .sum::<u64>()
-                + self
-                    .aux_argmax
-                    .values()
-                    .map(|a| 4 * a.len() as u64)
-                    .sum::<u64>();
-        }
-
-        self.state = State::ForwardDone;
+        let _scope = pool::ScopeGuard::new(self.arena);
+        self.run_forward(bindings)?;
         self.plan
             .ir
             .outputs()
@@ -726,6 +803,59 @@ impl<'a> Session<'a> {
             .collect()
     }
 
+    /// The forward body shared by [`Session::forward`] and
+    /// [`Session::step`]: executes the kernels and leaves the outputs in
+    /// the store (the callers add their own tails).
+    fn run_forward(&mut self, bindings: &Bindings) -> Result<()> {
+        self.reset();
+        self.bind_leaves(bindings)?;
+        self.stats.threads = self.policy.threads;
+        self.stats.arena = self.arena;
+        self.stats.planned_peak_bytes = self.memplan.arena_bytes;
+        // The preprocessing happened once at session build; every run
+        // reports the same one-time figure (amortized, not recurring).
+        let (reorder, reorder_seconds) = self.reorder();
+        self.stats.reorder = reorder;
+        self.stats.reorder_seconds = reorder_seconds;
+        let t0 = Instant::now();
+        for i in 0..self.fwd_kernels.len() {
+            let kid = self.fwd_kernels[i];
+            self.exec_kernel(kid, false)?;
+        }
+        self.stats.forward_seconds = t0.elapsed().as_secs_f64();
+        // Inference runs stop here; report the high-water mark either way
+        // (backward refreshes it with the final value).
+        self.stats.peak_value_bytes = self.peak_bytes;
+
+        // Forward→backward boundary: everything non-persistent drops here,
+        // exercising the recomputation plan for real. The set was
+        // precomputed at build — no store sweep.
+        if self.plan.training {
+            for i in 0..self.boundary_dead.len() {
+                let n = self.boundary_dead[i];
+                self.drop_value(n);
+            }
+            debug_assert!(
+                self.values.keys().all(|n| self.persistent.contains(n)),
+                "boundary-dead list diverges from the liveness sweep"
+            );
+            self.stats.boundary_bytes = self.live_bytes
+                + self
+                    .aux_softmax
+                    .values()
+                    .map(|(m, d)| (m.byte_size() + d.byte_size()) as u64)
+                    .sum::<u64>()
+                + self
+                    .aux_argmax
+                    .values()
+                    .map(|a| 4 * a.len() as u64)
+                    .sum::<u64>();
+        }
+
+        self.state = State::ForwardDone;
+        Ok(())
+    }
+
     /// Runs the backward kernels with the given `∂L/∂output` seed and
     /// returns parameter gradients keyed by parameter name.
     ///
@@ -734,43 +864,8 @@ impl<'a> Session<'a> {
     /// Returns [`ExecError::Protocol`] unless called right after
     /// [`Session::forward`] on a training plan.
     pub fn backward(&mut self, seed: Tensor) -> Result<HashMap<String, Tensor>> {
-        if !self.plan.training {
-            return Err(ExecError::Protocol(
-                "plan was compiled for inference".into(),
-            ));
-        }
-        if self.state != State::ForwardDone {
-            return Err(ExecError::Protocol(
-                "call forward() before backward()".into(),
-            ));
-        }
-        let seed_node = self
-            .plan
-            .ir
-            .nodes()
-            .iter()
-            .find(|n| n.kind == OpKind::GradSeed)
-            .expect("training plan has a grad seed");
-        self.check_shape(seed_node, &seed)?;
-        // The caller seeds ∂L/∂output in their own vertex order.
-        let seed = self.permute_input(seed_node.space, seed);
-        self.insert_value(seed_node.id, seed);
-
-        let t0 = Instant::now();
-        let kernel_ids: Vec<usize> = self
-            .plan
-            .kernels
-            .iter()
-            .filter(|k| self.kernel_phase(k.id) == Phase::Backward)
-            .map(|k| k.id)
-            .collect();
-        for kid in kernel_ids {
-            self.exec_kernel(kid, true)?;
-        }
-        self.stats.backward_seconds = t0.elapsed().as_secs_f64();
-        self.stats.peak_value_bytes = self.peak_bytes;
-        self.state = State::Fresh;
-
+        let _scope = pool::ScopeGuard::new(self.arena);
+        self.run_backward(seed)?;
         let mut grads = HashMap::new();
         for &(p, g) in &self.plan.param_grads {
             let name = self.plan.ir.node(p).name.clone();
@@ -786,43 +881,119 @@ impl<'a> Session<'a> {
         Ok(grads)
     }
 
+    /// The backward body shared by [`Session::backward`] and
+    /// [`Session::step`]: gradients stay in the store.
+    fn run_backward(&mut self, seed: Tensor) -> Result<()> {
+        if !self.plan.training {
+            return Err(ExecError::Protocol(
+                "plan was compiled for inference".into(),
+            ));
+        }
+        if self.state != State::ForwardDone {
+            return Err(ExecError::Protocol(
+                "call forward() before backward()".into(),
+            ));
+        }
+        let plan = self.plan;
+        let seed_id = self.seed_node.expect("training plan has a grad seed");
+        let seed_node = plan.ir.node(seed_id);
+        self.check_shape(seed_node, &seed)?;
+        // The caller seeds ∂L/∂output in their own vertex order.
+        let seed = self.permute_input(seed_node.space, seed);
+        self.insert_value(seed_id, seed);
+
+        let t0 = Instant::now();
+        for i in 0..self.bwd_kernels.len() {
+            let kid = self.bwd_kernels[i];
+            self.exec_kernel(kid, true)?;
+        }
+        self.stats.backward_seconds = t0.elapsed().as_secs_f64();
+        self.stats.peak_value_bytes = self.peak_bytes;
+        self.state = State::Fresh;
+        Ok(())
+    }
+
+    /// One full training step — forward then backward — with **no
+    /// user-facing clones**: outputs and gradients stay in the store for
+    /// borrowing via [`Session::output_ref`] / [`Session::grad_ref`].
+    ///
+    /// This is the steady-state entry point of the static memory
+    /// planner: with the arena on, a warmed session performs zero heap
+    /// allocations per call on the serial reference path — every tensor
+    /// the step creates comes out of the planner-seeded pool (enforced
+    /// by the counting-allocator suite).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::forward`] and [`Session::backward`].
+    pub fn step(&mut self, bindings: &Bindings, seed: &Tensor) -> Result<()> {
+        let _scope = pool::ScopeGuard::new(self.arena);
+        self.run_forward(bindings)?;
+        self.run_backward(seed.clone())
+    }
+
+    /// Borrows model output `i` from the store after [`Session::step`]
+    /// (or [`Session::forward`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Protocol`] under vertex reordering — the
+    /// stored rows are in session order and only [`Session::forward`]'s
+    /// owned tail unpermutes them — or for an out-of-range index;
+    /// [`ExecError::ValueNotLive`] before the first run.
+    pub fn output_ref(&self, i: usize) -> Result<&Tensor> {
+        if self.reorder.is_some() {
+            return Err(ExecError::Protocol(
+                "outputs are stored in reordered row order; use forward()'s returned tensors"
+                    .into(),
+            ));
+        }
+        let Some(&o) = self.plan.ir.outputs().get(i) else {
+            return Err(ExecError::Protocol(format!("no model output #{i}")));
+        };
+        self.value(o)
+    }
+
+    /// Borrows the gradient of parameter `name` from the store after
+    /// [`Session::step`]. Parameter tensors carry no graph rows, so this
+    /// works under vertex reordering too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Protocol`] for an unknown parameter,
+    /// [`ExecError::ValueNotLive`] before the first backward run.
+    pub fn grad_ref(&self, name: &str) -> Result<&Tensor> {
+        for &(p, g) in &self.plan.param_grads {
+            if self.plan.ir.node(p).name == name {
+                return self.value(g);
+            }
+        }
+        Err(ExecError::Protocol(format!("unknown parameter '{name}'")))
+    }
+
     fn reset(&mut self) {
         self.values.clear();
         self.aux_softmax.clear();
-        self.aux_argmax.clear();
+        // Argmax tables recycle through the pool like tensors do (they
+        // are plain `Vec<u32>`s, invisible to `Tensor`'s pooled drop).
+        for (_, a) in self.aux_argmax.drain() {
+            pool::put_u32(a);
+        }
         self.live_bytes = 0;
         self.peak_bytes = 0;
         self.stats = RunStats::default();
         self.state = State::Fresh;
     }
 
-    fn kernel_phase(&self, kid: usize) -> Phase {
-        let k = &self.plan.kernels[kid];
-        if k.nodes
-            .iter()
-            .any(|&n| self.plan.ir.node(n).phase == Phase::Backward)
-        {
-            Phase::Backward
-        } else {
-            Phase::Forward
-        }
-    }
-
     fn bind_leaves(&mut self, bindings: &Bindings) -> Result<()> {
-        let leaves: Vec<(String, NodeId)> = self
-            .leaf_names
-            .iter()
-            .map(|(n, &i)| (n.clone(), i))
-            .collect();
-        for (name, id) in leaves {
-            let node = self.plan.ir.node(id).clone();
-            if node.kind == OpKind::GradSeed {
-                continue; // bound by backward()
-            }
+        let plan = self.plan;
+        for i in 0..self.leaf_ids.len() {
+            let id = self.leaf_ids[i];
+            let node = plan.ir.node(id);
             let t = bindings
-                .get(&name)
-                .ok_or_else(|| ExecError::MissingBinding(name.clone()))?;
-            self.check_shape(&node, t)?;
+                .get(&node.name)
+                .ok_or_else(|| ExecError::MissingBinding(node.name.clone()))?;
+            self.check_shape(node, t)?;
             let t = self.permute_input_ref(node.space, t);
             self.insert_value(id, t);
         }
@@ -885,20 +1056,36 @@ impl<'a> Session<'a> {
     }
 
     fn exec_kernel_inner(&mut self, kid: usize, backward: bool) -> Result<()> {
+        let plan = self.plan;
         // Fused tiled path: kernel-internal values stay in per-worker
         // scratch and never enter the value store (incl. recomputed
         // values, which rebuild per tile instead of per kernel).
         if self.fused {
-            if let Some(program) = self.plan.programs.get(kid) {
+            if let Some(program) = plan.programs.get(kid) {
+                let graph: &Graph = match &self.reorder {
+                    Some(r) => &r.graph,
+                    None => self.graph,
+                };
+                // Arena mode: the interpreter frees each dying input as
+                // soon as its last reading segment completes, so its
+                // buffer recycles into the launch's own materializations
+                // — the measured peak drops below the heap path's.
+                let evict: Option<&[NodeId]> = if self.arena {
+                    Some(&self.kernel_deaths[kid])
+                } else {
+                    None
+                };
                 let res = fused::run_program(
                     &self.policy,
-                    self.active_graph(),
-                    &self.plan.ir,
+                    graph,
+                    &plan.ir,
                     program,
-                    &self.values,
+                    &mut self.values,
                     &self.aux_softmax,
                     &self.aux_argmax,
+                    evict,
                 )?;
+                self.live_bytes -= res.evicted_bytes;
                 for (n, aux) in res.new_aux_softmax {
                     self.aux_softmax.insert(n, aux);
                 }
@@ -912,7 +1099,6 @@ impl<'a> Session<'a> {
                 // drop here, like the reference path's explicit recompute
                 // drop: its death list belongs to its *forward* kernel,
                 // which already ran.
-                let plan = self.plan;
                 for &r in &plan.kernels[kid].recompute {
                     if !self.persistent.contains(&r) {
                         self.drop_value(r);
@@ -924,7 +1110,7 @@ impl<'a> Session<'a> {
                 return Ok(());
             }
         }
-        let kernel = self.plan.kernels[kid].clone();
+        let kernel = &plan.kernels[kid];
         // Rebuild recomputed forward values first (backward kernels only).
         if backward {
             for &r in &kernel.recompute {
@@ -935,8 +1121,19 @@ impl<'a> Session<'a> {
             }
         }
         for &n in &kernel.nodes {
-            let t = self.exec_node(n)?;
+            let t = match self.take_inplace_input(n)? {
+                Some(t) => t,
+                None => self.exec_node(n)?,
+            };
             self.insert_value(n, t);
+            // Arena mode: inputs whose last read was this node free now,
+            // not at the kernel boundary — later members of this kernel
+            // reuse their buffers (empty map when the arena is off).
+            let nd = self.early_drops.get(&n).map_or(0, Vec::len);
+            for j in 0..nd {
+                let d = self.early_drops[&n][j];
+                self.drop_value(d);
+            }
         }
         // Recomputed values are kernel-local: drop them again.
         if backward {
@@ -950,8 +1147,44 @@ impl<'a> Session<'a> {
         Ok(())
     }
 
+    /// The arena's in-place fast path: a `Unary` / `SetHeads` node whose
+    /// single input dies at this very node reuses the input's buffer
+    /// instead of allocating an output and freeing the input a moment
+    /// later. Elementwise application keeps results bit-identical to the
+    /// out-of-place kernel.
+    fn take_inplace_input(&mut self, id: NodeId) -> Result<Option<Tensor>> {
+        if !self.arena || self.fused {
+            return Ok(None);
+        }
+        let plan = self.plan;
+        let node = plan.ir.node(id);
+        let f = match node.kind {
+            OpKind::Unary(f) => Some(f),
+            OpKind::SetHeads { .. } => None,
+            _ => return Ok(None),
+        };
+        let input = node.inputs[0];
+        if !self
+            .early_drops
+            .get(&id)
+            .is_some_and(|d| d.contains(&input))
+        {
+            return Ok(None);
+        }
+        let Some(mut x) = self.values.remove(&input) else {
+            return Ok(None);
+        };
+        self.live_bytes -= x.byte_size() as u64;
+        if let Some(f) = f {
+            kernels::unary_inplace(&self.policy, f, &mut x);
+        }
+        Ok(Some(x))
+    }
+
     /// Plan-driven eviction of dead transients, from the per-kernel death
-    /// lists precomputed at session build time.
+    /// lists precomputed at session build time. Tolerates entries the
+    /// arena already dropped early (node-granular eviction, in-place
+    /// reuse, mid-launch frees): `drop_value` no-ops on a missing node.
     fn evict_after(&mut self, kid: usize) {
         for i in 0..self.kernel_deaths[kid].len() {
             let n = self.kernel_deaths[kid][i];
@@ -959,22 +1192,15 @@ impl<'a> Session<'a> {
         }
         // The lists must reproduce the old O(live-values) sweep exactly:
         // after applying them, no live transient may be past its last
-        // external reader.
-        #[cfg(debug_assertions)]
-        {
-            let leaked: Vec<&NodeId> = self
-                .values
-                .keys()
-                .filter(|n| {
-                    !self.persistent.contains(n)
-                        && self.last_reader.get(n).is_none_or(|&k| k <= kid)
-                })
-                .collect();
-            debug_assert!(
-                leaked.is_empty(),
-                "death lists diverge from the liveness sweep after kernel {kid}: {leaked:?}"
-            );
-        }
+        // external reader. (Written allocation-free: the counting
+        // allocator enforces zero steady-state allocations in debug
+        // builds too.)
+        debug_assert!(
+            self.values.keys().all(|n| {
+                self.persistent.contains(n) || self.last_reader.get(n).is_some_and(|&k| k > kid)
+            }),
+            "death lists diverge from the liveness sweep after kernel {kid}"
+        );
     }
 
     fn value(&self, id: NodeId) -> Result<&Tensor> {
@@ -990,11 +1216,21 @@ impl<'a> Session<'a> {
     fn exec_node(&mut self, id: NodeId) -> Result<Tensor> {
         let node = self.plan.ir.node(id);
         let (t, aux_out) = {
-            let inputs = node
-                .inputs
-                .iter()
-                .map(|&i| self.value(i))
-                .collect::<Result<Vec<&Tensor>>>()?;
+            // Operand lookup without a per-node Vec (no op reads more
+            // than 8 inputs): part of the zero-allocation steady state.
+            debug_assert!(node.inputs.len() <= 8, "op with >8 inputs");
+            let inputs_buf: [&Tensor; 8];
+            let inputs: &[&Tensor] = if node.inputs.is_empty() {
+                &[]
+            } else {
+                let first = self.value(node.inputs[0])?;
+                let mut buf = [first; 8];
+                for (j, &i) in node.inputs.iter().enumerate().skip(1) {
+                    buf[j] = self.value(i)?;
+                }
+                inputs_buf = buf;
+                &inputs_buf[..node.inputs.len()]
+            };
             let aux_in = match &node.kind {
                 OpKind::EdgeSoftmax => self
                     .aux_softmax
@@ -1016,7 +1252,7 @@ impl<'a> Session<'a> {
                 self.active_graph(),
                 &self.plan.ir,
                 node,
-                &inputs,
+                inputs,
                 aux_in,
             )?
         };
@@ -1030,6 +1266,20 @@ impl<'a> Session<'a> {
             refexec::AuxOut::None => {}
         }
         Ok(t)
+    }
+}
+
+impl Drop for Session<'_> {
+    /// An arena session seeded the global pool with its planned buffers;
+    /// tearing the session down returns them to the system instead of
+    /// pinning peak-sized allocations for the process lifetime. (With
+    /// several live arena sessions this trims warm buffers out from
+    /// under the survivors — they degrade gracefully, refilling the pool
+    /// on their next step.)
+    fn drop(&mut self) {
+        if self.arena {
+            pool::trim();
+        }
     }
 }
 

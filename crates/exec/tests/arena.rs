@@ -1,0 +1,203 @@
+//! Arena ↔ heap equivalence properties: serving the value store from
+//! the planner-seeded buffer pool must be a pure allocation-policy
+//! change. Outputs and gradients are **bit-identical** to the plain
+//! heap path across the model zoo, thread counts, and both executor
+//! paths, on adversarial topologies (isolated vertices, extreme hubs),
+//! and the measured live-set peak never exceeds what the planner
+//! promised at build.
+
+use gnnopt_core::{compile, CompileOptions, ExecPolicy};
+use gnnopt_exec::{Bindings, EnvOverrides, Session};
+use gnnopt_graph::{generators, EdgeList, Graph};
+use gnnopt_models::{
+    edgeconv, gat, gcn, sage, EdgeConvConfig, GatConfig, GcnConfig, ModelSpec, SageConfig,
+};
+use gnnopt_tensor::Tensor;
+use proptest::prelude::*;
+
+fn zoo() -> Vec<(&'static str, ModelSpec)> {
+    vec![
+        (
+            "gat",
+            gat(&GatConfig {
+                in_dim: 6,
+                layers: vec![(2, 4)],
+                negative_slope: 0.2,
+                reorganized: false,
+            })
+            .unwrap(),
+        ),
+        ("gcn", gcn(&GcnConfig::two_layer(6, 8, 3)).unwrap()),
+        ("sage", sage(&SageConfig::mean(6, vec![5])).unwrap()),
+        (
+            "sage-pool",
+            sage(&SageConfig::max_pool(6, vec![5])).unwrap(),
+        ),
+        (
+            "edgeconv",
+            edgeconv(&EdgeConvConfig {
+                in_dim: 6,
+                layer_dims: vec![4],
+            })
+            .unwrap(),
+        ),
+    ]
+}
+
+/// Random multigraphs with `iso` guaranteed-isolated trailing vertices
+/// (empty reduce groups) and an extreme hub: vertex 0 additionally
+/// sources and sinks up to `hub` edges, so one liveness interval's
+/// buffer dwarfs its neighbours and first-fit reuse is stressed.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..16, 0usize..4, 0usize..48).prop_flat_map(|(n, iso, hub)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..48).prop_map(move |mut pairs| {
+            for k in 0..hub {
+                let other = (k % n) as u32;
+                if k % 2 == 0 {
+                    pairs.push((0, other));
+                } else {
+                    pairs.push((other, 0));
+                }
+            }
+            Graph::from_edge_list(&EdgeList::from_pairs(n + iso, &pairs))
+        })
+    })
+}
+
+fn bindings(spec: &ModelSpec, g: &Graph, seed: u64) -> Bindings {
+    let mut b = Bindings::new();
+    for (k, v) in spec.init_values(g, seed) {
+        b.insert(&k, v.clone());
+    }
+    b
+}
+
+/// Runs one forward+backward in a fresh session and returns
+/// `(outputs, grads, measured peak, planned peak)`.
+#[allow(clippy::type_complexity)]
+fn run(
+    spec: &ModelSpec,
+    g: &Graph,
+    b: &Bindings,
+    threads: usize,
+    fused: bool,
+    arena: bool,
+) -> (Vec<Tensor>, Vec<(String, Tensor)>, u64, u64) {
+    let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
+    let policy = if threads == 1 {
+        ExecPolicy::serial()
+    } else {
+        ExecPolicy::with_threads(threads)
+    };
+    let mut sess = Session::builder(&compiled.plan, g)
+        .policy(policy)
+        .fused(fused)
+        .arena(arena)
+        .env(EnvOverrides::Off)
+        .build()
+        .unwrap();
+    assert_eq!(sess.arena(), arena, "builder pin must stick");
+    let out = sess.forward(b).unwrap();
+    let seed = Tensor::ones(out[0].shape());
+    let mut grads: Vec<(String, Tensor)> = sess.backward(seed).unwrap().into_iter().collect();
+    grads.sort_by(|a, b| a.0.cmp(&b.0));
+    let stats = sess.stats();
+    (out, grads, stats.peak_value_bytes, stats.planned_peak_bytes)
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arena on vs off: same bits out, for every model × thread count ×
+    /// executor path, on hub/isolated-vertex topologies.
+    #[test]
+    fn arena_is_bit_identical_to_heap(
+        g in arb_graph(),
+        model in 0usize..5,
+        seed in 0u64..50,
+    ) {
+        let (name, spec) = zoo().swap_remove(model);
+        let b = bindings(&spec, &g, seed);
+        for threads in [1usize, 4] {
+            for fused in [false, true] {
+                let (out_a, gr_a, peak_a, planned) =
+                    run(&spec, &g, &b, threads, fused, true);
+                let (out_h, gr_h, peak_h, _) =
+                    run(&spec, &g, &b, threads, fused, false);
+                prop_assert_eq!(out_a.len(), out_h.len());
+                for (i, (a, h)) in out_a.iter().zip(&out_h).enumerate() {
+                    prop_assert!(
+                        bits_equal(a, h),
+                        "{}: output {} diverges (threads={}, fused={})",
+                        name, i, threads, fused
+                    );
+                }
+                prop_assert_eq!(gr_a.len(), gr_h.len());
+                for ((ka, a), (kh, h)) in gr_a.iter().zip(&gr_h) {
+                    prop_assert_eq!(ka, kh);
+                    prop_assert!(
+                        bits_equal(a, h),
+                        "{}: grad '{}' diverges (threads={}, fused={})",
+                        name, ka, threads, fused
+                    );
+                }
+                // The arena evicts at node granularity (and reuses
+                // buffers in place), so its measured peak may only ever
+                // *improve* on the heap path's kernel-granular figure —
+                // and must stay within the planner's promise.
+                prop_assert!(
+                    peak_a <= peak_h,
+                    "{}: arena peak {} worse than heap peak {}",
+                    name, peak_a, peak_h
+                );
+                prop_assert!(
+                    peak_a <= planned,
+                    "{}: measured peak {} exceeds planned {} (threads={}, fused={})",
+                    name, peak_a, planned, threads, fused
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic peak check on a denser fixed graph: the planner's
+/// `planned_peak_bytes` is an upper bound on the executor's measured
+/// `peak_value_bytes`, on both executor paths, warm and cold.
+#[test]
+fn measured_peak_never_exceeds_planned() {
+    let g = Graph::from_edge_list(&generators::erdos_renyi(128, 1280, 9));
+    for (name, spec) in zoo() {
+        let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
+        let b = bindings(&spec, &g, 13);
+        for fused in [false, true] {
+            let mut sess = Session::builder(&compiled.plan, &g)
+                .policy(ExecPolicy::serial())
+                .fused(fused)
+                .arena(true)
+                .env(EnvOverrides::Off)
+                .build()
+                .unwrap();
+            let out = sess.forward(&b).unwrap();
+            let seed = Tensor::ones(out[0].shape());
+            for _ in 0..3 {
+                sess.step(&b, &seed).unwrap();
+                let stats = sess.stats();
+                assert!(stats.arena);
+                assert!(
+                    stats.peak_value_bytes <= stats.planned_peak_bytes,
+                    "{name}: measured {} > planned {} (fused={fused})",
+                    stats.peak_value_bytes,
+                    stats.planned_peak_bytes,
+                );
+            }
+        }
+    }
+}

@@ -247,13 +247,13 @@ fn pack_a<const MH: usize>(
     kc: usize,
     buf: &mut Vec<f32>,
     flag_zeroes: bool,
-    zeroes: &mut Vec<bool>,
+    zeroes: &mut Vec<u32>,
 ) {
     let panels = rows.div_ceil(MH);
     buf.clear();
     buf.resize(panels * kc * MH, 0.0);
     zeroes.clear();
-    zeroes.resize(panels, false);
+    zeroes.resize(panels, 0);
     for p in 0..panels {
         let dst = &mut buf[p * kc * MH..(p + 1) * kc * MH];
         let valid = MH.min(rows - p * MH);
@@ -273,7 +273,7 @@ fn pack_a<const MH: usize>(
             }
         }
         if flag_zeroes {
-            zeroes[p] = valid < MH || dst.contains(&0.0);
+            zeroes[p] = u32::from(valid < MH || dst.contains(&0.0));
         }
     }
 }
@@ -338,9 +338,14 @@ fn blocked_slab<const MH: usize, const NW: usize>(
     skip_zeros: bool,
     micro: impl Fn(bool, usize, &[f32], &[f32], &mut [f32], usize, usize, usize),
 ) {
-    let mut apack = Vec::new();
-    let mut bpack = Vec::new();
-    let mut azero = Vec::new();
+    // Pack buffers cycle through the session buffer pool so a pinned
+    // serial GEMM allocates nothing in steady state (worker threads have
+    // no active pool scope and fall back to plain `Vec`s). The requests
+    // are the largest block each panel loop will resize to.
+    let (max_kc, max_mc, max_nc) = (KC.min(k), MC.min(m), NC.min(n));
+    let mut apack = crate::pool::take_f32(max_mc.div_ceil(MH) * MH * max_kc);
+    let mut bpack = crate::pool::take_f32(max_nc.div_ceil(NW) * NW * max_kc);
+    let mut azero = crate::pool::take_u32(max_mc.div_ceil(MH));
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for kc0 in (0..k).step_by(KC) {
@@ -378,12 +383,24 @@ fn blocked_slab<const MH: usize, const NW: usize>(
                         let ctile = &mut out[(ic + ir) * ldc + jc + jr..];
                         // A zero-free panel has nothing to skip: run it
                         // branch-free (identical arithmetic either way).
-                        micro(skip_zeros && azero[p], kc, ap, bp, ctile, ldc, rows, cols);
+                        micro(
+                            skip_zeros && azero[p] != 0,
+                            kc,
+                            ap,
+                            bp,
+                            ctile,
+                            ldc,
+                            rows,
+                            cols,
+                        );
                     }
                 }
             }
         }
     }
+    crate::pool::put_f32(apack);
+    crate::pool::put_f32(bpack);
+    crate::pool::put_u32(azero);
 }
 
 /// Runs one blocked slab at the best geometry the host supports: the

@@ -28,6 +28,7 @@ pub mod gemm;
 mod init;
 mod linalg;
 pub mod parallel;
+pub mod pool;
 mod reduce;
 pub mod rowops;
 mod tensor;

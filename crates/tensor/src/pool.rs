@@ -1,0 +1,333 @@
+//! A global, thread-scoped buffer pool: the runtime half of the static
+//! memory planner.
+//!
+//! The planner (`gnnopt-core::memplan`) proves at session build which
+//! buffers a step needs and for how long; this module is the mechanism
+//! that actually recycles them. Buffers are plain `Vec`s keyed by
+//! **capacity** in a [`BTreeMap`] free list, granted best-fit (smallest
+//! capacity ≥ request) and returned whole — a region is never split, so
+//! a pooled buffer corresponds 1:1 to a planned arena region.
+//!
+//! # Activation is per thread
+//!
+//! The pool only intercepts allocation on threads that are inside a
+//! [`scope_enter`]/[`scope_exit`] bracket (sessions bracket every step
+//! when their arena is on). Worker threads spawned by kernels never
+//! enter a scope, so their temporaries take the ordinary heap path —
+//! the zero-allocation steady-state guarantee is a property of the
+//! *serial* executor, which is exactly the configuration the counting
+//! allocator test pins. With no active scope anywhere (for example
+//! `GNNOPT_ARENA=0`) every function here degenerates to the plain
+//! `Vec` behavior, byte for byte.
+//!
+//! # Why steady state reaches a fixed point
+//!
+//! A session step performs a deterministic sequence of buffer requests
+//! and returns. After one warmup step the pool holds every buffer the
+//! sequence needs (the session additionally pre-seeds it with the
+//! planner's regions at build), the `BTreeMap` has a node for every
+//! capacity class that will ever exist (empty buckets are kept, never
+//! removed), and each bucket `Vec` was born with [`BUCKET_SLACK`]
+//! slots of headroom — enough that the return wave of a reset never
+//! forces the bucket itself to reallocate. From then on every request
+//! is served by `pop` and every return by `push` within existing
+//! capacity: zero calls into the global allocator.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+thread_local! {
+    static ACTIVE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Activates the pool on the current thread (re-entrant; each call must
+/// be matched by a [`scope_exit`]).
+pub fn scope_enter() {
+    ACTIVE.with(|a| a.set(a.get() + 1));
+}
+
+/// Deactivates the innermost pool scope on the current thread.
+pub fn scope_exit() {
+    ACTIVE.with(|a| a.set(a.get().saturating_sub(1)));
+}
+
+/// True when the current thread is inside a pool scope.
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get() > 0)
+}
+
+/// RAII wrapper around [`scope_enter`]/[`scope_exit`]: activates the
+/// pool (when `on`) for the guard's lifetime, surviving early returns
+/// and panics.
+pub struct ScopeGuard {
+    on: bool,
+}
+
+impl ScopeGuard {
+    /// Enters a pool scope when `on`; a `ScopeGuard::new(false)` is a
+    /// no-op, so callers can bracket unconditionally.
+    pub fn new(on: bool) -> Self {
+        if on {
+            scope_enter();
+        }
+        Self { on }
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.on {
+            scope_exit();
+        }
+    }
+}
+
+struct PoolInner {
+    f32s: BTreeMap<usize, Vec<Vec<f32>>>,
+    u32s: BTreeMap<usize, Vec<Vec<u32>>>,
+    shapes: BTreeMap<usize, Vec<Vec<usize>>>,
+}
+
+/// Slots pre-reserved in every bucket `Vec` at creation. Bucket
+/// occupancy peaks during a session's reset (the return wave of the
+/// previous step), which first happens one step *after* the bucket is
+/// created — without slack the bucket itself would reallocate there,
+/// breaking the warm-step zero-allocation guarantee. A class parking
+/// more than this many buffers simultaneously grows its bucket once
+/// and then stays at the new fixed point.
+const BUCKET_SLACK: usize = 16;
+
+fn new_bucket<T>() -> Vec<Vec<T>> {
+    Vec::with_capacity(BUCKET_SLACK)
+}
+
+static POOL: Mutex<PoolInner> = Mutex::new(PoolInner {
+    f32s: BTreeMap::new(),
+    u32s: BTreeMap::new(),
+    shapes: BTreeMap::new(),
+});
+
+macro_rules! pool_take {
+    ($field:ident, $min:expr) => {{
+        let min = $min;
+        if min == 0 || !active() {
+            return Vec::with_capacity(min);
+        }
+        let mut pool = POOL.lock().expect("buffer pool poisoned");
+        // Best fit: the smallest capacity class that satisfies the
+        // request. Empty buckets are skipped but deliberately kept in
+        // the map so the tree reaches a structural fixed point.
+        if let Some((_, bucket)) = pool.$field.range_mut(min..).find(|(_, b)| !b.is_empty()) {
+            let mut v = bucket.pop().expect("bucket checked non-empty");
+            v.clear();
+            return v;
+        }
+        // Miss: materialize the class's bucket node *now*, so the
+        // buffer's eventual return (often a whole step later, at the
+        // next reset's return wave) finds the node in place instead of
+        // allocating one inside a warmed step.
+        pool.$field.entry(min).or_insert_with(new_bucket);
+        drop(pool);
+        Vec::with_capacity(min)
+    }};
+}
+
+macro_rules! pool_put {
+    ($field:ident, $v:expr) => {{
+        let v = $v;
+        if v.capacity() == 0 || !active() {
+            return;
+        }
+        let cap = v.capacity();
+        POOL.lock()
+            .expect("buffer pool poisoned")
+            .$field
+            .entry(cap)
+            .or_insert_with(new_bucket)
+            .push(v);
+    }};
+}
+
+/// Takes an empty `Vec<f32>` with capacity ≥ `min` from the pool
+/// (freshly allocated on a miss or outside a scope).
+pub fn take_f32(min: usize) -> Vec<f32> {
+    pool_take!(f32s, min)
+}
+
+/// Returns a `Vec<f32>` to the pool (dropped outside a scope).
+pub fn put_f32(v: Vec<f32>) {
+    pool_put!(f32s, v)
+}
+
+/// Takes an empty `Vec<u32>` with capacity ≥ `min` from the pool.
+pub fn take_u32(min: usize) -> Vec<u32> {
+    pool_take!(u32s, min)
+}
+
+/// Returns a `Vec<u32>` to the pool.
+pub fn put_u32(v: Vec<u32>) {
+    pool_put!(u32s, v)
+}
+
+/// Takes an empty shape vector (`Vec<usize>`) with capacity ≥ `min`.
+pub fn take_shape(min: usize) -> Vec<usize> {
+    pool_take!(shapes, min)
+}
+
+/// Returns a shape vector to the pool.
+pub fn put_shape(v: Vec<usize>) {
+    pool_put!(shapes, v)
+}
+
+/// Pre-seeds the pool with an `f32` buffer of exactly `elems` capacity.
+///
+/// Sessions call this at build for every planned arena region so the
+/// very first step already finds its store buffers (activation is not
+/// required: seeding is an explicit request, not an interception).
+pub fn seed_f32(elems: usize) {
+    if elems == 0 {
+        return;
+    }
+    POOL.lock()
+        .expect("buffer pool poisoned")
+        .f32s
+        .entry(elems)
+        .or_insert_with(new_bucket)
+        .push(Vec::with_capacity(elems));
+}
+
+/// Pre-seeds the pool with a shape vector of `rank` capacity.
+///
+/// Shape vectors are tiny, but a take miss is still a heap allocation;
+/// sessions seed one per planned region (plus slack for the auxiliary
+/// stashes) so the shape bucket starts at its fixed point instead of
+/// reaching it lazily over the first steps.
+pub fn seed_shape(rank: usize) {
+    if rank == 0 {
+        return;
+    }
+    POOL.lock()
+        .expect("buffer pool poisoned")
+        .shapes
+        .entry(rank)
+        .or_insert_with(new_bucket)
+        .push(Vec::with_capacity(rank));
+}
+
+/// Frees every pooled buffer (bucket nodes included).
+///
+/// Sessions with an arena trim on drop so long test runs that build
+/// hundreds of sessions do not accumulate every session's working set.
+/// Concurrent sessions merely lose warmth: their next step re-allocates
+/// misses through the ordinary heap path.
+pub fn trim() {
+    let mut pool = POOL.lock().expect("buffer pool poisoned");
+    pool.f32s = BTreeMap::new();
+    pool.u32s = BTreeMap::new();
+    pool.shapes = BTreeMap::new();
+}
+
+/// Bucket occupancy of each free list as `(capacity, parked buffers)`
+/// pairs in ascending capacity order — `(f32s, u32s, shapes)`.
+/// Diagnostics only.
+#[allow(clippy::type_complexity)]
+#[must_use]
+pub fn occupancy() -> (
+    Vec<(usize, usize)>,
+    Vec<(usize, usize)>,
+    Vec<(usize, usize)>,
+) {
+    let pool = POOL.lock().expect("buffer pool poisoned");
+    let count = |m: &BTreeMap<usize, Vec<Vec<f32>>>| -> Vec<(usize, usize)> {
+        m.iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(&c, b)| (c, b.len()))
+            .collect()
+    };
+    let f = count(&pool.f32s);
+    let u = pool
+        .u32s
+        .iter()
+        .filter(|(_, b)| !b.is_empty())
+        .map(|(&c, b)| (c, b.len()))
+        .collect();
+    let s = pool
+        .shapes
+        .iter()
+        .filter(|(_, b)| !b.is_empty())
+        .map(|(&c, b)| (c, b.len()))
+        .collect();
+    (f, u, s)
+}
+
+/// Total bytes currently parked in the pool (diagnostics only).
+pub fn resident_bytes() -> usize {
+    let pool = POOL.lock().expect("buffer pool poisoned");
+    let f: usize = pool
+        .f32s
+        .values()
+        .flatten()
+        .map(|v| v.capacity() * std::mem::size_of::<f32>())
+        .sum();
+    let u: usize = pool
+        .u32s
+        .values()
+        .flatten()
+        .map(|v| v.capacity() * std::mem::size_of::<u32>())
+        .sum();
+    let s: usize = pool
+        .shapes
+        .values()
+        .flatten()
+        .map(|v| v.capacity() * std::mem::size_of::<usize>())
+        .sum();
+    f + u + s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_pool_is_transparent() {
+        assert!(!active());
+        let v = take_f32(8);
+        assert!(v.capacity() >= 8 && v.is_empty());
+        put_f32(v); // dropped, not pooled
+    }
+
+    #[test]
+    fn scoped_take_put_roundtrip() {
+        let _g = ScopeGuard::new(true);
+        put_f32(Vec::with_capacity(16));
+        let v = take_f32(10);
+        assert!(v.capacity() >= 16, "best fit grants the pooled buffer");
+        assert!(v.is_empty());
+        put_f32(v);
+        let w = take_f32(32);
+        assert_eq!(w.capacity(), 32, "no fit falls back to a fresh buffer");
+        trim();
+    }
+
+    #[test]
+    fn zero_sized_requests_bypass_the_pool() {
+        let _g = ScopeGuard::new(true);
+        put_f32(Vec::with_capacity(4));
+        let v = take_f32(0);
+        assert_eq!(v.capacity(), 0);
+        trim();
+    }
+
+    #[test]
+    fn guard_unwinds() {
+        assert!(!active());
+        {
+            let _g = ScopeGuard::new(true);
+            assert!(active());
+            let _h = ScopeGuard::new(false);
+            assert!(active());
+        }
+        assert!(!active());
+    }
+}

@@ -1,5 +1,13 @@
-use crate::{Result, TensorError, DEFAULT_ATOL, DEFAULT_RTOL};
+use crate::{pool, Result, TensorError, DEFAULT_ATOL, DEFAULT_RTOL};
 use std::fmt;
+
+/// Builds a shape vector through the buffer pool (a plain allocation
+/// whenever no pool scope is active on this thread).
+fn shape_vec(shape: &[usize]) -> Vec<usize> {
+    let mut s = pool::take_shape(shape.len());
+    s.extend_from_slice(shape);
+    s
+}
 
 /// A dense, row-major `f32` tensor.
 ///
@@ -7,10 +15,38 @@ use std::fmt;
 /// (rows = vertices or edges, cols = feature width); the type stores a
 /// general shape so multi-head layouts `[n, heads, f]` can be represented,
 /// but the 2-D accessors are the primary interface.
-#[derive(Clone, PartialEq)]
+///
+/// # Allocation
+///
+/// Construction and `Drop` route the backing buffers through the
+/// session buffer pool ([`crate::pool`]) when the current thread is
+/// inside an arena scope; otherwise they are ordinary `Vec`s. A pooled
+/// buffer may have `capacity() > numel()` — all accessors go through
+/// `len`, so the over-allocation is unobservable.
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = pool::take_f32(self.data.len());
+        data.extend_from_slice(&self.data);
+        Self {
+            shape: shape_vec(&self.shape),
+            data,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Outside a pool scope `put_*` drops its argument, so this is
+        // free; inside one, the buffers are recycled for the next step.
+        pool::put_f32(std::mem::take(&mut self.data));
+        pool::put_shape(std::mem::take(&mut self.shape));
+    }
 }
 
 impl Tensor {
@@ -29,26 +65,24 @@ impl Tensor {
             });
         }
         Ok(Self {
-            shape: shape.to_vec(),
+            shape: shape_vec(shape),
             data,
         })
     }
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        let numel: usize = shape.iter().product();
-        Self {
-            shape: shape.to_vec(),
-            data: vec![0.0; numel],
-        }
+        Self::full(shape, 0.0)
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
+        let mut data = pool::take_f32(numel);
+        data.resize(numel, value);
         Self {
-            shape: shape.to_vec(),
-            data: vec![value; numel],
+            shape: shape_vec(shape),
+            data,
         }
     }
 
@@ -74,7 +108,7 @@ impl Tensor {
     /// lengths.
     pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
         let cols = rows.first().map_or(0, |r| r.len());
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = pool::take_f32(rows.len() * cols);
         for r in rows {
             if r.len() != cols {
                 return Err(TensorError::ShapeMismatch {
@@ -91,7 +125,7 @@ impl Tensor {
     /// Creates a 1-D tensor from a slice.
     pub fn from_vec(data: Vec<f32>) -> Self {
         Self {
-            shape: vec![data.len()],
+            shape: shape_vec(&[data.len()]),
             data,
         }
     }
@@ -99,9 +133,11 @@ impl Tensor {
     /// Builds a tensor by calling `f(flat_index)` for each element.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let numel: usize = shape.iter().product();
+        let mut data = pool::take_f32(numel);
+        data.extend((0..numel).map(&mut f));
         Self {
-            shape: shape.to_vec(),
-            data: (0..numel).map(&mut f).collect(),
+            shape: shape_vec(shape),
+            data,
         }
     }
 
@@ -147,8 +183,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning the backing buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Returns a view of row `i` of a 2-D (or flattened n-d) tensor.
@@ -213,7 +249,8 @@ impl Tensor {
                 len: self.data.len(),
             });
         }
-        self.shape = shape.to_vec();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
         Ok(self)
     }
 
@@ -224,7 +261,7 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] for any out-of-range index.
     pub fn select_rows(&self, indices: &[usize]) -> Result<Self> {
         let c = self.cols_for_rows();
-        let mut data = Vec::with_capacity(indices.len() * c);
+        let mut data = pool::take_f32(indices.len() * c);
         for &i in indices {
             if i >= self.rows() {
                 return Err(TensorError::IndexOutOfBounds {
@@ -234,7 +271,7 @@ impl Tensor {
             }
             data.extend_from_slice(self.row(i));
         }
-        let mut shape = self.shape.clone();
+        let mut shape = shape_vec(&self.shape);
         shape[0] = indices.len();
         Self::new(&shape, data)
     }
@@ -253,7 +290,7 @@ impl Tensor {
             });
         }
         let (ca, cb) = (self.cols_for_rows(), other.cols_for_rows());
-        let mut data = Vec::with_capacity(self.rows() * (ca + cb));
+        let mut data = pool::take_f32(self.rows() * (ca + cb));
         for i in 0..self.rows() {
             data.extend_from_slice(self.row(i));
             data.extend_from_slice(other.row(i));
@@ -275,8 +312,8 @@ impl Tensor {
                 rank: c,
             });
         }
-        let mut left = Vec::with_capacity(self.rows() * split);
-        let mut right = Vec::with_capacity(self.rows() * (c - split));
+        let mut left = pool::take_f32(self.rows() * split);
+        let mut right = pool::take_f32(self.rows() * (c - split));
         for i in 0..self.rows() {
             let r = self.row(i);
             left.extend_from_slice(&r[..split]);

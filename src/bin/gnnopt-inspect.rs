@@ -3,9 +3,10 @@
 //! Builds a named model, compiles it under a named preset, and dumps any
 //! of: the (rewritten) IR, the kernel plan with stash/recompute decisions,
 //! the lowered cluster programs (segments, tiled/full steps, storage
-//! classes, per-operand views), a Graphviz rendering, the analytical
-//! per-kernel timeline on a device, or a JSON trace. The tool a
-//! downstream user reaches for first when a plan does something
+//! classes, per-operand views), the static memory plan (per-region
+//! offsets and lifetimes at Reddit scale), a Graphviz rendering, the
+//! analytical per-kernel timeline on a device, or a JSON trace. The
+//! tool a downstream user reaches for first when a plan does something
 //! unexpected.
 //!
 //! ```text
@@ -24,7 +25,7 @@ const USAGE: &str =
     "usage: gnnopt-inspect <model> <preset> <view> [--device 3090|2080] [--inference]
   model:  gat | gatv2 | edgeconv | monet | gcn | sage | gin | appnp
   preset: dgl | fusegnn | ours
-  view:   ir | plan | programs | dot | timeline | json";
+  view:   ir | plan | programs | memory | dot | timeline | json";
 
 fn model_ir(name: &str) -> Option<ModelSpec> {
     let spec = match name {
@@ -103,6 +104,15 @@ fn main() -> ExitCode {
             );
         }
         "programs" => print!("{}", display::dump_programs(&compiled.plan)),
+        "memory" => {
+            // The planner is graph-size-parametric; render both executor
+            // paths at the dataset's scale so offsets are the real ones.
+            let (nv, ne) = (stats.num_vertices(), stats.num_edges());
+            for fused in [false, true] {
+                let mem = gnnopt::core::plan_memory(&compiled.plan, nv, ne, fused);
+                print!("{}", display::dump_memory(&compiled.plan, &mem));
+            }
+        }
         "dot" => print!(
             "{}",
             display::to_dot(&compiled.plan.ir, Some(&compiled.plan))

@@ -166,6 +166,55 @@ fn executor_live_set_tracks_plan_stash() {
 }
 
 #[test]
+fn memory_plan_never_aliases_and_bounds_the_live_set() {
+    // Static memory planner invariants, zoo-wide: two regions may share
+    // arena bytes only if their [birth, death] intervals are disjoint,
+    // every region lies inside the arena and covers its request, and
+    // `arena_bytes` dominates the tightest-possible live-set peak.
+    use gnnopt::core::{plan_memory, MemRegion};
+    let live = |r: &MemRegion, p: usize| r.birth <= p && (r.death == usize::MAX || p <= r.death);
+    for (name, spec) in all_specs() {
+        for preset in [Preset::Dgl, Preset::Ours] {
+            for training in [false, true] {
+                for fused in [false, true] {
+                    let compiled =
+                        compile(&spec.ir, training, &CompileOptions::preset(preset)).unwrap();
+                    let mp = plan_memory(&compiled.plan, 96, 960, fused);
+                    assert!(
+                        mp.arena_bytes >= mp.peak_live_bytes(),
+                        "{name}/{preset:?}: arena {} below live-set peak {}",
+                        mp.arena_bytes,
+                        mp.peak_live_bytes()
+                    );
+                    for r in &mp.regions {
+                        assert!(
+                            r.offset + r.bytes <= mp.arena_bytes,
+                            "{name}/{preset:?}: region {r:?} spills past the arena"
+                        );
+                        assert!(
+                            r.bytes >= r.request,
+                            "{name}/{preset:?}: region {r:?} smaller than its request"
+                        );
+                    }
+                    for (i, a) in mp.regions.iter().enumerate() {
+                        for b in &mp.regions[i + 1..] {
+                            let share_bytes =
+                                a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+                            let share_life = (0..mp.positions).any(|p| live(a, p) && live(b, p));
+                            assert!(
+                                !(share_bytes && share_life),
+                                "{name}/{preset:?}: aliasing regions (training={training} \
+                                 fused={fused}): {a:?} vs {b:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn memory_replay_detects_oom_consistently() {
     let spec = gat(&GatConfig::ablation(64)).unwrap();
     let stats = gnnopt::graph::GraphStats::synthesize_power_law(100_000, 200.0, 0.9);

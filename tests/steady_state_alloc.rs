@@ -1,0 +1,131 @@
+//! Steady-state allocation counting: with the arena on, a warmed
+//! [`Session::step`] performs **zero** heap allocations on the serial
+//! reference path — every tensor of the step comes out of the
+//! planner-seeded buffer pool. A `#[global_allocator]` shim counts every
+//! `alloc`/`realloc`/`alloc_zeroed` so the property is enforced, not
+//! eyeballed.
+//!
+//! The suite lives in its own integration-test binary on purpose: the
+//! one `#[test]` below is the only test in the process, so no parallel
+//! test thread can attribute its allocations to the measured window.
+
+use gnnopt::core::{compile, CompileOptions, ExecPolicy};
+use gnnopt::exec::{Bindings, EnvOverrides, Session};
+use gnnopt::graph::{generators, Graph};
+use gnnopt::models::*;
+use gnnopt::tensor::Tensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pass-through allocator that counts allocation events (not frees:
+/// a steady-state step that allocates nothing has nothing to free
+/// either, and counting only acquisitions keeps the signal simple).
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Ring of the most recent allocation sizes — reported when the zero
+/// assertion fails so the offending request is identifiable without
+/// re-running under a debugger.
+static SIZES: [AtomicU64; 16] = [const { AtomicU64::new(0) }; 16];
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        let n = ALLOCS.fetch_add(1, Ordering::Relaxed);
+        SIZES[(n as usize) % 16].store(l.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn specs() -> Vec<(&'static str, ModelSpec)> {
+    vec![
+        (
+            "gat",
+            gat(&GatConfig {
+                in_dim: 8,
+                layers: vec![(2, 6)],
+                negative_slope: 0.2,
+                reorganized: false,
+            })
+            .unwrap(),
+        ),
+        ("gcn", gcn(&GcnConfig::two_layer(8, 12, 4)).unwrap()),
+        ("sage", sage(&SageConfig::max_pool(8, vec![8])).unwrap()),
+    ]
+}
+
+/// Allocation events across one `step()` after one warmup step.
+fn steady_allocs(sess: &mut Session, b: &Bindings, seed: &Tensor) -> u64 {
+    sess.step(b, seed).unwrap(); // warmup: pool fills and seeds settle
+    let before = ALLOCS.load(Ordering::SeqCst);
+    sess.step(b, seed).unwrap();
+    let n = ALLOCS.load(Ordering::SeqCst) - before;
+    if n > 0 && n < 16 {
+        let sizes: Vec<u64> = (0..n as usize)
+            .map(|i| SIZES[(before as usize + i) % 16].load(Ordering::SeqCst))
+            .collect();
+        eprintln!("  window alloc sizes: {sizes:?}");
+    }
+    n
+}
+
+#[test]
+fn warm_step_allocates_nothing_with_arena_on() {
+    let g = Graph::from_edge_list(&generators::erdos_renyi(96, 960, 7));
+    for (name, spec) in specs() {
+        let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
+        let mut b = Bindings::new();
+        for (k, v) in spec.init_values(&g, 11) {
+            b.insert(&k, v.clone());
+        }
+        // Learn the output shape once, outside the measured sessions.
+        let mut probe = Session::builder(&compiled.plan, &g)
+            .policy(ExecPolicy::serial())
+            .fused(false)
+            .arena(false)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let out = probe.forward(&b).unwrap();
+        let seed = Tensor::ones(out[0].shape());
+        drop(probe);
+
+        let mut arena_sess = Session::builder(&compiled.plan, &g)
+            .policy(ExecPolicy::serial())
+            .fused(false)
+            .arena(true)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let with_arena = steady_allocs(&mut arena_sess, &b, &seed);
+
+        let mut heap_sess = Session::builder(&compiled.plan, &g)
+            .policy(ExecPolicy::serial())
+            .fused(false)
+            .arena(false)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let without = steady_allocs(&mut heap_sess, &b, &seed);
+
+        eprintln!("{name}: steady-state allocations/step: arena={with_arena} heap={without}");
+        assert_eq!(
+            with_arena, 0,
+            "{name}: a warmed arena step must not touch the heap \
+             (heap path allocated {without} times)"
+        );
+    }
+}
