@@ -163,6 +163,53 @@ pub fn src_side_reads(ir: &IrGraph, consumer: NodeId) -> Vec<usize> {
         .collect()
 }
 
+/// The endpoint group an *edge-space output* of `id` is coupled to, if
+/// any: each output row depends on the whole edge group anchored at that
+/// endpoint (a softmax normalizes over it, a mean backward divides by
+/// its size, a max backward consults its argmax), not just on the row's
+/// own inputs.
+///
+/// This is the view-level fact sharded execution keys on: a shard that
+/// only holds *part* of a group (a replicated cut edge whose anchor
+/// vertex lives elsewhere) computes such rows wrong, so the rows are
+/// only authoritative in the shard owning the anchor endpoint. Rows of
+/// un-anchored edge ops (`None`) are a pure function of their own
+/// aligned/endpoint reads and are correct wherever those reads are.
+pub fn output_anchor(ir: &IrGraph, id: NodeId) -> Option<EdgeGroup> {
+    let node = ir.node(id);
+    if node.space != Space::Edge {
+        return None;
+    }
+    match &node.kind {
+        OpKind::GatherMaxBwd { fwd } => Some(gather_max_bwd_group(ir, *fwd)),
+        k => k.reduction_group(),
+    }
+}
+
+/// The endpoint group at which an *edge-space operand* of `consumer`
+/// must be group-complete and valid: `Reduce(g)` views iterate the edge
+/// groups anchored at `g`, and group-coupled consumers (see
+/// [`output_anchor`]) read their aligned edge operands a whole group at
+/// a time. `None` for row-local reads — an aligned operand of an
+/// un-anchored consumer only needs its own row.
+///
+/// Sharded execution derives its halo exchanges from exactly this:
+/// before a consumer with `Some(g)` runs, the operand's rows anchored
+/// at each shard's owned `g`-endpoints must hold the values the
+/// unsharded session would see.
+pub fn required_anchor(ir: &IrGraph, consumer: NodeId, pos: usize) -> Option<EdgeGroup> {
+    let node = ir.node(consumer);
+    let input = node.inputs[pos];
+    if ir.node(input).space != Space::Edge {
+        return None;
+    }
+    match edge_view(ir, consumer, pos) {
+        View::Reduce(g) => Some(g),
+        View::Aligned => node.kind.reduction_group(),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,9 +103,14 @@ mod fused;
 pub mod kernels;
 mod refexec;
 mod session;
+mod sharded;
 
 pub use error::ExecError;
 pub use session::{Bindings, EnvOverrides, RunStats, Session, SessionBuilder};
+pub use sharded::{
+    ExchangeKind, ExchangeRecord, ShardStrategy, ShardSummary, ShardedSession,
+    ShardedSessionBuilder,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ExecError>;

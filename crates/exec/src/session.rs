@@ -115,6 +115,19 @@ pub struct RunStats {
     /// Whether the session served tensor storage from the planned arena
     /// (pool-recycled buffers) instead of the global heap.
     pub arena: bool,
+    /// Vertex shards the step executed over (`1` for a plain session).
+    pub shards: usize,
+    /// Bytes moved between shards by halo/replica exchanges and global
+    /// gathers during the step (`0` for a plain session). Leaf binding
+    /// is distribution, not communication, and is not counted.
+    pub comm_bytes: u64,
+    /// Total halo rows across shards: vertices a shard reads through an
+    /// edge endpoint but does not own (derived from the IR's views).
+    pub halo_vertices: u64,
+    /// Edges whose endpoints live in different shards.
+    pub cut_edges: u64,
+    /// Individual exchange operations performed during the step.
+    pub halo_exchanges: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,7 +139,7 @@ enum State {
 /// Parses the `GNNOPT_FUSED` override: `Ok(None)` when unset,
 /// `Ok(Some(_))` on `0`/`1` (and the usual boolean spellings), `Err` on
 /// anything else.
-fn fused_env() -> std::result::Result<Option<bool>, String> {
+pub(crate) fn fused_env() -> std::result::Result<Option<bool>, String> {
     match std::env::var("GNNOPT_FUSED") {
         Err(_) => Ok(None),
         Ok(s) => match s.trim() {
@@ -140,7 +153,7 @@ fn fused_env() -> std::result::Result<Option<bool>, String> {
 /// Parses the `GNNOPT_ARENA` override: `Ok(None)` when unset,
 /// `Ok(Some(_))` on `0`/`1` (and the usual boolean spellings), `Err` on
 /// anything else.
-fn arena_env() -> std::result::Result<Option<bool>, String> {
+pub(crate) fn arena_env() -> std::result::Result<Option<bool>, String> {
     match std::env::var("GNNOPT_ARENA") {
         Err(_) => Ok(None),
         Ok(s) => match s.trim() {
@@ -154,7 +167,7 @@ fn arena_env() -> std::result::Result<Option<bool>, String> {
 /// Parses the `GNNOPT_REORDER` override: `Ok(None)` when unset,
 /// `Ok(Some(_))` on a valid strategy spelling (`0`/`none`, `degree`,
 /// `bfs`, `rcm`, `cluster`, `auto`), `Err` on anything else.
-fn reorder_env() -> std::result::Result<Option<ReorderPolicy>, String> {
+pub(crate) fn reorder_env() -> std::result::Result<Option<ReorderPolicy>, String> {
     match std::env::var("GNNOPT_REORDER") {
         Err(_) => Ok(None),
         Ok(s) => ReorderPolicy::parse(&s)
@@ -165,7 +178,7 @@ fn reorder_env() -> std::result::Result<Option<ReorderPolicy>, String> {
 
 /// Reads the `GNNOPT_GEMM` override (`naive`/`blocked`): `Ok(None)` when
 /// unset, `Err` on an unknown kernel name.
-fn gemm_env() -> std::result::Result<Option<gnnopt_core::GemmKernel>, String> {
+pub(crate) fn gemm_env() -> std::result::Result<Option<gnnopt_core::GemmKernel>, String> {
     gnnopt_core::GemmKernel::env()
 }
 
@@ -253,6 +266,24 @@ impl ReorderState {
     }
 }
 
+/// The session's input graph: callers borrow theirs through the
+/// builder; sharded execution hands each per-shard session an owned
+/// local subgraph it built itself (there is no caller to borrow from).
+#[derive(Debug)]
+enum GraphSource<'a> {
+    Borrowed(&'a Graph),
+    Owned(Graph),
+}
+
+impl GraphSource<'_> {
+    fn get(&self) -> &Graph {
+        match self {
+            GraphSource::Borrowed(g) => g,
+            GraphSource::Owned(g) => g,
+        }
+    }
+}
+
 /// Executes an [`ExecutionPlan`] over a concrete graph and bindings.
 ///
 /// The session enforces the plan's memory discipline (drop / stash /
@@ -275,7 +306,7 @@ impl ReorderState {
 #[derive(Debug)]
 pub struct Session<'a> {
     plan: &'a ExecutionPlan,
-    graph: &'a Graph,
+    graph: GraphSource<'a>,
     /// Build-time reordering preprocessing; `None` runs on the caller's
     /// graph as-is.
     reorder: Option<ReorderState>,
@@ -325,6 +356,11 @@ pub struct Session<'a> {
     /// Run fused kernels through the tiled interpreter (plan default or
     /// `GNNOPT_FUSED` override).
     fused: bool,
+    /// This session's own buffer free list, seeded with the planner's
+    /// regions at build; installed on the thread for the duration of
+    /// each run via [`gnnopt_tensor::pool::ScopeGuard`]. Dropping the
+    /// session frees the parked buffers with it.
+    pool: pool::Pool,
     state: State,
     live_bytes: u64,
     peak_bytes: u64,
@@ -445,7 +481,13 @@ impl<'a> SessionBuilder<'a> {
         let fused = self.fused.or(env_fused).unwrap_or(policy.fused);
         policy.fused = fused;
         let arena = self.arena.or(env_arena).unwrap_or(true);
-        Session::assemble(self.plan, self.graph, policy, fused, arena)
+        Session::assemble(
+            self.plan,
+            GraphSource::Borrowed(self.graph),
+            policy,
+            fused,
+            arena,
+        )
     }
 }
 
@@ -558,9 +600,26 @@ impl<'a> Session<'a> {
     /// [`gnnopt_core::memplan::liveness`] — one source of truth), memory
     /// planning and pool pre-seeding, reorder preprocessing. `policy`
     /// arrives with the env overrides already folded in by the builder.
+    /// Builds a per-shard session over an *owned* local subgraph: the
+    /// sharded executor constructs each shard's graph itself, so there
+    /// is no caller-owned graph to borrow. Reordering is pinned off —
+    /// shard-local ids must stay aligned with the driver's exchange
+    /// maps — and env overrides are already folded into `policy` by the
+    /// sharded builder.
+    pub(crate) fn assemble_owned(
+        plan: &'a ExecutionPlan,
+        graph: Graph,
+        mut policy: ExecPolicy,
+        fused: bool,
+        arena: bool,
+    ) -> Result<Self> {
+        policy.reorder = ReorderPolicy::None;
+        Self::assemble(plan, GraphSource::Owned(graph), policy, fused, arena)
+    }
+
     fn assemble(
         plan: &'a ExecutionPlan,
-        graph: &'a Graph,
+        graph: GraphSource<'a>,
         policy: ExecPolicy,
         fused: bool,
         arena: bool,
@@ -647,26 +706,32 @@ impl<'a> Session<'a> {
         }
 
         let memplan = if arena {
-            memplan::plan_memory(plan, graph.num_vertices(), graph.num_edges(), fused)
+            memplan::plan_memory(
+                plan,
+                graph.get().num_vertices(),
+                graph.get().num_edges(),
+                fused,
+            )
         } else {
             MemoryPlan::default()
         };
-        // Pre-seed the pool with the planned buffers so the very first
-        // step already finds every store buffer recycled (steady state
-        // from step one on the serial reference path).
+        // Pre-seed this session's own pool with the planned buffers so
+        // the very first step already finds every store buffer recycled
+        // (steady state from step one on the serial reference path).
+        let pool = pool::Pool::new();
         for elems in memplan.buffers() {
-            pool::seed_f32(elems);
+            pool.seed_f32(elems);
         }
         // Shape vectors recycle too; seed enough that the shape bucket
         // never misses (one per region upper-bounds the concurrent live
         // tensors; aux stats tensors and in-flight transients get slack).
         if arena {
             for _ in 0..memplan.regions.len() + 2 * plan.aux_stash.len() + 4 {
-                pool::seed_shape(4);
+                pool.seed_shape(4);
             }
         }
 
-        let (reorder_seconds, reorder) = ReorderState::build(graph, policy.reorder);
+        let (reorder_seconds, reorder) = ReorderState::build(graph.get(), policy.reorder);
         Ok(Self {
             plan,
             graph,
@@ -688,6 +753,7 @@ impl<'a> Session<'a> {
             early_drops,
             boundary_dead,
             fused,
+            pool,
             state: State::Fresh,
             live_bytes: 0,
             peak_bytes: 0,
@@ -740,7 +806,7 @@ impl<'a> Session<'a> {
     /// The graph the kernels actually iterate: the relabeled CSR when the
     /// session reorders, the caller's graph otherwise.
     fn active_graph(&self) -> &Graph {
-        self.reorder.as_ref().map_or(self.graph, |r| &r.graph)
+        self.reorder.as_ref().map_or(self.graph.get(), |r| &r.graph)
     }
 
     /// Moves a user-order binding into the session's (possibly reordered)
@@ -783,7 +849,7 @@ impl<'a> Session<'a> {
     /// Returns binding errors, or [`ExecError::ValueNotLive`] if the plan's
     /// memory discipline is inconsistent.
     pub fn forward(&mut self, bindings: &Bindings) -> Result<Vec<Tensor>> {
-        let _scope = pool::ScopeGuard::new(self.arena);
+        let _scope = self.scope();
         self.run_forward(bindings)?;
         self.plan
             .ir
@@ -807,22 +873,39 @@ impl<'a> Session<'a> {
     /// [`Session::step`]: executes the kernels and leaves the outputs in
     /// the store (the callers add their own tails).
     fn run_forward(&mut self, bindings: &Bindings) -> Result<()> {
-        self.reset();
-        self.bind_leaves(bindings)?;
-        self.stats.threads = self.policy.threads;
-        self.stats.arena = self.arena;
-        self.stats.planned_peak_bytes = self.memplan.arena_bytes;
-        // The preprocessing happened once at session build; every run
-        // reports the same one-time figure (amortized, not recurring).
-        let (reorder, reorder_seconds) = self.reorder();
-        self.stats.reorder = reorder;
-        self.stats.reorder_seconds = reorder_seconds;
+        self.begin_forward(bindings)?;
         let t0 = Instant::now();
         for i in 0..self.fwd_kernels.len() {
             let kid = self.fwd_kernels[i];
             self.exec_kernel(kid, false)?;
         }
         self.stats.forward_seconds = t0.elapsed().as_secs_f64();
+        self.finish_forward();
+        Ok(())
+    }
+
+    /// Forward-pass prologue: reset, bind, stamp the per-run stats
+    /// header. Split out so the sharded driver can run the kernel loop
+    /// itself (interleaving exchanges) between this and
+    /// [`Session::finish_forward`].
+    pub(crate) fn begin_forward(&mut self, bindings: &Bindings) -> Result<()> {
+        self.reset();
+        self.bind_leaves(bindings)?;
+        self.stats.threads = self.policy.threads;
+        self.stats.arena = self.arena;
+        self.stats.shards = 1;
+        self.stats.planned_peak_bytes = self.memplan.arena_bytes;
+        // The preprocessing happened once at session build; every run
+        // reports the same one-time figure (amortized, not recurring).
+        let (reorder, reorder_seconds) = self.reorder();
+        self.stats.reorder = reorder;
+        self.stats.reorder_seconds = reorder_seconds;
+        Ok(())
+    }
+
+    /// Forward-pass epilogue: the forward→backward boundary drop and the
+    /// state transition.
+    pub(crate) fn finish_forward(&mut self) {
         // Inference runs stop here; report the high-water mark either way
         // (backward refreshes it with the final value).
         self.stats.peak_value_bytes = self.peak_bytes;
@@ -853,7 +936,6 @@ impl<'a> Session<'a> {
         }
 
         self.state = State::ForwardDone;
-        Ok(())
     }
 
     /// Runs the backward kernels with the given `∂L/∂output` seed and
@@ -864,7 +946,7 @@ impl<'a> Session<'a> {
     /// Returns [`ExecError::Protocol`] unless called right after
     /// [`Session::forward`] on a training plan.
     pub fn backward(&mut self, seed: Tensor) -> Result<HashMap<String, Tensor>> {
-        let _scope = pool::ScopeGuard::new(self.arena);
+        let _scope = self.scope();
         self.run_backward(seed)?;
         let mut grads = HashMap::new();
         for &(p, g) in &self.plan.param_grads {
@@ -884,6 +966,21 @@ impl<'a> Session<'a> {
     /// The backward body shared by [`Session::backward`] and
     /// [`Session::step`]: gradients stay in the store.
     fn run_backward(&mut self, seed: Tensor) -> Result<()> {
+        self.begin_backward(seed)?;
+        let t0 = Instant::now();
+        for i in 0..self.bwd_kernels.len() {
+            let kid = self.bwd_kernels[i];
+            self.exec_kernel(kid, true)?;
+        }
+        self.stats.backward_seconds = t0.elapsed().as_secs_f64();
+        self.finish_backward();
+        Ok(())
+    }
+
+    /// Backward-pass prologue: protocol checks and seed binding. The
+    /// sharded driver brackets its own kernel loop with this and
+    /// [`Session::finish_backward`].
+    pub(crate) fn begin_backward(&mut self, seed: Tensor) -> Result<()> {
         if !self.plan.training {
             return Err(ExecError::Protocol(
                 "plan was compiled for inference".into(),
@@ -901,16 +998,14 @@ impl<'a> Session<'a> {
         // The caller seeds ∂L/∂output in their own vertex order.
         let seed = self.permute_input(seed_node.space, seed);
         self.insert_value(seed_id, seed);
+        Ok(())
+    }
 
-        let t0 = Instant::now();
-        for i in 0..self.bwd_kernels.len() {
-            let kid = self.bwd_kernels[i];
-            self.exec_kernel(kid, true)?;
-        }
-        self.stats.backward_seconds = t0.elapsed().as_secs_f64();
+    /// Backward-pass epilogue: final peak accounting and the state
+    /// transition back to [`State::Fresh`].
+    pub(crate) fn finish_backward(&mut self) {
         self.stats.peak_value_bytes = self.peak_bytes;
         self.state = State::Fresh;
-        Ok(())
     }
 
     /// One full training step — forward then backward — with **no
@@ -927,9 +1022,16 @@ impl<'a> Session<'a> {
     ///
     /// As [`Session::forward`] and [`Session::backward`].
     pub fn step(&mut self, bindings: &Bindings, seed: &Tensor) -> Result<()> {
-        let _scope = pool::ScopeGuard::new(self.arena);
+        let _scope = self.scope();
         self.run_forward(bindings)?;
         self.run_backward(seed.clone())
+    }
+
+    /// Installs this session's pool on the current thread for the
+    /// guard's lifetime (a no-op guard when the arena is off). The
+    /// sharded driver brackets each shard's work the same way.
+    pub(crate) fn scope(&self) -> pool::ScopeGuard {
+        pool::ScopeGuard::new(self.arena.then_some(&self.pool))
     }
 
     /// Borrows model output `i` from the store after [`Session::step`]
@@ -1004,8 +1106,8 @@ impl<'a> Session<'a> {
         // Row counts are permutation-invariant, so checking against the
         // caller's graph or the reordered one is equivalent.
         let expected = match node.space {
-            Space::Vertex => (self.graph.num_vertices(), node.dim.total()),
-            Space::Edge => (self.graph.num_edges(), node.dim.total()),
+            Space::Vertex => (self.graph.get().num_vertices(), node.dim.total()),
+            Space::Edge => (self.graph.get().num_edges(), node.dim.total()),
             Space::Param => (node.dim.heads, node.dim.feat),
         };
         if t.rows() != expected.0 || t.cols() != expected.1 {
@@ -1018,7 +1120,7 @@ impl<'a> Session<'a> {
         Ok(())
     }
 
-    fn insert_value(&mut self, id: NodeId, t: Tensor) {
+    pub(crate) fn insert_value(&mut self, id: NodeId, t: Tensor) {
         // Retire the overwritten value *before* taking the high-water
         // mark: overwriting is a replacement, not a moment where both
         // tensors are live, so the old accounting (add, peak, subtract)
@@ -1030,13 +1132,13 @@ impl<'a> Session<'a> {
         self.peak_bytes = self.peak_bytes.max(self.live_bytes);
     }
 
-    fn drop_value(&mut self, id: NodeId) {
+    pub(crate) fn drop_value(&mut self, id: NodeId) {
         if let Some(old) = self.values.remove(&id) {
             self.live_bytes -= old.byte_size() as u64;
         }
     }
 
-    fn exec_kernel(&mut self, kid: usize, backward: bool) -> Result<()> {
+    pub(crate) fn exec_kernel(&mut self, kid: usize, backward: bool) -> Result<()> {
         let t = Instant::now();
         let r = self.exec_kernel_inner(kid, backward);
         if std::env::var_os("GNNOPT_PROFILE").is_some() {
@@ -1064,7 +1166,7 @@ impl<'a> Session<'a> {
             if let Some(program) = plan.programs.get(kid) {
                 let graph: &Graph = match &self.reorder {
                     Some(r) => &r.graph,
-                    None => self.graph,
+                    None => self.graph.get(),
                 };
                 // Arena mode: the interpreter frees each dying input as
                 // soon as its last reading segment completes, so its
@@ -1185,7 +1287,7 @@ impl<'a> Session<'a> {
     /// lists precomputed at session build time. Tolerates entries the
     /// arena already dropped early (node-granular eviction, in-place
     /// reuse, mid-launch frees): `drop_value` no-ops on a missing node.
-    fn evict_after(&mut self, kid: usize) {
+    pub(crate) fn evict_after(&mut self, kid: usize) {
         for i in 0..self.kernel_deaths[kid].len() {
             let n = self.kernel_deaths[kid][i];
             self.drop_value(n);
@@ -1203,17 +1305,52 @@ impl<'a> Session<'a> {
         );
     }
 
-    fn value(&self, id: NodeId) -> Result<&Tensor> {
+    pub(crate) fn value(&self, id: NodeId) -> Result<&Tensor> {
         self.values.get(&id).ok_or_else(|| ExecError::ValueNotLive {
             node: self.plan.ir.node(id).name.clone(),
         })
+    }
+
+    /// Mutable access to a live value — the sharded driver patches halo
+    /// and replica rows in place between kernels.
+    pub(crate) fn value_mut(&mut self, id: NodeId) -> Result<&mut Tensor> {
+        let name = &self.plan.ir.node(id).name;
+        self.values
+            .get_mut(&id)
+            .ok_or_else(|| ExecError::ValueNotLive { node: name.clone() })
+    }
+
+    /// Whether `id` is live in the store.
+    pub(crate) fn has_value(&self, id: NodeId) -> bool {
+        self.values.contains_key(&id)
+    }
+
+    /// Whether `id` persists to the end of the step (outputs, gradients,
+    /// stash-planned values).
+    pub(crate) fn is_persistent(&self, id: NodeId) -> bool {
+        self.persistent.contains(&id)
+    }
+
+    /// The caller-facing graph (shard-local for per-shard sessions).
+    pub(crate) fn graph(&self) -> &Graph {
+        self.graph.get()
+    }
+
+    /// Forward kernel ids in execution order.
+    pub(crate) fn fwd_kernel_ids(&self) -> &[usize] {
+        &self.fwd_kernels
+    }
+
+    /// Backward kernel ids in execution order.
+    pub(crate) fn bwd_kernel_ids(&self) -> &[usize] {
+        &self.bwd_kernels
     }
 
     /// Executes one node on the reference path: operands come out of the
     /// value store, auxiliaries out of the session stashes, and the op
     /// itself runs through the shared dispatch in [`crate::refexec`] —
     /// the same dispatch the fused interpreter uses for full steps.
-    fn exec_node(&mut self, id: NodeId) -> Result<Tensor> {
+    pub(crate) fn exec_node(&mut self, id: NodeId) -> Result<Tensor> {
         let node = self.plan.ir.node(id);
         let (t, aux_out) = {
             // Operand lookup without a per-node Vec (no op reads more
@@ -1266,20 +1403,6 @@ impl<'a> Session<'a> {
             refexec::AuxOut::None => {}
         }
         Ok(t)
-    }
-}
-
-impl Drop for Session<'_> {
-    /// An arena session seeded the global pool with its planned buffers;
-    /// tearing the session down returns them to the system instead of
-    /// pinning peak-sized allocations for the process lifetime. (With
-    /// several live arena sessions this trims warm buffers out from
-    /// under the survivors — they degrade gracefully, refilling the pool
-    /// on their next step.)
-    fn drop(&mut self) {
-        if self.arena {
-            pool::trim();
-        }
     }
 }
 

@@ -132,17 +132,42 @@ impl DatasetSpec {
         let el = match self.topology {
             Topology::Citation => generators::erdos_renyi(n, target_edges, seed),
             Topology::Social => {
-                // RMAT needs a power-of-two scale; round up then trim by
-                // taking the densest prefix of vertices.
+                // RMAT needs a power-of-two scale; round up, then trim to
+                // the n highest-degree vertices with a *bijective* relabel.
+                // (Folding surplus ids with `% n` manufactured self-loops
+                // and over-weighted low ids whenever n wasn't a power of
+                // two.) Trimming discards edges, so oversample the edge
+                // factor and prefix-trim back to the target count.
                 let scale = (n as f64).log2().ceil() as u32;
-                let ef = (target_edges as f64 / (1usize << scale) as f64).ceil() as usize;
+                let pow = 1usize << scale;
+                let ef = (1.3 * target_edges as f64 / pow as f64).ceil() as usize;
                 let el = generators::rmat(scale, ef.max(1), 0.57, 0.19, 0.19, seed);
-                // Re-map onto n vertices by folding ids.
-                let pairs: Vec<(u32, u32)> = el
+                // Rank the 2^scale vertices by total degree (dense first,
+                // id as tie-break) and keep the densest n.
+                let mut deg = vec![0u32; pow];
+                for &(s, d) in el.edges() {
+                    deg[s as usize] += 1;
+                    deg[d as usize] += 1;
+                }
+                let mut rank: Vec<u32> = (0..pow as u32).collect();
+                rank.sort_unstable_by_key(|&v| (std::cmp::Reverse(deg[v as usize]), v));
+                // new_id[v] = position of v in the density ranking; only
+                // positions < n survive. The map is injective on the kept
+                // set, so no two distinct edges can collide post-relabel.
+                let mut new_id = vec![u32::MAX; pow];
+                for (pos, &v) in rank.iter().enumerate().take(n) {
+                    new_id[v as usize] = pos as u32;
+                }
+                let mut pairs: Vec<(u32, u32)> = el
                     .edges()
                     .iter()
-                    .map(|&(s, d)| (s % n as u32, d % n as u32))
+                    .filter_map(|&(s, d)| {
+                        let (s, d) = (new_id[s as usize], new_id[d as usize]);
+                        (s != u32::MAX && d != u32::MAX).then_some((s, d))
+                    })
                     .collect();
+                // Deterministic prefix trim back down to the target count.
+                pairs.truncate(target_edges);
                 crate::EdgeList::from_pairs(n, &pairs)
             }
         };
@@ -189,6 +214,30 @@ mod tests {
         assert!(g.num_vertices() < 20_000);
         let avg = g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(avg > 100.0, "scaled Reddit should stay dense, got {avg}");
+    }
+
+    #[test]
+    fn social_exec_graph_has_no_self_loops_and_matches_avg_degree() {
+        // Reddit's exec vertex count is NOT a power of two, so this
+        // exercises the densest-prefix trim (the old `% n` fold both
+        // manufactured self-loops and aliased distinct edges here).
+        let d = reddit();
+        let g = d.build_graph(11);
+        assert_eq!(g.num_vertices() % 2, 0); // sanity: 14560, not 16384
+        assert_ne!(
+            g.num_vertices().count_ones(),
+            1,
+            "n must not be a power of two"
+        );
+        for e in 0..g.num_edges() {
+            assert_ne!(g.src(e), g.dst(e), "self-loop at edge {e}");
+        }
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        let want = d.avg_degree();
+        assert!(
+            (avg - want).abs() / want < 0.10,
+            "average degree {avg:.1} too far from profile's {want:.1}"
+        );
     }
 
     #[test]

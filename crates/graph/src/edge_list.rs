@@ -17,8 +17,16 @@ impl EdgeList {
     ///
     /// # Panics
     ///
-    /// Panics if any endpoint is `>= num_vertices`.
+    /// Panics if any endpoint is `>= num_vertices`, or if `num_vertices`
+    /// or the edge count exceeds the `u32` id space (vertex and edge ids
+    /// are `u32` throughout the CSR pipeline; a silent wrap here would
+    /// corrupt every downstream adjacency structure).
     pub fn from_pairs(num_vertices: usize, pairs: &[(u32, u32)]) -> Self {
+        assert!(
+            num_vertices <= u32::MAX as usize,
+            "num_vertices {num_vertices} exceeds the u32 vertex-id space ({})",
+            u32::MAX
+        );
         let mut edges: Vec<(u32, u32)> = pairs
             .iter()
             .filter(|(s, d)| s != d)
@@ -32,6 +40,12 @@ impl EdgeList {
             .collect();
         edges.sort_unstable_by_key(|&(s, d)| (d, s));
         edges.dedup();
+        assert!(
+            edges.len() <= u32::MAX as usize,
+            "edge count {} exceeds the u32 edge-id space ({})",
+            edges.len(),
+            u32::MAX
+        );
         Self {
             num_vertices,
             edges,
@@ -96,5 +110,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_panics() {
         let _ = EdgeList::from_pairs(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 vertex-id space")]
+    fn vertex_count_past_u32_panics() {
+        let _ = EdgeList::from_pairs(u32::MAX as usize + 1, &[]);
+    }
+
+    #[test]
+    fn vertex_count_at_u32_boundary_is_accepted() {
+        // Exactly u32::MAX vertices is representable (ids 0..MAX-1 fit).
+        let el = EdgeList::from_pairs(u32::MAX as usize, &[(0, 1)]);
+        assert_eq!(el.num_edges(), 1);
     }
 }

@@ -50,6 +50,10 @@ pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> EdgeList
 /// b = 0.19, c = 0.19`.
 pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> EdgeList {
     assert!(a + b + c < 1.0, "quadrant probabilities must sum below 1");
+    assert!(
+        scale <= 31,
+        "rmat scale {scale} produces vertex ids past the u32 id space (max scale 31)"
+    );
     let n = 1usize << scale;
     let target = n * edge_factor;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -207,6 +211,12 @@ pub fn complete(num_vertices: usize) -> EdgeList {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "past the u32 id space")]
+    fn rmat_scale_past_u32_panics() {
+        let _ = rmat(32, 1, 0.57, 0.19, 0.19, 1);
+    }
 
     #[test]
     fn erdos_renyi_exact_count_and_deterministic() {

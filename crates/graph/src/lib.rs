@@ -29,8 +29,10 @@ mod edge_list;
 pub mod generators;
 mod graph;
 pub mod knn;
+pub mod partition;
 mod stats;
 
 pub use edge_list::EdgeList;
 pub use graph::{Adjacency, Graph};
+pub use partition::Partition;
 pub use stats::{DegreeSummary, GraphStats};

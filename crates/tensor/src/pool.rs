@@ -1,5 +1,5 @@
-//! A global, thread-scoped buffer pool: the runtime half of the static
-//! memory planner.
+//! Per-session buffer pools: the runtime half of the static memory
+//! planner.
 //!
 //! The planner (`gnnopt-core::memplan`) proves at session build which
 //! buffers a step needs and for how long; this module is the mechanism
@@ -8,15 +8,21 @@
 //! capacity ≥ request) and returned whole — a region is never split, so
 //! a pooled buffer corresponds 1:1 to a planned arena region.
 //!
-//! # Activation is per thread
+//! # Pools are instances, scopes are per thread
 //!
-//! The pool only intercepts allocation on threads that are inside a
-//! [`scope_enter`]/[`scope_exit`] bracket (sessions bracket every step
-//! when their arena is on). Worker threads spawned by kernels never
-//! enter a scope, so their temporaries take the ordinary heap path —
-//! the zero-allocation steady-state guarantee is a property of the
-//! *serial* executor, which is exactly the configuration the counting
-//! allocator test pins. With no active scope anywhere (for example
+//! Each [`Pool`] is an independent free list behind an `Arc`; a session
+//! owns one and seeds it with its own planner regions. The free
+//! functions ([`take_f32`], [`put_f32`], …) intercept allocation only
+//! while the current thread is inside a [`ScopeGuard`] bracket, and
+//! they route to whichever pool that bracket installed — so two
+//! sessions stepping concurrently on different threads each recycle
+//! through their own free list, never contending on a process-wide
+//! mutex or bleeding planner-seeded buffers into each other (the
+//! failure mode of the old `static POOL`). Worker threads spawned by
+//! kernels never enter a scope, so their temporaries take the ordinary
+//! heap path — the zero-allocation steady-state guarantee is a property
+//! of the *serial* executor, which is exactly the configuration the
+//! counting allocator test pins. With no active scope (for example
 //! `GNNOPT_ARENA=0`) every function here degenerates to the plain
 //! `Vec` behavior, byte for byte.
 //!
@@ -33,52 +39,55 @@
 //! is served by `pop` and every return by `push` within existing
 //! capacity: zero calls into the global allocator.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 thread_local! {
-    static ACTIVE: Cell<u32> = const { Cell::new(0) };
-}
-
-/// Activates the pool on the current thread (re-entrant; each call must
-/// be matched by a [`scope_exit`]).
-pub fn scope_enter() {
-    ACTIVE.with(|a| a.set(a.get() + 1));
-}
-
-/// Deactivates the innermost pool scope on the current thread.
-pub fn scope_exit() {
-    ACTIVE.with(|a| a.set(a.get().saturating_sub(1)));
+    /// Stack of pools installed by nested [`ScopeGuard`]s on this
+    /// thread; the innermost (last) entry serves every take/put.
+    static CURRENT: RefCell<Vec<Pool>> = const { RefCell::new(Vec::new()) };
 }
 
 /// True when the current thread is inside a pool scope.
 pub fn active() -> bool {
-    ACTIVE.with(|a| a.get() > 0)
+    CURRENT.with(|c| !c.borrow().is_empty())
 }
 
-/// RAII wrapper around [`scope_enter`]/[`scope_exit`]: activates the
-/// pool (when `on`) for the guard's lifetime, surviving early returns
-/// and panics.
+/// Runs `f` against the innermost pool installed on this thread, or
+/// returns `None` outside any scope.
+fn with_current<R>(f: impl FnOnce(&mut PoolInner) -> R) -> Option<R> {
+    let pool = CURRENT.with(|c| c.borrow().last().cloned())?;
+    let mut inner = pool.inner.lock().expect("buffer pool poisoned");
+    Some(f(&mut inner))
+}
+
+/// RAII bracket that installs a [`Pool`] as the current thread's
+/// allocation target for the guard's lifetime, surviving early returns
+/// and panics. `ScopeGuard::new(None)` is a no-op, so callers can
+/// bracket unconditionally.
 pub struct ScopeGuard {
     on: bool,
 }
 
 impl ScopeGuard {
-    /// Enters a pool scope when `on`; a `ScopeGuard::new(false)` is a
-    /// no-op, so callers can bracket unconditionally.
-    pub fn new(on: bool) -> Self {
-        if on {
-            scope_enter();
+    /// Installs `pool` (when `Some`) on the current thread. Brackets
+    /// nest: the innermost installed pool wins, and re-installing the
+    /// same pool is harmless.
+    pub fn new(pool: Option<&Pool>) -> Self {
+        if let Some(p) = pool {
+            CURRENT.with(|c| c.borrow_mut().push(p.clone()));
         }
-        Self { on }
+        Self { on: pool.is_some() }
     }
 }
 
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
         if self.on {
-            scope_exit();
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
         }
     }
 }
@@ -102,70 +111,190 @@ fn new_bucket<T>() -> Vec<Vec<T>> {
     Vec::with_capacity(BUCKET_SLACK)
 }
 
-static POOL: Mutex<PoolInner> = Mutex::new(PoolInner {
-    f32s: BTreeMap::new(),
-    u32s: BTreeMap::new(),
-    shapes: BTreeMap::new(),
-});
+/// An independent buffer free list. Cloning is shallow (`Arc`): clones
+/// share the same free list, which is how a session hands its pool to a
+/// [`ScopeGuard`]. Dropping the last clone frees every parked buffer —
+/// no explicit trim is needed at session teardown.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("resident_bytes", &self.resident_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(PoolInner {
+                f32s: BTreeMap::new(),
+                u32s: BTreeMap::new(),
+                shapes: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Pre-seeds the pool with an `f32` buffer of exactly `elems`
+    /// capacity.
+    ///
+    /// Sessions call this at build for every planned arena region so
+    /// the very first step already finds its store buffers (no scope is
+    /// required: seeding is an explicit request, not an interception).
+    pub fn seed_f32(&self, elems: usize) {
+        if elems == 0 {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("buffer pool poisoned")
+            .f32s
+            .entry(elems)
+            .or_insert_with(new_bucket)
+            .push(Vec::with_capacity(elems));
+    }
+
+    /// Pre-seeds the pool with a shape vector of `rank` capacity.
+    ///
+    /// Shape vectors are tiny, but a take miss is still a heap
+    /// allocation; sessions seed one per planned region (plus slack for
+    /// the auxiliary stashes) so the shape bucket starts at its fixed
+    /// point instead of reaching it lazily over the first steps.
+    pub fn seed_shape(&self, rank: usize) {
+        if rank == 0 {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("buffer pool poisoned")
+            .shapes
+            .entry(rank)
+            .or_insert_with(new_bucket)
+            .push(Vec::with_capacity(rank));
+    }
+
+    /// Frees every pooled buffer (bucket nodes included). Rarely needed
+    /// — dropping the pool frees everything — but lets a long-lived
+    /// session shed its working set on demand.
+    pub fn trim(&self) {
+        let mut pool = self.inner.lock().expect("buffer pool poisoned");
+        pool.f32s = BTreeMap::new();
+        pool.u32s = BTreeMap::new();
+        pool.shapes = BTreeMap::new();
+    }
+
+    /// Bucket occupancy of each free list as `(capacity, parked
+    /// buffers)` pairs in ascending capacity order — `(f32s, u32s,
+    /// shapes)`. Diagnostics only.
+    #[allow(clippy::type_complexity)]
+    #[must_use]
+    pub fn occupancy(
+        &self,
+    ) -> (
+        Vec<(usize, usize)>,
+        Vec<(usize, usize)>,
+        Vec<(usize, usize)>,
+    ) {
+        fn count<T>(m: &BTreeMap<usize, Vec<Vec<T>>>) -> Vec<(usize, usize)> {
+            m.iter()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(&c, b)| (c, b.len()))
+                .collect()
+        }
+        let pool = self.inner.lock().expect("buffer pool poisoned");
+        (count(&pool.f32s), count(&pool.u32s), count(&pool.shapes))
+    }
+
+    /// Total bytes currently parked in the pool (diagnostics only).
+    pub fn resident_bytes(&self) -> usize {
+        fn bytes<T>(m: &BTreeMap<usize, Vec<Vec<T>>>) -> usize {
+            m.values()
+                .flatten()
+                .map(|v| v.capacity() * std::mem::size_of::<T>())
+                .sum()
+        }
+        let pool = self.inner.lock().expect("buffer pool poisoned");
+        bytes(&pool.f32s) + bytes(&pool.u32s) + bytes(&pool.shapes)
+    }
+}
 
 macro_rules! pool_take {
     ($field:ident, $min:expr) => {{
         let min = $min;
-        if min == 0 || !active() {
+        if min == 0 {
             return Vec::with_capacity(min);
         }
-        let mut pool = POOL.lock().expect("buffer pool poisoned");
-        // Best fit: the smallest capacity class that satisfies the
-        // request. Empty buckets are skipped but deliberately kept in
-        // the map so the tree reaches a structural fixed point.
-        if let Some((_, bucket)) = pool.$field.range_mut(min..).find(|(_, b)| !b.is_empty()) {
-            let mut v = bucket.pop().expect("bucket checked non-empty");
-            v.clear();
-            return v;
+        let pooled = with_current(|pool| {
+            // Best fit: the smallest capacity class that satisfies the
+            // request. Empty buckets are skipped but deliberately kept
+            // in the map so the tree reaches a structural fixed point.
+            if let Some((_, bucket)) = pool.$field.range_mut(min..).find(|(_, b)| !b.is_empty()) {
+                let mut v = bucket.pop().expect("bucket checked non-empty");
+                v.clear();
+                return Some(v);
+            }
+            // Miss: materialize the class's bucket node *now*, so the
+            // buffer's eventual return (often a whole step later, at
+            // the next reset's return wave) finds the node in place
+            // instead of allocating one inside a warmed step.
+            pool.$field.entry(min).or_insert_with(new_bucket);
+            None
+        });
+        match pooled {
+            Some(Some(v)) => v,
+            _ => Vec::with_capacity(min),
         }
-        // Miss: materialize the class's bucket node *now*, so the
-        // buffer's eventual return (often a whole step later, at the
-        // next reset's return wave) finds the node in place instead of
-        // allocating one inside a warmed step.
-        pool.$field.entry(min).or_insert_with(new_bucket);
-        drop(pool);
-        Vec::with_capacity(min)
     }};
 }
 
 macro_rules! pool_put {
     ($field:ident, $v:expr) => {{
         let v = $v;
-        if v.capacity() == 0 || !active() {
+        if v.capacity() == 0 {
             return;
         }
         let cap = v.capacity();
-        POOL.lock()
-            .expect("buffer pool poisoned")
-            .$field
-            .entry(cap)
-            .or_insert_with(new_bucket)
-            .push(v);
+        let mut v = Some(v);
+        with_current(|pool| {
+            pool.$field
+                .entry(cap)
+                .or_insert_with(new_bucket)
+                .push(v.take().expect("put consumes the buffer once"));
+        });
+        // Outside a scope `v` is still here and drops normally.
     }};
 }
 
-/// Takes an empty `Vec<f32>` with capacity ≥ `min` from the pool
-/// (freshly allocated on a miss or outside a scope).
+/// Takes an empty `Vec<f32>` with capacity ≥ `min` from the current
+/// thread's pool (freshly allocated on a miss or outside a scope).
 pub fn take_f32(min: usize) -> Vec<f32> {
     pool_take!(f32s, min)
 }
 
-/// Returns a `Vec<f32>` to the pool (dropped outside a scope).
+/// Returns a `Vec<f32>` to the current thread's pool (dropped outside a
+/// scope).
 pub fn put_f32(v: Vec<f32>) {
     pool_put!(f32s, v)
 }
 
-/// Takes an empty `Vec<u32>` with capacity ≥ `min` from the pool.
+/// Takes an empty `Vec<u32>` with capacity ≥ `min` from the current
+/// thread's pool.
 pub fn take_u32(min: usize) -> Vec<u32> {
     pool_take!(u32s, min)
 }
 
-/// Returns a `Vec<u32>` to the pool.
+/// Returns a `Vec<u32>` to the current thread's pool.
 pub fn put_u32(v: Vec<u32>) {
     pool_put!(u32s, v)
 }
@@ -175,114 +304,9 @@ pub fn take_shape(min: usize) -> Vec<usize> {
     pool_take!(shapes, min)
 }
 
-/// Returns a shape vector to the pool.
+/// Returns a shape vector to the current thread's pool.
 pub fn put_shape(v: Vec<usize>) {
     pool_put!(shapes, v)
-}
-
-/// Pre-seeds the pool with an `f32` buffer of exactly `elems` capacity.
-///
-/// Sessions call this at build for every planned arena region so the
-/// very first step already finds its store buffers (activation is not
-/// required: seeding is an explicit request, not an interception).
-pub fn seed_f32(elems: usize) {
-    if elems == 0 {
-        return;
-    }
-    POOL.lock()
-        .expect("buffer pool poisoned")
-        .f32s
-        .entry(elems)
-        .or_insert_with(new_bucket)
-        .push(Vec::with_capacity(elems));
-}
-
-/// Pre-seeds the pool with a shape vector of `rank` capacity.
-///
-/// Shape vectors are tiny, but a take miss is still a heap allocation;
-/// sessions seed one per planned region (plus slack for the auxiliary
-/// stashes) so the shape bucket starts at its fixed point instead of
-/// reaching it lazily over the first steps.
-pub fn seed_shape(rank: usize) {
-    if rank == 0 {
-        return;
-    }
-    POOL.lock()
-        .expect("buffer pool poisoned")
-        .shapes
-        .entry(rank)
-        .or_insert_with(new_bucket)
-        .push(Vec::with_capacity(rank));
-}
-
-/// Frees every pooled buffer (bucket nodes included).
-///
-/// Sessions with an arena trim on drop so long test runs that build
-/// hundreds of sessions do not accumulate every session's working set.
-/// Concurrent sessions merely lose warmth: their next step re-allocates
-/// misses through the ordinary heap path.
-pub fn trim() {
-    let mut pool = POOL.lock().expect("buffer pool poisoned");
-    pool.f32s = BTreeMap::new();
-    pool.u32s = BTreeMap::new();
-    pool.shapes = BTreeMap::new();
-}
-
-/// Bucket occupancy of each free list as `(capacity, parked buffers)`
-/// pairs in ascending capacity order — `(f32s, u32s, shapes)`.
-/// Diagnostics only.
-#[allow(clippy::type_complexity)]
-#[must_use]
-pub fn occupancy() -> (
-    Vec<(usize, usize)>,
-    Vec<(usize, usize)>,
-    Vec<(usize, usize)>,
-) {
-    let pool = POOL.lock().expect("buffer pool poisoned");
-    let count = |m: &BTreeMap<usize, Vec<Vec<f32>>>| -> Vec<(usize, usize)> {
-        m.iter()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(&c, b)| (c, b.len()))
-            .collect()
-    };
-    let f = count(&pool.f32s);
-    let u = pool
-        .u32s
-        .iter()
-        .filter(|(_, b)| !b.is_empty())
-        .map(|(&c, b)| (c, b.len()))
-        .collect();
-    let s = pool
-        .shapes
-        .iter()
-        .filter(|(_, b)| !b.is_empty())
-        .map(|(&c, b)| (c, b.len()))
-        .collect();
-    (f, u, s)
-}
-
-/// Total bytes currently parked in the pool (diagnostics only).
-pub fn resident_bytes() -> usize {
-    let pool = POOL.lock().expect("buffer pool poisoned");
-    let f: usize = pool
-        .f32s
-        .values()
-        .flatten()
-        .map(|v| v.capacity() * std::mem::size_of::<f32>())
-        .sum();
-    let u: usize = pool
-        .u32s
-        .values()
-        .flatten()
-        .map(|v| v.capacity() * std::mem::size_of::<u32>())
-        .sum();
-    let s: usize = pool
-        .shapes
-        .values()
-        .flatten()
-        .map(|v| v.capacity() * std::mem::size_of::<usize>())
-        .sum();
-    f + u + s
 }
 
 #[cfg(test)]
@@ -299,7 +323,8 @@ mod tests {
 
     #[test]
     fn scoped_take_put_roundtrip() {
-        let _g = ScopeGuard::new(true);
+        let pool = Pool::new();
+        let _g = ScopeGuard::new(Some(&pool));
         put_f32(Vec::with_capacity(16));
         let v = take_f32(10);
         assert!(v.capacity() >= 16, "best fit grants the pooled buffer");
@@ -307,27 +332,61 @@ mod tests {
         put_f32(v);
         let w = take_f32(32);
         assert_eq!(w.capacity(), 32, "no fit falls back to a fresh buffer");
-        trim();
     }
 
     #[test]
     fn zero_sized_requests_bypass_the_pool() {
-        let _g = ScopeGuard::new(true);
+        let pool = Pool::new();
+        let _g = ScopeGuard::new(Some(&pool));
         put_f32(Vec::with_capacity(4));
         let v = take_f32(0);
         assert_eq!(v.capacity(), 0);
-        trim();
     }
 
     #[test]
     fn guard_unwinds() {
         assert!(!active());
         {
-            let _g = ScopeGuard::new(true);
+            let pool = Pool::new();
+            let _g = ScopeGuard::new(Some(&pool));
             assert!(active());
-            let _h = ScopeGuard::new(false);
+            let _h = ScopeGuard::new(None);
             assert!(active());
         }
         assert!(!active());
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let a = Pool::new();
+        let b = Pool::new();
+        {
+            let _g = ScopeGuard::new(Some(&a));
+            put_f32(Vec::with_capacity(64));
+        }
+        {
+            let _g = ScopeGuard::new(Some(&b));
+            // b never saw a's buffer: the take is a miss.
+            let v = take_f32(64);
+            assert_eq!(v.capacity(), 64);
+        }
+        assert!(a.resident_bytes() >= 64 * 4);
+        let (f, _, _) = a.occupancy();
+        assert_eq!(f, vec![(64, 1)]);
+        a.trim();
+        assert_eq!(a.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        let outer = Pool::new();
+        let inner = Pool::new();
+        let _g = ScopeGuard::new(Some(&outer));
+        {
+            let _h = ScopeGuard::new(Some(&inner));
+            put_f32(Vec::with_capacity(8));
+        }
+        assert_eq!(outer.resident_bytes(), 0);
+        assert_eq!(inner.resident_bytes(), 8 * 4);
     }
 }

@@ -22,10 +22,13 @@ use gnnopt::sim::{Device, Timeline, TracePhase};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: gnnopt-inspect <model> <preset> <view> [--device 3090|2080] [--inference]
+    "usage: gnnopt-inspect <model> <preset> <view> [--device 3090|2080] [--inference] [--shards N]
   model:  gat | gatv2 | edgeconv | monet | gcn | sage | gin | appnp
   preset: dgl | fusegnn | ours
-  view:   ir | plan | programs | memory | dot | timeline | json";
+  view:   ir | plan | programs | memory | dot | timeline | json | shards
+  shards: partitions an RMAT-14 graph into N edge-cut shards (default 4,
+          or GNNOPT_SHARDS) and prints per-shard sizes, arenas, halo rows
+          and the per-kernel exchange schedule of one training step";
 
 fn model_ir(name: &str) -> Option<ModelSpec> {
     let spec = match name {
@@ -59,6 +62,66 @@ fn preset_of(name: &str) -> Option<Preset> {
         "ours" => Preset::Ours,
         _ => return None,
     })
+}
+
+/// Builds a sharded session over an RMAT-14 graph, runs one training
+/// step, and prints per-shard sizes, arenas and the exchange schedule.
+fn inspect_shards(spec: &ModelSpec, plan: &gnnopt::core::ExecutionPlan, k: usize) -> ExitCode {
+    use gnnopt::exec::{Bindings, ShardedSession};
+    use gnnopt::graph::{generators, Graph};
+    use gnnopt::tensor::Tensor;
+
+    let graph = Graph::from_edge_list(&generators::rmat(14, 16, 0.57, 0.19, 0.19, 7));
+    let mut sess = match ShardedSession::builder(plan, &graph).shards(k).build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sharded session failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut b = Bindings::new();
+    for (name, v) in spec.init_values(&graph, 11) {
+        b.insert(&name, v.clone());
+    }
+    let seed = Tensor::ones(&[graph.num_vertices(), spec.output_dim()]);
+    if let Err(e) = sess.step(&b, &seed) {
+        eprintln!("sharded step failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stats = sess.stats();
+    println!(
+        "sharded execution: {} shards over |V|={} |E|={} (rmat-14 ef16)",
+        sess.num_shards(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!(
+        "cut edges: {}  halo vertices: {}  comm: {} bytes in {} exchanges/step",
+        stats.cut_edges, stats.halo_vertices, stats.comm_bytes, stats.halo_exchanges
+    );
+    println!("\nshard  owned_v  local_v  local_e  halo_rows  arena_bytes");
+    for (s, sum) in sess.shard_summaries().iter().enumerate() {
+        println!(
+            "{s:>5}  {:>7}  {:>7}  {:>7}  {:>9}  {:>11}",
+            sum.owned_vertices, sum.num_vertices, sum.num_edges, sum.halo_rows, sum.arena_bytes
+        );
+    }
+    if !sess.exchanges().is_empty() {
+        println!("\nexchange schedule (one step):");
+        println!("kernel  phase     kind           value                     rows       bytes");
+        for r in sess.exchanges() {
+            println!(
+                "{:>6}  {:<8}  {:<13}  {:<24}  {:>8}  {:>10}",
+                r.kernel,
+                if r.backward { "backward" } else { "forward" },
+                format!("{:?}", r.kind),
+                r.value,
+                r.rows,
+                r.bytes
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -117,6 +180,15 @@ fn main() -> ExitCode {
             "{}",
             display::to_dot(&compiled.plan.ir, Some(&compiled.plan))
         ),
+        "shards" => {
+            let k = args
+                .iter()
+                .position(|a| a == "--shards")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(4);
+            return inspect_shards(&spec, &compiled.plan, k);
+        }
         "timeline" | "json" => {
             let mut timeline = Timeline::new();
             let profiles = compiled.plan.profiles(&stats);

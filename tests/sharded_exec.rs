@@ -1,0 +1,361 @@
+//! Sharded-execution equivalence and partitioner invariants.
+//!
+//! The sharding contract is **bit-identity**: for any shard count, any
+//! partition strategy, any thread count and either execution path
+//! (fused or reference), a [`ShardedSession`] must produce exactly the
+//! same output bits and exactly the same parameter-gradient bits as the
+//! plain unsharded [`Session`] — not merely close, *identical*. The
+//! suite enforces that across the model zoo, on adversarial topologies
+//! (an extreme hub, isolated vertices), and on property-generated
+//! random model IRs; plus the structural invariants of the edge-cut
+//! partitioner every exchange map is derived from.
+
+mod common;
+
+use common::{arb_steps, build_ir};
+use gnnopt::core::{compile, CompileOptions, ExecPolicy};
+use gnnopt::exec::{Bindings, EnvOverrides, Session, ShardStrategy, ShardedSession};
+use gnnopt::graph::{generators, EdgeList, Graph, Partition};
+use gnnopt::models::*;
+use gnnopt::tensor::Tensor;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn bindings_from(vals: &HashMap<String, Tensor>) -> Bindings {
+    let mut b = Bindings::new();
+    for (k, v) in vals {
+        b.insert(k, v.clone());
+    }
+    b
+}
+
+/// Runs training on the plain session and on a k-shard session and
+/// asserts exact bitwise agreement of outputs and gradients.
+#[allow(clippy::too_many_arguments)]
+fn assert_bit_identical(
+    name: &str,
+    ir: &gnnopt::core::IrGraph,
+    vals: &HashMap<String, Tensor>,
+    g: &Graph,
+    k: usize,
+    threads: usize,
+    fused: bool,
+    strategy: ShardStrategy,
+) {
+    let compiled = compile(ir, true, &CompileOptions::ours()).expect("compiles");
+    let b = bindings_from(vals);
+    let policy = ExecPolicy {
+        threads,
+        ..ExecPolicy::serial()
+    };
+
+    let mut plain = Session::builder(&compiled.plan, g)
+        .policy(policy)
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("plain session");
+    let ref_out = plain.forward(&b).expect("plain forward");
+    let seed = Tensor::ones(ref_out[0].shape());
+    let ref_grads = plain.backward(seed.clone()).expect("plain backward");
+
+    let mut sharded = ShardedSession::builder(&compiled.plan, g)
+        .shards(k)
+        .strategy(strategy)
+        .policy(policy)
+        .fused(fused)
+        .env(EnvOverrides::Off)
+        .build()
+        .expect("sharded session");
+    let out = sharded.forward(&b).expect("sharded forward");
+    let grads = sharded.backward(seed).expect("sharded backward");
+
+    assert_eq!(ref_out.len(), out.len());
+    for (i, (a, s)) in ref_out.iter().zip(&out).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            s.as_slice(),
+            "{name}: output {i} diverges at k={k} threads={threads} fused={fused}"
+        );
+    }
+    assert_eq!(ref_grads.len(), grads.len(), "{name}: grad key sets differ");
+    for (key, grad) in &ref_grads {
+        assert_eq!(
+            grad.as_slice(),
+            grads[key].as_slice(),
+            "{name}: grad '{key}' diverges at k={k} threads={threads} fused={fused}"
+        );
+    }
+}
+
+fn zoo() -> Vec<(&'static str, ModelSpec)> {
+    vec![
+        ("gcn", gcn(&GcnConfig::two_layer(6, 8, 3)).unwrap()),
+        (
+            "gat",
+            gat(&GatConfig {
+                in_dim: 5,
+                layers: vec![(2, 4)],
+                negative_slope: 0.2,
+                reorganized: false,
+            })
+            .unwrap(),
+        ),
+        ("sage-max", sage(&SageConfig::max_pool(5, vec![6])).unwrap()),
+        (
+            "gin",
+            gin(&GinConfig {
+                in_dim: 4,
+                layer_dims: vec![5, 3],
+                epsilon: 0.1,
+            })
+            .unwrap(),
+        ),
+        ("monet", monet(&MonetConfig::figure7(4, 3, 2, 2)).unwrap()),
+    ]
+}
+
+#[test]
+fn zoo_bit_identical_across_shard_counts() {
+    let g = Graph::from_edge_list(&generators::rmat(6, 6, 0.55, 0.2, 0.2, 17));
+    for (name, spec) in zoo() {
+        let vals = spec.init_values(&g, 23);
+        for k in [1, 2, 4] {
+            assert_bit_identical(name, &spec.ir, &vals, &g, k, 1, false, ShardStrategy::Bfs);
+        }
+        // One fused and one multi-threaded leg per model at k=2.
+        assert_bit_identical(name, &spec.ir, &vals, &g, 2, 1, true, ShardStrategy::Bfs);
+        assert_bit_identical(name, &spec.ir, &vals, &g, 2, 4, false, ShardStrategy::Bfs);
+    }
+}
+
+#[test]
+fn zoo_bit_identical_across_strategies() {
+    let g = Graph::from_edge_list(&generators::planted_partition(48, 4, 7.0, 0.8, 5));
+    for (name, spec) in zoo() {
+        let vals = spec.init_values(&g, 31);
+        for strategy in [
+            ShardStrategy::Bfs,
+            ShardStrategy::Contiguous,
+            ShardStrategy::Locality,
+        ] {
+            assert_bit_identical(name, &spec.ir, &vals, &g, 3, 1, false, strategy);
+        }
+    }
+}
+
+#[test]
+fn extreme_hub_and_isolated_vertices_bit_identical() {
+    // A star: one hub whose halo appears in every other shard; plus
+    // trailing isolated vertices that no edge touches (empty groups on
+    // every shard that owns some of them).
+    let mut pairs: Vec<(u32, u32)> = (1..25u32).map(|v| (v, 0)).collect();
+    pairs.extend((1..25u32).map(|v| (0, v)));
+    let g = Graph::from_edge_list(&EdgeList::from_pairs(32, &pairs));
+    for (name, spec) in [
+        ("gcn", gcn(&GcnConfig::two_layer(4, 5, 2)).unwrap()),
+        (
+            "gat",
+            gat(&GatConfig {
+                in_dim: 4,
+                layers: vec![(2, 3)],
+                negative_slope: 0.2,
+                reorganized: false,
+            })
+            .unwrap(),
+        ),
+        ("sage-max", sage(&SageConfig::max_pool(4, vec![4])).unwrap()),
+    ] {
+        let vals = spec.init_values(&g, 41);
+        for k in [2, 4] {
+            assert_bit_identical(name, &spec.ir, &vals, &g, k, 1, false, ShardStrategy::Bfs);
+        }
+    }
+}
+
+/// `GNNOPT_SHARDS` picks the shard count when the builder doesn't pin
+/// one — and whatever count it picks must stay bit-identical. Under the
+/// CI `GNNOPT_SHARDS=2` leg this test genuinely runs sharded; with the
+/// variable unset it pins the single-shard fast path.
+#[test]
+fn env_shard_count_is_honored() {
+    let g = Graph::from_edge_list(&generators::rmat(6, 6, 0.55, 0.2, 0.2, 29));
+    let expected = std::env::var("GNNOPT_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .clamp(1, g.num_vertices());
+    let spec = gcn(&GcnConfig::two_layer(5, 6, 3)).unwrap();
+    let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
+    let vals = spec.init_values(&g, 37);
+    let b = bindings_from(&vals);
+
+    let mut plain = Session::builder(&compiled.plan, &g)
+        .policy(ExecPolicy::serial())
+        .fused(false)
+        .env(EnvOverrides::Off)
+        .build()
+        .unwrap();
+    let ref_out = plain.forward(&b).unwrap();
+    let seed = Tensor::ones(ref_out[0].shape());
+    let ref_grads = plain.backward(seed.clone()).unwrap();
+
+    // No .shards() pin: the count comes from the environment (Loud).
+    let mut sharded = ShardedSession::builder(&compiled.plan, &g)
+        .policy(ExecPolicy::serial())
+        .fused(false)
+        .build()
+        .unwrap();
+    assert_eq!(sharded.num_shards(), expected, "GNNOPT_SHARDS not honored");
+    let out = sharded.forward(&b).unwrap();
+    let grads = sharded.backward(seed).unwrap();
+    for (a, s) in ref_out.iter().zip(&out) {
+        assert_eq!(a.as_slice(), s.as_slice());
+    }
+    for (key, grad) in &ref_grads {
+        assert_eq!(grad.as_slice(), grads[key].as_slice(), "grad '{key}'");
+    }
+}
+
+/// Arbitrary multigraphs with isolated trailing vertices, as in the
+/// cross-preset property suite.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..24, 0usize..4).prop_flat_map(|(n, iso)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..70)
+            .prop_map(move |pairs| Graph::from_edge_list(&EdgeList::from_pairs(n + iso, &pairs)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partition invariants: every vertex lands in exactly one shard,
+    /// shard sizes tile the vertex set, no shard is empty when it could
+    /// be non-empty, and the cut-edge count equals a direct recount.
+    #[test]
+    fn partition_invariants(g in arb_graph(), k in 1usize..6) {
+        let n = g.num_vertices();
+        for part in [
+            Partition::edge_cut_bfs(&g, k),
+            Partition::contiguous(&g, k),
+        ] {
+            let ks = part.num_shards();
+            prop_assert!(ks >= 1 && ks <= n.max(1));
+            // Exactly-one-shard membership: owner() is total and the
+            // per-shard sizes recount it.
+            let mut sizes = vec![0usize; ks];
+            for v in 0..n {
+                let s = part.owner_of(v);
+                prop_assert!(s < ks, "owner out of range");
+                sizes[s] += 1;
+            }
+            prop_assert_eq!(&sizes, &part.shard_sizes());
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+            if n >= ks {
+                prop_assert!(sizes.iter().all(|&c| c > 0), "empty shard with n >= k");
+            }
+            // Cut edges: direct recount over the edge list.
+            let recount = (0..g.num_edges())
+                .filter(|&e| part.owner_of(g.src(e)) != part.owner_of(g.dst(e)))
+                .count() as u64;
+            prop_assert_eq!(part.cut_edges(&g), recount);
+        }
+    }
+
+    /// Shard summaries are consistent with the partition: owned counts
+    /// tile |V|, local edges cover every edge at least once, and halo
+    /// rows only ever name non-owned local vertices.
+    #[test]
+    fn shard_summaries_consistent(g in arb_graph(), k in 2usize..5) {
+        let spec = gcn(&GcnConfig::two_layer(3, 4, 2)).unwrap();
+        let compiled = compile(&spec.ir, true, &CompileOptions::ours()).unwrap();
+        let sharded = ShardedSession::builder(&compiled.plan, &g)
+            .shards(k)
+            .policy(ExecPolicy::serial())
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let sums = sharded.shard_summaries();
+        prop_assert_eq!(sums.len(), sharded.num_shards());
+        prop_assert_eq!(
+            sums.iter().map(|s| s.owned_vertices).sum::<usize>(),
+            g.num_vertices()
+        );
+        for s in &sums {
+            prop_assert!(s.num_vertices >= s.owned_vertices);
+            prop_assert!(s.halo_rows <= s.num_vertices - s.owned_vertices,
+                "halo rows must be non-owned local vertices");
+            prop_assert!(s.arena_bytes > 0);
+        }
+        // Every edge lives in at least the shard owning its destination.
+        prop_assert!(sums.iter().map(|s| s.num_edges).sum::<usize>() >= g.num_edges());
+    }
+
+    /// The strongest form: property-generated model IRs (scatter /
+    /// softmax / max-gather / linear chains) stay bit-identical under
+    /// sharding — outputs and every parameter gradient.
+    #[test]
+    fn random_ir_bit_identical(
+        steps in arb_steps(),
+        g in arb_graph(),
+        seed in 0u64..500,
+        k in 2usize..5,
+        fused_bit in 0u8..2,
+    ) {
+        let fused = fused_bit == 1;
+        let ir = build_ir(&steps, 3);
+        let compiled = compile(&ir, true, &CompileOptions::ours()).expect("compiles");
+        let mut vals = HashMap::new();
+        vals.insert(
+            "h".to_string(),
+            Tensor::from_fn(&[g.num_vertices(), 3], |i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f32 - 48.0) * 0.021
+            }),
+        );
+        vals.insert(
+            "ew".to_string(),
+            Tensor::from_fn(&[g.num_edges(), 3], |i| {
+                (((i as u64).wrapping_mul(40503).wrapping_add(seed) % 89) as f32 - 44.0) * 0.017
+            }),
+        );
+        for n in compiled.plan.ir.nodes() {
+            if n.kind == gnnopt::core::OpKind::Param {
+                vals.insert(
+                    n.name.clone(),
+                    Tensor::from_fn(&[n.dim.heads, n.dim.feat], |i| {
+                        (((i as u64).wrapping_mul(69069).wrapping_add(seed) % 83) as f32 - 41.0) * 0.019
+                    }),
+                );
+            }
+        }
+        let b = bindings_from(&vals);
+
+        let mut plain = Session::builder(&compiled.plan, &g)
+            .policy(ExecPolicy::serial())
+            .fused(fused)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let ref_out = plain.forward(&b).unwrap();
+        let seed_t = Tensor::ones(ref_out[0].shape());
+        let ref_grads = plain.backward(seed_t.clone()).unwrap();
+
+        let mut sharded = ShardedSession::builder(&compiled.plan, &g)
+            .shards(k)
+            .policy(ExecPolicy::serial())
+            .fused(fused)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let out = sharded.forward(&b).unwrap();
+        let grads = sharded.backward(seed_t).unwrap();
+
+        for (a, s) in ref_out.iter().zip(&out) {
+            prop_assert_eq!(a.as_slice(), s.as_slice(), "forward outputs diverge");
+        }
+        prop_assert_eq!(ref_grads.len(), grads.len());
+        for (key, grad) in &ref_grads {
+            prop_assert_eq!(grad.as_slice(), grads[key].as_slice(), "grad '{}' diverges", key);
+        }
+    }
+}

@@ -128,4 +128,62 @@ fn warm_step_allocates_nothing_with_arena_on() {
              (heap path allocated {without} times)"
         );
     }
+
+    two_concurrent_sessions_stay_zero_alloc(&g);
+}
+
+/// Buffer pools are per-session (owned by the [`Session`]), not a
+/// process-global: two sessions on *different* models, stepping
+/// **concurrently** on separate threads, must each stay zero-allocation
+/// once warmed — neither can steal or miss buffers because of the
+/// other. Run from the single `#[test]` above so the measured window
+/// stays free of test-harness allocations.
+fn two_concurrent_sessions_stay_zero_alloc(g: &Graph) {
+    use std::sync::Barrier;
+
+    let specs = specs();
+    let compiled: Vec<_> = specs
+        .iter()
+        .map(|(_, spec)| compile(&spec.ir, true, &CompileOptions::ours()).unwrap())
+        .collect();
+    // Barrier phases: [0] both warmed → [1] window opens → [2] steps done.
+    let barrier = Barrier::new(3);
+    let before = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for ((name, spec), compiled) in specs.iter().zip(&compiled).take(2) {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut b = Bindings::new();
+                for (k, v) in spec.init_values(g, 13) {
+                    b.insert(&k, v.clone());
+                }
+                let mut sess = Session::builder(&compiled.plan, g)
+                    .policy(ExecPolicy::serial())
+                    .fused(false)
+                    .arena(true)
+                    .env(EnvOverrides::Off)
+                    .build()
+                    .unwrap();
+                let out = sess.forward(&b).unwrap();
+                let seed = Tensor::ones(out[0].shape());
+                sess.step(&b, &seed).unwrap(); // warmup
+                let _ = name;
+                barrier.wait(); // [0] warmed
+                barrier.wait(); // [1] window open
+                sess.step(&b, &seed).unwrap();
+                barrier.wait(); // [2] steps done
+            });
+        }
+        barrier.wait(); // [0]
+        before.store(ALLOCS.load(Ordering::SeqCst), Ordering::SeqCst);
+        barrier.wait(); // [1]
+        barrier.wait(); // [2]
+    });
+    let delta = ALLOCS.load(Ordering::SeqCst) - before.load(Ordering::SeqCst);
+    eprintln!("two concurrent sessions: allocations during both steps: {delta}");
+    assert_eq!(
+        delta, 0,
+        "two warmed sessions stepping concurrently must not allocate \
+         (per-session pools must not interfere)"
+    );
 }
