@@ -138,6 +138,13 @@ pub struct ExecPolicy {
     /// results are identical for every `threads` value; hub rows merely
     /// become schedulable across workers instead of serializing one.
     pub heavy_row_degree: usize,
+    /// Scan every kernel output for non-finite values, localizing the
+    /// first one to `(kernel, node, row, col)` as a typed error
+    /// instead of letting a NaN surface as garbage loss epochs later.
+    /// One streaming pass per output; off by default so warmed steps
+    /// stay allocation- and scan-free. Overridable per process with
+    /// `GNNOPT_GUARD=0|1` (see `gnnopt-exec`).
+    pub guard: bool,
 }
 
 impl ExecPolicy {
@@ -173,6 +180,7 @@ impl ExecPolicy {
             gemm: GemmKernel::default(),
             fused: false,
             heavy_row_degree: Self::DEFAULT_HEAVY_ROW_DEGREE,
+            guard: false,
         }
     }
 
@@ -224,6 +232,11 @@ impl ExecPolicy {
             heavy_row_degree,
             ..self
         }
+    }
+
+    /// The same policy with the per-kernel numeric guard toggled.
+    pub fn with_guard(self, guard: bool) -> Self {
+        Self { guard, ..self }
     }
 
     /// True when this policy requests auto-detection.
@@ -289,8 +302,11 @@ mod tests {
             .grouped()
             .with_gemm(GemmKernel::Naive)
             .with_fused(true)
-            .with_heavy_row_degree(64);
+            .with_heavy_row_degree(64)
+            .with_guard(true);
         assert_eq!(p.threads, 2);
+        assert!(p.guard);
+        assert!(!ExecPolicy::auto().guard, "guard defaults off");
         assert_eq!(p.reorder, ReorderPolicy::Rcm);
         assert!(p.group_workers);
         assert_eq!(p.gemm, GemmKernel::Naive);

@@ -51,6 +51,14 @@ pub mod reorg;
 pub mod tune;
 pub mod view;
 
+/// Deterministic fault injection (failpoints): named sites across the
+/// runtime armed via `GNNOPT_FAILPOINTS`, zero-cost when unset. The
+/// machinery physically lives in `gnnopt_tensor::fault` (the buffer
+/// pool, at the bottom of the crate stack, hosts a failpoint site) and
+/// is re-exported here as the canonical path. See the module docs for
+/// the spec grammar, the wired sites, and the determinism contract.
+pub use gnnopt_tensor::fault;
+
 pub use exec_policy::{ExecPolicy, GemmKernel, ReorderPolicy};
 pub use ir::{IrError, IrGraph, Node, Phase};
 pub use lower::{KernelProgram, ProgramStep, Storage};

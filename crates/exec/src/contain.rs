@@ -1,0 +1,108 @@
+//! Panic containment for scoped kernel workers.
+//!
+//! `std::thread::scope` re-raises a child panic on the joining thread
+//! with a generic payload ("a scoped thread panicked"), losing the
+//! original message and unwinding straight out of the step. Every
+//! worker body spawned by this crate therefore runs under
+//! [`WorkerGuard::run`]: the first panic's payload is captured, the
+//! remaining workers drain normally, and [`WorkerGuard::rethrow`]
+//! re-raises a single [`ContainedPanic`] on the spawning thread after
+//! the scope has joined. `Session::exec_kernel` catches it once at
+//! kernel dispatch, translates it into `ExecError::KernelPanic`, and
+//! poisons the session.
+//!
+//! The guard also hosts the `worker` failpoint (`GNNOPT_FAILPOINTS`):
+//! any armed action at that site is treated as an injected worker
+//! panic — the worker body is skipped and a synthetic payload is
+//! recorded, without actually unwinding (so chaos tests stay quiet).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use gnnopt_tensor::fault;
+
+/// Wrapper payload for a panic that was contained in a worker and is
+/// being re-raised on the spawning thread.
+pub(crate) struct ContainedPanic(pub String);
+
+/// Captures the first panic among a scope's workers.
+#[derive(Default)]
+pub(crate) struct WorkerGuard {
+    first: Mutex<Option<String>>,
+}
+
+impl WorkerGuard {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one worker body, recording a panic instead of letting it
+    /// tear down the scope.
+    pub fn run(&self, f: impl FnOnce()) {
+        if fault::check("worker").is_some() {
+            self.record(fault::injected_panic_message("worker"));
+            return;
+        }
+        if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+            self.record(payload_str(p.as_ref()));
+        }
+    }
+
+    fn record(&self, payload: String) {
+        let mut slot = self.first.lock().unwrap_or_else(|p| p.into_inner());
+        slot.get_or_insert(payload);
+    }
+
+    /// Re-raises the first recorded panic (if any); call after the
+    /// scope has joined so no worker is abandoned mid-write.
+    pub fn rethrow(self) {
+        let payload = self.first.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(p) = payload {
+            std::panic::panic_any(ContainedPanic(p));
+        }
+    }
+}
+
+/// Best-effort string form of a panic payload.
+pub(crate) fn payload_str(p: &(dyn Any + Send)) -> String {
+    if let Some(c) = p.downcast_ref::<ContainedPanic>() {
+        c.0.clone()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_first_panic_and_rethrows_contained() {
+        let wg = WorkerGuard::new();
+        wg.run(|| {});
+        wg.run(|| panic!("worker {} died", 3));
+        wg.run(|| panic!("second panic is dropped"));
+        let err = catch_unwind(AssertUnwindSafe(|| wg.rethrow())).unwrap_err();
+        assert_eq!(payload_str(err.as_ref()), "worker 3 died");
+    }
+
+    #[test]
+    fn clean_scope_rethrows_nothing() {
+        let wg = WorkerGuard::new();
+        wg.run(|| {});
+        wg.rethrow(); // must not panic
+    }
+
+    #[test]
+    fn payloads_stringify() {
+        assert_eq!(payload_str(&ContainedPanic("x".into())), "x");
+        assert_eq!(payload_str(&"s"), "s");
+        assert_eq!(payload_str(&String::from("t")), "t");
+        assert_eq!(payload_str(&42_u32), "non-string panic payload");
+    }
+}

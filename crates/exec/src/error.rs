@@ -30,6 +30,38 @@ pub enum ExecError {
     Tensor(TensorError),
     /// Underlying IR error.
     Ir(IrError),
+    /// A worker panicked inside a kernel; the panic was contained at
+    /// kernel dispatch and the session is now poisoned.
+    KernelPanic {
+        /// Human-readable label of the kernel that panicked.
+        kernel: String,
+        /// Stringified panic payload of the first panicking worker.
+        payload: String,
+    },
+    /// The numeric guard (`GNNOPT_GUARD=1`) found a non-finite value in
+    /// a kernel output, localized to the first offending element.
+    NonFinite {
+        /// Kernel that produced the value.
+        kernel: String,
+        /// IR node whose output contains the value.
+        node: String,
+        /// Row of the first non-finite element.
+        row: usize,
+        /// Column of the first non-finite element.
+        col: usize,
+    },
+    /// The session was poisoned by an earlier contained panic and can
+    /// no longer run steps; rebuild it from the same plan.
+    Poisoned(String),
+    /// A failpoint (`GNNOPT_FAILPOINTS`) injected this error.
+    Injected {
+        /// Failpoint site that fired.
+        site: String,
+    },
+    /// A halo exchange between shards failed validation.
+    Exchange(String),
+    /// The input graph failed structural validation.
+    Graph(String),
 }
 
 impl fmt::Display for ExecError {
@@ -52,6 +84,26 @@ impl fmt::Display for ExecError {
             ExecError::Policy(msg) => write!(f, "execution policy error: {msg}"),
             ExecError::Tensor(e) => write!(f, "tensor error: {e}"),
             ExecError::Ir(e) => write!(f, "ir error: {e}"),
+            ExecError::KernelPanic { kernel, payload } => {
+                write!(f, "kernel '{kernel}' panicked (session poisoned): {payload}")
+            }
+            ExecError::NonFinite {
+                kernel,
+                node,
+                row,
+                col,
+            } => write!(
+                f,
+                "non-finite value in output of node '{node}' (kernel '{kernel}') at row {row}, col {col}"
+            ),
+            ExecError::Poisoned(msg) => {
+                write!(f, "session poisoned by an earlier kernel panic: {msg}")
+            }
+            ExecError::Injected { site } => {
+                write!(f, "injected fault: error at failpoint '{site}'")
+            }
+            ExecError::Exchange(msg) => write!(f, "halo exchange error: {msg}"),
+            ExecError::Graph(msg) => write!(f, "graph validation error: {msg}"),
         }
     }
 }
@@ -92,5 +144,30 @@ mod tests {
     fn send_sync() {
         fn check<T: Send + Sync>() {}
         check::<ExecError>();
+    }
+
+    #[test]
+    fn fault_variants_localize() {
+        let e = ExecError::NonFinite {
+            kernel: "K0 gather".into(),
+            node: "v3".into(),
+            row: 7,
+            col: 2,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("K0 gather") && s.contains("v3") && s.contains("row 7"),
+            "{s}"
+        );
+        let p = ExecError::KernelPanic {
+            kernel: "K1".into(),
+            payload: "boom".into(),
+        };
+        assert!(p.to_string().contains("poisoned"), "{p}");
+        assert!(ExecError::Injected {
+            site: "refexec".into()
+        }
+        .to_string()
+        .contains("refexec"));
     }
 }

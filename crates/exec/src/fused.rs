@@ -52,7 +52,7 @@ use crate::kernels::{
     chunk_bounds, plan_threads, reduce_row_mean, reduce_row_sum, split_rows, vertex_bounds,
     NO_ARGMAX,
 };
-use crate::{ExecError, Result};
+use crate::{contain, ExecError, Result};
 use gnnopt_core::lower::{KernelProgram, StepExec, Storage};
 use gnnopt_core::{
     Dim, EdgeGroup, ExecPolicy, IrGraph, Node, NodeId, OpKind, ReduceFn, ScatterFn, Space,
@@ -623,12 +623,15 @@ fn run_streamed_gather(
     } else {
         let bounds = vertex_bounds(policy, adj.indptr(), threads);
         let chunks = split_rows(out.as_mut_slice(), total, &bounds);
+        let wg = contain::WorkerGuard::new();
         std::thread::scope(|s| {
             for (w, chunk) in bounds.windows(2).zip(chunks) {
                 let run = &run;
-                s.spawn(move || run(w[0]..w[1], chunk));
+                let wg = &wg;
+                s.spawn(move || wg.run(|| run(w[0]..w[1], chunk)));
             }
         });
+        wg.rethrow();
     }
     out
 }
@@ -774,6 +777,19 @@ pub(crate) fn run_program(
     aux_argmax: &HashMap<NodeId, Vec<u32>>,
     evict: Option<&[NodeId]>,
 ) -> Result<ProgramResult> {
+    if let Some(action) = gnnopt_tensor::fault::check("fused.launch") {
+        use gnnopt_tensor::fault::FaultAction;
+        match action {
+            FaultAction::Panic => {
+                std::panic::panic_any(gnnopt_tensor::fault::injected_panic_message("fused.launch"))
+            }
+            _ => {
+                return Err(ExecError::Injected {
+                    site: "fused.launch".into(),
+                })
+            }
+        }
+    }
     let n = g.num_vertices();
     let m = g.num_edges();
     let indptr = g.in_adj().indptr();
@@ -1344,13 +1360,16 @@ pub(crate) fn run_program(
                     run_worker(0..num_tiles, s);
                 }
             } else {
+                let wg = contain::WorkerGuard::new();
                 std::thread::scope(|scope| {
                     for (w, s) in sinks.into_iter().enumerate() {
                         let run_worker = &run_worker;
+                        let wg = &wg;
                         let range = wt[w]..wt[w + 1];
-                        scope.spawn(move || run_worker(range, s));
+                        scope.spawn(move || wg.run(|| run_worker(range, s)));
                     }
                 });
+                wg.rethrow();
             }
 
             // Restore the segment's tensors for later segments to read.

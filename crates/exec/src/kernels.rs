@@ -87,6 +87,7 @@
 //! module's tests and exercised by the property suites, whose graph
 //! generators emit isolated vertices on purpose.
 
+use crate::contain;
 use gnnopt_core::{BinaryFn, Dim, EdgeGroup, ExecPolicy, ReduceFn, ScatterFn, UnaryFn};
 use gnnopt_graph::Graph;
 use gnnopt_tensor::{pool, rowops, Tensor};
@@ -243,16 +244,21 @@ where
     } else {
         let bounds = chunk_bounds(nchunks, threads);
         let worker_parts = split_rows(&mut partials, cols, &bounds);
+        let wg = contain::WorkerGuard::new();
         std::thread::scope(|s| {
             for (w, part) in bounds.windows(2).zip(worker_parts) {
                 let body = &body;
+                let wg = &wg;
                 s.spawn(move || {
-                    for (i, partial) in part.chunks_mut(cols).enumerate() {
-                        body(chunk_range(w[0] + i), partial);
-                    }
+                    wg.run(|| {
+                        for (i, partial) in part.chunks_mut(cols).enumerate() {
+                            body(chunk_range(w[0] + i), partial);
+                        }
+                    })
                 });
             }
         });
+        wg.rethrow();
     }
     for partial in partials.chunks(cols.max(1)) {
         rowops::add_assign(out, partial);
@@ -291,12 +297,15 @@ where
     }
     let bounds = chunk_bounds(rows, threads);
     let chunks = split_rows(out, cols, &bounds);
+    let wg = contain::WorkerGuard::new();
     std::thread::scope(|s| {
         for (w, chunk) in bounds.windows(2).zip(chunks) {
             let body = &body;
-            s.spawn(move || body(w[0]..w[1], chunk));
+            let wg = &wg;
+            s.spawn(move || wg.run(|| body(w[0]..w[1], chunk)));
         }
     });
+    wg.rethrow();
 }
 
 /// Runs `body(vertex_range, edge_rows_chunk)` over disjoint destination
@@ -318,12 +327,15 @@ where
     let bounds = vertex_bounds(policy, indptr, threads);
     let ebounds: Vec<usize> = bounds.iter().map(|&v| indptr[v]).collect();
     let chunks = split_rows(out, cols, &ebounds);
+    let wg = contain::WorkerGuard::new();
     std::thread::scope(|s| {
         for (w, chunk) in bounds.windows(2).zip(chunks) {
             let body = &body;
-            s.spawn(move || body(w[0]..w[1], chunk));
+            let wg = &wg;
+            s.spawn(move || wg.run(|| body(w[0]..w[1], chunk)));
         }
     });
+    wg.rethrow();
 }
 
 /// `Scatter`: per-edge combination of endpoint features (row-partitioned).
@@ -514,12 +526,15 @@ pub fn gather(
     } else {
         let bounds = vertex_bounds(policy, adj.indptr(), threads);
         let chunks = split_rows(out.as_mut_slice(), total, &bounds);
+        let wg = contain::WorkerGuard::new();
         std::thread::scope(|s| {
             for (w, chunk) in bounds.windows(2).zip(chunks) {
                 let run = &run;
-                s.spawn(move || run(w[0]..w[1], chunk));
+                let wg = &wg;
+                s.spawn(move || wg.run(|| run(w[0]..w[1], chunk)));
             }
         });
+        wg.rethrow();
     }
     if split_heavy {
         // Phase 2: every heavy row's fixed-length chunks, flattened into
@@ -535,33 +550,38 @@ pub fn gather(
         let mut partials = vec![0.0f32; tasks.len() * total];
         let bounds = chunk_bounds(tasks.len(), threads);
         let parts = split_rows(&mut partials, total, &bounds);
+        let wg = contain::WorkerGuard::new();
         std::thread::scope(|s| {
             for (w, part) in bounds.windows(2).zip(parts) {
                 let tasks = &tasks;
+                let wg = &wg;
                 s.spawn(move || {
-                    for (i, &(v, ci)) in tasks[w[0]..w[1]].iter().enumerate() {
-                        let deg = adj.degree(v);
-                        let ids =
-                            &adj.edge_ids(v)[ci * chunk_edges..((ci + 1) * chunk_edges).min(deg)];
-                        let partial = &mut part[i * total..(i + 1) * total];
-                        match reduce {
-                            ReduceFn::Sum => {
-                                for &e in ids {
-                                    rowops::add_assign(partial, x.row(e as usize));
+                    wg.run(|| {
+                        for (i, &(v, ci)) in tasks[w[0]..w[1]].iter().enumerate() {
+                            let deg = adj.degree(v);
+                            let ids = &adj.edge_ids(v)
+                                [ci * chunk_edges..((ci + 1) * chunk_edges).min(deg)];
+                            let partial = &mut part[i * total..(i + 1) * total];
+                            match reduce {
+                                ReduceFn::Sum => {
+                                    for &e in ids {
+                                        rowops::add_assign(partial, x.row(e as usize));
+                                    }
                                 }
-                            }
-                            ReduceFn::Mean => {
-                                let inv = 1.0 / deg as f32;
-                                for &e in ids {
-                                    rowops::axpy(partial, inv, x.row(e as usize));
+                                ReduceFn::Mean => {
+                                    let inv = 1.0 / deg as f32;
+                                    for &e in ids {
+                                        rowops::axpy(partial, inv, x.row(e as usize));
+                                    }
                                 }
+                                ReduceFn::Max => unreachable!("handled above"),
                             }
-                            ReduceFn::Max => unreachable!("handled above"),
                         }
-                    }
+                    })
                 });
             }
         });
+        wg.rethrow();
         for (i, &(v, _)) in tasks.iter().enumerate() {
             rowops::add_assign(out.row_mut(v), &partials[i * total..(i + 1) * total]);
         }
@@ -631,12 +651,15 @@ fn gather_max(
         let bounds = chunk_bounds(n, threads);
         let out_chunks = split_rows(out, total, &bounds);
         let am_chunks = split_rows(&mut argmax, total, &bounds);
+        let wg = contain::WorkerGuard::new();
         std::thread::scope(|s| {
             for ((w, oc), ac) in bounds.windows(2).zip(out_chunks).zip(am_chunks) {
                 let run = &run;
-                s.spawn(move || run(w[0]..w[1], oc, ac));
+                let wg = &wg;
+                s.spawn(move || wg.run(|| run(w[0]..w[1], oc, ac)));
             }
         });
+        wg.rethrow();
     }
     argmax
 }
@@ -766,12 +789,15 @@ pub fn edge_softmax(policy: &ExecPolicy, g: &Graph, x: &Tensor) -> (Tensor, Tens
         let m_chunks = split_rows(maxes.as_mut_slice(), total, &bounds);
         let d_chunks = split_rows(denom.as_mut_slice(), total, &bounds);
         let y_chunks = split_rows(y.as_mut_slice(), total, &ebounds);
+        let wg = contain::WorkerGuard::new();
         std::thread::scope(|s| {
             for (((w, mc), dc), yc) in bounds.windows(2).zip(m_chunks).zip(d_chunks).zip(y_chunks) {
                 let run = &run;
-                s.spawn(move || run(w[0]..w[1], mc, dc, yc));
+                let wg = &wg;
+                s.spawn(move || wg.run(|| run(w[0]..w[1], mc, dc, yc)));
             }
         });
+        wg.rethrow();
     }
     (y, maxes, denom)
 }

@@ -98,6 +98,7 @@
 //! # }
 //! ```
 
+mod contain;
 mod error;
 mod fused;
 pub mod kernels;

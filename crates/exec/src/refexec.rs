@@ -48,14 +48,44 @@ pub(crate) enum AuxOut {
 ///
 /// `inputs` are the node's operands in IR input order.
 ///
+/// Hosts the `refexec` failpoint (`GNNOPT_FAILPOINTS`): `panic` unwinds
+/// with an injected payload (contained at kernel dispatch), `nan` runs
+/// the op then stamps `f32::NAN` on the first output element (for guard
+/// tests), and every other action returns [`ExecError::Injected`].
+///
 /// # Errors
 ///
 /// Returns [`ExecError::ValueNotLive`] for leaves (they are bound, never
 /// executed) and for a [`OpKind::GatherMaxBwd`] called without its
 /// forward argmax table; tensor-shape violations surface as
 /// [`ExecError::Tensor`].
-#[allow(clippy::too_many_lines)]
 pub(crate) fn exec_op(
+    pol: &ExecPolicy,
+    g: &Graph,
+    ir: &IrGraph,
+    node: &Node,
+    inputs: &[&Tensor],
+    aux: AuxIn<'_>,
+) -> Result<(Tensor, AuxOut)> {
+    use gnnopt_tensor::fault::{self, FaultAction};
+    match fault::check("refexec") {
+        None => exec_op_inner(pol, g, ir, node, inputs, aux),
+        Some(FaultAction::Panic) => std::panic::panic_any(fault::injected_panic_message("refexec")),
+        Some(FaultAction::Nan) => {
+            let (mut t, aux_out) = exec_op_inner(pol, g, ir, node, inputs, aux)?;
+            if let Some(v) = t.as_mut_slice().first_mut() {
+                *v = f32::NAN;
+            }
+            Ok((t, aux_out))
+        }
+        Some(_) => Err(ExecError::Injected {
+            site: "refexec".into(),
+        }),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_op_inner(
     pol: &ExecPolicy,
     g: &Graph,
     ir: &IrGraph,

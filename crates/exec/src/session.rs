@@ -35,8 +35,9 @@
 //! more.) The free-floating `fused: bool` of the old API now lives in
 //! [`ExecPolicy::fused`]; `CompileOptions::fused_exec` is gone.
 
-use crate::{fused, kernels, refexec};
+use crate::{contain, fused, kernels, refexec};
 use crate::{ExecError, Result};
+use gnnopt_core::fault;
 use gnnopt_core::memplan::{self, MemoryPlan};
 use gnnopt_core::{ExecPolicy, ExecutionPlan, Node, NodeId, OpKind, Phase, ReorderPolicy, Space};
 use gnnopt_graph::{EdgeList, Graph};
@@ -128,6 +129,16 @@ pub struct RunStats {
     pub cut_edges: u64,
     /// Individual exchange operations performed during the step.
     pub halo_exchanges: u64,
+    /// Buffer-pool misses during the step: requests the warmed pool
+    /// could not serve, degraded to plain heap allocations (graceful
+    /// degradation under arena exhaustion, real or injected). Warmed
+    /// steady-state steps report `0` — the CI allocation gate depends
+    /// on it.
+    pub fallback_allocs: u64,
+    /// Training steps the [`gnnopt_train`] trainer discarded and
+    /// retried after the numeric guard reported a non-finite gradient
+    /// (`0` unless the trainer's retry policy is enabled).
+    pub nonfinite_retries: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +193,44 @@ pub(crate) fn gemm_env() -> std::result::Result<Option<gnnopt_core::GemmKernel>,
     gnnopt_core::GemmKernel::env()
 }
 
+/// Parses the `GNNOPT_GUARD` override (per-kernel non-finite output
+/// scanning): `Ok(None)` when unset, `Ok(Some(_))` on `0`/`1` (and the
+/// usual boolean spellings), `Err` on anything else.
+pub(crate) fn guard_env() -> std::result::Result<Option<bool>, String> {
+    match std::env::var("GNNOPT_GUARD") {
+        Err(_) => Ok(None),
+        Ok(s) => match s.trim() {
+            "0" | "false" | "off" => Ok(Some(false)),
+            "1" | "true" | "on" => Ok(Some(true)),
+            other => Err(format!("GNNOPT_GUARD must be 0 or 1, got '{other}'")),
+        },
+    }
+}
+
+/// Scans one kernel output for the numeric guard: finds the first
+/// non-finite element of `t` (one streaming pass, no allocation unless
+/// it fails) and localizes it as [`ExecError::NonFinite`]. `kernel` is
+/// built lazily so the all-finite path never formats a label. Shared by
+/// the plain session and the sharded driver's split/global node paths.
+pub(crate) fn scan_nonfinite(
+    t: &Tensor,
+    node: &str,
+    kernel: impl FnOnce() -> String,
+) -> Result<()> {
+    match gnnopt_tensor::rowops::first_nonfinite(t.as_slice()) {
+        None => Ok(()),
+        Some(i) => {
+            let cols = t.cols().max(1);
+            Err(ExecError::NonFinite {
+                kernel: kernel(),
+                node: node.to_string(),
+                row: i / cols,
+                col: i % cols,
+            })
+        }
+    }
+}
+
 /// The session's one-time reordering preprocessing: the permuted graph
 /// plus the vertex/edge bijections that keep the relabeling invisible to
 /// callers.
@@ -207,25 +256,34 @@ impl ReorderState {
     /// candidate and kept the caller's order — alongside the state
     /// (`None` when the request is `None`, the graph is empty, or the
     /// caller's order won).
-    fn build(graph: &Graph, request: ReorderPolicy) -> (f64, Option<Self>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Graph`] when a strategy produces a broken
+    /// canonical-edge-id map (a reorder-crate bug, reported instead of
+    /// panicking so a session build can never abort the process).
+    fn build(graph: &Graph, request: ReorderPolicy) -> Result<(f64, Option<Self>)> {
         if request == ReorderPolicy::None || graph.num_vertices() == 0 {
-            return (0.0, None);
+            return Ok((0.0, None));
         }
         let t0 = Instant::now();
         let el = graph.edge_list();
         let Some((strategy, perm)) = Self::resolve(request, &el) else {
-            return (t0.elapsed().as_secs_f64(), None);
+            return Ok((t0.elapsed().as_secs_f64(), None));
         };
         let (permuted, edge_map) = perm.apply_to_graph(graph);
-        let edge = Permutation::from_new_of_old(edge_map)
-            .expect("the canonical-edge-id map is a bijection");
+        let edge = Permutation::from_new_of_old(edge_map).map_err(|e| {
+            ExecError::Graph(format!(
+                "reorder strategy {strategy:?} produced a broken canonical-edge-id map: {e}"
+            ))
+        })?;
         let state = Self {
             graph: permuted,
             vertex: perm,
             edge,
             strategy,
         };
-        (t0.elapsed().as_secs_f64(), Some(state))
+        Ok((t0.elapsed().as_secs_f64(), Some(state)))
     }
 
     /// Maps a policy to its permutation; `Auto` scores every candidate by
@@ -253,7 +311,11 @@ impl ReorderState {
                 let mut best: Option<(R, Permutation)> = None;
                 let mut best_gap = locality::report(el).mean_gap; // identity
                 for s in [R::DegreeSort, R::Bfs, R::Rcm, R::Cluster] {
-                    let (_, p) = Self::resolve(s, el).expect("concrete strategy resolves");
+                    // Concrete strategies always resolve; skip defensively
+                    // rather than panic if that ever changes.
+                    let Some((_, p)) = Self::resolve(s, el) else {
+                        continue;
+                    };
                     let gap = locality::report(&p.apply_to_edges(el)).mean_gap;
                     if gap < best_gap {
                         best_gap = gap;
@@ -362,6 +424,15 @@ pub struct Session<'a> {
     /// session frees the parked buffers with it.
     pool: pool::Pool,
     state: State,
+    /// Set when a contained kernel panic left the step half-executed:
+    /// the value store may hold partial results, so every subsequent
+    /// `begin_*` refuses with [`ExecError::Poisoned`]. The pool itself
+    /// stays consistent (workers drained before the panic re-raised),
+    /// so the session can still be dropped or trimmed safely.
+    poisoned: Option<String>,
+    /// Pool-miss counter at `begin_forward`, so the step's
+    /// [`RunStats::fallback_allocs`] reports only this step's misses.
+    fallback_base: u64,
     live_bytes: u64,
     peak_bytes: u64,
     stats: RunStats,
@@ -442,13 +513,17 @@ impl<'a> SessionBuilder<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError::Protocol`] on duplicate leaf names, and —
-    /// under [`EnvOverrides::Loud`] only — [`ExecError::Policy`] when
+    /// Returns [`ExecError::Protocol`] on duplicate leaf names,
+    /// [`ExecError::Graph`] when the input graph fails structural
+    /// validation ([`Graph::validate`]), and — under
+    /// [`EnvOverrides::Loud`] only — [`ExecError::Policy`] when
     /// `GNNOPT_THREADS` is set to something other than a positive
-    /// integer, `GNNOPT_FUSED` or `GNNOPT_ARENA` to something other than
-    /// `0`/`1`, `GNNOPT_REORDER` to something other than a known
-    /// strategy (`0`/`none`, `degree`, `bfs`, `rcm`, `cluster`, `auto`),
-    /// or `GNNOPT_GEMM` to something other than `naive`/`blocked`.
+    /// integer, `GNNOPT_FUSED`, `GNNOPT_ARENA` or `GNNOPT_GUARD` to
+    /// something other than `0`/`1`, `GNNOPT_REORDER` to something
+    /// other than a known strategy (`0`/`none`, `degree`, `bfs`, `rcm`,
+    /// `cluster`, `auto`), `GNNOPT_GEMM` to something other than
+    /// `naive`/`blocked`, or `GNNOPT_FAILPOINTS` to an unparseable
+    /// failpoint spec.
     pub fn build(self) -> Result<Session<'a>> {
         let mut policy = self.policy.unwrap_or(self.plan.exec);
         let mut env_fused = None;
@@ -477,7 +552,14 @@ impl<'a> SessionBuilder<'a> {
             env_arena = apply(arena_env(), loud)?;
             policy.reorder = apply(reorder_env(), loud)?.unwrap_or(policy.reorder);
             policy.gemm = apply(gemm_env(), loud)?.unwrap_or(policy.gemm);
+            policy.guard = apply(guard_env(), loud)?.unwrap_or(policy.guard);
+            match fault::install_from_env() {
+                Ok(_) => {}
+                Err(e) if loud => return Err(ExecError::Policy(e)),
+                Err(_) => {}
+            }
         }
+        self.graph.validate().map_err(ExecError::Graph)?;
         let fused = self.fused.or(env_fused).unwrap_or(policy.fused);
         policy.fused = fused;
         let arena = self.arena.or(env_arena).unwrap_or(true);
@@ -731,7 +813,7 @@ impl<'a> Session<'a> {
             }
         }
 
-        let (reorder_seconds, reorder) = ReorderState::build(graph.get(), policy.reorder);
+        let (reorder_seconds, reorder) = ReorderState::build(graph.get(), policy.reorder)?;
         Ok(Self {
             plan,
             graph,
@@ -755,6 +837,8 @@ impl<'a> Session<'a> {
             fused,
             pool,
             state: State::Fresh,
+            poisoned: None,
+            fallback_base: 0,
             live_bytes: 0,
             peak_bytes: 0,
             stats: RunStats::default(),
@@ -780,6 +864,22 @@ impl<'a> Session<'a> {
     /// arena.
     pub fn arena(&self) -> bool {
         self.arena
+    }
+
+    /// True when a contained kernel panic poisoned the session: the
+    /// step's results were discarded and every subsequent `begin_*`
+    /// returns [`ExecError::Poisoned`]. The session's pool stays
+    /// consistent (it can be trimmed or dropped safely); rebuild from
+    /// the same plan to continue.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// This session's buffer pool — exposed so robustness tests can
+    /// assert the pool survives a poisoning event consistently (trim
+    /// succeeds, counters balance).
+    pub fn pool(&self) -> &pool::Pool {
+        &self.pool
     }
 
     /// The static memory plan this session's storage follows (empty when
@@ -889,7 +989,9 @@ impl<'a> Session<'a> {
     /// itself (interleaving exchanges) between this and
     /// [`Session::finish_forward`].
     pub(crate) fn begin_forward(&mut self, bindings: &Bindings) -> Result<()> {
+        self.check_poisoned()?;
         self.reset();
+        self.fallback_base = self.pool.misses();
         self.bind_leaves(bindings)?;
         self.stats.threads = self.policy.threads;
         self.stats.arena = self.arena;
@@ -909,6 +1011,7 @@ impl<'a> Session<'a> {
         // Inference runs stop here; report the high-water mark either way
         // (backward refreshes it with the final value).
         self.stats.peak_value_bytes = self.peak_bytes;
+        self.stats.fallback_allocs = self.pool.misses() - self.fallback_base;
 
         // Forward→backward boundary: everything non-persistent drops here,
         // exercising the recomputation plan for real. The set was
@@ -981,6 +1084,7 @@ impl<'a> Session<'a> {
     /// sharded driver brackets its own kernel loop with this and
     /// [`Session::finish_backward`].
     pub(crate) fn begin_backward(&mut self, seed: Tensor) -> Result<()> {
+        self.check_poisoned()?;
         if !self.plan.training {
             return Err(ExecError::Protocol(
                 "plan was compiled for inference".into(),
@@ -992,7 +1096,11 @@ impl<'a> Session<'a> {
             ));
         }
         let plan = self.plan;
-        let seed_id = self.seed_node.expect("training plan has a grad seed");
+        let Some(seed_id) = self.seed_node else {
+            return Err(ExecError::Protocol(
+                "training plan has no gradient-seed node (plan inconsistency)".into(),
+            ));
+        };
         let seed_node = plan.ir.node(seed_id);
         self.check_shape(seed_node, &seed)?;
         // The caller seeds ∂L/∂output in their own vertex order.
@@ -1005,7 +1113,16 @@ impl<'a> Session<'a> {
     /// transition back to [`State::Fresh`].
     pub(crate) fn finish_backward(&mut self) {
         self.stats.peak_value_bytes = self.peak_bytes;
+        self.stats.fallback_allocs = self.pool.misses() - self.fallback_base;
         self.state = State::Fresh;
+    }
+
+    /// Refuses to start a step on a poisoned session.
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(why) => Err(ExecError::Poisoned(why.clone())),
+            None => Ok(()),
+        }
     }
 
     /// One full training step — forward then backward — with **no
@@ -1138,9 +1255,52 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Human-readable label of a kernel launch, for fault diagnostics:
+    /// schedule id, phase, and member node names.
+    pub(crate) fn kernel_label(&self, kid: usize, backward: bool) -> String {
+        let names: Vec<&str> = self.plan.kernels[kid]
+            .nodes
+            .iter()
+            .map(|&n| self.plan.ir.node(n).name.as_str())
+            .collect();
+        format!(
+            "K{kid} {} [{}]",
+            if backward { "bwd" } else { "fwd" },
+            names.join("+")
+        )
+    }
+
+    /// The numeric guard's per-output scan (active when
+    /// [`ExecPolicy::guard`] is set): localizes the first non-finite
+    /// element of `t` to `(kernel, node, row, col)`. One streaming pass
+    /// over the output, no allocation on the all-finite path.
+    fn guard_output(&self, kid: usize, backward: bool, node: NodeId, t: &Tensor) -> Result<()> {
+        if !self.policy.guard {
+            return Ok(());
+        }
+        scan_nonfinite(t, &self.plan.ir.node(node).name, || {
+            self.kernel_label(kid, backward)
+        })
+    }
+
     pub(crate) fn exec_kernel(&mut self, kid: usize, backward: bool) -> Result<()> {
         let t = Instant::now();
-        let r = self.exec_kernel_inner(kid, backward);
+        // Containment boundary: a panicking worker (or a panic on this
+        // thread inside a kernel body) surfaces as a typed error instead
+        // of aborting the step, and poisons the session — the store may
+        // hold partial results, but the pool stays consistent because
+        // every scoped worker joined before the panic re-raised.
+        let r = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.exec_kernel_inner(kid, backward)
+        })) {
+            Ok(r) => r,
+            Err(p) => {
+                let kernel = self.kernel_label(kid, backward);
+                let payload = contain::payload_str(p.as_ref());
+                self.poisoned = Some(format!("kernel '{kernel}' panicked: {payload}"));
+                Err(ExecError::KernelPanic { kernel, payload })
+            }
+        };
         if std::env::var_os("GNNOPT_PROFILE").is_some() {
             let names: Vec<&str> = self.plan.kernels[kid]
                 .nodes
@@ -1195,6 +1355,7 @@ impl<'a> Session<'a> {
                     self.aux_argmax.insert(n, a);
                 }
                 for (n, t) in res.outputs {
+                    self.guard_output(kid, backward, n, &t)?;
                     self.insert_value(n, t);
                 }
                 // A recomputed value spilled to an interior tensor must
@@ -1227,6 +1388,7 @@ impl<'a> Session<'a> {
                 Some(t) => t,
                 None => self.exec_node(n)?,
             };
+            self.guard_output(kid, backward, n, &t)?;
             self.insert_value(n, t);
             // Arena mode: inputs whose last read was this node free now,
             // not at the kernel boundary — later members of this kernel

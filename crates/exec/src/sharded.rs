@@ -62,9 +62,11 @@
 //! [`Session`] — no partitioning, no maps, no overhead.
 
 use crate::session::{
-    arena_env, fused_env, gemm_env, reorder_env, Bindings, EnvOverrides, RunStats, Session,
+    arena_env, fused_env, gemm_env, guard_env, reorder_env, scan_nonfinite, Bindings, EnvOverrides,
+    RunStats, Session,
 };
-use crate::{refexec, ExecError, Result};
+use crate::{contain, refexec, ExecError, Result};
+use gnnopt_core::fault;
 use gnnopt_core::memplan::{self, Liveness};
 use gnnopt_core::view::{self, View};
 use gnnopt_core::{
@@ -1014,6 +1016,44 @@ struct Multi<'a> {
     gaux_argmax: HashMap<NodeId, Vec<u32>>,
     records: Vec<ExchangeRecord>,
     stats: RunStats,
+    /// Set when a panic unwound out of a driver-side execution path
+    /// (split steps, global kernels, exchanges) and was contained at the
+    /// kernel boundary: the step's results are unreliable, so every
+    /// subsequent step refuses with [`ExecError::Poisoned`]. Panics
+    /// inside a shard's own kernels poison that shard's [`Session`]
+    /// instead.
+    poisoned: Option<String>,
+}
+
+/// Human-readable label of a kernel launch for fault diagnostics —
+/// the driver-side twin of `Session::kernel_label`, usable while shard
+/// sessions are mutably borrowed.
+fn kernel_label(plan: &ExecutionPlan, kid: usize, backward: bool) -> String {
+    let names: Vec<&str> = plan.kernels[kid]
+        .nodes
+        .iter()
+        .map(|&n| plan.ir.node(n).name.as_str())
+        .collect();
+    format!(
+        "K{kid} {} [{}]",
+        if backward { "bwd" } else { "fwd" },
+        names.join("+")
+    )
+}
+
+/// Order-sensitive checksum of the staged exchange buffers (FNV-style
+/// over f32 bit patterns): taken right after staging and re-verified
+/// right before scattering, so any corruption of the staging seam — the
+/// place a future wire or spill transport plugs in — is caught at the
+/// exchange that caused it, not epochs later.
+fn staging_checksum(staged: &[Vec<f32>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for buf in staged {
+        for v in buf {
+            h = (h.rotate_left(5) ^ u64::from(v.to_bits())).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl std::fmt::Debug for ShardMaps {
@@ -1099,7 +1139,16 @@ impl<'a> Multi<'a> {
         Ok(out)
     }
 
+    /// Refuses to start work after a driver-side contained panic.
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(why) => Err(ExecError::Poisoned(why.clone())),
+            None => Ok(()),
+        }
+    }
+
     fn begin(&mut self, bindings: &Bindings) -> Result<()> {
+        self.check_poisoned()?;
         self.records.clear();
         self.gvalues.clear();
         self.gaux_softmax.clear();
@@ -1139,6 +1188,7 @@ impl<'a> Multi<'a> {
             .max()
             .unwrap_or(0);
         self.stats.fused_kernels = self.shards[0].stats().fused_kernels;
+        self.stats.fallback_allocs = self.shards.iter().map(|s| s.stats().fallback_allocs).sum();
     }
 
     fn run_forward_phase(&mut self, bindings: &Bindings) -> Result<()> {
@@ -1158,6 +1208,7 @@ impl<'a> Multi<'a> {
     }
 
     fn run_backward_phase(&mut self, seed: Tensor) -> Result<()> {
+        self.check_poisoned()?;
         let seed_node = self
             .plan
             .ir
@@ -1199,9 +1250,24 @@ impl<'a> Multi<'a> {
             &mut self.classes[kid],
             KernelClass::Sharded { pre: Vec::new() },
         );
-        let r = self.run_class(kid, backward, &class);
+        // Containment boundary for the driver's own execution paths
+        // (split lockstep steps, global kernels, exchanges): a panic
+        // surfaces as a typed error and poisons the driver. Panics
+        // inside a shard's `exec_kernel` are already contained there and
+        // arrive here as `Err(KernelPanic)`, poisoning that shard.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_class(kid, backward, &class)
+        }));
         self.classes[kid] = class;
-        r
+        match r {
+            Ok(r) => r,
+            Err(p) => {
+                let kernel = kernel_label(self.plan, kid, backward);
+                let payload = contain::payload_str(p.as_ref());
+                self.poisoned = Some(format!("kernel '{kernel}' panicked: {payload}"));
+                Err(ExecError::KernelPanic { kernel, payload })
+            }
+        }
     }
 
     fn run_class(&mut self, kid: usize, backward: bool, class: &KernelClass) -> Result<()> {
@@ -1216,6 +1282,7 @@ impl<'a> Multi<'a> {
                 }
             }
             KernelClass::Split { steps } => {
+                let (plan, guard) = (self.plan, self.policy.guard);
                 for step in steps {
                     for &ex in &step.pre {
                         self.exchange(ex, kid, backward)?;
@@ -1226,6 +1293,11 @@ impl<'a> Multi<'a> {
                             continue; // stash-persistent value still live
                         }
                         let t = sess.exec_node(step.node)?;
+                        if guard {
+                            scan_nonfinite(&t, &plan.ir.node(step.node).name, || {
+                                kernel_label(plan, kid, backward)
+                            })?;
+                        }
                         sess.insert_value(step.node, t);
                     }
                 }
@@ -1251,14 +1323,28 @@ impl<'a> Multi<'a> {
     }
 
     /// Replays one static exchange route for one value: gather the
-    /// source rows from their owner shards into staging buffers, then
-    /// scatter them into each shard's copy in place.
+    /// source rows from their owner shards into staging buffers,
+    /// **validate** them, then scatter into each shard's copy in place.
+    ///
+    /// The staging buffers are exactly the seam a future transport (a
+    /// wire, a spilled file — ROADMAP item 4) replaces, so they are not
+    /// trusted blindly: every buffer must hold exactly `rows × cols`
+    /// floats for its route (always checked), and in debug builds — or
+    /// whenever failpoints are armed — an order-sensitive checksum
+    /// taken at staging must still match at scatter time. Violations
+    /// are [`ExecError::Exchange`], naming the value, kernel and shard.
+    ///
+    /// Hosts the `exchange` failpoint: `corrupt` drops one staged float
+    /// (caught by the count check), `nan` flips one staged float to NaN
+    /// (caught by the checksum), every other action returns
+    /// [`ExecError::Injected`].
     fn exchange(&mut self, ex: ExOp, kid: usize, backward: bool) -> Result<()> {
         let (nid, kind) = match ex {
             ExOp::VertexHalo(v) => (v, ExchangeKind::VertexHalo),
             ExOp::EdgePatch(v, _) => (v, ExchangeKind::EdgeReplica),
         };
         let k = self.num_shards();
+        let cols = self.shards[0].value(nid)?.cols();
         let mut staged: Vec<Vec<f32>> = Vec::with_capacity(k);
         let mut rows = 0u64;
         for s in 0..k {
@@ -1274,6 +1360,57 @@ impl<'a> Multi<'a> {
             rows += map.len() as u64;
             staged.push(buf);
         }
+        let deep_check = cfg!(debug_assertions) || fault::armed();
+        let stage_sum = deep_check.then(|| staging_checksum(&staged));
+        match fault::check("exchange") {
+            None => {}
+            Some(fault::FaultAction::Corrupt) => {
+                if let Some(b) = staged.iter_mut().find(|b| !b.is_empty()) {
+                    b.pop();
+                }
+            }
+            Some(fault::FaultAction::Nan) => {
+                if let Some(v) = staged.iter_mut().flat_map(|b| b.iter_mut()).next() {
+                    *v = f32::NAN;
+                }
+            }
+            Some(_) => {
+                return Err(ExecError::Injected {
+                    site: "exchange".into(),
+                })
+            }
+        }
+        let describe = |s: usize| {
+            format!(
+                "value '{}' into shard {s} at kernel '{}'",
+                self.plan.ir.node(nid).name,
+                kernel_label(self.plan, kid, backward)
+            )
+        };
+        for (s, buf) in staged.iter().enumerate() {
+            let map: &RowMap = match ex {
+                ExOp::VertexHalo(_) => &self.maps.halo_rows[s],
+                ExOp::EdgePatch(_, PatchSide::Dst) => &self.maps.patch_dst[s],
+                ExOp::EdgePatch(_, PatchSide::Src) => &self.maps.patch_src[s],
+            };
+            if buf.len() != map.len() * cols {
+                return Err(ExecError::Exchange(format!(
+                    "staging buffer of {} holds {} floats, expected {} rows x {cols} cols",
+                    describe(s),
+                    buf.len(),
+                    map.len(),
+                )));
+            }
+        }
+        if let Some(expected) = stage_sum {
+            let got = staging_checksum(&staged);
+            if got != expected {
+                return Err(ExecError::Exchange(format!(
+                    "staging checksum mismatch for {} ({got:#018x} != {expected:#018x})",
+                    describe(0),
+                )));
+            }
+        }
         let bytes: u64 = staged.iter().map(|b| 4 * b.len() as u64).sum();
         for (s, buf) in staged.iter().enumerate() {
             let map: &RowMap = match ex {
@@ -1284,11 +1421,10 @@ impl<'a> Multi<'a> {
             if map.is_empty() {
                 continue;
             }
-            let rowlen = buf.len() / map.len();
             let t = self.shards[s].value_mut(nid)?;
             for (i, &(dl, _, _)) in map.iter().enumerate() {
                 t.row_mut(dl as usize)
-                    .copy_from_slice(&buf[i * rowlen..(i + 1) * rowlen]);
+                    .copy_from_slice(&buf[i * cols..(i + 1) * cols]);
             }
         }
         self.record(kid, backward, nid, rows, bytes, kind);
@@ -1405,6 +1541,11 @@ impl<'a> Multi<'a> {
         for i in 0..plan.kernels[kid].nodes.len() {
             let id = plan.kernels[kid].nodes[i];
             let t = self.exec_global_node(id)?;
+            if self.policy.guard {
+                scan_nonfinite(&t, &plan.ir.node(id).name, || {
+                    kernel_label(plan, kid, backward)
+                })?;
+            }
             self.gvalues.insert(id, t);
         }
         // Scatter the members' results back into the shard stores.
@@ -1604,7 +1745,14 @@ impl<'a> ShardedSessionBuilder<'a> {
             env_arena = apply(arena_env(), loud)?;
             policy.reorder = apply(reorder_env(), loud)?.unwrap_or(policy.reorder);
             policy.gemm = apply(gemm_env(), loud)?.unwrap_or(policy.gemm);
+            policy.guard = apply(guard_env(), loud)?.unwrap_or(policy.guard);
+            match fault::install_from_env() {
+                Ok(_) => {}
+                Err(e) if loud => return Err(ExecError::Policy(e)),
+                Err(_) => {}
+            }
         }
+        self.graph.validate().map_err(ExecError::Graph)?;
         let fused = self.fused.or(env_fused).unwrap_or(policy.fused);
         policy.fused = fused;
         let arena = self.arena.or(env_arena).unwrap_or(true);
@@ -1639,6 +1787,7 @@ impl<'a> ShardedSessionBuilder<'a> {
                 gaux_argmax: HashMap::new(),
                 records: Vec::new(),
                 stats: RunStats::default(),
+                poisoned: None,
             })),
         })
     }
@@ -1673,6 +1822,18 @@ impl<'a> ShardedSession<'a> {
             fused: None,
             arena: None,
             env: EnvOverrides::default(),
+        }
+    }
+
+    /// True when a contained kernel panic poisoned the session — in the
+    /// driver itself or in any shard's per-shard [`Session`]. A poisoned
+    /// session refuses further steps with [`ExecError::Poisoned`]; its
+    /// pools stay consistent and it can be dropped safely. Rebuild from
+    /// the same plan to continue.
+    pub fn poisoned(&self) -> bool {
+        match &self.inner {
+            Inner::Single(s) => s.poisoned(),
+            Inner::Multi(m) => m.poisoned.is_some() || m.shards.iter().any(Session::poisoned),
         }
     }
 

@@ -113,6 +113,180 @@ impl Graph {
         }
     }
 
+    /// Reassembles a graph from raw dual-CSR parts **without checking
+    /// any invariant** — the deserialization seam for transports that
+    /// ship CSR arrays across processes (ROADMAP item 4), and the only
+    /// way tests can build deliberately corrupt graphs for
+    /// [`Graph::validate`]. Every consumer of an untrusted graph must
+    /// call [`Graph::validate`] before executing on it; the session
+    /// builders in `gnnopt-exec` do so unconditionally.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts_unchecked(
+        num_vertices: usize,
+        in_indptr: Vec<usize>,
+        in_nbr: Vec<u32>,
+        in_eid: Vec<u32>,
+        out_indptr: Vec<usize>,
+        out_nbr: Vec<u32>,
+        out_eid: Vec<u32>,
+        src: Vec<u32>,
+        dst: Vec<u32>,
+    ) -> Self {
+        Self {
+            num_vertices,
+            num_edges: src.len(),
+            in_adj: Adjacency {
+                indptr: in_indptr,
+                nbr: in_nbr,
+                eid: in_eid,
+            },
+            out_adj: Adjacency {
+                indptr: out_indptr,
+                nbr: out_nbr,
+                eid: out_eid,
+            },
+            src,
+            dst,
+        }
+    }
+
+    /// Checks every structural invariant the kernels index by, naming
+    /// the first violated one: CSR `indptr` shape/monotonicity/total in
+    /// both directions, in-bounds neighbor and edge endpoints,
+    /// dual-CSR/edge-array agreement, and the canonical dst-major edge
+    /// numbering (`in_adj.eid[i] == i`, destinations non-decreasing).
+    ///
+    /// Graphs built by [`Graph::from_edge_list`] or
+    /// [`Graph::permute_vertices`] satisfy this by construction; the
+    /// check exists so graphs arriving through
+    /// [`Graph::from_raw_parts_unchecked`] (a future wire transport, a
+    /// spilled file) fail **at session build** with a named invariant
+    /// instead of UB-adjacent indexing deep inside a kernel. Cost is
+    /// one `O(|V| + |E|)` pass per direction.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices;
+        let m = self.num_edges;
+        if self.src.len() != m || self.dst.len() != m {
+            return Err(format!(
+                "edge arrays disagree with num_edges: |src|={}, |dst|={}, m={m}",
+                self.src.len(),
+                self.dst.len()
+            ));
+        }
+        if m > u32::MAX as usize || n > u32::MAX as usize {
+            return Err(format!("graph exceeds u32 id space: n={n}, m={m}"));
+        }
+        for (name, adj) in [("in_adj", &self.in_adj), ("out_adj", &self.out_adj)] {
+            if adj.indptr.len() != n + 1 {
+                return Err(format!(
+                    "{name}.indptr has {} entries, expected n+1={}",
+                    adj.indptr.len(),
+                    n + 1
+                ));
+            }
+            if adj.indptr[0] != 0 {
+                return Err(format!("{name}.indptr[0] = {}, expected 0", adj.indptr[0]));
+            }
+            if let Some(v) = (0..n).find(|&v| adj.indptr[v] > adj.indptr[v + 1]) {
+                return Err(format!(
+                    "{name}.indptr decreases at vertex {v}: {} > {}",
+                    adj.indptr[v],
+                    adj.indptr[v + 1]
+                ));
+            }
+            if adj.indptr[n] != m {
+                return Err(format!(
+                    "{name}.indptr[n] = {}, expected num_edges = {m}",
+                    adj.indptr[n]
+                ));
+            }
+            if adj.nbr.len() != m || adj.eid.len() != m {
+                return Err(format!(
+                    "{name} arrays disagree with num_edges: |nbr|={}, |eid|={}, m={m}",
+                    adj.nbr.len(),
+                    adj.eid.len()
+                ));
+            }
+            if let Some(i) = adj.nbr.iter().position(|&u| u as usize >= n) {
+                return Err(format!(
+                    "{name}.nbr[{i}] = {} is out of bounds (n={n})",
+                    adj.nbr[i]
+                ));
+            }
+            if let Some(i) = adj.eid.iter().position(|&e| e as usize >= m) {
+                return Err(format!(
+                    "{name}.eid[{i}] = {} is out of bounds (m={m})",
+                    adj.eid[i]
+                ));
+            }
+        }
+        if let Some(i) = self.src.iter().position(|&u| u as usize >= n) {
+            return Err(format!(
+                "src[{i}] = {} is out of bounds (n={n})",
+                self.src[i]
+            ));
+        }
+        if let Some(i) = self.dst.iter().position(|&u| u as usize >= n) {
+            return Err(format!(
+                "dst[{i}] = {} is out of bounds (n={n})",
+                self.dst[i]
+            ));
+        }
+        // Canonical numbering: in_adj walks edge ids contiguously and
+        // destinations are grouped dst-major.
+        if let Some(i) = (0..m).find(|&i| self.in_adj.eid[i] as usize != i) {
+            return Err(format!(
+                "in_adj.eid[{i}] = {} breaks the canonical dst-major numbering (expected {i})",
+                self.in_adj.eid[i]
+            ));
+        }
+        if let Some(e) = (1..m).find(|&e| self.dst[e] < self.dst[e - 1]) {
+            return Err(format!(
+                "dst is not non-decreasing at edge {e}: {} after {}",
+                self.dst[e],
+                self.dst[e - 1]
+            ));
+        }
+        for v in 0..n {
+            let (lo, hi) = (self.in_adj.indptr[v], self.in_adj.indptr[v + 1]);
+            for i in lo..hi {
+                if self.dst[i] as usize != v {
+                    return Err(format!(
+                        "in_adj row {v} claims edge {i}, but dst[{i}] = {}",
+                        self.dst[i]
+                    ));
+                }
+                if self.in_adj.nbr[i] != self.src[i] {
+                    return Err(format!(
+                        "in_adj.nbr[{i}] = {} disagrees with src[{i}] = {}",
+                        self.in_adj.nbr[i], self.src[i]
+                    ));
+                }
+            }
+            let (lo, hi) = (self.out_adj.indptr[v], self.out_adj.indptr[v + 1]);
+            for i in lo..hi {
+                let e = self.out_adj.eid[i] as usize;
+                if self.src[e] as usize != v {
+                    return Err(format!(
+                        "out_adj row {v} lists edge {e}, but src[{e}] = {}",
+                        self.src[e]
+                    ));
+                }
+                if self.out_adj.nbr[i] != self.dst[e] {
+                    return Err(format!(
+                        "out_adj.nbr[{i}] = {} disagrees with dst[{e}] = {}",
+                        self.out_adj.nbr[i], self.dst[e]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.num_vertices
@@ -393,5 +567,75 @@ mod tests {
     #[should_panic(expected = "repeats id")]
     fn permute_vertices_rejects_non_bijection() {
         let _ = diamond().permute_vertices(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_graphs() {
+        assert_eq!(diamond().validate(), Ok(()));
+        let (p, _) = diamond().permute_vertices(&[3, 2, 1, 0]);
+        assert_eq!(p.validate(), Ok(()));
+        let empty = Graph::from_edge_list(&EdgeList::from_pairs(3, &[]));
+        assert_eq!(empty.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_each_broken_invariant() {
+        let g = diamond();
+        let corrupt = |f: &dyn Fn(&mut Graph)| {
+            let mut c = g.clone();
+            f(&mut c);
+            c.validate().expect_err("corruption must be detected")
+        };
+
+        let e = corrupt(&|c| c.in_adj.indptr[2] = 4);
+        assert!(e.contains("indptr decreases"), "{e}");
+        let e = corrupt(&|c| c.in_adj.indptr[4] = 3);
+        assert!(e.contains("expected num_edges"), "{e}");
+        let e = corrupt(&|c| c.out_adj.nbr[0] = 9);
+        assert!(e.contains("out of bounds"), "{e}");
+        let e = corrupt(&|c| c.in_adj.eid[1] = 0);
+        assert!(e.contains("canonical dst-major numbering"), "{e}");
+        let e = corrupt(&|c| c.dst.swap(0, 3));
+        assert!(e.contains("non-decreasing"), "{e}");
+        let e = corrupt(&|c| c.src[1] = 3);
+        assert!(e.contains("src[1]"), "{e}");
+        let e = corrupt(&|c| {
+            c.src.pop();
+            c.dst.pop();
+        });
+        assert!(e.contains("disagree with num_edges"), "{e}");
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_validates() {
+        let g = diamond();
+        let rebuilt = Graph::from_raw_parts_unchecked(
+            g.num_vertices,
+            g.in_adj.indptr.clone(),
+            g.in_adj.nbr.clone(),
+            g.in_adj.eid.clone(),
+            g.out_adj.indptr.clone(),
+            g.out_adj.nbr.clone(),
+            g.out_adj.eid.clone(),
+            g.src.clone(),
+            g.dst.clone(),
+        );
+        assert_eq!(rebuilt, g);
+        assert_eq!(rebuilt.validate(), Ok(()));
+        // An unchecked constructor happily holds garbage; validate is
+        // the gate.
+        let bad = Graph::from_raw_parts_unchecked(
+            2,
+            vec![0, 1],
+            vec![5],
+            vec![0],
+            vec![0, 1, 1],
+            vec![1],
+            vec![0],
+            vec![0],
+            vec![1],
+        );
+        let e = bad.validate().expect_err("bad graph must fail");
+        assert!(e.contains("in_adj.indptr has 2 entries"), "{e}");
     }
 }

@@ -24,6 +24,7 @@
 
 mod elementwise;
 mod error;
+pub mod fault;
 pub mod gemm;
 mod init;
 mod linalg;

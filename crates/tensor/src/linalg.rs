@@ -31,7 +31,7 @@ const ZERO_PROBE_CAP: usize = 4096;
 /// the old unconditional full scan of `b` nor a full sweep of a
 /// vertex-count-sized `a`.
 fn skip_zero_rows(a: &[f32], b: &[f32]) -> bool {
-    a.iter().take(ZERO_PROBE_CAP).any(|&v| v == 0.0) && b.iter().all(|v| v.is_finite())
+    a.iter().take(ZERO_PROBE_CAP).any(|&v| v == 0.0) && crate::rowops::first_nonfinite(b).is_none()
 }
 
 impl Tensor {

@@ -96,6 +96,10 @@ struct PoolInner {
     f32s: BTreeMap<usize, Vec<Vec<f32>>>,
     u32s: BTreeMap<usize, Vec<Vec<u32>>>,
     shapes: BTreeMap<usize, Vec<Vec<usize>>>,
+    /// Cumulative scoped takes served by the heap instead of the free
+    /// list — real misses and injected exhaustion alike. Never reset
+    /// (trim included): sessions difference snapshots around a step.
+    misses: u64,
 }
 
 /// Slots pre-reserved in every bucket `Vec` at creation. Bucket
@@ -142,6 +146,7 @@ impl Pool {
                 f32s: BTreeMap::new(),
                 u32s: BTreeMap::new(),
                 shapes: BTreeMap::new(),
+                misses: 0,
             })),
         }
     }
@@ -216,6 +221,14 @@ impl Pool {
         (count(&pool.f32s), count(&pool.u32s), count(&pool.shapes))
     }
 
+    /// Cumulative scoped take misses served by the heap instead of the
+    /// free list, injected exhaustion included. A warmed session holds
+    /// this constant; sessions difference snapshots taken around a step
+    /// to report `RunStats::fallback_allocs`.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("buffer pool poisoned").misses
+    }
+
     /// Total bytes currently parked in the pool (diagnostics only).
     pub fn resident_bytes(&self) -> usize {
         fn bytes<T>(m: &BTreeMap<usize, Vec<Vec<T>>>) -> usize {
@@ -236,18 +249,30 @@ macro_rules! pool_take {
             return Vec::with_capacity(min);
         }
         let pooled = with_current(|pool| {
-            // Best fit: the smallest capacity class that satisfies the
-            // request. Empty buckets are skipped but deliberately kept
-            // in the map so the tree reaches a structural fixed point.
-            if let Some((_, bucket)) = pool.$field.range_mut(min..).find(|(_, b)| !b.is_empty()) {
-                let mut v = bucket.pop().expect("bucket checked non-empty");
-                v.clear();
-                return Some(v);
+            // An armed `pool.take` failpoint simulates arena
+            // exhaustion: every action degrades to a forced miss,
+            // because a take returns a buffer (not a `Result`) and the
+            // only honest failure mode is the heap fallback the caller
+            // already survives. One relaxed atomic load when unarmed.
+            let exhausted = crate::fault::check("pool.take").is_some();
+            if !exhausted {
+                // Best fit: the smallest capacity class that satisfies
+                // the request. Empty buckets are skipped but
+                // deliberately kept in the map so the tree reaches a
+                // structural fixed point.
+                if let Some((_, bucket)) = pool.$field.range_mut(min..).find(|(_, b)| !b.is_empty())
+                {
+                    let mut v = bucket.pop().expect("bucket checked non-empty");
+                    v.clear();
+                    return Some(v);
+                }
             }
-            // Miss: materialize the class's bucket node *now*, so the
+            // Miss: count it for the session's fallback accounting and
+            // materialize the class's bucket node *now*, so the
             // buffer's eventual return (often a whole step later, at
             // the next reset's return wave) finds the node in place
             // instead of allocating one inside a warmed step.
+            pool.misses += 1;
             pool.$field.entry(min).or_insert_with(new_bucket);
             None
         });
@@ -375,6 +400,37 @@ mod tests {
         assert_eq!(f, vec![(64, 1)]);
         a.trim();
         assert_eq!(a.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn misses_count_and_exhaustion_degrades() {
+        let _l = crate::fault::TEST_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let pool = Pool::new();
+        assert_eq!(pool.misses(), 0);
+        {
+            let _g = ScopeGuard::new(Some(&pool));
+            put_f32(Vec::with_capacity(8));
+            let v = take_f32(8); // hit
+            assert_eq!(pool.misses(), 0);
+            put_f32(v);
+            let w = take_f32(1024); // real miss
+            assert_eq!(pool.misses(), 1);
+            put_f32(w);
+            let fp = crate::fault::FaultGuard::install("pool.take:exhaust").unwrap();
+            let x = take_f32(8); // pooled buffer present, but exhausted
+            assert_eq!(
+                x.capacity(),
+                8,
+                "injected exhaustion falls back to the heap"
+            );
+            assert_eq!(pool.misses(), 2);
+            drop(fp);
+            let y = take_f32(8);
+            assert!(y.capacity() >= 8);
+            assert_eq!(pool.misses(), 2, "disarmed takes hit the free list again");
+        }
     }
 
     #[test]

@@ -158,6 +158,30 @@ pub mod scalar {
     }
 }
 
+/// Index of the first non-finite element of `x` (NaN or ±inf), or
+/// `None` when every element is finite — the numeric guard's one
+/// streaming pass over a kernel output, also backing the GEMM
+/// zero-skip soundness probe.
+///
+/// Unlike the primitives above this returns a value, so it is not
+/// routed through the AVX2 dispatcher; instead it folds a branch-free
+/// all-finite flag per fixed-width chunk (which LLVM vectorizes on its
+/// own) and only a failing chunk pays the positional rescan. There is
+/// no floating-point arithmetic here, so bit-identity is not at stake.
+#[inline]
+pub fn first_nonfinite(x: &[f32]) -> Option<usize> {
+    const CHUNK: usize = 64;
+    let mut base = 0;
+    for c in x.chunks(CHUNK) {
+        let all_finite = c.iter().fold(true, |ok, v| ok & v.is_finite());
+        if !all_finite {
+            return c.iter().position(|v| !v.is_finite()).map(|i| base + i);
+        }
+        base += c.len();
+    }
+    None
+}
+
 /// Generates, for one primitive, the AVX2 monomorphization of its
 /// [`scalar`] body plus the public runtime-dispatched entry point. The
 /// macro forwards arguments verbatim, so the two paths can never diverge
@@ -342,6 +366,24 @@ mod tests {
         let mut o = [0.0f32; 2];
         softmax_bwd_row(&mut o, &[2.0, 3.0], &y, &[0.5, 0.5]);
         assert_eq!(o, [1.5, 2.5]);
+    }
+
+    #[test]
+    fn first_nonfinite_localizes_across_chunk_boundaries() {
+        assert_eq!(first_nonfinite(&[]), None);
+        assert_eq!(first_nonfinite(&[1.0, -2.0, 0.0]), None);
+        for idx in [0usize, 1, 63, 64, 65, 127, 130] {
+            for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+                let mut v = vec![0.5f32; 140];
+                v[idx] = bad;
+                assert_eq!(first_nonfinite(&v), Some(idx), "bad={bad} idx={idx}");
+            }
+        }
+        // First, not any: two non-finite values report the earlier one.
+        let mut v = vec![1.0f32; 100];
+        v[70] = f32::INFINITY;
+        v[12] = f32::NAN;
+        assert_eq!(first_nonfinite(&v), Some(12));
     }
 
     /// The dispatched entry points must be bit-identical to the scalar

@@ -4,7 +4,7 @@ use crate::optim::clip_grad_norm;
 use crate::schedule::{EarlyStopping, LrSchedule};
 use crate::{accuracy_masked, softmax_cross_entropy_masked, Optimizer, Result};
 use gnnopt_core::ExecutionPlan;
-use gnnopt_exec::{Bindings, RunStats, Session};
+use gnnopt_exec::{Bindings, ExecError, RunStats, Session};
 use gnnopt_graph::Graph;
 use gnnopt_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
@@ -37,6 +37,7 @@ pub struct Trainer<'a, O: Optimizer> {
     param_names: HashSet<String>,
     optimizer: O,
     clip_norm: Option<f32>,
+    nonfinite_retries: u32,
 }
 
 impl<'a, O: Optimizer> Trainer<'a, O> {
@@ -61,12 +62,31 @@ impl<'a, O: Optimizer> Trainer<'a, O> {
             param_names: param_names.into_iter().collect(),
             optimizer,
             clip_norm: None,
+            nonfinite_retries: 0,
         })
     }
 
     /// Enables global-norm gradient clipping before every update.
     pub fn with_clip_norm(mut self, max_norm: f32) -> Self {
         self.clip_norm = Some(max_norm);
+        self
+    }
+
+    /// Enables the bounded skip-and-retry policy on non-finite
+    /// gradients: when the executor's numeric guard
+    /// ([`gnnopt_core::ExecPolicy::guard`] / `GNNOPT_GUARD=1`) rejects a
+    /// step with `ExecError::NonFinite`, the step is discarded — no
+    /// parameter was updated — and re-run, up to `retries` times per
+    /// [`Trainer::step`] call before the error propagates. The retry
+    /// count of the step that finally succeeded is reported in
+    /// [`RunStats::nonfinite_retries`].
+    ///
+    /// This targets *transient* faults (an injected fault, a flaky
+    /// device): the executor is deterministic, so a NaN rooted in the
+    /// parameters themselves recurs every attempt and still fails after
+    /// the bound.
+    pub fn with_nonfinite_retry(mut self, retries: u32) -> Self {
+        self.nonfinite_retries = retries;
         self
     }
 
@@ -90,8 +110,27 @@ impl<'a, O: Optimizer> Trainer<'a, O> {
     ///
     /// # Errors
     ///
-    /// Propagates executor errors.
+    /// Propagates executor errors. With
+    /// [`Trainer::with_nonfinite_retry`] enabled, `NonFinite` guard
+    /// rejections are retried up to the bound before propagating.
     pub fn step_masked(&mut self, labels: &[usize], mask: &[bool]) -> Result<StepReport> {
+        let mut retries = 0u64;
+        loop {
+            match self.try_step_masked(labels, mask) {
+                Err(ExecError::NonFinite { .. }) if retries < u64::from(self.nonfinite_retries) => {
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+                Ok(mut report) => {
+                    report.run.nonfinite_retries = retries;
+                    return Ok(report);
+                }
+            }
+        }
+    }
+
+    /// One attempt of a masked step: forward, loss, backward, update.
+    fn try_step_masked(&mut self, labels: &[usize], mask: &[bool]) -> Result<StepReport> {
         let mut bindings = Bindings::new();
         for (k, v) in &self.values {
             bindings.insert(k, v.clone());

@@ -112,6 +112,17 @@ fn warm_step_allocates_nothing_with_arena_on() {
             .unwrap();
         let with_arena = steady_allocs(&mut arena_sess, &b, &seed);
 
+        // The numeric guard's all-finite scan path must be free too:
+        // `GNNOPT_GUARD=1` may not buy per-step allocations.
+        let mut guarded_sess = Session::builder(&compiled.plan, &g)
+            .policy(ExecPolicy::serial().with_guard(true))
+            .fused(false)
+            .arena(true)
+            .env(EnvOverrides::Off)
+            .build()
+            .unwrap();
+        let with_guard = steady_allocs(&mut guarded_sess, &b, &seed);
+
         let mut heap_sess = Session::builder(&compiled.plan, &g)
             .policy(ExecPolicy::serial())
             .fused(false)
@@ -121,11 +132,18 @@ fn warm_step_allocates_nothing_with_arena_on() {
             .unwrap();
         let without = steady_allocs(&mut heap_sess, &b, &seed);
 
-        eprintln!("{name}: steady-state allocations/step: arena={with_arena} heap={without}");
+        eprintln!(
+            "{name}: steady-state allocations/step: \
+             arena={with_arena} guarded={with_guard} heap={without}"
+        );
         assert_eq!(
             with_arena, 0,
             "{name}: a warmed arena step must not touch the heap \
              (heap path allocated {without} times)"
+        );
+        assert_eq!(
+            with_guard, 0,
+            "{name}: the numeric guard must scan without allocating"
         );
     }
 
